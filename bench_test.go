@@ -1,0 +1,265 @@
+package setupsched
+
+// Benchmark harness regenerating the paper's evaluation artifacts:
+//
+//   - BenchmarkTable1_* has one benchmark per row of Table 1 (the paper's
+//     algorithm overview), measuring the running time of each algorithm
+//     across instance sizes; near-constant ns/job across sizes confirms
+//     the near-linear bounds.
+//   - BenchmarkFigure*_ benchmarks the constructions behind each figure.
+//   - BenchmarkDual_* measures a single O(n) dual test per variant.
+//   - BenchmarkAblation_* quantifies the design choices called out in
+//     DESIGN.md (run compression for huge m, probe counts of the searches).
+//
+// Run with:  go test -bench=. -benchmem .
+
+import (
+	"testing"
+
+	"setupsched/internal/core"
+	"setupsched/internal/expt"
+	"setupsched/internal/gen"
+	"setupsched/sched"
+)
+
+func benchInstance(n int) *Instance {
+	classes := n / 8
+	if classes < 1 {
+		classes = 1
+	}
+	return gen.Uniform(gen.Params{
+		M: int64(n/50 + 1), Classes: classes, JobsPer: 8,
+		MaxSetup: 1000, MaxJob: 1000, Seed: int64(n),
+	})
+}
+
+var benchSizes = []struct {
+	name string
+	n    int
+}{
+	{"n=1e3", 1000},
+	{"n=1e4", 10000},
+	{"n=1e5", 100000},
+}
+
+func benchAlgo(b *testing.B, name string) {
+	var algo expt.Algo
+	for _, a := range expt.Algorithms() {
+		if a.Name == name {
+			algo = a
+		}
+	}
+	if algo.Run == nil {
+		b.Fatalf("unknown algorithm %q", name)
+	}
+	for _, sz := range benchSizes {
+		in := benchInstance(sz.n)
+		p := core.Prepare(in)
+		b.Run(sz.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := algo.Run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1, splittable row ---
+
+func BenchmarkTable1_Splittable_2Approx(b *testing.B) { benchAlgo(b, "split/2approx") }
+func BenchmarkTable1_Splittable_Eps(b *testing.B)     { benchAlgo(b, "split/eps") }
+func BenchmarkTable1_Splittable_Jump(b *testing.B)    { benchAlgo(b, "split/jump") }
+
+// --- Table 1, non-preemptive row ---
+
+func BenchmarkTable1_NonPreemptive_2Approx(b *testing.B)   { benchAlgo(b, "nonp/2approx") }
+func BenchmarkTable1_NonPreemptive_Eps(b *testing.B)       { benchAlgo(b, "nonp/eps") }
+func BenchmarkTable1_NonPreemptive_BinSearch(b *testing.B) { benchAlgo(b, "nonp/binsearch") }
+
+// --- Table 1, preemptive row ---
+
+func BenchmarkTable1_Preemptive_2Approx(b *testing.B) { benchAlgo(b, "pmtn/2approx") }
+func BenchmarkTable1_Preemptive_Eps(b *testing.B)     { benchAlgo(b, "pmtn/eps") }
+func BenchmarkTable1_Preemptive_Jump(b *testing.B)    { benchAlgo(b, "pmtn/jump") }
+
+// --- The O(n) dual tests underlying Theorems 4, 7 and 9 ---
+
+func BenchmarkDual_Splittable(b *testing.B) {
+	in := benchInstance(100000)
+	p := core.Prepare(in)
+	T := p.TMin(sched.Splittable).MulInt(5).DivInt(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EvalSplit(T, nil)
+	}
+}
+
+func BenchmarkDual_Preemptive(b *testing.B) {
+	in := benchInstance(100000)
+	p := core.Prepare(in)
+	T := p.TMin(sched.Preemptive).MulInt(5).DivInt(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EvalPmtn(T, nil)
+	}
+}
+
+func BenchmarkDual_NonPreemptive(b *testing.B) {
+	in := benchInstance(100000)
+	p := core.Prepare(in)
+	T := p.TMin(sched.NonPreemptive).MulInt(5).DivInt(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.EvalNonp(T)
+	}
+}
+
+// --- Figures: one benchmark per construction shown in the paper ---
+
+// Figure 1: the splittable construction (expensive wrap + cheap wrap).
+func BenchmarkFigure1_SplittableBuild(b *testing.B) {
+	in := benchInstance(20000)
+	p := core.Prepare(in)
+	T := sched.R(in.N() / in.M * 2)
+	ev := p.EvalSplit(T, nil)
+	if !ev.OK {
+		b.Fatalf("guess rejected: %s", ev.Reason)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.BuildSplit(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 2/5: the preemptive nice-instance construction.
+func BenchmarkFigure2_NiceInstanceBuild(b *testing.B) {
+	in := gen.ExpensiveSetups(gen.Params{M: 600, Classes: 500, JobsPer: 6, MaxSetup: 1000, MaxJob: 200, Seed: 5})
+	p := core.Prepare(in)
+	res, err := p.SolvePmtnJump()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := p.EvalPmtn(res.T, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.BuildPmtn(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 3/4: the preemptive general construction with large machines.
+func BenchmarkFigure3_LargeMachinesBuild(b *testing.B) {
+	in := gen.BigJobs(gen.Params{M: 64, Classes: 300, JobsPer: 6, MaxSetup: 300, MaxJob: 400, Seed: 6})
+	p := core.Prepare(in)
+	res, err := p.SolvePmtnJump()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := p.EvalPmtn(res.T, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.BuildPmtn(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 6: raw Batch Wrapping throughput.
+func BenchmarkFigure6_Wrap(b *testing.B) {
+	in := benchInstance(100000)
+	p := core.Prepare(in)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.TwoApproxSplit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 7: the next-fit 2-approximation.
+func BenchmarkFigure7_NextFit2Approx(b *testing.B) {
+	in := benchInstance(100000)
+	p := core.Prepare(in)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.TwoApproxNonPreemptive(sched.NonPreemptive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 10-13: the non-preemptive Algorithm 6 construction.
+func BenchmarkFigure10_NonpBuild(b *testing.B) {
+	in := benchInstance(50000)
+	p := core.Prepare(in)
+	res, err := p.SolveNonpSearch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := p.EvalNonp(res.T)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.BuildNonp(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// Run compression: the splittable solver on a cluster of one million
+// machines must not be slower than on a thousand (Theorem 7's O(n + c)
+// construction relies on machine-configuration multiplicities).
+func BenchmarkAblation_RunCompression_m1e3(b *testing.B) { benchSplitHugeM(b, 1_000) }
+func BenchmarkAblation_RunCompression_m1e6(b *testing.B) { benchSplitHugeM(b, 1_000_000) }
+
+func benchSplitHugeM(b *testing.B, m int64) {
+	in := gen.Uniform(gen.Params{M: m, Classes: 200, JobsPer: 8, MaxSetup: 50, MaxJob: 100, Seed: 1})
+	p := core.Prepare(in)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveSplitJump(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Probe economy: Class Jumping needs O(log) dual tests; the eps-search
+// needs O(log 1/eps).  This benchmark pins their relative cost.
+func BenchmarkAblation_JumpVsEps_Jump(b *testing.B) {
+	in := benchInstance(50000)
+	p := core.Prepare(in)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveSplitJump(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_JumpVsEps_Eps(b *testing.B) {
+	in := benchInstance(50000)
+	p := core.Prepare(in)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveEps(sched.Splittable, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end Solve through the public API (includes validation-free path).
+func BenchmarkSolveFacade(b *testing.B) {
+	in := benchInstance(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(in, NonPreemptive, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Command schedfig regenerates the paper's figures (Deppert & Jansen,
+// SPAA 2019, Figures 1-13) as ASCII Gantt charts from live algorithm runs.
+//
+// Usage:
+//
+//	schedfig [-only fig1b]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"setupsched/internal/expt"
+)
+
+func main() {
+	only := flag.String("only", "", "render only the figure with this id (e.g. fig1b)")
+	flag.Parse()
+
+	figs, err := expt.Figures()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedfig:", err)
+		os.Exit(1)
+	}
+	for _, f := range figs {
+		if *only != "" && f.ID != *only {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n%s\n%s\n", f.ID, f.Title, f.Notes, f.Art)
+	}
+}

@@ -1,0 +1,107 @@
+// Command schedsolve reads a scheduling instance as JSON and solves it.
+//
+// Usage:
+//
+//	schedsolve [-variant split|pmtn|nonp] [-algo auto|2approx|eps|exact] \
+//	           [-eps 1e-4] [-gantt] [instance.json]
+//
+// The instance format is
+//
+//	{"m": 3, "classes": [{"setup": 4, "jobs": [7, 2, 5]}, ...]}
+//
+// With no file argument the instance is read from standard input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"setupsched"
+	"setupsched/internal/render"
+	"setupsched/sched"
+)
+
+func main() {
+	variant := flag.String("variant", "nonp", "problem variant: split, pmtn or nonp")
+	algo := flag.String("algo", "auto", "algorithm: auto, 2approx, eps or exact")
+	eps := flag.Float64("eps", 1e-4, "accuracy for -algo eps")
+	gantt := flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var in setupsched.Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		fail(fmt.Errorf("decoding instance: %w", err))
+	}
+
+	v, err := parseVariant(*variant)
+	if err != nil {
+		fail(err)
+	}
+	a, err := parseAlgo(*algo)
+	if err != nil {
+		fail(err)
+	}
+	res, err := setupsched.Solve(&in, v, &setupsched.Options{Algorithm: a, Epsilon: *eps})
+	if err != nil {
+		fail(err)
+	}
+	if err := res.Schedule.Validate(&in); err != nil {
+		fail(fmt.Errorf("internal error, invalid schedule: %w", err))
+	}
+
+	fmt.Printf("variant:     %s\n", v)
+	fmt.Printf("algorithm:   %s\n", res.Algorithm)
+	fmt.Printf("makespan:    %s (%.4f)\n", res.Makespan, res.Makespan.Float64())
+	fmt.Printf("lower bound: %s (%.4f)\n", res.LowerBound, res.LowerBound.Float64())
+	fmt.Printf("ratio <=     %.4f\n", res.Ratio)
+	fmt.Printf("machines:    %d of %d used\n", res.Schedule.MachineCount(), in.M)
+	fmt.Printf("setups:      %d\n", res.Schedule.SetupCount())
+	if *gantt {
+		fmt.Println()
+		fmt.Print(render.Legend(&in))
+		fmt.Print(render.Gantt(res.Schedule, &render.Options{T: res.Guess}))
+	}
+}
+
+func parseVariant(s string) (sched.Variant, error) {
+	switch s {
+	case "split", "splittable":
+		return setupsched.Splittable, nil
+	case "pmtn", "preemptive":
+		return setupsched.Preemptive, nil
+	case "nonp", "nonpreemptive":
+		return setupsched.NonPreemptive, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (want split, pmtn or nonp)", s)
+}
+
+func parseAlgo(s string) (setupsched.Algorithm, error) {
+	switch s {
+	case "auto":
+		return setupsched.Auto, nil
+	case "2approx":
+		return setupsched.TwoApprox, nil
+	case "eps":
+		return setupsched.EpsilonSearch, nil
+	case "exact", "exact32":
+		return setupsched.Exact32, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "schedsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"setupsched"
+)
+
+func TestParseVariant(t *testing.T) {
+	cases := map[string]setupsched.Variant{
+		"split": setupsched.Splittable, "splittable": setupsched.Splittable,
+		"pmtn": setupsched.Preemptive, "preemptive": setupsched.Preemptive,
+		"nonp": setupsched.NonPreemptive, "nonpreemptive": setupsched.NonPreemptive,
+	}
+	for in, want := range cases {
+		got, err := parseVariant(in)
+		if err != nil || got != want {
+			t.Errorf("parseVariant(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseVariant("bogus"); err == nil {
+		t.Error("bogus variant accepted")
+	}
+}
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]setupsched.Algorithm{
+		"auto": setupsched.Auto, "2approx": setupsched.TwoApprox,
+		"eps": setupsched.EpsilonSearch, "exact": setupsched.Exact32,
+		"exact32": setupsched.Exact32,
+	}
+	for in, want := range cases {
+		got, err := parseAlgo(in)
+		if err != nil || got != want {
+			t.Errorf("parseAlgo(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseAlgo("bogus"); err == nil {
+		t.Error("bogus algorithm accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Printshop: non-preemptive scheduling of print jobs on identical presses.
+//
+// Each paper stock / ink combination is a class: switching a press to a
+// different combination requires a washup-and-plate setup.  Jobs cannot be
+// interrupted once started (a print run is atomic), so this is the
+// non-preemptive variant P|setup=s_i|Cmax.
+//
+// The example compares the paper's exact 3/2-approximation with the
+// 2-approximation and a classical LPT whole-batch baseline on a month of
+// synthetic orders, and prints how much of the makespan the setups claim.
+//
+// Run with:  go run ./examples/printshop
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"setupsched"
+	"setupsched/sched"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2019))
+
+	// 14 stock/ink combinations with washup setups between 20 and 90
+	// minutes; run lengths between 15 minutes and 6 hours.
+	const presses = 6
+	in := &setupsched.Instance{M: presses}
+	for c := 0; c < 14; c++ {
+		cls := setupsched.Class{Setup: 20 + rng.Int63n(71)}
+		orders := 3 + rng.Intn(9)
+		for j := 0; j < orders; j++ {
+			cls.Jobs = append(cls.Jobs, 15+rng.Int63n(346))
+		}
+		in.Classes = append(in.Classes, cls)
+	}
+	fmt.Printf("print shop: %d presses, %d stock/ink classes, %d orders, total work+setups %d min\n\n",
+		in.M, in.NumClasses(), in.NumJobs(), in.N())
+
+	type row struct {
+		name string
+		res  *setupsched.Result
+	}
+	var rows []row
+	for _, r := range []struct {
+		name string
+		opts *setupsched.Options
+	}{
+		{"exact 3/2 (binary search)", &setupsched.Options{Algorithm: setupsched.Exact32}},
+		{"(3/2+eps) dual search", &setupsched.Options{Algorithm: setupsched.EpsilonSearch, Epsilon: 1e-4}},
+		{"2-approximation", &setupsched.Options{Algorithm: setupsched.TwoApprox}},
+	} {
+		res, err := setupsched.Solve(in, setupsched.NonPreemptive, r.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{r.name, res})
+	}
+
+	lb := rows[0].res.LowerBound
+	fmt.Printf("%-28s %10s %12s %8s %8s\n", "algorithm", "makespan", "vs OPT>=", "setups", "machines")
+	for _, r := range rows {
+		fmt.Printf("%-28s %10s %11.4fx %8d %8d\n",
+			r.name,
+			r.res.Makespan,
+			r.res.Makespan.Float64()/lb.Float64(),
+			r.res.Schedule.SetupCount(),
+			r.res.Schedule.MachineCount())
+	}
+
+	// Setup overhead of the best schedule.
+	best := rows[0].res.Schedule
+	var setupTime sched.Rat
+	for _, run := range best.Runs {
+		for _, sl := range run.Slots {
+			if sl.Kind == sched.SlotSetup {
+				setupTime = setupTime.Add(sl.End.Sub(sl.Start).MulInt(run.Count))
+			}
+		}
+	}
+	fmt.Printf("\nbest schedule spends %s min on washups (%.1f%% of press time %s*%d)\n",
+		setupTime, 100*setupTime.Float64()/(best.Makespan().Float64()*float64(presses)),
+		best.Makespan(), presses)
+}

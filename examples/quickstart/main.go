@@ -1,0 +1,54 @@
+// Quickstart: build a small instance, solve it under all three problem
+// variants, and print the schedules.
+//
+// Run with:  go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"setupsched"
+)
+
+func main() {
+	// Three machines; three job classes.  Class 0 has an expensive setup
+	// (e.g. a long tool change), class 1 is cheap, class 2 is in between.
+	in := &setupsched.Instance{
+		M: 3,
+		Classes: []setupsched.Class{
+			{Setup: 9, Jobs: []int64{6, 4}},
+			{Setup: 1, Jobs: []int64{3, 3, 2}},
+			{Setup: 4, Jobs: []int64{7, 2, 5}},
+		},
+	}
+
+	for _, v := range []setupsched.Variant{
+		setupsched.Splittable, setupsched.Preemptive, setupsched.NonPreemptive,
+	} {
+		res, err := setupsched.Solve(in, v, nil) // nil = exact 3/2-approximation
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Every result is verifiable: the schedule re-validates against the
+		// instance, and the lower bound certifies the quality.
+		if err := res.Schedule.Validate(in); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s makespan=%-8s OPT>=%-8s ratio<=%.3f  (%s, %d probes)\n",
+			v, res.Makespan, res.LowerBound, res.Ratio, res.Algorithm, res.Probes)
+	}
+
+	// The dual test is available directly: either build a schedule with
+	// makespan <= 3/2*T or learn that T < OPT.
+	T := setupsched.Rat{}.AddInt(14)
+	ok, s, err := setupsched.DualTest(in, setupsched.NonPreemptive, T)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("\ndual test at T=%s: accepted, schedule with makespan %s <= 3/2*T\n", T, s.Makespan())
+	} else {
+		fmt.Printf("\ndual test at T=%s: rejected, so the optimum exceeds %s\n", T, T)
+	}
+}

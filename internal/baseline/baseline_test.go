@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"setupsched/internal/exact"
+	"setupsched/sched"
+)
+
+func TestMcNaughtonOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 300; iter++ {
+		m := int64(1 + rng.Intn(6))
+		n := 1 + rng.Intn(12)
+		jobs := make([]int64, n)
+		var sum, tmax int64
+		for j := range jobs {
+			jobs[j] = 1 + rng.Int63n(30)
+			sum += jobs[j]
+			if jobs[j] > tmax {
+				tmax = jobs[j]
+			}
+		}
+		s := McNaughton(jobs, m)
+		in := &sched.Instance{M: m, Classes: []sched.Class{{Setup: 0, Jobs: jobs}}}
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		opt := sched.MaxRat(sched.R(tmax), sched.RatOf(sum, m))
+		if !s.Makespan().Equal(opt) {
+			t.Fatalf("iter %d: makespan %s, want optimal %s", iter, s.Makespan(), opt)
+		}
+	}
+}
+
+func TestLPTBatchesFeasibleAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 200; iter++ {
+		in := randomInstance(rng)
+		s := LPTBatches(in)
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("iter %d: %v\n%+v", iter, err, in)
+		}
+		// Whole-batch LPT is a (2 - 1/m)-approximation w.r.t. the batch
+		// lower bound max(max_i(s_i+P_i), sum_i(s_i+P_i)/m).
+		var sum, mx int64
+		for i := range in.Classes {
+			w := in.Classes[i].Setup + in.Classes[i].Work()
+			sum += w
+			if w > mx {
+				mx = w
+			}
+		}
+		lb := sched.MaxRat(sched.R(mx), sched.RatOf(sum, in.M))
+		if s.Makespan().Cmp(lb.MulInt(2)) > 0 {
+			t.Fatalf("iter %d: LPT makespan %s above 2x batch bound %s", iter, s.Makespan(), lb)
+		}
+	}
+}
+
+func TestNextFitBatchesFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		in := randomInstance(rng)
+		s := NextFitBatches(in)
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("iter %d: %v\n%+v", iter, err, in)
+		}
+	}
+}
+
+func TestBaselinesVersusExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 80; iter++ {
+		in := &sched.Instance{M: int64(1 + rng.Intn(3))}
+		c := 1 + rng.Intn(3)
+		for i := 0; i < c; i++ {
+			cl := sched.Class{Setup: rng.Int63n(8)}
+			for j := 0; j <= rng.Intn(3); j++ {
+				cl.Jobs = append(cl.Jobs, 1+rng.Int63n(9))
+			}
+			in.Classes = append(in.Classes, cl)
+		}
+		opt, err := exact.NonPreemptive(in)
+		if err != nil {
+			continue
+		}
+		for name, s := range map[string]*sched.Schedule{
+			"lpt":     LPTBatches(in),
+			"nextfit": NextFitBatches(in),
+		} {
+			if s.Makespan().CmpInt(opt) < 0 {
+				t.Fatalf("iter %d: %s beats the exact optimum (%s < %d)\n%+v",
+					iter, name, s.Makespan(), opt, in)
+			}
+		}
+	}
+}
+
+func randomInstance(rng *rand.Rand) *sched.Instance {
+	in := &sched.Instance{M: int64(1 + rng.Intn(6))}
+	c := 1 + rng.Intn(8)
+	for i := 0; i < c; i++ {
+		cl := sched.Class{Setup: rng.Int63n(20)}
+		nj := 1 + rng.Intn(6)
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(30))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+func TestMonmaPottsSplitFeasibleAndNoWorseThanLPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	better := 0
+	for iter := 0; iter < 300; iter++ {
+		in := randomInstance(rng)
+		mp := MonmaPottsSplit(in)
+		if err := mp.Validate(in); err != nil {
+			t.Fatalf("iter %d: %v\n%+v", iter, err, in)
+		}
+		lpt := LPTBatches(in)
+		// Splitting starts from the LPT solution and only applies
+		// improving moves, so it can never be worse.
+		if lpt.Makespan().Less(mp.Makespan()) {
+			t.Fatalf("iter %d: batch splitting worsened LPT (%s -> %s)\n%+v",
+				iter, lpt.Makespan(), mp.Makespan(), in)
+		}
+		if mp.Makespan().Less(lpt.Makespan()) {
+			better++
+		}
+	}
+	if better == 0 {
+		t.Error("batch splitting never improved LPT across 300 instances")
+	}
+}

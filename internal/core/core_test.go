@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"setupsched/internal/exact"
+	"setupsched/internal/gen"
+	"setupsched/sched"
+)
+
+// smallRandomInstance draws a tiny instance suitable for exact solving.
+func smallRandomInstance(rng *rand.Rand) *sched.Instance {
+	m := int64(1 + rng.Intn(4))
+	c := 1 + rng.Intn(4)
+	in := &sched.Instance{M: m}
+	jobsLeft := 2 + rng.Intn(7) // <= 8 jobs
+	for i := 0; i < c; i++ {
+		nj := 1
+		if i == c-1 {
+			nj = jobsLeft - (c - 1 - i)
+		} else if jobsLeft > c-i {
+			nj = 1 + rng.Intn(jobsLeft-(c-i))
+		}
+		if nj < 1 {
+			nj = 1
+		}
+		jobsLeft -= nj
+		cl := sched.Class{Setup: rng.Int63n(13)}
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(16))
+		}
+		in.Classes = append(in.Classes, cl)
+		if jobsLeft <= 0 && i+1 < c {
+			c = i + 1
+			break
+		}
+	}
+	in.Classes = in.Classes[:c]
+	return in
+}
+
+// checkResult validates a solver result against the dual guarantee.
+func checkResult(t *testing.T, in *sched.Instance, v sched.Variant, r *Result, ratio int64, tag string) {
+	t.Helper()
+	if err := r.Schedule.Validate(in); err != nil {
+		t.Fatalf("%s: invalid schedule: %v", tag, err)
+	}
+	if r.Schedule.Variant != v {
+		t.Fatalf("%s: variant %v, want %v", tag, r.Schedule.Variant, v)
+	}
+	// makespan <= ratio/2 * T
+	bound := r.T.MulInt(ratio).Half()
+	if err := r.Schedule.CheckMakespanAtMost(bound); err != nil {
+		t.Fatalf("%s: %v (T=%s)", tag, err, r.T)
+	}
+	if r.LowerBound.Sign() <= 0 {
+		t.Fatalf("%s: non-positive lower bound %s", tag, r.LowerBound)
+	}
+	lb := in.LowerBound(v)
+	if r.LowerBound.Less(lb) {
+		t.Fatalf("%s: reported lower bound %s below trivial bound %s", tag, r.LowerBound, lb)
+	}
+}
+
+func TestSolversOnSmallRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for iter := 0; iter < 1500; iter++ {
+		in := smallRandomInstance(rng)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p := Prepare(in)
+		tag := func(s string) string { return fmt.Sprintf("iter %d %s (%+v)", iter, s, in) }
+
+		optNonp, errN := exact.NonPreemptive(in)
+		optSplit, errS := exact.Splittable(in)
+
+		// --- splittable ---
+		r2, err := p.SolveSplit2()
+		if err != nil {
+			t.Fatalf("%s: %v", tag("split2"), err)
+		}
+		checkResult(t, in, sched.Splittable, r2, 4, tag("split2"))
+		re, err := p.SolveEps(sched.Splittable, 1e-4)
+		if err != nil {
+			t.Fatalf("%s: %v", tag("splitEps"), err)
+		}
+		checkResult(t, in, sched.Splittable, re, 3, tag("splitEps"))
+		rj, err := p.SolveSplitJump()
+		if err != nil {
+			t.Fatalf("%s: %v", tag("splitJump"), err)
+		}
+		checkResult(t, in, sched.Splittable, rj, 3, tag("splitJump"))
+		if errS == nil {
+			if optSplit.Less(rj.LowerBound) {
+				t.Fatalf("%s: certified LB %s exceeds exact OPT %s", tag("splitJump"), rj.LowerBound, optSplit)
+			}
+			mk := rj.Schedule.Makespan()
+			if optSplit.MulInt(3).Half().Less(mk) {
+				t.Fatalf("%s: makespan %s > 1.5*OPT (OPT=%s)", tag("splitJump"), mk, optSplit)
+			}
+		}
+
+		// --- non-preemptive ---
+		rn2, err := p.SolveNonp2(sched.NonPreemptive)
+		if err != nil {
+			t.Fatalf("%s: %v", tag("nonp2"), err)
+		}
+		checkResult(t, in, sched.NonPreemptive, rn2, 4, tag("nonp2"))
+		rne, err := p.SolveEps(sched.NonPreemptive, 1e-4)
+		if err != nil {
+			t.Fatalf("%s: %v", tag("nonpEps"), err)
+		}
+		checkResult(t, in, sched.NonPreemptive, rne, 3, tag("nonpEps"))
+		rnb, err := p.SolveNonpSearch()
+		if err != nil {
+			t.Fatalf("%s: %v", tag("nonpSearch"), err)
+		}
+		checkResult(t, in, sched.NonPreemptive, rnb, 3, tag("nonpSearch"))
+		if errN == nil {
+			if sched.R(optNonp).Less(rnb.LowerBound) {
+				t.Fatalf("%s: certified LB %s exceeds exact OPT %d", tag("nonpSearch"), rnb.LowerBound, optNonp)
+			}
+			mk := rnb.Schedule.Makespan()
+			if sched.R(optNonp).MulInt(3).Half().Less(mk) {
+				t.Fatalf("%s: makespan %s > 1.5*OPT (OPT=%d)", tag("nonpSearch"), mk, optNonp)
+			}
+		}
+
+		// --- preemptive ---
+		rp2, err := p.SolveNonp2(sched.Preemptive)
+		if err != nil {
+			t.Fatalf("%s: %v", tag("pmtn2"), err)
+		}
+		checkResult(t, in, sched.Preemptive, rp2, 4, tag("pmtn2"))
+		rpe, err := p.SolveEps(sched.Preemptive, 1e-4)
+		if err != nil {
+			t.Fatalf("%s: %v", tag("pmtnEps"), err)
+		}
+		checkResult(t, in, sched.Preemptive, rpe, 3, tag("pmtnEps"))
+		rpj, err := p.SolvePmtnJump()
+		if err != nil {
+			t.Fatalf("%s: %v", tag("pmtnJump"), err)
+		}
+		checkResult(t, in, sched.Preemptive, rpj, 3, tag("pmtnJump"))
+		if errN == nil {
+			// OPT_pmtn <= OPT_nonp, so the certified bound must not exceed
+			// the exact non-preemptive optimum...
+			if sched.R(optNonp).Less(rpj.LowerBound) {
+				t.Fatalf("%s: certified LB %s exceeds OPT_nonp %d >= OPT_pmtn", tag("pmtnJump"), rpj.LowerBound, optNonp)
+			}
+			mk := rpj.Schedule.Makespan()
+			if sched.R(optNonp).MulInt(3).Half().Less(mk) {
+				t.Fatalf("%s: makespan %s > 1.5*OPT_nonp (OPT_nonp=%d)", tag("pmtnJump"), mk, optNonp)
+			}
+		}
+		if errS == nil {
+			// ... and the preemptive makespan can never beat OPT_split.
+			if rpj.Schedule.Makespan().Less(optSplit) {
+				t.Fatalf("%s: makespan %s below OPT_split %s", tag("pmtnJump"), rpj.Schedule.Makespan(), optSplit)
+			}
+		}
+	}
+}
+
+// TestDualSoundness sweeps makespan guesses and checks that rejections are
+// sound (a rejected T certifies T < OPT) and that accepted guesses build
+// valid schedules within 3/2*T.
+func TestDualSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 400; iter++ {
+		in := smallRandomInstance(rng)
+		p := Prepare(in)
+		optNonp, errN := exact.NonPreemptive(in)
+		optSplit, errS := exact.Splittable(in)
+		n := in.N()
+		for _, num := range []int64{1, 2, 3} {
+			for den := int64(1); den <= 3; den++ {
+				T := sched.RatOf(num*n, 2*den)
+				if T.Sign() <= 0 {
+					continue
+				}
+				// Splittable.
+				ev := p.EvalSplit(T, nil)
+				if ev.OK {
+					s, err := p.BuildSplit(ev)
+					if err != nil {
+						t.Fatalf("iter %d: split build at %s: %v\n%+v", iter, T, err, in)
+					}
+					if err := s.Validate(in); err != nil {
+						t.Fatalf("iter %d: split at %s: %v\n%+v", iter, T, err, in)
+					}
+					if err := s.CheckMakespanAtMost(T.MulInt(3).Half()); err != nil {
+						t.Fatalf("iter %d: split at %s: %v", iter, T, err)
+					}
+				} else if errS == nil && !T.Less(optSplit) {
+					t.Fatalf("iter %d: split dual rejected T=%s >= OPT=%s (%s)\n%+v",
+						iter, T, optSplit, ev.Reason, in)
+				}
+				// Preemptive.
+				evp := p.EvalPmtn(T, nil)
+				if evp.OK {
+					s, err := p.BuildPmtn(evp)
+					if err != nil {
+						t.Fatalf("iter %d: pmtn build at %s: %v\n%+v", iter, T, err, in)
+					}
+					if err := s.Validate(in); err != nil {
+						t.Fatalf("iter %d: pmtn at %s: %v\n%+v", iter, T, err, in)
+					}
+					if err := s.CheckMakespanAtMost(T.MulInt(3).Half()); err != nil {
+						t.Fatalf("iter %d: pmtn at %s: %v", iter, T, err)
+					}
+				} else if errN == nil && !T.Less(sched.R(optNonp)) {
+					t.Fatalf("iter %d: pmtn dual rejected T=%s >= OPT_nonp=%d >= OPT_pmtn (%s)\n%+v",
+						iter, T, optNonp, evp.Reason, in)
+				}
+				// Non-preemptive.
+				evn := p.EvalNonp(T)
+				if evn.OK {
+					s, err := p.BuildNonp(evn)
+					if err != nil {
+						t.Fatalf("iter %d: nonp build at %s: %v\n%+v", iter, T, err, in)
+					}
+					if err := s.Validate(in); err != nil {
+						t.Fatalf("iter %d: nonp at %s: %v\n%+v", iter, T, err, in)
+					}
+					if err := s.CheckMakespanAtMost(sched.R(evn.T).MulInt(3).Half()); err != nil {
+						t.Fatalf("iter %d: nonp at %s: %v", iter, T, err)
+					}
+				} else if errN == nil && sched.R(optNonp).CmpInt(evn.T) <= 0 && evn.T >= 1 {
+					t.Fatalf("iter %d: nonp dual rejected T=%d >= OPT=%d (%s)\n%+v",
+						iter, evn.T, optNonp, evn.Reason, in)
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorFamiliesMediumSize runs every solver on medium instances
+// from all generator families.
+func TestGeneratorFamiliesMediumSize(t *testing.T) {
+	for _, fam := range gen.Families {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				in := fam.Make(gen.Params{
+					M: 3 + seed*2, Classes: 8 + int(seed), JobsPer: 5,
+					MaxSetup: 40, MaxJob: 60, Seed: seed,
+				})
+				if err := in.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				p := Prepare(in)
+				for _, run := range []struct {
+					name  string
+					ratio int64
+					v     sched.Variant
+					f     func() (*Result, error)
+				}{
+					{"split2", 4, sched.Splittable, p.SolveSplit2},
+					{"splitJump", 3, sched.Splittable, p.SolveSplitJump},
+					{"pmtn2", 4, sched.Preemptive, func() (*Result, error) { return p.SolveNonp2(sched.Preemptive) }},
+					{"pmtnJump", 3, sched.Preemptive, p.SolvePmtnJump},
+					{"nonp2", 4, sched.NonPreemptive, func() (*Result, error) { return p.SolveNonp2(sched.NonPreemptive) }},
+					{"nonpSearch", 3, sched.NonPreemptive, p.SolveNonpSearch},
+					{"splitEps", 3, sched.Splittable, func() (*Result, error) { return p.SolveEps(sched.Splittable, 0.01) }},
+					{"pmtnEps", 3, sched.Preemptive, func() (*Result, error) { return p.SolveEps(sched.Preemptive, 0.01) }},
+					{"nonpEps", 3, sched.NonPreemptive, func() (*Result, error) { return p.SolveEps(sched.NonPreemptive, 0.01) }},
+				} {
+					r, err := run.f()
+					if err != nil {
+						t.Fatalf("seed %d %s: %v", seed, run.name, err)
+					}
+					tag := fmt.Sprintf("%s seed %d %s", fam.Name, seed, run.name)
+					checkResult(t, in, run.v, r, run.ratio, tag)
+				}
+			}
+		})
+	}
+}
+
+// TestTrivialAndEdgeInstances exercises the corner cases.
+func TestTrivialAndEdgeInstances(t *testing.T) {
+	cases := []*sched.Instance{
+		{M: 1, Classes: []sched.Class{{Setup: 5, Jobs: []int64{3}}}},
+		{M: 1, Classes: []sched.Class{{Setup: 0, Jobs: []int64{1}}}},
+		{M: 8, Classes: []sched.Class{{Setup: 1, Jobs: []int64{1}}}},       // m >> n
+		{M: 1000000, Classes: []sched.Class{{Setup: 3, Jobs: []int64{7}}}}, // huge m, splittable
+		{M: 2, Classes: []sched.Class{{Setup: 100, Jobs: []int64{1, 1}}, {Setup: 100, Jobs: []int64{1}}}},
+		{M: 3, Classes: []sched.Class{{Setup: 0, Jobs: []int64{9, 9, 9}}, {Setup: 0, Jobs: []int64{5}}}},
+		{M: 2, Classes: []sched.Class{
+			{Setup: 10, Jobs: []int64{1}}, {Setup: 1, Jobs: []int64{20, 20}}, {Setup: 2, Jobs: []int64{3, 3, 3}},
+		}},
+	}
+	for ci, in := range cases {
+		if err := in.Validate(); err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		p := Prepare(in)
+		for vi, solve := range []func() (*Result, error){
+			p.SolveSplit2, p.SolveSplitJump,
+			func() (*Result, error) { return p.SolveNonp2(sched.Preemptive) },
+			p.SolvePmtnJump,
+			func() (*Result, error) { return p.SolveNonp2(sched.NonPreemptive) },
+			p.SolveNonpSearch,
+		} {
+			r, err := solve()
+			if err != nil {
+				t.Fatalf("case %d solver %d: %v", ci, vi, err)
+			}
+			if err := r.Schedule.Validate(in); err != nil {
+				t.Fatalf("case %d solver %d: %v", ci, vi, err)
+			}
+		}
+	}
+}
+
+// TestAcceptAtN asserts the dual tests accept the trivial upper bound N,
+// a prerequisite for the searches' initial bracket.
+func TestAcceptAtN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 800; iter++ {
+		in := smallRandomInstance(rng)
+		p := Prepare(in)
+		N := sched.R(in.N())
+		if ev := p.EvalSplit(N, nil); !ev.OK {
+			t.Fatalf("iter %d: split rejected N: %s\n%+v", iter, ev.Reason, in)
+		}
+		if ev := p.EvalPmtn(N, nil); !ev.OK {
+			t.Fatalf("iter %d: pmtn rejected N: %s\n%+v", iter, ev.Reason, in)
+		}
+		if ev := p.EvalNonp(N); !ev.OK {
+			t.Fatalf("iter %d: nonp rejected N: %s\n%+v", iter, ev.Reason, in)
+		}
+	}
+}

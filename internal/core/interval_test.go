@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"setupsched/sched"
+)
+
+// TestSplitIntervalEvalConsistency verifies the foundation of the Class
+// Jumping closing step: on an open interval between adjacent breakpoints
+// and jumps, the interval-mode evaluation must agree with a point
+// evaluation anywhere inside (same partition, same beta machine counts,
+// same required load L).
+func TestSplitIntervalEvalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 200; iter++ {
+		in := smallRandomInstance(rng)
+		p := Prepare(in)
+		tmin := p.TMin(sched.Splittable)
+		// All breakpoints (2 s_i) and jumps (2 P_i / g) above tmin.
+		var marks []sched.Rat
+		for i := range in.Classes {
+			marks = append(marks, sched.R(2*in.Classes[i].Setup))
+			gMax := sched.CeilDivInt(2*p.P[i], tmin) + 1
+			for g := int64(1); g <= gMax; g++ {
+				marks = append(marks, sched.RatOf(2*p.P[i], g))
+			}
+		}
+		marks = append(marks, tmin, sched.R(p.N))
+		marks = sortRats(marks)
+		for k := 1; k < len(marks); k++ {
+			a, b := marks[k-1], marks[k]
+			if a.Cmp(tmin) < 0 || b.Cmp(sched.R(p.N)) > 0 || !a.Less(b) {
+				continue
+			}
+			mid := sched.Mid(a, b)
+			evInt := p.EvalSplit(a, &b)
+			evPt := p.EvalSplit(mid, nil)
+			if evInt.MachFail != evPt.MachFail {
+				t.Fatalf("iter %d (%s,%s): MachFail %v vs %v at %s",
+					iter, a, b, evInt.MachFail, evPt.MachFail, mid)
+			}
+			if evInt.MachFail {
+				continue
+			}
+			if evInt.L != evPt.L || evInt.MExp != evPt.MExp {
+				t.Fatalf("iter %d (%s,%s): interval L=%d mexp=%d, point at %s L=%d mexp=%d\n%+v",
+					iter, a, b, evInt.L, evInt.MExp, mid, evPt.L, evPt.MExp, in)
+			}
+			if len(evInt.Exp) != len(evPt.Exp) {
+				t.Fatalf("iter %d (%s,%s): partitions differ", iter, a, b)
+			}
+		}
+	}
+}
+
+// TestPmtnIntervalPartitionConsistency does the same for the preemptive
+// partition and gamma counts (the knapsack-dependent part of L is
+// verified separately by the closing step at runtime).
+func TestPmtnIntervalPartitionConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 150; iter++ {
+		in := smallRandomInstance(rng)
+		p := Prepare(in)
+		tmin := p.TMin(sched.Preemptive)
+		var marks []sched.Rat
+		for i := range in.Classes {
+			s := in.Classes[i].Setup
+			sp := s + p.P[i]
+			marks = append(marks, sched.R(2*s), sched.R(4*s), sched.R(sp), sched.RatOf(4*sp, 3))
+			for _, tj := range in.Classes[i].Jobs {
+				marks = append(marks, sched.R(2*(s+tj)))
+			}
+			kMax := sched.CeilDivInt(2*sp, tmin) + 1
+			for k := int64(3); k <= kMax; k++ {
+				marks = append(marks, sched.RatOf(2*sp, k))
+			}
+		}
+		marks = append(marks, tmin, sched.R(p.N))
+		marks = sortRats(marks)
+		for k := 1; k < len(marks); k++ {
+			a, b := marks[k-1], marks[k]
+			if a.Cmp(tmin) < 0 || b.Cmp(sched.R(p.N)) > 0 || !a.Less(b) {
+				continue
+			}
+			mid := sched.Mid(a, b)
+			evInt := p.EvalPmtn(a, &b)
+			evPt := p.EvalPmtn(mid, nil)
+			if evInt.MachFail != evPt.MachFail {
+				t.Fatalf("iter %d (%s,%s): MachFail mismatch", iter, a, b)
+			}
+			if evInt.MachFail {
+				continue
+			}
+			if evInt.MPrime != evPt.MPrime {
+				t.Fatalf("iter %d (%s,%s): m' %d vs %d at %s\n%+v",
+					iter, a, b, evInt.MPrime, evPt.MPrime, mid, in)
+			}
+			if len(evInt.ExpPlus) != len(evPt.ExpPlus) ||
+				len(evInt.ExpZero) != len(evPt.ExpZero) ||
+				len(evInt.ExpMinus) != len(evPt.ExpMinus) ||
+				len(evInt.Star) != len(evPt.Star) {
+				t.Fatalf("iter %d (%s,%s): partition mismatch at %s\nint: %v/%v/%v star %v\npt:  %v/%v/%v star %v",
+					iter, a, b, mid,
+					evInt.ExpPlus, evInt.ExpZero, evInt.ExpMinus, evInt.Star,
+					evPt.ExpPlus, evPt.ExpZero, evPt.ExpMinus, evPt.Star)
+			}
+			for g := range evInt.Gamma {
+				if evInt.Gamma[g] != evPt.Gamma[g] {
+					t.Fatalf("iter %d (%s,%s): gamma mismatch at %s: %v vs %v",
+						iter, a, b, mid, evInt.Gamma, evPt.Gamma)
+				}
+			}
+		}
+	}
+}

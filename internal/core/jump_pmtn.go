@@ -1,0 +1,137 @@
+package core
+
+import (
+	"setupsched/sched"
+)
+
+// SolvePmtnJump is the 3/2-approximation for the preemptive case in
+// O(n log n) via Class Jumping (Theorem 6, Algorithm 4).
+//
+// Compared with the splittable search, the breakpoint set is richer: the
+// partition of classes changes at 2 s_i, s_i + P_i, 4(s_i+P_i)/3 and
+// 4 s_i, and the membership of individual jobs in the big-job sets C*_i
+// changes at 2(s_i + t_j), giving O(n) breakpoints in total.  The jumps of
+// the I+exp classes follow the family T = 2(s_i+P_i)/(g+2) of the modified
+// step 1 (Section 4.4), for which Lemma 5 bounds the jumps inside the
+// final interval by one per class.
+//
+// The one quantity the paper leaves underspecified is the knapsack
+// selection's dependence on T between breakpoints (profits are constant
+// but weights and capacity vary continuously).  The closing step therefore
+// re-verifies its candidate T_new = L/m with a full point evaluation; if
+// the selection shifted, the search subdivides at T_new and retries,
+// falling back to a sound conservative answer after a bounded number of
+// rounds (see DESIGN.md, "Knapsack constancy").
+func (p *Prep) SolvePmtnJump() (*Result, error) {
+	if p.M >= int64(p.NJob) {
+		s := p.oneJobPerMachine(sched.Preemptive)
+		return &Result{Schedule: s, T: s.T, LowerBound: s.T, Algorithm: "pmtn/jump"}, nil
+	}
+	test := func(T sched.Rat) bool { return p.EvalPmtn(T, nil).OK }
+	build := func(T sched.Rat) (*sched.Schedule, error) { return p.BuildPmtn(p.EvalPmtn(T, nil)) }
+	tmin := p.TMin(sched.Preemptive)
+	if test(tmin) {
+		s, err := build(tmin)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "pmtn/jump", Probes: 1}, nil
+	}
+	br := &bracket{lo: tmin, hi: sched.R(p.N), probes: 1}
+	if !test(br.hi) {
+		return nil, errInternal("preemptive dual rejected N")
+	}
+	br.probes++
+
+	// Breakpoints of the partition and of big-job membership.
+	bps := make([]sched.Rat, 0, p.NJob+3*p.C)
+	for i := range p.In.Classes {
+		cls := &p.In.Classes[i]
+		sp := cls.Setup + p.P[i]
+		bps = append(bps,
+			sched.R(2*cls.Setup),
+			sched.R(4*cls.Setup),
+			sched.R(sp),
+			sched.RatOf(4*sp, 3))
+		for _, t := range cls.Jobs {
+			bps = append(bps, sched.R(2*(cls.Setup+t)))
+		}
+	}
+	bps = sortRats(bps)
+
+	for round := 0; round < 48; round++ {
+		br.narrowOnCandidates(test, bps)
+
+		// Jump search for the I+exp classes of the interval's partition.
+		evInt := p.EvalPmtn(br.lo, &br.hi)
+		if len(evInt.ExpPlus) > 0 {
+			f := evInt.ExpPlus[0]
+			for _, i := range evInt.ExpPlus {
+				if p.In.Classes[i].Setup+p.P[i] > p.In.Classes[f].Setup+p.P[f] {
+					f = i
+				}
+			}
+			spf := p.In.Classes[f].Setup + p.P[f]
+			jumpAt := func(k int64) sched.Rat { return sched.RatOf(2*spf, k) }
+			kLo := sched.FloorDivInt(2*spf, br.hi) + 1
+			if kLo < 3 {
+				kLo = 3 // gamma is clamped at 1 below k = 3: no jumps there
+			}
+			kHi := sched.CeilDivInt(2*spf, br.lo) - 1
+			br.narrowOnJumps(test, jumpAt, kLo, kHi)
+
+			var cands []sched.Rat
+			for _, i := range evInt.ExpPlus {
+				if i == f {
+					continue
+				}
+				sp := p.In.Classes[i].Setup + p.P[i]
+				k0 := sched.FloorDivInt(2*sp, br.hi) + 1
+				if k0 < 3 {
+					k0 = 3
+				}
+				k1 := sched.CeilDivInt(2*sp, br.lo) - 1
+				for k := k0; k <= k1 && k-k0 < 8; k++ {
+					J := sched.RatOf(2*sp, k)
+					if br.lo.Less(J) && J.Less(br.hi) {
+						cands = append(cands, J)
+					}
+				}
+			}
+			br.narrowOnCandidates(test, sortRats(cands))
+		}
+
+		// Closing attempt.
+		evInt = p.EvalPmtn(br.lo, &br.hi)
+		data := intervalData{machinesOK: !evInt.MachFail, L: evInt.L}
+		if !data.machinesOK {
+			return p.closeJump(br, data, test, build, "pmtn/jump")
+		}
+		tNew := sched.RatOf(evInt.L, p.M)
+		if !tNew.Less(br.hi) || !br.lo.Less(tNew) {
+			return p.closeJump(br, data, test, build, "pmtn/jump")
+		}
+		// Verify the interval constancy at the candidate point; on a
+		// mismatch, subdivide at the candidate and retry.
+		evPoint := p.EvalPmtn(tNew, nil)
+		br.probes++
+		if evPoint.OK && evPoint.L == evInt.L {
+			s, err := p.BuildPmtn(evPoint)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Schedule: s, T: tNew, LowerBound: tNew, Algorithm: "pmtn/jump", Probes: br.probes}, nil
+		}
+		if evPoint.OK {
+			br.hi = tNew
+		} else {
+			br.lo = tNew
+		}
+	}
+	// Bounded rounds exhausted: sound conservative fallback.
+	s, err := build(br.hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: "pmtn/jump/fallback", Probes: br.probes}, nil
+}

@@ -1,0 +1,516 @@
+package core
+
+import (
+	"setupsched/sched"
+)
+
+// NonpEval is the outcome of the non-preemptive 3/2-dual test (Theorem 9).
+//
+// With big jobs J+ = {t_j > T/2} and K = union over cheap classes of
+// {j in C_i cap J- : s_i + t_j > T/2}, every class needs at least
+//
+//	m_i = ceil(P(C_i)/(T-s_i))                       (expensive)
+//	m_i = |C_i cap J+| + ceil(P(C_i cap K)/(T-s_i))  (cheap)
+//
+// machines (Lemma 12), and classes with leftover work
+// x_i = P(C_i) - m_i (T - s_i) > 0 need one extra setup (Note 7).  The
+// test rejects T, certifying T < OPT, when m < sum m_i or
+// m*T < L_nonp = P(J) + sum_i m_i s_i + sum_{x_i > 0} s_i.
+type NonpEval struct {
+	T      int64 // the dual works on integral T (OPT is integral)
+	OK     bool
+	Reason string
+
+	Exp    []int
+	Mi     []int64 // per class
+	XiPos  []bool  // per class: x_i > 0
+	MPrime int64
+	L      int64
+}
+
+// EvalNonp runs the non-preemptive dual test in O(n).  Non-integral T is
+// floored first, which is sound and lossless because OPT is integral.
+func (p *Prep) EvalNonp(TR sched.Rat) *NonpEval {
+	T := TR.Floor()
+	ev := &NonpEval{T: T}
+	if T < p.SPT {
+		ev.Reason = "T < max_i(s_i + t_max) <= OPT"
+		return ev
+	}
+	c := p.C
+	ev.Mi = make([]int64, c)
+	ev.XiPos = make([]bool, c)
+	// Pass 1: machine demands.
+	for i := 0; i < c; i++ {
+		cls := &p.In.Classes[i]
+		free := T - cls.Setup // >= t_max^(i) >= 1
+		if 2*cls.Setup > T {
+			ev.Exp = append(ev.Exp, i)
+			ev.Mi[i] = ceilDiv64(p.P[i], free)
+		} else {
+			var big int64
+			var kWork int64
+			for _, t := range cls.Jobs {
+				switch {
+				case 2*t > T:
+					big++
+				case 2*(cls.Setup+t) > T:
+					kWork += t
+				}
+			}
+			ev.Mi[i] = big + ceilDiv64(kWork, free)
+		}
+		ev.MPrime += ev.Mi[i]
+		if ev.MPrime > p.M {
+			ev.Reason = "m < m' (classes need too many machines)"
+			return ev
+		}
+	}
+	// Pass 2: L_nonp.  sum m_i s_i <= m*s_max fits in int64 by the
+	// instance magnitude limits.
+	ev.L = p.PJ
+	for i := 0; i < c; i++ {
+		cls := &p.In.Classes[i]
+		ev.L += ev.Mi[i] * cls.Setup
+		// x_i > 0  <=>  P_i > m_i (T - s_i)
+		if p.P[i] > ev.Mi[i]*(T-cls.Setup) {
+			ev.XiPos[i] = true
+			ev.L += cls.Setup
+		}
+	}
+	if p.M*T < ev.L {
+		ev.Reason = "m*T < L_nonp (load exceeds capacity)"
+		return ev
+	}
+	ev.OK = true
+	return ev
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// ---------------------------------------------------------------------------
+// Construction (Algorithm 6).
+//
+// Step 1 schedules the jobs that pairwise exclude each other (expensive
+// classes, big jobs, the set K) on their obligatory machines, wrapping
+// preemptively.  Step 2 tops the same machines up with the class's
+// remaining jobs without new setups.  Step 3 fills all machines to the
+// border T with the residual sequence Q, keeping border items whole.
+// Step 4 makes the schedule non-preemptive (each split job is restored at
+// a machine-last piece) and moves every border item below the first
+// step-3 item of the next machine, adding a setup for moved jobs; this
+// move also repairs the setups of batches that continue across machines.
+
+type nonpItem struct {
+	isSetup bool
+	class   int
+	job     int
+	length  int64
+	parent  int // index into nonpBuild.parents, or -1
+	deleted bool
+}
+
+type nonpParent struct {
+	class, job int
+	total      int64
+	pieces     []nonpLoc
+}
+
+type nonpLoc struct{ mach, item int }
+
+type nonpMachine struct {
+	items      []nonpItem
+	load       int64
+	step3Start int
+	crossing   int // index of the border-reaching step-3 item, or -1
+}
+
+type nonpBuild struct {
+	p         *Prep
+	T         int64
+	machines  []*nonpMachine
+	parents   []nonpParent
+	parentIdx map[int64]int
+}
+
+func (b *nonpBuild) newMachine() (*nonpMachine, int) {
+	m := &nonpMachine{crossing: -1, step3Start: -1}
+	b.machines = append(b.machines, m)
+	return m, len(b.machines) - 1
+}
+
+func (b *nonpBuild) put(mi int, it nonpItem) {
+	m := b.machines[mi]
+	if it.parent >= 0 {
+		b.parents[it.parent].pieces = append(b.parents[it.parent].pieces,
+			nonpLoc{mach: mi, item: len(m.items)})
+	}
+	m.items = append(m.items, it)
+	m.load += it.length
+}
+
+func parentKey(class, job int) int64 { return int64(class)<<32 | int64(job) }
+
+// ensureParent registers (or finds) the parent record of a job being split.
+func (b *nonpBuild) ensureParent(class, job int, total int64) int {
+	key := parentKey(class, job)
+	if pi, ok := b.parentIdx[key]; ok {
+		return pi
+	}
+	b.parents = append(b.parents, nonpParent{class: class, job: job, total: total})
+	pi := len(b.parents) - 1
+	b.parentIdx[key] = pi
+	return pi
+}
+
+// jobCursor walks a job list, splitting jobs at machine capacity borders.
+type jobCursor struct {
+	b     *nonpBuild
+	class int
+	jobs  []int
+	lens  []int64
+	full  []int64 // original full lengths (for parent registration)
+	pos   int
+	left  int64
+}
+
+func newJobCursor(b *nonpBuild, class int, jobs []int, lens, full []int64) *jobCursor {
+	jc := &jobCursor{b: b, class: class, jobs: jobs, lens: lens, full: full}
+	if len(jobs) > 0 {
+		jc.left = lens[0]
+	}
+	return jc
+}
+
+func (jc *jobCursor) done() bool { return jc.pos >= len(jc.jobs) }
+
+// fill places up to cap units onto machine mi, splitting the border job.
+func (jc *jobCursor) fill(mi int, cap int64) {
+	for cap > 0 && !jc.done() {
+		take := jc.left
+		parent := -1
+		split := take > cap
+		if split {
+			take = cap
+		}
+		if split || jc.left != jc.full[jc.pos] {
+			parent = jc.b.ensureParent(jc.class, jc.jobs[jc.pos], jc.full[jc.pos])
+		}
+		jc.b.put(mi, nonpItem{class: jc.class, job: jc.jobs[jc.pos], length: take, parent: parent})
+		cap -= take
+		jc.left -= take
+		if jc.left == 0 {
+			jc.pos++
+			if !jc.done() {
+				jc.left = jc.lens[jc.pos]
+			}
+		}
+	}
+}
+
+// remainder returns the unplaced jobs; the first may be a partial piece.
+func (jc *jobCursor) remainder() ([]int, []int64, []int64) {
+	if jc.done() {
+		return nil, nil, nil
+	}
+	jobs := append([]int(nil), jc.jobs[jc.pos:]...)
+	lens := append([]int64(nil), jc.lens[jc.pos:]...)
+	full := append([]int64(nil), jc.full[jc.pos:]...)
+	lens[0] = jc.left
+	return jobs, lens, full
+}
+
+// BuildNonp constructs a feasible non-preemptive schedule with makespan at
+// most 3/2*T from an accepting evaluation (Theorem 9(ii), Algorithm 6).
+func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
+	if !ev.OK {
+		return nil, errInternal("BuildNonp on rejected evaluation (%s)", ev.Reason)
+	}
+	T := ev.T
+	b := &nonpBuild{p: p, T: T, parentIdx: map[int64]int{}}
+
+	type classState struct {
+		candidates []int // machines that may take step-2/3 load of the class
+		restJobs   []int
+		restLens   []int64
+		restFull   []int64
+	}
+	states := make([]classState, p.C)
+
+	// Step 1.
+	for i := range p.In.Classes {
+		cls := &p.In.Classes[i]
+		st := &states[i]
+		expensive := 2*cls.Setup > T
+		var wrapJobs []int
+		var wrapLens []int64
+		for j, t := range cls.Jobs {
+			switch {
+			case expensive || 2*(cls.Setup+t) > T && 2*t <= T:
+				wrapJobs = append(wrapJobs, j)
+				wrapLens = append(wrapLens, t)
+			case 2*t > T: // big job: own machine
+				_, mi := b.newMachine()
+				if cls.Setup > 0 {
+					b.put(mi, nonpItem{isSetup: true, class: i, job: -1, length: cls.Setup, parent: -1})
+				}
+				b.put(mi, nonpItem{class: i, job: j, length: t, parent: -1})
+				st.candidates = append(st.candidates, mi)
+			default:
+				st.restJobs = append(st.restJobs, j)
+				st.restLens = append(st.restLens, t)
+				st.restFull = append(st.restFull, t)
+			}
+		}
+		if len(wrapJobs) > 0 {
+			jc := newJobCursor(b, i, wrapJobs, wrapLens, wrapLens)
+			last := -1
+			for !jc.done() {
+				_, mi := b.newMachine()
+				last = mi
+				if cls.Setup > 0 {
+					b.put(mi, nonpItem{isSetup: true, class: i, job: -1, length: cls.Setup, parent: -1})
+				}
+				jc.fill(mi, T-cls.Setup)
+			}
+			if !expensive && last >= 0 {
+				st.candidates = append(st.candidates, last)
+			}
+		}
+	}
+
+	// Step 2: top up candidate machines with the class's remaining jobs.
+	for i := range p.In.Classes {
+		st := &states[i]
+		if len(st.restJobs) == 0 {
+			continue
+		}
+		jc := newJobCursor(b, i, st.restJobs, st.restLens, st.restFull)
+		for _, mi := range st.candidates {
+			if jc.done() {
+				break
+			}
+			if m := b.machines[mi]; m.load < T {
+				jc.fill(mi, T-m.load)
+			}
+		}
+		st.restJobs, st.restLens, st.restFull = jc.remainder()
+	}
+
+	// Step 3: greedy fill with the residual sequence Q.  A machine closes
+	// when its load reaches the border T; the border item stays for now
+	// and is relocated in step 4b, which also restores missing setups of
+	// batches continuing across machines.
+	var order []int
+	cur, next := -1, 0
+	advance := func() error {
+		for {
+			if next < len(b.machines) {
+				if b.machines[next].load >= T {
+					next++
+					continue
+				}
+				cur = next
+				next++
+			} else {
+				if int64(len(b.machines)) >= p.M {
+					return errInternal("non-preemptive step 3 ran out of machines")
+				}
+				_, mi := b.newMachine()
+				cur = mi
+				next = len(b.machines)
+			}
+			m := b.machines[cur]
+			m.step3Start = len(m.items)
+			order = append(order, cur)
+			return nil
+		}
+	}
+	place := func(it nonpItem) error {
+		for cur < 0 || b.machines[cur].load >= T {
+			if cur >= 0 && b.machines[cur].load >= T {
+				cur = -1
+			}
+			if cur < 0 {
+				if err := advance(); err != nil {
+					return err
+				}
+			}
+		}
+		mi := cur
+		m := b.machines[mi]
+		idx := len(m.items)
+		b.put(mi, it)
+		if m.load >= T {
+			m.crossing = idx
+			cur = -1
+		}
+		return nil
+	}
+	for i := range p.In.Classes {
+		st := &states[i]
+		if len(st.restJobs) == 0 {
+			continue
+		}
+		cls := &p.In.Classes[i]
+		if cls.Setup > 0 {
+			if err := place(nonpItem{isSetup: true, class: i, job: -1, length: cls.Setup, parent: -1}); err != nil {
+				return nil, err
+			}
+		}
+		for k, j := range st.restJobs {
+			parent := -1
+			if st.restLens[k] != st.restFull[k] {
+				parent = b.ensureParent(i, j, st.restFull[k])
+			}
+			if err := place(nonpItem{class: i, job: j, length: st.restLens[k], parent: parent}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Step 4a: restore non-preemption.  Prefer hosting the whole job at a
+	// piece that is a border (crossing) item, so that step 4b still moves
+	// it (and its fresh setup) below the continuation.
+	for pi := range b.parents {
+		par := &b.parents[pi]
+		if len(par.pieces) == 0 {
+			continue
+		}
+		if len(par.pieces) == 1 {
+			loc := par.pieces[0]
+			it := &b.machines[loc.mach].items[loc.item]
+			if it.length != par.total {
+				return nil, errInternal("sole piece of job (%d,%d) has length %d of %d",
+					par.class, par.job, it.length, par.total)
+			}
+			it.parent = -1
+			continue
+		}
+		host := -1
+		for k, loc := range par.pieces {
+			if b.machines[loc.mach].crossing == loc.item {
+				host = k
+				break
+			}
+		}
+		if host < 0 {
+			for k, loc := range par.pieces {
+				if loc.item == len(b.machines[loc.mach].items)-1 {
+					host = k
+					break
+				}
+			}
+		}
+		if host < 0 {
+			return nil, errInternal("no machine-last piece for split job (%d,%d)", par.class, par.job)
+		}
+		for k, loc := range par.pieces {
+			m := b.machines[loc.mach]
+			it := &m.items[loc.item]
+			if k == host {
+				m.load += par.total - it.length
+				it.length = par.total
+				it.parent = -1
+			} else {
+				it.deleted = true
+				m.load -= it.length
+			}
+		}
+	}
+
+	// Step 4b: move surviving border items, processing machines in reverse
+	// fill order so insertion indices stay valid.
+	for oi := len(order) - 1; oi >= 0; oi-- {
+		m := b.machines[order[oi]]
+		if m.crossing < 0 {
+			continue
+		}
+		it := m.items[m.crossing]
+		if it.deleted {
+			continue
+		}
+		if oi+1 >= len(order) {
+			// The border item ends the whole sequence Q, so no
+			// continuation setup needs repair.  But if this machine also
+			// receives the previous machine's move, keeping the item
+			// could push it past 3/2 T (an edge case the paper's step 4
+			// glosses over): relocate the item to the top of the first
+			// step-3 machine, which never receives a move and ends below
+			// T once its own border item departs.
+			if len(order) < 2 {
+				continue // sole machine: load < T plus one item <= 3/2 T
+			}
+			m.items[m.crossing].deleted = true
+			m.load -= it.length
+			if it.isSetup {
+				continue // a trailing setup enables nothing; drop it
+			}
+			first := b.machines[order[0]]
+			if s := p.In.Classes[it.class].Setup; s > 0 {
+				first.items = append(first.items, nonpItem{isSetup: true, class: it.class, job: -1, length: s, parent: -1})
+				first.load += s
+			}
+			it.deleted = false
+			first.items = append(first.items, it)
+			first.load += it.length
+			continue
+		}
+		m.items[m.crossing].deleted = true
+		m.load -= it.length
+		recv := b.machines[order[oi+1]]
+		var ins []nonpItem
+		if !it.isSetup {
+			if s := p.In.Classes[it.class].Setup; s > 0 {
+				ins = append(ins, nonpItem{isSetup: true, class: it.class, job: -1, length: s, parent: -1})
+			}
+		}
+		ins = append(ins, it)
+		tail := append([]nonpItem(nil), recv.items[recv.step3Start:]...)
+		recv.items = append(recv.items[:recv.step3Start], append(ins, tail...)...)
+		for _, x := range ins {
+			recv.load += x.length
+		}
+	}
+
+	// Emit.
+	out := &sched.Schedule{Variant: sched.NonPreemptive, T: sched.R(T)}
+	for _, m := range b.machines {
+		live := make([]nonpItem, 0, len(m.items))
+		for _, it := range m.items {
+			if !it.deleted {
+				live = append(live, it)
+			}
+		}
+		live = dropUselessNonpSetups(live)
+		mb := sched.NewMachineBuilder()
+		for _, it := range live {
+			if it.isSetup {
+				mb.Place(sched.SlotSetup, it.class, -1, sched.R(it.length))
+			} else {
+				mb.Place(sched.SlotJob, it.class, it.job, sched.R(it.length))
+			}
+		}
+		out.AddMachine(mb.Slots())
+	}
+	return out, nil
+}
+
+// dropUselessNonpSetups removes setups not directly followed by a job of
+// their class.
+func dropUselessNonpSetups(items []nonpItem) []nonpItem {
+	keep := items[:0]
+	for k := 0; k < len(items); k++ {
+		it := items[k]
+		if it.isSetup && (k+1 >= len(items) || items[k+1].isSetup || items[k+1].class != it.class) {
+			continue
+		}
+		keep = append(keep, it)
+	}
+	return keep
+}

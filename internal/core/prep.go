@@ -1,0 +1,107 @@
+// Package core implements the approximation algorithms of Deppert & Jansen,
+// "Near-Linear Approximation Algorithms for Scheduling Problems with Batch
+// Setup Times" (SPAA 2019):
+//
+//   - 2-approximations in O(n) for all three variants (Appendix A.2);
+//   - 3/2-dual approximations in O(n) for the splittable (Theorem 7),
+//     preemptive (Theorems 4/5) and non-preemptive (Theorem 9) variants;
+//   - (3/2+eps)-approximations via bracketed dual search (Theorem 2);
+//   - exact 3/2-approximations via Class Jumping for the splittable
+//     (Theorem 3, Algorithm 1) and preemptive (Theorem 6, Algorithm 4)
+//     variants, and via integral binary search for the non-preemptive
+//     variant (Theorem 8).
+//
+// A rho-dual approximation takes a makespan guess T and either builds a
+// feasible schedule with makespan <= rho*T or rejects T, certifying
+// T < OPT.  All accept/reject decisions here use exact rational arithmetic.
+package core
+
+import (
+	"fmt"
+
+	"setupsched/internal/num128"
+	"setupsched/sched"
+)
+
+// cmpProd is the exact sign of a*b - c*d.
+func cmpProd(a, b, c, d int64) int { return num128.CmpProd(a, b, c, d) }
+
+// Prep carries the per-instance precomputation shared by all algorithms:
+// class work sums, maxima and the trivial bounds.  Build once, reuse for
+// every makespan probe.
+type Prep struct {
+	In   *sched.Instance
+	M    int64
+	C    int
+	NJob int
+
+	P     []int64 // P[i] = P(C_i)
+	TMaxC []int64 // max job length per class
+	SMax  int64
+	PJ    int64 // P(J) total work
+	SumS  int64 // sum of all setups
+	N     int64 // PJ + SumS
+	SPT   int64 // max_i (s_i + tmax_i)
+}
+
+// Prepare computes the shared per-instance data in O(n).
+func Prepare(in *sched.Instance) *Prep {
+	p := &Prep{
+		In:    in,
+		M:     in.M,
+		C:     len(in.Classes),
+		P:     make([]int64, len(in.Classes)),
+		TMaxC: make([]int64, len(in.Classes)),
+	}
+	for i := range in.Classes {
+		c := &in.Classes[i]
+		p.P[i] = c.Work()
+		p.TMaxC[i] = c.MaxJob()
+		p.PJ += p.P[i]
+		p.SumS += c.Setup
+		if c.Setup > p.SMax {
+			p.SMax = c.Setup
+		}
+		if v := c.Setup + p.TMaxC[i]; v > p.SPT {
+			p.SPT = v
+		}
+		p.NJob += len(c.Jobs)
+	}
+	p.N = p.PJ + p.SumS
+	return p
+}
+
+// TMin returns the variant-specific trivial lower bound on OPT.
+func (p *Prep) TMin(v sched.Variant) sched.Rat {
+	perMachine := sched.RatOf(p.N, p.M)
+	switch v {
+	case sched.Splittable:
+		return sched.MaxRat(perMachine, sched.R(p.SMax))
+	case sched.Preemptive:
+		return sched.MaxRat(perMachine, sched.R(p.SPT))
+	default:
+		return sched.R(sched.MaxRat(perMachine, sched.R(p.SPT)).Ceil())
+	}
+}
+
+// setups returns the per-class setup slice (for wrap calls).
+func (p *Prep) setups() []int64 {
+	s := make([]int64, p.C)
+	for i := range p.In.Classes {
+		s[i] = p.In.Classes[i].Setup
+	}
+	return s
+}
+
+// mulRatCmp reports the sign of a*T - b where a, b >= 0 and T is rational,
+// computed exactly in 128 bits.
+func mulRatCmp(a int64, t sched.Rat, b int64) int {
+	return cmpProd(a, t.Num(), b, t.Den())
+}
+
+// errInternal wraps construction-invariant violations.  These indicate a
+// bug (the dual accept conditions guarantee constructibility) and are
+// surfaced rather than silently producing an invalid schedule.
+func errInternal(format string, args ...any) error {
+	return fmt.Errorf("core: internal invariant violation: "+format, args...)
+}

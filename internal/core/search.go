@@ -1,0 +1,362 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"setupsched/sched"
+)
+
+// Result is the outcome of a full approximation run.
+type Result struct {
+	Schedule *sched.Schedule
+	// T is the accepted makespan guess the schedule was built for; the
+	// schedule's makespan is at most 3/2*T (2*T for the 2-approximations).
+	T sched.Rat
+	// LowerBound is a certified lower bound on OPT (OPT >= LowerBound),
+	// derived from rejected guesses and the trivial bounds.
+	LowerBound sched.Rat
+	// Algorithm names the algorithm that produced the schedule.
+	Algorithm string
+	// Probes counts dual-test evaluations performed by the search.
+	Probes int
+}
+
+// RatioUpperBound returns Makespan/LowerBound as a float, an upper bound
+// on the realized approximation ratio.
+func (r *Result) RatioUpperBound() float64 {
+	lb := r.LowerBound.Float64()
+	if lb <= 0 {
+		return math.Inf(1)
+	}
+	return r.Schedule.Makespan().Float64() / lb
+}
+
+// bracket maintains the dual-search invariant: every probe at or below lo
+// was rejected (or lo is the trivial lower bound), so OPT > every rejected
+// point; hi was accepted.
+type bracket struct {
+	lo, hi sched.Rat
+	probes int
+}
+
+// probe tests T and narrows the bracket, keeping the invariant.
+func (br *bracket) probe(test func(sched.Rat) bool, T sched.Rat) bool {
+	br.probes++
+	if test(T) {
+		br.hi = T
+		return true
+	}
+	br.lo = T
+	return false
+}
+
+// narrowOnCandidates binary-searches the sorted ascending candidate list,
+// restricted to the open interval (lo, hi), until no candidate remains
+// strictly inside the bracket.
+func (br *bracket) narrowOnCandidates(test func(sched.Rat) bool, cands []sched.Rat) {
+	lo := sort.Search(len(cands), func(i int) bool { return br.lo.Less(cands[i]) })
+	hi := sort.Search(len(cands), func(i int) bool { return !cands[i].Less(br.hi) })
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		c := cands[mid]
+		if !br.lo.Less(c) { // candidate slid out of the bracket
+			lo = mid + 1
+			continue
+		}
+		if !c.Less(br.hi) {
+			hi = mid
+			continue
+		}
+		if br.probe(test, c) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+}
+
+// narrowOnJumps binary-searches the decreasing jump family jumpAt(g) for
+// g in [gLo, gHi], narrowing the bracket until no family member remains
+// strictly inside.
+func (br *bracket) narrowOnJumps(test func(sched.Rat) bool, jumpAt func(int64) sched.Rat, gLo, gHi int64) {
+	for gLo <= gHi {
+		g := gLo + (gHi-gLo)/2
+		T := jumpAt(g) // decreasing in g
+		switch {
+		case !br.lo.Less(T): // T <= lo: larger g values are even smaller
+			gHi = g - 1
+		case !T.Less(br.hi): // T >= hi
+			gLo = g + 1
+		case br.probe(test, T):
+			gLo = g + 1
+		default:
+			gHi = g - 1
+		}
+	}
+}
+
+// sortRats sorts a slice of rationals ascending and removes duplicates.
+func sortRats(rs []sched.Rat) []sched.Rat {
+	sort.Slice(rs, func(a, b int) bool { return rs[a].Less(rs[b]) })
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || !r.Equal(out[len(out)-1]) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SolveSplit2 runs the splittable 2-approximation (Theorem 1).
+func (p *Prep) SolveSplit2() (*Result, error) {
+	s, err := p.TwoApproxSplit()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, T: s.T, LowerBound: p.TMin(sched.Splittable), Algorithm: "split/2approx"}, nil
+}
+
+// SolveNonp2 runs the non-preemptive (or preemptive) 2-approximation.
+func (p *Prep) SolveNonp2(v sched.Variant) (*Result, error) {
+	s, err := p.TwoApproxNonPreemptive(v)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, T: s.T, LowerBound: p.TMin(v), Algorithm: v.Short() + "/2approx"}, nil
+}
+
+// epsToRat converts a float tolerance to a rational (rounded up slightly).
+func epsToRat(eps float64) sched.Rat {
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	const den = 1 << 20
+	num := int64(math.Ceil(eps * den))
+	if num < 1 {
+		num = 1
+	}
+	return sched.RatOf(num, den)
+}
+
+// SolveEps runs the (3/2+eps)-approximation (Theorem 2): binary search on
+// the 3/2-dual test over [T_min, N] until the bracket's relative width is
+// below eps, then build at the accepted end.
+func (p *Prep) SolveEps(v sched.Variant, eps float64) (*Result, error) {
+	test, build, name := p.dualFor(v)
+	tmin := p.TMin(v)
+	if test(tmin) {
+		s, err := build(tmin)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: name + "/eps", Probes: 1}, nil
+	}
+	br := &bracket{lo: tmin, hi: sched.R(p.N), probes: 1}
+	if !test(br.hi) {
+		return nil, errInternal("dual test rejected the trivial upper bound N (unsound rejection)")
+	}
+	br.probes++
+	er := epsToRat(eps)
+	for iter := 0; iter < 128; iter++ {
+		if br.hi.Sub(br.lo).Cmp(br.lo.Mul(er)) <= 0 {
+			break
+		}
+		br.probe(test, sched.Mid(br.lo, br.hi))
+	}
+	s, err := build(br.hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: name + "/eps", Probes: br.probes}, nil
+}
+
+// dualFor returns the dual test and builder for a variant.
+func (p *Prep) dualFor(v sched.Variant) (func(sched.Rat) bool, func(sched.Rat) (*sched.Schedule, error), string) {
+	switch v {
+	case sched.Splittable:
+		return func(T sched.Rat) bool { return p.EvalSplit(T, nil).OK },
+			func(T sched.Rat) (*sched.Schedule, error) { return p.BuildSplit(p.EvalSplit(T, nil)) },
+			"split"
+	case sched.Preemptive:
+		return func(T sched.Rat) bool { return p.EvalPmtn(T, nil).OK },
+			func(T sched.Rat) (*sched.Schedule, error) { return p.BuildPmtn(p.EvalPmtn(T, nil)) },
+			"pmtn"
+	default:
+		return func(T sched.Rat) bool { return p.EvalNonp(T).OK },
+			func(T sched.Rat) (*sched.Schedule, error) { return p.BuildNonp(p.EvalNonp(T)) },
+			"nonp"
+	}
+}
+
+// SolveSplitJump is the exact 3/2-approximation for the splittable case in
+// O(n + c log(c+m)) via Class Jumping (Theorem 3, Algorithm 1).
+//
+// The search maintains a right interval (lo, hi]: lo rejected (so
+// OPT > lo), hi accepted.  Phase A removes all partition breakpoints 2 s_i
+// from the interval; phase B removes the jumps 2 P_f / g of a fastest
+// expensive class f; phase C removes the remaining (at most one per class,
+// Lemma 3) jumps.  On the final jump-free interval the required load L and
+// machine count m_exp are constant, so the smallest acceptable makespan is
+// either hi or L/m, decided in O(1) (step 9 of Algorithm 1).
+func (p *Prep) SolveSplitJump() (*Result, error) {
+	test := func(T sched.Rat) bool { return p.EvalSplit(T, nil).OK }
+	tmin := p.TMin(sched.Splittable)
+	if test(tmin) {
+		s, err := p.BuildSplit(p.EvalSplit(tmin, nil))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "split/jump", Probes: 1}, nil
+	}
+	br := &bracket{lo: tmin, hi: sched.R(p.N), probes: 1}
+	if !test(br.hi) {
+		return nil, errInternal("splittable dual rejected N")
+	}
+	br.probes++
+
+	// Phase A: partition breakpoints 2 s_i.
+	bps := make([]sched.Rat, 0, p.C)
+	for i := range p.In.Classes {
+		bps = append(bps, sched.R(2*p.In.Classes[i].Setup))
+	}
+	br.narrowOnCandidates(test, sortRats(bps))
+
+	// Phases B + C: jumps of expensive classes.
+	evInt := p.EvalSplit(br.lo, &br.hi)
+	if len(evInt.Exp) > 0 {
+		// Fastest jumping class f: maximal P_f.
+		f := evInt.Exp[0]
+		for _, i := range evInt.Exp {
+			if p.P[i] > p.P[f] {
+				f = i
+			}
+		}
+		jumpAt := func(g int64) sched.Rat { return sched.RatOf(2*p.P[f], g) }
+		gLo := sched.FloorDivInt(2*p.P[f], br.hi) + 1
+		gHi := sched.CeilDivInt(2*p.P[f], br.lo) - 1
+		br.narrowOnJumps(test, jumpAt, gLo, gHi)
+
+		// Phase C: at most one jump per remaining class inside (lo, hi).
+		var cands []sched.Rat
+		for _, i := range evInt.Exp {
+			if i == f {
+				continue
+			}
+			g0 := sched.FloorDivInt(2*p.P[i], br.hi) + 1
+			g1 := sched.CeilDivInt(2*p.P[i], br.lo) - 1
+			for g := g0; g <= g1 && g-g0 < 8; g++ {
+				J := sched.RatOf(2*p.P[i], g)
+				if br.lo.Less(J) && J.Less(br.hi) {
+					cands = append(cands, J)
+				}
+			}
+		}
+		br.narrowOnCandidates(test, sortRats(cands))
+	}
+
+	// Closing step (Algorithm 1, step 9).
+	return p.closeJump(br, p.EvalSplit(br.lo, &br.hi).machineData(), test,
+		func(T sched.Rat) (*sched.Schedule, error) { return p.BuildSplit(p.EvalSplit(T, nil)) },
+		"split/jump")
+}
+
+// intervalData captures the interval-constant quantities of a dual
+// evaluation needed by the closing step.
+type intervalData struct {
+	machinesOK bool  // m >= required machine count on the interval
+	L          int64 // required load on the interval (valid if machinesOK)
+}
+
+func (ev *SplitEval) machineData() intervalData {
+	return intervalData{machinesOK: !ev.MachFail, L: ev.L}
+}
+
+// closeJump performs the O(1) final decision on a breakpoint- and
+// jump-free right interval (lo, hi]: on such an interval the dual's
+// required load L and machine demand are constant, so every T in
+// (lo, min(hi, L/m)) is rejected.  Consequently
+//
+//	m too small or L/m >= hi  ->  OPT >= hi,  return hi;
+//	otherwise                  ->  OPT >= L/m, return T_new = L/m
+//
+// and the returned guess is both accepted and a certified lower bound,
+// giving the exact 3/2 ratio.
+func (p *Prep) closeJump(br *bracket, data intervalData, test func(sched.Rat) bool,
+	build func(sched.Rat) (*sched.Schedule, error), algo string) (*Result, error) {
+	ret := func(T sched.Rat) (*Result, error) {
+		s, err := build(T)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, T: T, LowerBound: T, Algorithm: algo, Probes: br.probes}, nil
+	}
+	if !data.machinesOK {
+		return ret(br.hi)
+	}
+	tNew := sched.RatOf(data.L, p.M)
+	if !tNew.Less(br.hi) {
+		return ret(br.hi)
+	}
+	if !br.lo.Less(tNew) {
+		// L/m at or below the rejected end: every interior point already
+		// satisfies m*T >= L, so the machine condition must have rejected
+		// them; hi is the threshold.
+		return ret(br.hi)
+	}
+	br.probes++
+	if test(tNew) {
+		return ret(tNew)
+	}
+	// The interval-constancy assumption failed (possible only for the
+	// preemptive knapsack term, see DESIGN.md); fall back to a sound
+	// conservative answer: build at hi, certify only lo.
+	s, err := build(br.hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: algo + "/fallback", Probes: br.probes}, nil
+}
+
+// SolveNonpSearch is the exact 3/2-approximation for the non-preemptive
+// case (Theorem 8): OPT is integral, so an integer binary search over
+// [T_min, 2 T_min] with the 3/2-dual test of Theorem 9 is exact and runs
+// in O(n log T_min) = O(n log(n + Delta)).
+func (p *Prep) SolveNonpSearch() (*Result, error) {
+	if p.M >= int64(p.NJob) {
+		s := p.oneJobPerMachine(sched.NonPreemptive)
+		return &Result{Schedule: s, T: s.T, LowerBound: s.T, Algorithm: "nonp/binsearch"}, nil
+	}
+	tmin := p.TMin(sched.NonPreemptive).Num()
+	probes := 1
+	if ev := p.EvalNonp(sched.R(tmin)); ev.OK {
+		s, err := p.BuildNonp(ev)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schedule: s, T: sched.R(tmin), LowerBound: sched.R(tmin), Algorithm: "nonp/binsearch", Probes: probes}, nil
+	}
+	lo, hi := tmin, 2*tmin
+	probes++
+	if ev := p.EvalNonp(sched.R(hi)); !ev.OK {
+		return nil, errInternal("non-preemptive dual rejected 2*T_min >= OPT (%s)", ev.Reason)
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		probes++
+		if p.EvalNonp(sched.R(mid)).OK {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	// lo rejected => OPT >= lo+1 = hi: the result is a true 3/2-approximation.
+	s, err := p.BuildNonp(p.EvalNonp(sched.R(hi)))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, T: sched.R(hi), LowerBound: sched.R(hi), Algorithm: "nonp/binsearch", Probes: probes}, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"setupsched/internal/wrap"
+	"setupsched/sched"
+)
+
+// SplitEval is the outcome of the splittable 3/2-dual test (Theorem 7).
+//
+// For a makespan guess T the classes split into expensive (s_i > T/2) and
+// cheap (s_i <= T/2).  With beta_i = ceil(2 P_i / T), the test rejects T
+// (certifying T < OPT) when m*T < L_split or m < m_exp where
+//
+//	L_split = P(J) + sum_{cheap} s_i + sum_{exp} beta_i s_i
+//	m_exp   = sum_{exp} beta_i.
+type SplitEval struct {
+	T        sched.Rat
+	OK       bool
+	MachFail bool   // rejected because m < m_exp
+	Reason   string // human-readable rejection reason
+
+	Exp  []int   // expensive class indices
+	Chp  []int   // cheap class indices
+	Beta []int64 // parallel to Exp
+	MExp int64
+	L    int64 // L_split (valid only when machine test passed)
+}
+
+// EvalSplit runs the splittable dual test in O(c) given Prep.
+//
+// Interval mode: when hi is non-nil the evaluation describes every T in the
+// open interval (T, hi) under the precondition that no partition breakpoint
+// 2 s_i and no class jump 2 P_i / g lies strictly inside; the partition is
+// then decided by comparisons against hi and beta_i via floor division.
+func (p *Prep) EvalSplit(T sched.Rat, hi *sched.Rat) *SplitEval {
+	ev := &SplitEval{T: T}
+	// Guard: OPT > s_max, so any T < s_max is rejected (T = s_max itself
+	// is constructible when the load and machine tests pass, and rejecting
+	// it would break the closing step's certified-rejection chain).
+	if T.CmpInt(p.SMax) < 0 && hi == nil {
+		ev.Reason = "T < s_max < OPT"
+		return ev
+	}
+	expensive := func(s int64) bool {
+		if hi != nil {
+			return sched.R(2*s).Cmp(*hi) >= 0
+		}
+		return T.CmpInt(2*s) < 0
+	}
+	beta := func(work int64) int64 {
+		if hi != nil {
+			return sched.FloorDivInt(2*work, *hi) + 1
+		}
+		return sched.CeilDivInt(2*work, T)
+	}
+	for i := range p.In.Classes {
+		if expensive(p.In.Classes[i].Setup) {
+			ev.Exp = append(ev.Exp, i)
+			b := beta(p.P[i])
+			ev.Beta = append(ev.Beta, b)
+			ev.MExp += b
+			if ev.MExp > p.M {
+				ev.MachFail = true
+				ev.Reason = "m < m_exp (expensive classes need too many machines)"
+				return ev
+			}
+		} else {
+			ev.Chp = append(ev.Chp, i)
+		}
+	}
+	// m_exp <= m established; now L_split fits in int64:
+	// beta_i*s_i <= 2 P_i + s_i (since s_i <= T), so L <= 3 N, and also
+	// sum beta_i s_i <= m*s_max <= MaxMachineLoadProduct.
+	ev.L = p.PJ
+	for _, i := range ev.Chp {
+		ev.L += p.In.Classes[i].Setup
+	}
+	for k, i := range ev.Exp {
+		ev.L += ev.Beta[k] * p.In.Classes[i].Setup
+	}
+	ref := T
+	if hi != nil {
+		// For all T' in (T, hi): m T' >= L iff m*T >= L at the infimum is
+		// not required -- the closing step handles the threshold; here we
+		// report the test at the supremum for bracket narrowing.
+		ref = *hi
+	}
+	if cmpProd(p.M, ref.Num(), ev.L, ref.Den()) < 0 {
+		ev.Reason = "m*T < L_split (load exceeds capacity)"
+		return ev
+	}
+	ev.OK = true
+	return ev
+}
+
+// BuildSplit constructs a feasible splittable schedule with makespan at
+// most 3/2*T from an accepting evaluation (Theorem 7(ii)).
+//
+// Step 1 packs each expensive class i onto beta_i dedicated machines, each
+// holding the setup plus at most T/2 of job load; at most one last machine
+// per class stays below load T.  Step 2 wraps all cheap classes into the
+// residual time of those last machines (above a reserved T/2 window for one
+// cheap setup) and into gaps [T/2, 3/2T) on the m - m_exp unused machines,
+// emitting compressed machine runs for the unused-machine region.
+func (p *Prep) BuildSplit(ev *SplitEval) (*sched.Schedule, error) {
+	if !ev.OK {
+		return nil, errInternal("BuildSplit on rejected evaluation (%s)", ev.Reason)
+	}
+	T := ev.T
+	halfT := T.Half()
+	top := T.MulInt(3).DivInt(2)
+	out := &sched.Schedule{Variant: sched.Splittable, T: T}
+
+	// Step 1: expensive classes.
+	var cheapGaps []wrap.Gap
+	gapOwner := []int{} // schedule run index per cheap gap
+	for k, i := range ev.Exp {
+		cls := &p.In.Classes[i]
+		beta := ev.Beta[k]
+		setup := sched.R(cls.Setup)
+		jobIdx, jobLeft := 0, sched.R(cls.Jobs[0])
+		for u := int64(0); u < beta; u++ {
+			// Machine-configuration compression (proof of Theorem 7): a
+			// job spanning many full machines emits one run of identical
+			// [setup, T/2-piece] machines instead of one row per machine.
+			if u < beta-1 && jobLeft.Cmp(halfT) >= 0 {
+				full := jobLeft.DivInt(halfT.Num()).MulInt(halfT.Den()).Floor()
+				if full > beta-1-u {
+					full = beta - 1 - u
+				}
+				if full >= 2 {
+					b := sched.NewMachineBuilder()
+					b.Place(sched.SlotSetup, i, -1, setup)
+					b.Place(sched.SlotJob, i, jobIdx, halfT)
+					out.AddRun(full, b.Slots())
+					jobLeft = jobLeft.Sub(halfT.MulInt(full))
+					if jobLeft.IsZero() && jobIdx+1 < len(cls.Jobs) {
+						jobIdx++
+						jobLeft = sched.R(cls.Jobs[jobIdx])
+					}
+					u += full - 1
+					continue
+				}
+			}
+			b := sched.NewMachineBuilder()
+			b.Place(sched.SlotSetup, i, -1, setup)
+			cap := halfT
+			if u == beta-1 {
+				// Last machine takes the remainder r in (0, T/2].
+				cap = sched.R(p.P[i]).Sub(halfT.MulInt(beta - 1))
+			}
+			for cap.Sign() > 0 && jobIdx < len(cls.Jobs) {
+				take := sched.MinRat(cap, jobLeft)
+				b.Place(sched.SlotJob, i, jobIdx, take)
+				cap = cap.Sub(take)
+				jobLeft = jobLeft.Sub(take)
+				if jobLeft.IsZero() {
+					jobIdx++
+					if jobIdx < len(cls.Jobs) {
+						jobLeft = sched.R(cls.Jobs[jobIdx])
+					}
+				}
+			}
+			ri := out.AddMachine(b.Slots())
+			if u == beta-1 && b.Top().Cmp(T) < 0 {
+				// Reserve [L, L+T/2) for one cheap setup, fill above.
+				cheapGaps = append(cheapGaps, wrap.Gap{
+					Machine: int64(ri), A: b.Top().Add(halfT), B: top,
+				})
+				gapOwner = append(gapOwner, ri)
+			}
+		}
+		if jobLeft.Sign() > 0 || jobIdx < len(cls.Jobs)-1 {
+			return nil, errInternal("splittable step 1 left work of class %d unplaced", i)
+		}
+	}
+
+	// Step 2: cheap classes into the gaps plus unused machines.
+	if len(ev.Chp) > 0 {
+		var q wrap.Sequence
+		for _, i := range ev.Chp {
+			q.AddBatch(i, p.In.Classes[i].Setup, p.In.Classes[i].Jobs)
+		}
+		tail := wrap.TailRun{Count: p.M - ev.MExp, A: halfT, B: top}
+		placed, err := wrap.Wrap(cheapGaps, tail, &q, p.setups())
+		if err != nil {
+			return nil, errInternal("splittable cheap wrap failed: %v", err)
+		}
+		for g, slots := range placed.Machines {
+			ri := gapOwner[g]
+			out.Runs[ri].Slots = append(out.Runs[ri].Slots, slots...)
+		}
+		for _, r := range placed.Tail {
+			out.AddRun(r.Count, r.Slots)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"setupsched/internal/gen"
+	"setupsched/sched"
+)
+
+// TestStressLargeInstances runs the full searches on larger instances
+// across all families and validates every schedule.  Use -short to skip.
+func TestStressLargeInstances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for _, fam := range gen.Families {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, size := range []struct {
+				m       int64
+				classes int
+			}{
+				{7, 200},
+				{63, 1500},
+			} {
+				in := fam.Make(gen.Params{
+					M: size.m, Classes: size.classes, JobsPer: 6,
+					MaxSetup: 500, MaxJob: 700, Seed: int64(size.classes),
+				})
+				p := Prepare(in)
+				for _, run := range []struct {
+					name string
+					f    func() (*Result, error)
+				}{
+					{"splitJump", p.SolveSplitJump},
+					{"pmtnJump", p.SolvePmtnJump},
+					{"nonpSearch", p.SolveNonpSearch},
+				} {
+					r, err := run.f()
+					if err != nil {
+						t.Fatalf("%s n=%d: %v", run.name, in.NumJobs(), err)
+					}
+					if err := r.Schedule.Validate(in); err != nil {
+						t.Fatalf("%s n=%d: %v", run.name, in.NumJobs(), err)
+					}
+					if err := r.Schedule.CheckMakespanAtMost(r.T.MulInt(3).Half()); err != nil {
+						t.Fatalf("%s n=%d: %v", run.name, in.NumJobs(), err)
+					}
+					if r.T.Less(r.LowerBound) {
+						t.Fatalf("%s: accepted guess %s below certified bound %s", run.name, r.T, r.LowerBound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStressHugeMachineCounts exercises the splittable run compression on
+// machine counts far beyond the job count.
+func TestStressHugeMachineCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 25; iter++ {
+		in := &sched.Instance{M: 1 << (10 + rng.Intn(16))}
+		c := 1 + rng.Intn(12)
+		for i := 0; i < c; i++ {
+			cl := sched.Class{Setup: rng.Int63n(100)}
+			for j := 0; j <= rng.Intn(5); j++ {
+				cl.Jobs = append(cl.Jobs, 1+rng.Int63n(1000))
+			}
+			in.Classes = append(in.Classes, cl)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p := Prepare(in)
+		r, err := p.SolveSplitJump()
+		if err != nil {
+			t.Fatalf("iter %d (m=%d): %v", iter, in.M, err)
+		}
+		if err := r.Schedule.Validate(in); err != nil {
+			t.Fatalf("iter %d (m=%d): %v", iter, in.M, err)
+		}
+		// The schedule must stay compact regardless of m.
+		if r.Schedule.NumSlots() > 20*in.NumJobs()+100 {
+			t.Fatalf("iter %d: schedule blew up to %d slots for %d jobs",
+				iter, r.Schedule.NumSlots(), in.NumJobs())
+		}
+		// Splittable makespan shrinks with m: for huge m it approaches
+		// max(s_i + something) scale; sanity: <= 3/2 * (s_max + t_max).
+		bound := sched.R(p.SMax + maxJob(in)).MulInt(3).Half()
+		if bound.Less(r.Schedule.Makespan()) {
+			t.Fatalf("iter %d: makespan %s above saturation bound %s", iter, r.Schedule.Makespan(), bound)
+		}
+	}
+}
+
+func maxJob(in *sched.Instance) int64 {
+	var mx int64
+	for i := range in.Classes {
+		if v := in.Classes[i].MaxJob(); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// TestEpsAccuracy confirms the eps-search honors tighter tolerances with
+// more probes and never widens the certified gap beyond eps.
+func TestEpsAccuracy(t *testing.T) {
+	in := gen.Uniform(gen.Params{M: 5, Classes: 30, JobsPer: 4, MaxSetup: 90, MaxJob: 120, Seed: 3})
+	p := Prepare(in)
+	var lastGap float64
+	for i, eps := range []float64{0.5, 0.05, 0.005, 0.0005} {
+		r, err := p.SolveEps(sched.Preemptive, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Schedule.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		gap := r.T.Sub(r.LowerBound).Float64() / r.LowerBound.Float64()
+		if gap > eps*1.0001 {
+			t.Errorf("eps=%g: certified relative gap %g exceeds eps", eps, gap)
+		}
+		if i > 0 && gap > lastGap+1e-12 && lastGap > 0 {
+			t.Errorf("eps=%g: gap %g did not improve on %g", eps, gap, lastGap)
+		}
+		lastGap = gap
+	}
+}
+
+// TestDeterminism: identical inputs must give identical schedules.
+func TestDeterminism(t *testing.T) {
+	in := gen.BigJobs(gen.Params{M: 6, Classes: 40, JobsPer: 5, MaxSetup: 70, MaxJob: 90, Seed: 9})
+	for _, f := range []func(*Prep) (*Result, error){
+		(*Prep).SolveSplitJump,
+		(*Prep).SolvePmtnJump,
+		(*Prep).SolveNonpSearch,
+	} {
+		a, err := f(Prepare(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := f(Prepare(in.Clone()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Schedule.Makespan().Equal(b.Schedule.Makespan()) ||
+			a.Schedule.NumSlots() != b.Schedule.NumSlots() ||
+			a.Probes != b.Probes {
+			t.Errorf("nondeterministic result: %v vs %v", a.Schedule, b.Schedule)
+		}
+	}
+}

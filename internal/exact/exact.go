@@ -1,0 +1,169 @@
+// Package exact computes optimal makespans for small instances by
+// exhaustive search.  It exists to measure the true approximation ratios
+// of the near-linear algorithms in tests and experiments:
+//
+//   - NonPreemptive: branch-and-bound over job-to-machine assignments
+//     (within a machine, grouping jobs by class is always optimal, so an
+//     assignment determines the makespan).
+//   - Splittable: for a fixed choice of which machines carry a setup of
+//     each class, divisible load routing is a transportation problem; by
+//     Hall's condition the optimal makespan is
+//     max_S (setups(S) + work{classes servable only in S}) / |S| over
+//     machine subsets S, minimized over all setup placements.
+//
+// The preemptive optimum lies between the two (OPT_split <= OPT_pmtn <=
+// OPT_nonp), which the tests exploit as a sandwich.
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"setupsched/sched"
+)
+
+// ErrTooLarge reports an instance beyond the exhaustive-search budget.
+var ErrTooLarge = errors.New("exact: instance too large for exhaustive search")
+
+// NonPreemptive returns the optimal non-preemptive makespan.
+// The search budget is roughly m^n; keep n <= 12 and m <= 4.
+func NonPreemptive(in *sched.Instance) (int64, error) {
+	n := in.NumJobs()
+	if n > 14 || in.M > 6 || len(in.Classes) > 14 {
+		return 0, ErrTooLarge
+	}
+	m := int(in.M)
+	type flatJob struct {
+		class int
+		t     int64
+	}
+	jobs := make([]flatJob, 0, n)
+	for c := range in.Classes {
+		for _, t := range in.Classes[c].Jobs {
+			jobs = append(jobs, flatJob{c, t})
+		}
+	}
+	// Sort jobs descending for better pruning.
+	for i := 1; i < len(jobs); i++ {
+		for j := i; j > 0 && jobs[j].t > jobs[j-1].t; j-- {
+			jobs[j], jobs[j-1] = jobs[j-1], jobs[j]
+		}
+	}
+	load := make([]int64, m)
+	classOn := make([]uint32, m) // bitmask of classes present per machine
+	best := in.N() + 1
+	lower := in.LowerBound(sched.NonPreemptive).Num()
+
+	var rec func(j int)
+	rec = func(j int) {
+		if best == lower {
+			return
+		}
+		if j == len(jobs) {
+			var mk int64
+			for u := 0; u < m; u++ {
+				if load[u] > mk {
+					mk = load[u]
+				}
+			}
+			if mk < best {
+				best = mk
+			}
+			return
+		}
+		jb := jobs[j]
+		bit := uint32(1) << jb.class
+		seenEmpty := false
+		for u := 0; u < m; u++ {
+			if load[u] == 0 {
+				if seenEmpty {
+					continue // symmetry: identical empty machines
+				}
+				seenEmpty = true
+			}
+			add := jb.t
+			if classOn[u]&bit == 0 {
+				add += in.Classes[jb.class].Setup
+			}
+			if load[u]+add >= best {
+				continue
+			}
+			old := classOn[u]
+			load[u] += add
+			classOn[u] |= bit
+			rec(j + 1)
+			load[u] -= add
+			classOn[u] = old
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// Splittable returns the optimal splittable makespan as an exact rational.
+// The search budget is (2^m - 1)^c * 2^m; keep m <= 4 and c <= 4.
+func Splittable(in *sched.Instance) (sched.Rat, error) {
+	m := int(in.M)
+	c := len(in.Classes)
+	if m > 4 || c > 5 {
+		return sched.Rat{}, ErrTooLarge
+	}
+	full := (1 << m) - 1
+	// For every class choose a nonempty machine subset carrying its setup.
+	assign := make([]int, c)
+	work := make([]int64, c)
+	for i := range in.Classes {
+		work[i] = in.Classes[i].Work()
+	}
+	best := sched.R(math.MaxInt64)
+
+	evaluate := func() {
+		// Setups per machine.
+		var setups [4]int64
+		for i := 0; i < c; i++ {
+			for u := 0; u < m; u++ {
+				if assign[i]&(1<<u) != 0 {
+					setups[u] += in.Classes[i].Setup
+				}
+			}
+		}
+		// Hall bound over machine subsets.
+		worst := sched.Rat{}
+		for s := 1; s <= full; s++ {
+			var total int64
+			bits := 0
+			for u := 0; u < m; u++ {
+				if s&(1<<u) != 0 {
+					total += setups[u]
+					bits++
+				}
+			}
+			for i := 0; i < c; i++ {
+				if assign[i]&^s == 0 { // servable only inside S
+					total += work[i]
+				}
+			}
+			v := sched.RatOf(total, int64(bits))
+			if worst.Less(v) {
+				worst = v
+			}
+		}
+		if worst.Less(best) {
+			best = worst
+		}
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if i == c {
+			evaluate()
+			return
+		}
+		for sub := 1; sub <= full; sub++ {
+			assign[i] = sub
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, nil
+}

@@ -1,0 +1,132 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"setupsched/sched"
+)
+
+func TestNonPreemptiveKnownOptima(t *testing.T) {
+	cases := []struct {
+		in   sched.Instance
+		want int64
+	}{
+		// One machine: N.
+		{sched.Instance{M: 1, Classes: []sched.Class{
+			{Setup: 3, Jobs: []int64{4, 5}}, {Setup: 2, Jobs: []int64{1}},
+		}}, 15},
+		// Two machines, one class each.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 1, Jobs: []int64{10}}, {Setup: 1, Jobs: []int64{10}},
+		}}, 11},
+		// Splitting a class across machines pays a second setup.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 5, Jobs: []int64{6, 6}},
+		}}, 11},
+		// Cheap setup: splitting wins.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 1, Jobs: []int64{6, 6}},
+		}}, 7},
+		// m >= n: one job per machine.
+		{sched.Instance{M: 5, Classes: []sched.Class{
+			{Setup: 2, Jobs: []int64{3, 4}},
+		}}, 6},
+	}
+	for ci, c := range cases {
+		got, err := NonPreemptive(&c.in)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if got != c.want {
+			t.Errorf("case %d: OPT = %d, want %d", ci, got, c.want)
+		}
+	}
+}
+
+func TestSplittableKnownOptima(t *testing.T) {
+	cases := []struct {
+		in   sched.Instance
+		want sched.Rat
+	}{
+		// Single class, two machines, cheap setup: split evenly.
+		// Each machine: 1 + 6 = 7.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 1, Jobs: []int64{12}},
+		}}, sched.R(7)},
+		// Setup too expensive to duplicate: 5 + 12 = 17 on one machine
+		// versus (2*5+12)/2 = 11 split; splitting still wins.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 5, Jobs: []int64{12}},
+		}}, sched.R(11)},
+		// Here duplicating the setup loses: (2*9+4)/2 = 11 vs 9+4 = 13;
+		// split gives 11, single machine 13.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 9, Jobs: []int64{4}},
+		}}, sched.R(11)},
+		// Setup so dominant that one machine is best: 20+2 = 22 vs
+		// (40+2)/2 = 21: split still (barely) wins.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 20, Jobs: []int64{2}},
+		}}, sched.R(21)},
+		// Rational optimum: m = 2, two classes.
+		// All on separate machines: max(1+5, 2+7) = 9.
+		{sched.Instance{M: 2, Classes: []sched.Class{
+			{Setup: 1, Jobs: []int64{5}}, {Setup: 2, Jobs: []int64{7}},
+		}}, sched.RatOf(17, 2)},
+	}
+	for ci, c := range cases {
+		got, err := Splittable(&c.in)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("case %d: OPT = %s, want %s", ci, got, c.want)
+		}
+	}
+}
+
+func TestOrderingSplitVsNonp(t *testing.T) {
+	// OPT_split <= OPT_nonp always.
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 300; iter++ {
+		in := &sched.Instance{M: int64(1 + rng.Intn(3))}
+		c := 1 + rng.Intn(3)
+		for i := 0; i < c; i++ {
+			cl := sched.Class{Setup: rng.Int63n(10)}
+			for j := 0; j <= rng.Intn(3); j++ {
+				cl.Jobs = append(cl.Jobs, 1+rng.Int63n(12))
+			}
+			in.Classes = append(in.Classes, cl)
+		}
+		optN, errN := NonPreemptive(in)
+		optS, errS := Splittable(in)
+		if errN != nil || errS != nil {
+			continue
+		}
+		if optS.CmpInt(optN) > 0 {
+			t.Fatalf("iter %d: OPT_split %s > OPT_nonp %d\n%+v", iter, optS, optN, in)
+		}
+		// Both respect the trivial lower bounds.
+		if optS.Less(in.LowerBound(sched.Splittable)) {
+			t.Fatalf("iter %d: OPT_split below trivial bound", iter)
+		}
+		if sched.R(optN).Less(in.LowerBound(sched.NonPreemptive)) {
+			t.Fatalf("iter %d: OPT_nonp below trivial bound", iter)
+		}
+	}
+}
+
+func TestBudgetErrors(t *testing.T) {
+	big := &sched.Instance{M: 8}
+	for i := 0; i < 20; i++ {
+		big.Classes = append(big.Classes, sched.Class{Setup: 1, Jobs: []int64{1}})
+	}
+	if _, err := NonPreemptive(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("NonPreemptive on big instance: %v", err)
+	}
+	if _, err := Splittable(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Splittable on big instance: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrossoverSweep(t *testing.T) {
+	rows, err := Crossover([]int64{1, 2, 4, 8, 16, 64}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if err := VerifyCrossoverOrdering(rows); err != nil {
+		t.Error(err)
+	}
+	if err := nonDecreasingMachines(rows); err != nil {
+		t.Error(err)
+	}
+	// With one machine every variant's optimum is N; the 3/2-algorithms
+	// must stay within 1.5x of it.
+	if rows[0].Nonp > rows[0].Split*1.5+1e-6 || rows[0].Split > rows[0].Nonp*1.5+1e-6 {
+		t.Errorf("m=1: split %f and nonp %f differ by more than the guarantees allow",
+			rows[0].Split, rows[0].Nonp)
+	}
+	// With many machines the splittable makespan must drop well below the
+	// single-machine one.
+	if rows[len(rows)-1].Split > rows[0].Split/4 {
+		t.Errorf("m=64 split %f did not scale down from m=1 %f", rows[len(rows)-1].Split, rows[0].Split)
+	}
+	out := FormatCrossover(rows)
+	if !strings.Contains(out, "setup-share") {
+		t.Errorf("format broken:\n%s", out)
+	}
+}

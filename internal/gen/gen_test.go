@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"testing"
+
+	"setupsched/sched"
+)
+
+func TestAllFamiliesProduceValidInstances(t *testing.T) {
+	for _, fam := range Families {
+		for seed := int64(0); seed < 20; seed++ {
+			in := fam.Make(Params{
+				M: 1 + seed%7, Classes: 1 + int(seed)%9, JobsPer: 1 + int(seed)%5,
+				MaxSetup: 1 + seed*3, MaxJob: 1 + seed*7, Seed: seed,
+			})
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s seed %d: %v", fam.Name, seed, err)
+			}
+			if in.NumClasses() == 0 || in.NumJobs() == 0 {
+				t.Fatalf("%s seed %d: empty instance", fam.Name, seed)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{M: 4, Classes: 6, JobsPer: 3, MaxSetup: 20, MaxJob: 30, Seed: 99}
+	for _, fam := range Families {
+		a, b := fam.Make(p), fam.Make(p)
+		if a.NumJobs() != b.NumJobs() || a.N() != b.N() {
+			t.Errorf("%s: generator not deterministic", fam.Name)
+		}
+	}
+}
+
+func TestFamilyShapes(t *testing.T) {
+	p := Params{M: 4, Classes: 40, JobsPer: 4, MaxSetup: 100, MaxJob: 100, Seed: 3}
+
+	// expensive: setups at least half the configured maximum.
+	exp := ExpensiveSetups(p)
+	for i := range exp.Classes {
+		if exp.Classes[i].Setup < p.MaxSetup/2 {
+			t.Fatalf("expensive family made cheap setup %d", exp.Classes[i].Setup)
+		}
+	}
+	// smallbatch: batch weights well below max setup + jobs.
+	small := SmallBatches(p)
+	for i := range small.Classes {
+		if small.Classes[i].Setup > p.MaxSetup/8 {
+			t.Fatalf("smallbatch family made setup %d", small.Classes[i].Setup)
+		}
+	}
+	// singlejob: every class has exactly one job.
+	single := SingleJobClasses(p)
+	for i := range single.Classes {
+		if len(single.Classes[i].Jobs) != 1 {
+			t.Fatalf("singlejob family made %d jobs", len(single.Classes[i].Jobs))
+		}
+	}
+	// zipf produces valid instances with heavy tails (sanity only).
+	z := Zipf(p)
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("uniform")
+	if err != nil || f.Name != "uniform" {
+		t.Errorf("ByName(uniform) = %v, %v", f.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestBigJobsHitThresholds(t *testing.T) {
+	in := BigJobs(Params{M: 3, Classes: 30, JobsPer: 5, MaxJob: 64, MaxSetup: 10, Seed: 1})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The family must actually produce jobs above half the base size.
+	big := 0
+	for i := range in.Classes {
+		for _, tj := range in.Classes[i].Jobs {
+			if tj > 32 {
+				big++
+			}
+		}
+	}
+	if big == 0 {
+		t.Error("bigjobs family produced no big jobs")
+	}
+	_ = sched.Splittable
+}

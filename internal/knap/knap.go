@@ -1,0 +1,218 @@
+// Package knap solves the continuous (fractional) knapsack problem exactly
+// in linear time.
+//
+// The preemptive 3/2-dual approximation (Deppert & Jansen, SPAA 2019,
+// Section 4.2) decides which cheap classes are scheduled entirely outside
+// the "large machines" by solving a continuous knapsack with profits s_i
+// and weights w_i = P(C_i) - L*_i.  The optimal continuous solution selects
+// a prefix of the items in non-increasing profit/weight order and splits at
+// most one item.  SolveContinuous finds that prefix in O(n) worst case via
+// median-of-medians selection, matching the paper's O(c) budget; a sorting
+// reference implementation is kept for cross-checking.
+//
+// Weights and the capacity are integers; callers express rational weights
+// by scaling everything to a common denominator.
+package knap
+
+import (
+	"errors"
+	"sort"
+
+	"setupsched/internal/num128"
+)
+
+// Item is a knapsack item.  Profit and Weight must be >= 0 and Weight >= 1.
+type Item struct {
+	Profit int64
+	Weight int64
+}
+
+// Solution describes the optimal continuous solution.
+type Solution struct {
+	// Selected[i] reports x_i == 1 for input item i.
+	Selected []bool
+	// Split is the index of the single fractional item (0 < x_e < 1), or
+	// -1 when the solution is integral.
+	Split int
+	// SplitFill is the capacity assigned to the split item
+	// (SplitFill == x_e * w_e; 0 < SplitFill < Weight of the split item).
+	SplitFill int64
+	// Profit is the total integral profit sum over selected items
+	// (excluding the fractional contribution of the split item).
+	Profit int64
+	// UsedCapacity is the total capacity consumed, including SplitFill.
+	UsedCapacity int64
+}
+
+// ErrBadItem reports a non-positive weight or negative profit.
+var ErrBadItem = errors.New("knap: items need weight >= 1 and profit >= 0")
+
+// ratioLess reports whether item a ranks strictly after item b in the
+// greedy order (profit/weight descending, index ascending for ties).
+func ratioLess(items []Item, a, b int) bool {
+	c := num128.CmpProd(items[a].Profit, items[b].Weight, items[b].Profit, items[a].Weight)
+	if c != 0 {
+		return c > 0 // larger ratio first
+	}
+	return a < b
+}
+
+// SolveContinuous returns the optimal continuous knapsack solution in O(n)
+// worst-case time.  A non-positive capacity selects nothing.
+func SolveContinuous(items []Item, capacity int64) (Solution, error) {
+	sol := Solution{Selected: make([]bool, len(items)), Split: -1}
+	for i := range items {
+		if items[i].Weight < 1 || items[i].Profit < 0 {
+			return sol, ErrBadItem
+		}
+	}
+	if capacity <= 0 || len(items) == 0 {
+		return sol, nil
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	s := &selector{items: items}
+	s.run(idx, capacity, &sol)
+	return sol, nil
+}
+
+type selector struct {
+	items []Item
+}
+
+// run processes the candidate set cand with the given remaining capacity,
+// recording selections into sol.  It recurses on one side of a
+// median-of-medians pivot, giving O(n) total work.
+func (s *selector) run(cand []int, capacity int64, sol *Solution) {
+	for len(cand) > 0 {
+		if len(cand) <= 32 {
+			sort.Slice(cand, func(a, b int) bool { return ratioLess(s.items, cand[a], cand[b]) })
+			for _, i := range cand {
+				w := s.items[i].Weight
+				switch {
+				case w <= capacity:
+					sol.Selected[i] = true
+					sol.Profit += s.items[i].Profit
+					sol.UsedCapacity += w
+					capacity -= w
+				case capacity > 0:
+					sol.Split = i
+					sol.SplitFill = capacity
+					sol.UsedCapacity += capacity
+					capacity = 0
+				default:
+					return
+				}
+			}
+			return
+		}
+		p := s.medianOfMedians(cand)
+		// Partition: high = strictly better than pivot, low = strictly worse.
+		var high, low []int
+		for _, i := range cand {
+			if i == p {
+				continue
+			}
+			if ratioLess(s.items, i, p) {
+				high = append(high, i)
+			} else {
+				low = append(low, i)
+			}
+		}
+		var wHigh int64
+		for _, i := range high {
+			wHigh += s.items[i].Weight
+		}
+		switch {
+		case wHigh > capacity:
+			cand = high
+		case wHigh+s.items[p].Weight > capacity:
+			// Everything in high fits; pivot is the boundary item.
+			for _, i := range high {
+				sol.Selected[i] = true
+				sol.Profit += s.items[i].Profit
+			}
+			sol.UsedCapacity += wHigh
+			capacity -= wHigh
+			if capacity > 0 {
+				sol.Split = p
+				sol.SplitFill = capacity
+				sol.UsedCapacity += capacity
+			}
+			return
+		default:
+			for _, i := range high {
+				sol.Selected[i] = true
+				sol.Profit += s.items[i].Profit
+			}
+			sol.Selected[p] = true
+			sol.Profit += s.items[p].Profit
+			used := wHigh + s.items[p].Weight
+			sol.UsedCapacity += used
+			capacity -= used
+			cand = low
+		}
+	}
+}
+
+// medianOfMedians returns a pivot index guaranteeing a 30/70 split.
+func (s *selector) medianOfMedians(cand []int) int {
+	if len(cand) <= 5 {
+		return s.median5(cand)
+	}
+	medians := make([]int, 0, (len(cand)+4)/5)
+	for i := 0; i < len(cand); i += 5 {
+		j := i + 5
+		if j > len(cand) {
+			j = len(cand)
+		}
+		medians = append(medians, s.median5(cand[i:j]))
+	}
+	return s.medianOfMedians(medians)
+}
+
+// median5 returns the median (by greedy order) of at most five candidates.
+func (s *selector) median5(g []int) int {
+	buf := make([]int, len(g))
+	copy(buf, g)
+	sort.Slice(buf, func(a, b int) bool { return ratioLess(s.items, buf[a], buf[b]) })
+	return buf[len(buf)/2]
+}
+
+// SolveBySort is the O(n log n) reference implementation used for testing.
+func SolveBySort(items []Item, capacity int64) (Solution, error) {
+	sol := Solution{Selected: make([]bool, len(items)), Split: -1}
+	for i := range items {
+		if items[i].Weight < 1 || items[i].Profit < 0 {
+			return sol, ErrBadItem
+		}
+	}
+	if capacity <= 0 {
+		return sol, nil
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ratioLess(items, idx[a], idx[b]) })
+	for _, i := range idx {
+		w := items[i].Weight
+		switch {
+		case w <= capacity:
+			sol.Selected[i] = true
+			sol.Profit += items[i].Profit
+			sol.UsedCapacity += w
+			capacity -= w
+		case capacity > 0:
+			sol.Split = i
+			sol.SplitFill = capacity
+			sol.UsedCapacity += capacity
+			capacity = 0
+		default:
+			return sol, nil
+		}
+	}
+	return sol, nil
+}

@@ -1,0 +1,228 @@
+package knap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomItems(rng *rand.Rand, n int, maxP, maxW int64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Profit: rng.Int63n(maxP), Weight: rng.Int63n(maxW) + 1}
+	}
+	return items
+}
+
+func sameSolution(a, b Solution) bool {
+	if a.Split != b.Split || a.SplitFill != b.SplitFill ||
+		a.Profit != b.Profit || a.UsedCapacity != b.UsedCapacity {
+		return false
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectionMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(200) + 1
+		items := randomItems(rng, n, 1000, 1000)
+		var total int64
+		for _, it := range items {
+			total += it.Weight
+		}
+		capacity := rng.Int63n(total + 10)
+		a, err := SolveContinuous(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SolveBySort(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSolution(a, b) {
+			t.Fatalf("iter %d (n=%d cap=%d):\nselect: %+v\nsort:   %+v", iter, n, capacity, a, b)
+		}
+	}
+}
+
+func TestSolutionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 300; iter++ {
+		n := rng.Intn(100) + 1
+		items := randomItems(rng, n, 50, 50)
+		var total int64
+		for _, it := range items {
+			total += it.Weight
+		}
+		capacity := rng.Int63n(total + 5)
+		sol, err := SolveContinuous(items, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var used, profit int64
+		for i, sel := range sol.Selected {
+			if sel {
+				used += items[i].Weight
+				profit += items[i].Profit
+				if i == sol.Split {
+					t.Fatal("split item marked selected")
+				}
+			}
+		}
+		if profit != sol.Profit {
+			t.Fatalf("profit mismatch %d vs %d", profit, sol.Profit)
+		}
+		if sol.Split >= 0 {
+			if sol.SplitFill <= 0 || sol.SplitFill >= items[sol.Split].Weight {
+				t.Fatalf("split fill %d out of (0, %d)", sol.SplitFill, items[sol.Split].Weight)
+			}
+			used += sol.SplitFill
+		}
+		if used != sol.UsedCapacity {
+			t.Fatalf("capacity accounting %d vs %d", used, sol.UsedCapacity)
+		}
+		if used > capacity {
+			t.Fatalf("capacity exceeded: %d > %d", used, capacity)
+		}
+		// The knapsack is either full or everything is selected.
+		if used < capacity {
+			for i, sel := range sol.Selected {
+				if !sel {
+					t.Fatalf("slack capacity but item %d unselected (w=%d)", i, items[i].Weight)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyDominance(t *testing.T) {
+	// No unselected item may have a strictly better ratio than a selected
+	// one (exchange argument for continuous optimality).
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		items := randomItems(rng, rng.Intn(80)+2, 100, 100)
+		var total int64
+		for _, it := range items {
+			total += it.Weight
+		}
+		sol, err := SolveContinuous(items, rng.Int63n(total)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, si := range sol.Selected {
+			if si || i == sol.Split {
+				continue
+			}
+			for j, sj := range sol.Selected {
+				if !sj {
+					continue
+				}
+				// items[i] must not rank strictly before items[j].
+				if ratioLess(items, i, j) && !ratioLess(items, j, i) {
+					// strict ratio order i before j
+					ci := items[i].Profit * items[j].Weight
+					cj := items[j].Profit * items[i].Weight
+					if ci > cj {
+						t.Fatalf("unselected %d has better ratio than selected %d", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	// Zero capacity.
+	sol, err := SolveContinuous([]Item{{Profit: 5, Weight: 3}}, 0)
+	if err != nil || sol.Split != -1 || sol.Selected[0] {
+		t.Errorf("zero capacity: %+v, %v", sol, err)
+	}
+	// Everything fits.
+	sol, err = SolveContinuous([]Item{{5, 3}, {2, 2}}, 10)
+	if err != nil || sol.Split != -1 || !sol.Selected[0] || !sol.Selected[1] || sol.UsedCapacity != 5 {
+		t.Errorf("all fit: %+v, %v", sol, err)
+	}
+	// Exact fit leaves no split item.
+	sol, err = SolveContinuous([]Item{{5, 3}, {1, 7}}, 3)
+	if err != nil || sol.Split != -1 || !sol.Selected[0] || sol.Selected[1] {
+		t.Errorf("exact fit: %+v, %v", sol, err)
+	}
+	// Empty items.
+	sol, err = SolveContinuous(nil, 10)
+	if err != nil || sol.Split != -1 {
+		t.Errorf("empty: %+v, %v", sol, err)
+	}
+	// Invalid weight.
+	if _, err := SolveContinuous([]Item{{1, 0}}, 1); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := SolveContinuous([]Item{{-1, 1}}, 1); err == nil {
+		t.Error("negative profit accepted")
+	}
+	if _, err := SolveBySort([]Item{{1, 0}}, 1); err == nil {
+		t.Error("reference accepted zero weight")
+	}
+}
+
+func TestTieBreakDeterminism(t *testing.T) {
+	// Equal ratios: lower index wins.
+	items := []Item{{2, 4}, {1, 2}, {3, 6}}
+	sol, err := SolveContinuous(items, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Selected[0] || sol.Split != 1 || sol.SplitFill != 1 {
+		t.Errorf("tie-break: %+v", sol)
+	}
+}
+
+func TestLargeValuesNoOverflow(t *testing.T) {
+	items := []Item{
+		{Profit: 1 << 52, Weight: 1 << 50},
+		{Profit: 1 << 51, Weight: 1 << 49},
+		{Profit: 1, Weight: 1 << 52},
+	}
+	a, err := SolveContinuous(items, 1<<51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SolveBySort(items, 1<<51)
+	if !sameSolution(a, b) {
+		t.Fatalf("large values: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkSolveContinuous(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 100000, 1<<30, 1<<30)
+	var total int64
+	for _, it := range items {
+		total += it.Weight
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveContinuous(items, total/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveBySort(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := randomItems(rng, 100000, 1<<30, 1<<30)
+	var total int64
+	for _, it := range items {
+		total += it.Weight
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveBySort(items, total/2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Package num128 provides exact 128-bit integer helpers used by the
+// scheduling algorithms to compare and divide products of 64-bit
+// quantities without overflow.
+//
+// The approximation guarantees of the algorithms in this module depend on
+// exact accept/reject decisions for rational makespan guesses T = p/q.
+// Every such decision reduces to comparing or dividing products of two
+// int64 values, which fit in 128 bits.  This package wraps math/bits to
+// perform those operations exactly.
+package num128
+
+import (
+	"math"
+	"math/bits"
+)
+
+// prod is a signed 128-bit value represented as a magnitude and a sign.
+type prod struct {
+	hi, lo uint64
+	neg    bool
+}
+
+// mag returns the magnitude of x as a uint64.  It is correct for
+// math.MinInt64 as well.
+func mag(x int64) uint64 {
+	if x >= 0 {
+		return uint64(x)
+	}
+	return ^uint64(x) + 1
+}
+
+// mul computes the exact signed 128-bit product a*b.
+func mul(a, b int64) prod {
+	hi, lo := bits.Mul64(mag(a), mag(b))
+	neg := (a < 0) != (b < 0)
+	if hi == 0 && lo == 0 {
+		neg = false
+	}
+	return prod{hi, lo, neg}
+}
+
+// cmpMag compares the magnitudes of two 128-bit products.
+func cmpMag(p, q prod) int {
+	switch {
+	case p.hi != q.hi:
+		if p.hi < q.hi {
+			return -1
+		}
+		return 1
+	case p.lo != q.lo:
+		if p.lo < q.lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// CmpProd returns the sign of a*b - c*d, computed exactly.
+func CmpProd(a, b, c, d int64) int {
+	p, q := mul(a, b), mul(c, d)
+	if p.neg != q.neg {
+		if p.neg {
+			return -1
+		}
+		return 1
+	}
+	cm := cmpMag(p, q)
+	if p.neg {
+		return -cm
+	}
+	return cm
+}
+
+// CeilDiv returns ceil(a*b/q) for a, b >= 0 and q > 0.
+// The boolean result is false if the quotient does not fit in an int64.
+func CeilDiv(a, b, q int64) (int64, bool) {
+	if a < 0 || b < 0 || q <= 0 {
+		return 0, false
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	qq := uint64(q)
+	if hi >= qq {
+		return 0, false // quotient >= 2^64
+	}
+	quo, rem := bits.Div64(hi, lo, qq)
+	if rem > 0 {
+		if quo == math.MaxUint64 {
+			return 0, false
+		}
+		quo++
+	}
+	if quo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(quo), true
+}
+
+// FloorDiv returns floor(a*b/q) for a, b >= 0 and q > 0.
+// The boolean result is false if the quotient does not fit in an int64.
+func FloorDiv(a, b, q int64) (int64, bool) {
+	if a < 0 || b < 0 || q <= 0 {
+		return 0, false
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	qq := uint64(q)
+	if hi >= qq {
+		return 0, false
+	}
+	quo, _ := bits.Div64(hi, lo, qq)
+	if quo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(quo), true
+}
+
+// Acc is an unsigned 128-bit accumulator.  The zero value is ready to use.
+// It saturates at 2^128-1; Saturated reports whether saturation occurred.
+type Acc struct {
+	hi, lo    uint64
+	saturated bool
+}
+
+// AddInt adds a non-negative int64 to the accumulator.
+func (a *Acc) AddInt(x int64) {
+	if x < 0 {
+		panic("num128: Acc.AddInt of negative value")
+	}
+	var carry uint64
+	a.lo, carry = bits.Add64(a.lo, uint64(x), 0)
+	a.hi, carry = bits.Add64(a.hi, 0, carry)
+	if carry != 0 {
+		a.saturate()
+	}
+}
+
+// AddProd adds x*y for non-negative x, y to the accumulator.
+func (a *Acc) AddProd(x, y int64) {
+	if x < 0 || y < 0 {
+		panic("num128: Acc.AddProd of negative value")
+	}
+	hi, lo := bits.Mul64(uint64(x), uint64(y))
+	var carry uint64
+	a.lo, carry = bits.Add64(a.lo, lo, 0)
+	a.hi, carry = bits.Add64(a.hi, hi, carry)
+	if carry != 0 {
+		a.saturate()
+	}
+}
+
+func (a *Acc) saturate() {
+	a.hi, a.lo = math.MaxUint64, math.MaxUint64
+	a.saturated = true
+}
+
+// Saturated reports whether the accumulator overflowed 128 bits.
+func (a *Acc) Saturated() bool { return a.saturated }
+
+// CmpProd returns the sign of acc - x*y for non-negative x, y.
+func (a *Acc) CmpProd(x, y int64) int {
+	if x < 0 || y < 0 {
+		panic("num128: Acc.CmpProd of negative value")
+	}
+	hi, lo := bits.Mul64(uint64(x), uint64(y))
+	return cmpMag(prod{a.hi, a.lo, false}, prod{hi, lo, false})
+}
+
+// Int64 returns the accumulator value if it fits in an int64.
+func (a *Acc) Int64() (int64, bool) {
+	if a.hi != 0 || a.lo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(a.lo), true
+}
+
+// AddAcc adds another accumulator's value.
+func (a *Acc) AddAcc(b *Acc) {
+	var carry uint64
+	a.lo, carry = bits.Add64(a.lo, b.lo, 0)
+	a.hi, carry = bits.Add64(a.hi, b.hi, carry)
+	if carry != 0 || b.saturated {
+		a.saturate()
+	}
+}
+
+// Cmp compares two accumulators, returning -1, 0 or 1.
+func (a *Acc) Cmp(b *Acc) int {
+	return cmpMag(prod{a.hi, a.lo, false}, prod{b.hi, b.lo, false})
+}
+
+// Minus returns a - b as an int64; the boolean result is false when a < b
+// or the difference does not fit in an int64.
+func (a *Acc) Minus(b *Acc) (int64, bool) {
+	if a.Cmp(b) < 0 {
+		return 0, false
+	}
+	lo, borrow := bits.Sub64(a.lo, b.lo, 0)
+	hi, _ := bits.Sub64(a.hi, b.hi, borrow)
+	if hi != 0 || lo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(lo), true
+}

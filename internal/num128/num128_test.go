@@ -1,0 +1,227 @@
+package num128
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bigProd(a, b int64) *big.Int {
+	return new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+}
+
+func TestCmpProdAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		a, b, c, d := rng.Int63(), rng.Int63(), rng.Int63(), rng.Int63()
+		switch i % 4 {
+		case 1:
+			a, c = -a, -c
+		case 2:
+			b, d = -b, -d
+		case 3:
+			a, d = -a, -d
+		}
+		want := bigProd(a, b).Cmp(bigProd(c, d))
+		if got := CmpProd(a, b, c, d); got != want {
+			t.Fatalf("CmpProd(%d,%d,%d,%d) = %d, want %d", a, b, c, d, got, want)
+		}
+	}
+}
+
+func TestCmpProdEdges(t *testing.T) {
+	cases := [][4]int64{
+		{0, 0, 0, 0},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{math.MinInt64, math.MinInt64, math.MaxInt64, math.MaxInt64},
+		{math.MinInt64, 1, math.MinInt64, 1},
+		{math.MinInt64, -1, math.MaxInt64, 1},
+		{1, -1, -1, 1},
+		{0, math.MaxInt64, 0, math.MinInt64},
+	}
+	for _, c := range cases {
+		want := bigProd(c[0], c[1]).Cmp(bigProd(c[2], c[3]))
+		if got := CmpProd(c[0], c[1], c[2], c[3]); got != want {
+			t.Errorf("CmpProd(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestCeilFloorDivAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		a := rng.Int63n(1 << 50)
+		b := rng.Int63n(1 << 50)
+		q := rng.Int63n(1<<40) + 1
+		p := bigProd(a, b)
+		quo, rem := new(big.Int).QuoRem(p, big.NewInt(q), new(big.Int))
+		wantFloor := quo.Int64()
+		wantCeil := wantFloor
+		if rem.Sign() > 0 {
+			wantCeil++
+		}
+		fitsFloor := quo.IsInt64()
+		gf, okf := FloorDiv(a, b, q)
+		if okf != fitsFloor || (okf && gf != wantFloor) {
+			t.Fatalf("FloorDiv(%d,%d,%d) = (%d,%v), want (%d,%v)", a, b, q, gf, okf, wantFloor, fitsFloor)
+		}
+		gc, okc := CeilDiv(a, b, q)
+		if okc && gc != wantCeil {
+			t.Fatalf("CeilDiv(%d,%d,%d) = %d, want %d", a, b, q, gc, wantCeil)
+		}
+	}
+}
+
+func TestDivRejectsBadInput(t *testing.T) {
+	if _, ok := CeilDiv(-1, 1, 1); ok {
+		t.Error("CeilDiv accepted negative a")
+	}
+	if _, ok := CeilDiv(1, -1, 1); ok {
+		t.Error("CeilDiv accepted negative b")
+	}
+	if _, ok := CeilDiv(1, 1, 0); ok {
+		t.Error("CeilDiv accepted zero divisor")
+	}
+	if _, ok := FloorDiv(1, 1, -3); ok {
+		t.Error("FloorDiv accepted negative divisor")
+	}
+	// Quotient overflow.
+	if _, ok := CeilDiv(math.MaxInt64, math.MaxInt64, 1); ok {
+		t.Error("CeilDiv accepted overflowing quotient")
+	}
+	if v, ok := FloorDiv(math.MaxInt64, 2, 2); !ok || v != math.MaxInt64 {
+		t.Errorf("FloorDiv(MaxInt64,2,2) = (%d,%v)", v, ok)
+	}
+}
+
+func TestCeilDivExactBoundary(t *testing.T) {
+	// Exact division must not round up.
+	if v, ok := CeilDiv(6, 7, 21); !ok || v != 2 {
+		t.Errorf("CeilDiv(6,7,21) = (%d,%v), want (2,true)", v, ok)
+	}
+	if v, ok := CeilDiv(6, 7, 20); !ok || v != 3 {
+		t.Errorf("CeilDiv(6,7,20) = (%d,%v), want (3,true)", v, ok)
+	}
+}
+
+func TestAccBasic(t *testing.T) {
+	var a Acc
+	a.AddInt(5)
+	a.AddProd(3, 4)
+	if got := a.CmpProd(17, 1); got != 0 {
+		t.Errorf("acc != 17 (cmp=%d)", got)
+	}
+	if got := a.CmpProd(4, 4); got != 1 {
+		t.Errorf("acc <= 16 (cmp=%d)", got)
+	}
+	if got := a.CmpProd(3, 6); got != -1 {
+		t.Errorf("acc >= 18 (cmp=%d)", got)
+	}
+	v, ok := a.Int64()
+	if !ok || v != 17 {
+		t.Errorf("Int64 = (%d,%v)", v, ok)
+	}
+}
+
+func TestAccLarge(t *testing.T) {
+	var a Acc
+	for i := 0; i < 3; i++ {
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+	}
+	if a.Saturated() {
+		t.Fatal("acc saturated too early: 3*(2^63-1)^2 < 2^128")
+	}
+	if _, ok := a.Int64(); ok {
+		t.Error("Int64 should not fit")
+	}
+	if got := a.CmpProd(math.MaxInt64, math.MaxInt64); got != 1 {
+		t.Errorf("CmpProd = %d, want 1", got)
+	}
+}
+
+func TestAccSaturation(t *testing.T) {
+	var a Acc
+	for i := 0; i < 100 && !a.Saturated(); i++ {
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+		a.AddProd(math.MaxInt64, math.MaxInt64)
+	}
+	if !a.Saturated() {
+		t.Fatal("acc never saturated")
+	}
+	// Saturated accumulator compares greater than any product.
+	if got := a.CmpProd(math.MaxInt64, math.MaxInt64); got != 1 {
+		t.Errorf("saturated CmpProd = %d, want 1", got)
+	}
+}
+
+func TestAccPanicsOnNegative(t *testing.T) {
+	for name, f := range map[string]func(a *Acc){
+		"AddInt":   func(a *Acc) { a.AddInt(-1) },
+		"AddProd":  func(a *Acc) { a.AddProd(-1, 2) },
+		"CmpProd":  func(a *Acc) { a.CmpProd(-1, 2) },
+		"AddProd2": func(a *Acc) { a.AddProd(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on negative input", name)
+				}
+			}()
+			var a Acc
+			f(&a)
+		}()
+	}
+}
+
+func TestQuickCmpProdAntisymmetry(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		return CmpProd(a, b, c, d) == -CmpProd(c, d, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCmpProdCommutes(t *testing.T) {
+	f := func(a, b int64) bool {
+		return CmpProd(a, b, b, a) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCeilGeqFloor(t *testing.T) {
+	f := func(a, b, q int64) bool {
+		if a < 0 {
+			a = -(a + 1)
+		}
+		if b < 0 {
+			b = -(b + 1)
+		}
+		if q <= 0 {
+			q = -(q - 1)
+		}
+		fl, okf := FloorDiv(a, b, q)
+		cl, okc := CeilDiv(a, b, q)
+		if !okf {
+			return true
+		}
+		if !okc {
+			// ceil may overflow where floor fits only at MaxInt64
+			return fl == math.MaxInt64
+		}
+		return cl == fl || cl == fl+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

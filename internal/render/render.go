@@ -1,0 +1,169 @@
+// Package render draws schedules as ASCII Gantt charts, machine per row,
+// with grid marks at the fractions of the makespan guess T the paper's
+// figures annotate (T/4, T/2, 3/4T, T, 5/4T, 3/2T).
+//
+// Setups are drawn as uppercase letters and job load as lowercase letters,
+// both keyed by class (class 0 = 'A'/'a', class 1 = 'B'/'b', ...), so the
+// charts can be compared directly with Figures 1-13 of the paper.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"setupsched/sched"
+)
+
+// Options configure the renderer.
+type Options struct {
+	// Width is the chart width in characters (default 96).
+	Width int
+	// MaxMachines caps the number of rendered machine rows (default 24);
+	// larger schedules elide the middle.
+	MaxMachines int
+	// T draws grid marks at k*T/4; when zero the schedule's own T is used.
+	T sched.Rat
+}
+
+func (o *Options) defaults(s *sched.Schedule) Options {
+	out := Options{Width: 96, MaxMachines: 24, T: s.T}
+	if o != nil {
+		if o.Width > 16 {
+			out.Width = o.Width
+		}
+		if o.MaxMachines > 0 {
+			out.MaxMachines = o.MaxMachines
+		}
+		if o.T.Sign() > 0 {
+			out.T = o.T
+		}
+	}
+	return out
+}
+
+func classChar(class int, setup bool) byte {
+	base := byte('a')
+	if setup {
+		base = 'A'
+	}
+	return base + byte(class%26)
+}
+
+// Gantt renders the schedule.
+func Gantt(s *sched.Schedule, opts *Options) string {
+	o := opts.defaults(s)
+	horizon := s.Makespan()
+	if o.T.Sign() > 0 {
+		horizon = sched.MaxRat(horizon, o.T.MulInt(3).Half())
+	}
+	if horizon.Sign() <= 0 {
+		return "(empty schedule)\n"
+	}
+	hf := horizon.Float64()
+	scale := func(t sched.Rat) int {
+		x := int(t.Float64() / hf * float64(o.Width))
+		if x > o.Width {
+			x = o.Width
+		}
+		if x < 0 {
+			x = 0
+		}
+		return x
+	}
+
+	var sb strings.Builder
+	sb.WriteString(ruler(o, hf, scale))
+
+	rows := 0
+	total := len(s.Runs)
+	for ri, run := range s.Runs {
+		if rows >= o.MaxMachines && ri < total-1 {
+			sb.WriteString(fmt.Sprintf("  ...   (%d more machine rows elided)\n", total-ri))
+			break
+		}
+		line := make([]byte, o.Width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, sl := range run.Slots {
+			a, b := scale(sl.Start), scale(sl.End)
+			if b == a && b < o.Width {
+				b = a + 1
+			}
+			ch := classChar(sl.Class, sl.Kind == sched.SlotSetup)
+			for i := a; i < b && i < o.Width; i++ {
+				line[i] = ch
+			}
+		}
+		label := fmt.Sprintf("m%-4d", ri)
+		if run.Count > 1 {
+			label = fmt.Sprintf("x%-4d", run.Count)
+		}
+		sb.WriteString(label + "|" + string(line) + "|\n")
+		rows++
+	}
+	return sb.String()
+}
+
+// ruler draws the header with marks at quarters of T.
+func ruler(o Options, hf float64, scale func(sched.Rat) int) string {
+	line := make([]byte, o.Width+1)
+	for i := range line {
+		line[i] = ' '
+	}
+	labels := make([]byte, o.Width+8)
+	for i := range labels {
+		labels[i] = ' '
+	}
+	if o.T.Sign() > 0 {
+		for k := int64(1); k <= 6; k++ {
+			pos := scale(o.T.MulInt(k).DivInt(4))
+			if pos <= o.Width {
+				line[pos] = '|'
+				var name string
+				switch k {
+				case 1:
+					name = "T/4"
+				case 2:
+					name = "T/2"
+				case 3:
+					name = "3T/4"
+				case 4:
+					name = "T"
+				case 5:
+					name = "5T/4"
+				case 6:
+					name = "3T/2"
+				}
+				copy(labels[min(pos, len(labels)-len(name)):], name)
+			}
+		}
+	}
+	return "     " + strings.TrimRight(string(labels), " ") + "\n" +
+		"     +" + strings.TrimRight(string(line), " ") + "\n"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Legend lists the class-letter mapping with setup and work totals.
+func Legend(in *sched.Instance) string {
+	var sb strings.Builder
+	sb.WriteString("classes: ")
+	for i := range in.Classes {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if i >= 12 {
+			sb.WriteString(fmt.Sprintf("... (%d total)", len(in.Classes)))
+			break
+		}
+		sb.WriteString(fmt.Sprintf("%c(s=%d,P=%d)", classChar(i, false), in.Classes[i].Setup, in.Classes[i].Work()))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"setupsched/sched"
+)
+
+func demoSchedule() (*sched.Instance, *sched.Schedule) {
+	in := &sched.Instance{M: 3, Classes: []sched.Class{
+		{Setup: 2, Jobs: []int64{4, 4}},
+		{Setup: 1, Jobs: []int64{3}},
+	}}
+	s := &sched.Schedule{Variant: sched.NonPreemptive, T: sched.R(8)}
+	b := sched.NewMachineBuilder()
+	b.Place(sched.SlotSetup, 0, -1, sched.R(2))
+	b.Place(sched.SlotJob, 0, 0, sched.R(4))
+	b.Place(sched.SlotJob, 0, 1, sched.R(4))
+	s.AddMachine(b.Slots())
+	b = sched.NewMachineBuilder()
+	b.Place(sched.SlotSetup, 1, -1, sched.R(1))
+	b.Place(sched.SlotJob, 1, 0, sched.R(3))
+	s.AddMachine(b.Slots())
+	return in, s
+}
+
+func TestGanttBasics(t *testing.T) {
+	in, s := demoSchedule()
+	out := Gantt(s, &Options{Width: 60, T: sched.R(8)})
+	if !strings.Contains(out, "m0") || !strings.Contains(out, "m1") {
+		t.Errorf("missing machine rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "a") {
+		t.Errorf("missing class-0 setup/job glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "T/2") || !strings.Contains(out, "3T/2") {
+		t.Errorf("missing grid labels:\n%s", out)
+	}
+	leg := Legend(in)
+	if !strings.Contains(leg, "a(s=2,P=8)") {
+		t.Errorf("legend broken: %q", leg)
+	}
+}
+
+func TestGanttRunsAndEliding(t *testing.T) {
+	s := &sched.Schedule{Variant: sched.Splittable, T: sched.R(4)}
+	b := sched.NewMachineBuilder()
+	b.Place(sched.SlotSetup, 0, -1, sched.R(1))
+	b.Place(sched.SlotJob, 0, 0, sched.R(2))
+	s.AddRun(500, b.Slots())
+	for i := 0; i < 40; i++ {
+		s.AddMachine(b.Slots())
+	}
+	out := Gantt(s, &Options{Width: 40, MaxMachines: 10})
+	if !strings.Contains(out, "x500") {
+		t.Errorf("run multiplicity not shown:\n%s", out)
+	}
+	if !strings.Contains(out, "elided") {
+		t.Errorf("eliding marker missing:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	s := &sched.Schedule{}
+	if out := Gantt(s, nil); !strings.Contains(out, "empty") {
+		t.Errorf("empty schedule rendering: %q", out)
+	}
+}
+
+func TestGanttDefaultOptions(t *testing.T) {
+	_, s := demoSchedule()
+	out := Gantt(s, nil)
+	if len(out) == 0 || !strings.Contains(out, "|") {
+		t.Errorf("default rendering broken:\n%s", out)
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestValidatorCatchesMutations is a failure-injection test: it takes
+// valid schedules, applies a random corrupting mutation, and asserts the
+// validator rejects the result.  A validator that misses corruptions would
+// silently void every guarantee the test suite appears to establish.
+func TestValidatorCatchesMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+
+	type mutation struct {
+		name  string
+		apply func(*Schedule, *rand.Rand) bool // false = not applicable
+	}
+	mutations := []mutation{
+		{"shrink job piece", func(s *Schedule, rng *rand.Rand) bool {
+			sl := randomSlot(s, rng, SlotJob)
+			if sl == nil {
+				return false
+			}
+			sl.End = sl.Start.Add(sl.Len().Half())
+			return !sl.Len().IsZero()
+		}},
+		{"stretch setup", func(s *Schedule, rng *rand.Rand) bool {
+			sl := randomSlot(s, rng, SlotSetup)
+			if sl == nil {
+				return false
+			}
+			sl.End = sl.End.AddInt(1)
+			return true
+		}},
+		{"drop setup", func(s *Schedule, rng *rand.Rand) bool {
+			for ri := range s.Runs {
+				for si := range s.Runs[ri].Slots {
+					if s.Runs[ri].Slots[si].Kind == SlotSetup {
+						// Setup must enable a following job for the drop
+						// to be a real corruption.
+						if si+1 < len(s.Runs[ri].Slots) && s.Runs[ri].Slots[si+1].Kind == SlotJob {
+							s.Runs[ri].Slots = append(s.Runs[ri].Slots[:si], s.Runs[ri].Slots[si+1:]...)
+							return true
+						}
+					}
+				}
+			}
+			return false
+		}},
+		{"overlap slots", func(s *Schedule, rng *rand.Rand) bool {
+			for ri := range s.Runs {
+				if len(s.Runs[ri].Slots) >= 2 {
+					s.Runs[ri].Slots[1].Start = s.Runs[ri].Slots[0].Start
+					return true
+				}
+			}
+			return false
+		}},
+		{"duplicate machine run", func(s *Schedule, rng *rand.Rand) bool {
+			if len(s.Runs) == 0 || len(s.Runs[0].Slots) == 0 {
+				return false
+			}
+			hasJob := false
+			for _, sl := range s.Runs[0].Slots {
+				if sl.Kind == SlotJob {
+					hasJob = true
+				}
+			}
+			if !hasJob {
+				return false
+			}
+			s.Runs = append(s.Runs, s.Runs[0]) // duplicates job work
+			return true
+		}},
+		{"negative start", func(s *Schedule, rng *rand.Rand) bool {
+			if len(s.Runs) == 0 || len(s.Runs[0].Slots) == 0 {
+				return false
+			}
+			s.Runs[0].Slots[0].Start = R(-1)
+			return true
+		}},
+		{"wrong class index", func(s *Schedule, rng *rand.Rand) bool {
+			sl := randomSlot(s, rng, SlotJob)
+			if sl == nil {
+				return false
+			}
+			sl.Class = 9999
+			return true
+		}},
+	}
+
+	for iter := 0; iter < 200; iter++ {
+		in := randomValidInstance(rng)
+		s := scheduleSequentially(in)
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("iter %d: baseline invalid: %v", iter, err)
+		}
+		mut := mutations[iter%len(mutations)]
+		cp := cloneSchedule(s)
+		if !mut.apply(cp, rng) {
+			continue
+		}
+		if err := cp.Validate(in); err == nil {
+			t.Fatalf("iter %d: mutation %q not caught\noriginal: %v\nmutated:  %v",
+				iter, mut.name, s, cp)
+		}
+	}
+}
+
+func randomValidInstance(rng *rand.Rand) *Instance {
+	in := &Instance{M: int64(1 + rng.Intn(4))}
+	c := 1 + rng.Intn(4)
+	for i := 0; i < c; i++ {
+		cl := Class{Setup: 1 + rng.Int63n(9)} // nonzero so drop-setup matters
+		for j := 0; j <= rng.Intn(3); j++ {
+			cl.Jobs = append(cl.Jobs, 2+rng.Int63n(10))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// scheduleSequentially builds the trivial feasible schedule: classes in
+// order, spread across machines batch by batch.
+func scheduleSequentially(in *Instance) *Schedule {
+	s := &Schedule{Variant: NonPreemptive}
+	builders := make([]*MachineBuilder, in.M)
+	for u := range builders {
+		builders[u] = NewMachineBuilder()
+	}
+	u := 0
+	for i := range in.Classes {
+		b := builders[u]
+		b.Place(SlotSetup, i, -1, R(in.Classes[i].Setup))
+		for j, tj := range in.Classes[i].Jobs {
+			b.Place(SlotJob, i, j, R(tj))
+		}
+		u = (u + 1) % len(builders)
+	}
+	for _, b := range builders {
+		if len(b.Slots()) > 0 {
+			s.AddMachine(b.Slots())
+		}
+	}
+	return s
+}
+
+func cloneSchedule(s *Schedule) *Schedule {
+	out := &Schedule{Variant: s.Variant, T: s.T}
+	for _, r := range s.Runs {
+		out.Runs = append(out.Runs, MachineRun{
+			Count: r.Count,
+			Slots: append([]Slot(nil), r.Slots...),
+		})
+	}
+	return out
+}
+
+func randomSlot(s *Schedule, rng *rand.Rand, kind SlotKind) *Slot {
+	var cands []*Slot
+	for ri := range s.Runs {
+		for si := range s.Runs[ri].Slots {
+			if s.Runs[ri].Slots[si].Kind == kind {
+				cands = append(cands, &s.Runs[ri].Slots[si])
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[rng.Intn(len(cands))]
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ratBig(r Rat) *big.Rat { return big.NewRat(r.Num(), r.Den()) }
+
+func randRat(rng *rand.Rand) Rat {
+	return RatOf(rng.Int63n(1<<30)-(1<<29), rng.Int63n(1<<15)+1)
+}
+
+func TestRatNormalization(t *testing.T) {
+	cases := []struct {
+		n, d, wn, wd int64
+	}{
+		{6, 4, 3, 2},
+		{-6, 4, -3, 2},
+		{6, -4, -3, 2},
+		{0, 7, 0, 1},
+		{5, 1, 5, 1},
+		{7, 7, 1, 1},
+	}
+	for _, c := range cases {
+		r := RatOf(c.n, c.d)
+		if r.Num() != c.wn || r.Den() != c.wd {
+			t.Errorf("RatOf(%d,%d) = %d/%d, want %d/%d", c.n, c.d, r.Num(), r.Den(), c.wn, c.wd)
+		}
+	}
+}
+
+func TestRatZeroValue(t *testing.T) {
+	var z Rat
+	if !z.IsZero() || z.Den() != 1 || z.Sign() != 0 {
+		t.Errorf("zero value broken: %v den=%d sign=%d", z, z.Den(), z.Sign())
+	}
+	if got := z.AddInt(5); got.CmpInt(5) != 0 {
+		t.Errorf("zero.AddInt(5) = %s", got)
+	}
+	if got := z.Add(R(3)); got.CmpInt(3) != 0 {
+		t.Errorf("zero.Add(3) = %s", got)
+	}
+}
+
+func TestRatArithmeticAgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		a, b := randRat(rng), randRat(rng)
+		x := rng.Int63n(1<<20) - (1 << 19)
+		if got, want := ratBig(a.Add(b)), new(big.Rat).Add(ratBig(a), ratBig(b)); got.Cmp(want) != 0 {
+			t.Fatalf("%s + %s = %s, want %s", a, b, got, want)
+		}
+		if got, want := ratBig(a.Sub(b)), new(big.Rat).Sub(ratBig(a), ratBig(b)); got.Cmp(want) != 0 {
+			t.Fatalf("%s - %s = %s, want %s", a, b, got, want)
+		}
+		if got, want := ratBig(a.Mul(b)), new(big.Rat).Mul(ratBig(a), ratBig(b)); got.Cmp(want) != 0 {
+			t.Fatalf("%s * %s = %s, want %s", a, b, got, want)
+		}
+		if got, want := ratBig(a.MulInt(x)), new(big.Rat).Mul(ratBig(a), big.NewRat(x, 1)); got.Cmp(want) != 0 {
+			t.Fatalf("%s * %d = %s, want %s", a, x, got, want)
+		}
+		if got, want := ratBig(a.AddInt(x)), new(big.Rat).Add(ratBig(a), big.NewRat(x, 1)); got.Cmp(want) != 0 {
+			t.Fatalf("%s + %d = %s, want %s", a, x, got, want)
+		}
+		if got, want := a.Cmp(b), ratBig(a).Cmp(ratBig(b)); got != want {
+			t.Fatalf("cmp(%s,%s) = %d, want %d", a, b, got, want)
+		}
+		if x != 0 {
+			if got, want := ratBig(a.DivInt(x)), new(big.Rat).Quo(ratBig(a), big.NewRat(x, 1)); got.Cmp(want) != 0 {
+				t.Fatalf("%s / %d = %s, want %s", a, x, got, want)
+			}
+		}
+	}
+}
+
+func TestRatFloorCeil(t *testing.T) {
+	cases := []struct {
+		r          Rat
+		floor, cel int64
+	}{
+		{RatOf(7, 2), 3, 4},
+		{RatOf(-7, 2), -4, -3},
+		{R(5), 5, 5},
+		{R(-5), -5, -5},
+		{RatOf(1, 3), 0, 1},
+		{RatOf(-1, 3), -1, 0},
+		{Rat{}, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("(%s).Floor() = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.cel {
+			t.Errorf("(%s).Ceil() = %d, want %d", c.r, got, c.cel)
+		}
+	}
+}
+
+func TestCeilFloorDivInt(t *testing.T) {
+	// ceil(10 / (7/2)) = ceil(20/7) = 3
+	if got := CeilDivInt(10, RatOf(7, 2)); got != 3 {
+		t.Errorf("CeilDivInt = %d, want 3", got)
+	}
+	if got := FloorDivInt(10, RatOf(7, 2)); got != 2 {
+		t.Errorf("FloorDivInt = %d, want 2", got)
+	}
+	if got := CeilDivInt(14, RatOf(7, 2)); got != 4 {
+		t.Errorf("CeilDivInt exact = %d, want 4", got)
+	}
+}
+
+func TestMid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		a := randRat(rng)
+		b := a.Add(RatOf(rng.Int63n(1<<20)+1, rng.Int63n(1<<10)+1))
+		m := Mid(a, b)
+		if !a.Less(m) || !m.Less(b) {
+			t.Fatalf("Mid(%s,%s) = %s not strictly inside", a, b, m)
+		}
+	}
+	// Narrow interval without integers inside.
+	a, b := RatOf(5, 3), RatOf(17, 10)
+	m := Mid(a, b)
+	if !a.Less(m) || !m.Less(b) {
+		t.Fatalf("Mid(%s,%s) = %s not inside", a, b, m)
+	}
+}
+
+func TestRatString(t *testing.T) {
+	if s := RatOf(6, 4).String(); s != "3/2" {
+		t.Errorf("String = %q", s)
+	}
+	if s := R(17).String(); s != "17" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMaxMinRat(t *testing.T) {
+	a, b := RatOf(1, 2), RatOf(2, 3)
+	if MaxRat(a, b) != b || MinRat(a, b) != a {
+		t.Error("MaxRat/MinRat broken")
+	}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(an, bn int64, ad, bd uint16) bool {
+		a := RatOf(an%(1<<30), int64(ad)+1)
+		b := RatOf(bn%(1<<30), int64(bd)+1)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHalfDouble(t *testing.T) {
+	f := func(n int64, d uint16) bool {
+		r := RatOf(n%(1<<40), int64(d)+1)
+		return r.Half().MulInt(2).Equal(r) && r.Quarter().MulInt(4).Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected overflow panic")
+		}
+	}()
+	huge := R(1 << 62)
+	huge.MulInt(1 << 10) // must panic
+}

@@ -1,0 +1,165 @@
+package sched
+
+import "fmt"
+
+// SlotKind distinguishes setup slots from job slots.
+type SlotKind uint8
+
+const (
+	// SlotSetup is a (non-preemptible) setup occupying [Start, End).
+	SlotSetup SlotKind = iota
+	// SlotJob is a job piece occupying [Start, End).
+	SlotJob
+)
+
+// Slot is one contiguous occupation of a machine: either a setup of some
+// class or a piece of a job.  Slots are half-open intervals [Start, End).
+type Slot struct {
+	Kind  SlotKind
+	Class int // class index into Instance.Classes
+	Job   int // job index within the class; -1 for setups
+	Start Rat
+	End   Rat
+}
+
+// Len returns End - Start.
+func (s *Slot) Len() Rat { return s.End.Sub(s.Start) }
+
+// MachineRun is a group of Count machines with identical slot layouts.
+//
+// Runs with Count > 1 are how the splittable solver represents schedules
+// on very large machine counts in O(n + c) space ("machine configurations
+// with associated multiplicities" in the paper, Section 3.2): each machine
+// in the run processes its own piece of the stated shape, so a job slot of
+// length L in a run of Count k accounts for k*L units of that job's work.
+type MachineRun struct {
+	Count int64
+	Slots []Slot
+}
+
+// Schedule is a complete schedule: an ordered list of machine runs.
+// Machines not covered by any run are idle.
+type Schedule struct {
+	// Variant records which feasibility rules the schedule was built for.
+	Variant Variant
+	// T is the makespan guess the schedule was built against (the dual
+	// approximation bound is 3/2*T).  Zero if not applicable.
+	T Rat
+	// Runs holds the machine configurations in machine order.
+	Runs []MachineRun
+}
+
+// MachineCount returns the total number of machines used by runs
+// (including machines whose slot list is empty).
+func (s *Schedule) MachineCount() int64 {
+	var m int64
+	for i := range s.Runs {
+		m += s.Runs[i].Count
+	}
+	return m
+}
+
+// Makespan returns the maximum slot end time across all machines.
+func (s *Schedule) Makespan() Rat {
+	var mk Rat
+	for i := range s.Runs {
+		for j := range s.Runs[i].Slots {
+			if e := s.Runs[i].Slots[j].End; mk.Less(e) {
+				mk = e
+			}
+		}
+	}
+	return mk
+}
+
+// NumSlots returns the total number of distinct slots (not multiplied by
+// run counts).
+func (s *Schedule) NumSlots() int {
+	n := 0
+	for i := range s.Runs {
+		n += len(s.Runs[i].Slots)
+	}
+	return n
+}
+
+// SetupCount returns the total number of setup slots scheduled, counting
+// run multiplicities.
+func (s *Schedule) SetupCount() int64 {
+	var n int64
+	for i := range s.Runs {
+		for j := range s.Runs[i].Slots {
+			if s.Runs[i].Slots[j].Kind == SlotSetup {
+				n += s.Runs[i].Count
+			}
+		}
+	}
+	return n
+}
+
+// AddMachine appends a single machine with the given slots and returns its
+// index in Runs.
+func (s *Schedule) AddMachine(slots []Slot) int {
+	s.Runs = append(s.Runs, MachineRun{Count: 1, Slots: slots})
+	return len(s.Runs) - 1
+}
+
+// AddRun appends a run of count identical machines.
+func (s *Schedule) AddRun(count int64, slots []Slot) {
+	if count <= 0 {
+		return
+	}
+	s.Runs = append(s.Runs, MachineRun{Count: count, Slots: slots})
+}
+
+// String returns a short human-readable summary.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule{%s, machines=%d, slots=%d, makespan=%s}",
+		s.Variant.Short(), s.MachineCount(), s.NumSlots(), s.Makespan())
+}
+
+// MachineBuilder incrementally builds the slot list of one machine,
+// tracking the running top-of-machine time.
+type MachineBuilder struct {
+	slots []Slot
+	top   Rat
+}
+
+// NewMachineBuilder returns a builder starting at time 0.
+func NewMachineBuilder() *MachineBuilder { return &MachineBuilder{} }
+
+// Top returns the current top-of-machine time (end of the last slot).
+func (b *MachineBuilder) Top() Rat { return b.top }
+
+// PlaceAt places a slot of the given length starting at the given time,
+// which must be >= the current top.  Zero-length slots are dropped.
+func (b *MachineBuilder) PlaceAt(kind SlotKind, class, job int, start, length Rat) {
+	if length.Sign() <= 0 {
+		if length.Sign() < 0 {
+			panic("sched: negative slot length")
+		}
+		if start.Cmp(b.top) > 0 {
+			b.top = start
+		}
+		return
+	}
+	if start.Cmp(b.top) < 0 {
+		panic(fmt.Sprintf("sched: slot placed at %s below machine top %s", start, b.top))
+	}
+	end := start.Add(length)
+	b.slots = append(b.slots, Slot{Kind: kind, Class: class, Job: job, Start: start, End: end})
+	b.top = end
+}
+
+// Place appends a slot directly on top of the machine.
+func (b *MachineBuilder) Place(kind SlotKind, class, job int, length Rat) {
+	b.PlaceAt(kind, class, job, b.top, length)
+}
+
+// Slots returns the accumulated slots.
+func (b *MachineBuilder) Slots() []Slot { return b.slots }
+
+// Reset clears the builder for reuse.
+func (b *MachineBuilder) Reset() {
+	b.slots = nil
+	b.top = Rat{}
+}

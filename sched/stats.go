@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Stats summarizes a schedule's resource usage.
+type Stats struct {
+	// Makespan is the schedule's makespan.
+	Makespan Rat
+	// Machines is the number of machines carrying at least one slot.
+	Machines int64
+	// SetupTime is the total time spent on setups across all machines.
+	SetupTime Rat
+	// WorkTime is the total job processing time across all machines.
+	WorkTime Rat
+	// IdleTime is Machines*Makespan - SetupTime - WorkTime.
+	IdleTime Rat
+	// Setups counts setup slots (with run multiplicities).
+	Setups int64
+	// SetupsPerClass counts setups by class.
+	SetupsPerClass []int64
+}
+
+// Utilization returns WorkTime / (Machines * Makespan) in [0, 1].
+func (st *Stats) Utilization() float64 {
+	denom := st.Makespan.Float64() * float64(st.Machines)
+	if denom <= 0 {
+		return 0
+	}
+	return st.WorkTime.Float64() / denom
+}
+
+// SetupOverhead returns SetupTime / (SetupTime + WorkTime) in [0, 1].
+func (st *Stats) SetupOverhead() float64 {
+	total := st.SetupTime.Add(st.WorkTime).Float64()
+	if total <= 0 {
+		return 0
+	}
+	return st.SetupTime.Float64() / total
+}
+
+// ComputeStats aggregates usage statistics for the schedule; numClasses
+// sizes the per-class setup counts (pass in.NumClasses()).
+func (s *Schedule) ComputeStats(numClasses int) Stats {
+	st := Stats{
+		Makespan:       s.Makespan(),
+		SetupsPerClass: make([]int64, numClasses),
+	}
+	for i := range s.Runs {
+		run := &s.Runs[i]
+		if len(run.Slots) == 0 {
+			continue
+		}
+		st.Machines += run.Count
+		for j := range run.Slots {
+			sl := &run.Slots[j]
+			length := sl.Len().MulInt(run.Count)
+			if sl.Kind == SlotSetup {
+				st.SetupTime = st.SetupTime.Add(length)
+				st.Setups += run.Count
+				if sl.Class >= 0 && sl.Class < numClasses {
+					st.SetupsPerClass[sl.Class] += run.Count
+				}
+			} else {
+				st.WorkTime = st.WorkTime.Add(length)
+			}
+		}
+	}
+	st.IdleTime = st.Makespan.MulInt(st.Machines).Sub(st.SetupTime).Sub(st.WorkTime)
+	return st
+}
+
+// MarshalJSON encodes a Rat as the string "p/q" (or "p" for integers).
+func (r Rat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.String())
+}
+
+// UnmarshalJSON decodes "p/q" strings, "p" strings and plain JSON numbers.
+func (r *Rat) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		// Accept bare integers for convenience.
+		var n int64
+		if err2 := json.Unmarshal(data, &n); err2 == nil {
+			*r = R(n)
+			return nil
+		}
+		return err
+	}
+	var p, q int64
+	if _, err := fmt.Sscanf(s, "%d/%d", &p, &q); err == nil {
+		if q == 0 {
+			return fmt.Errorf("sched: zero denominator in %q", s)
+		}
+		*r = RatOf(p, q)
+		return nil
+	}
+	if _, err := fmt.Sscanf(s, "%d", &p); err == nil {
+		*r = R(p)
+		return nil
+	}
+	return fmt.Errorf("sched: cannot parse rational %q", s)
+}
+
+// slotJSON is the serialized slot form.
+type slotJSON struct {
+	Kind  string `json:"kind"` // "setup" or "job"
+	Class int    `json:"class"`
+	Job   int    `json:"job,omitempty"`
+	Start Rat    `json:"start"`
+	End   Rat    `json:"end"`
+}
+
+type runJSON struct {
+	Count int64      `json:"count"`
+	Slots []slotJSON `json:"slots"`
+}
+
+type scheduleJSON struct {
+	Variant string    `json:"variant"`
+	T       Rat       `json:"guess,omitempty"`
+	Runs    []runJSON `json:"machines"`
+}
+
+// MarshalJSON serializes the schedule with exact rational time stamps.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := scheduleJSON{Variant: s.Variant.Short(), T: s.T}
+	for i := range s.Runs {
+		rj := runJSON{Count: s.Runs[i].Count}
+		for _, sl := range s.Runs[i].Slots {
+			kind := "job"
+			if sl.Kind == SlotSetup {
+				kind = "setup"
+			}
+			rj.Slots = append(rj.Slots, slotJSON{
+				Kind: kind, Class: sl.Class, Job: sl.Job, Start: sl.Start, End: sl.End,
+			})
+		}
+		out.Runs = append(out.Runs, rj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a schedule serialized by MarshalJSON.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in scheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	switch in.Variant {
+	case "splittable":
+		s.Variant = Splittable
+	case "preemptive":
+		s.Variant = Preemptive
+	case "nonpreemptive":
+		s.Variant = NonPreemptive
+	default:
+		return fmt.Errorf("sched: unknown variant %q", in.Variant)
+	}
+	s.T = in.T
+	s.Runs = nil
+	for _, rj := range in.Runs {
+		run := MachineRun{Count: rj.Count}
+		for _, sj := range rj.Slots {
+			kind := SlotJob
+			job := sj.Job
+			if sj.Kind == "setup" {
+				kind = SlotSetup
+				job = -1
+			}
+			run.Slots = append(run.Slots, Slot{
+				Kind: kind, Class: sj.Class, Job: job, Start: sj.Start, End: sj.End,
+			})
+		}
+		s.Runs = append(s.Runs, run)
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package setupsched
+
+import (
+	"errors"
+	"fmt"
+
+	"setupsched/internal/core"
+	"setupsched/sched"
+)
+
+// Re-exported model types; see package sched for their documentation.
+type (
+	// Instance is a scheduling instance (machines and job classes).
+	Instance = sched.Instance
+	// Class is one batch class (setup time plus job processing times).
+	Class = sched.Class
+	// Schedule is a feasible schedule with exact rational time stamps.
+	Schedule = sched.Schedule
+	// Slot is one machine occupation (setup or job piece).
+	Slot = sched.Slot
+	// MachineRun is a group of identical machines in a schedule.
+	MachineRun = sched.MachineRun
+	// Rat is an exact rational number used for all times.
+	Rat = sched.Rat
+	// Variant selects the problem flavor.
+	Variant = sched.Variant
+)
+
+// Problem variants.
+const (
+	Splittable    = sched.Splittable
+	Preemptive    = sched.Preemptive
+	NonPreemptive = sched.NonPreemptive
+)
+
+// Algorithm selects the approximation algorithm used by Solve.
+type Algorithm int
+
+const (
+	// Auto picks the strongest guarantee: the exact 3/2-approximation.
+	Auto Algorithm = iota
+	// TwoApprox is the linear-time 2-approximation (Theorem 1).
+	TwoApprox
+	// EpsilonSearch is the (3/2+eps)-approximation (Theorem 2).
+	EpsilonSearch
+	// Exact32 is the exact 3/2-approximation (Theorems 3, 6 and 8).
+	Exact32
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Auto:
+		return "auto"
+	case TwoApprox:
+		return "2-approximation"
+	case EpsilonSearch:
+		return "(3/2+eps)-approximation"
+	case Exact32:
+		return "3/2-approximation"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configure Solve.  The zero value (or nil) selects Auto.
+type Options struct {
+	// Algorithm picks the approximation algorithm.
+	Algorithm Algorithm
+	// Epsilon is the accuracy of EpsilonSearch (default 1e-4).
+	Epsilon float64
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	// Schedule is the feasible schedule found.
+	Schedule *Schedule
+	// Makespan is the schedule's makespan.
+	Makespan Rat
+	// Guess is the accepted dual makespan guess T; the approximation
+	// guarantee bounds Makespan by 3/2*Guess (2*Guess for TwoApprox).
+	Guess Rat
+	// LowerBound is a certified lower bound on the optimal makespan.
+	LowerBound Rat
+	// Ratio is Makespan/LowerBound, an upper bound on the realized
+	// approximation ratio (reported as float for convenience).
+	Ratio float64
+	// Algorithm names the algorithm that produced the schedule.
+	Algorithm string
+	// Probes is the number of dual-test evaluations performed.
+	Probes int
+}
+
+var errNilInstance = errors.New("setupsched: nil instance")
+
+// Solve computes an approximate schedule for the instance under the given
+// variant.  A nil opts selects the exact 3/2-approximation.
+func Solve(in *Instance, v Variant, opts *Options) (*Result, error) {
+	if in == nil {
+		return nil, errNilInstance
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	eps := opts.Epsilon
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	p := core.Prepare(in)
+	var (
+		r   *core.Result
+		err error
+	)
+	switch opts.Algorithm {
+	case TwoApprox:
+		if v == Splittable {
+			r, err = p.SolveSplit2()
+		} else {
+			r, err = p.SolveNonp2(v)
+		}
+	case EpsilonSearch:
+		r, err = p.SolveEps(v, eps)
+	default: // Auto, Exact32
+		switch v {
+		case Splittable:
+			r, err = p.SolveSplitJump()
+		case Preemptive:
+			r, err = p.SolvePmtnJump()
+		default:
+			r, err = p.SolveNonpSearch()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return finish(r), nil
+}
+
+func finish(r *core.Result) *Result {
+	return &Result{
+		Schedule:   r.Schedule,
+		Makespan:   r.Schedule.Makespan(),
+		Guess:      r.T,
+		LowerBound: r.LowerBound,
+		Ratio:      r.RatioUpperBound(),
+		Algorithm:  r.Algorithm,
+		Probes:     r.Probes,
+	}
+}
+
+// LowerBound returns the trivial variant-specific lower bound on OPT
+// (max(N/m, s_max) for splittable; max(N/m, max_i(s_i + t_max^(i)))
+// otherwise, rounded up to an integer for the non-preemptive case).
+func LowerBound(in *Instance, v Variant) (Rat, error) {
+	if in == nil {
+		return Rat{}, errNilInstance
+	}
+	if err := in.Validate(); err != nil {
+		return Rat{}, err
+	}
+	return in.LowerBound(v), nil
+}
+
+// maxDualDen bounds the denominator of user-supplied dual guesses so the
+// internal exact arithmetic cannot overflow.
+const maxDualDen = 1 << 20
+
+// DualTest runs the variant's 3/2-dual approximation at the makespan guess
+// T: it either returns a feasible schedule with makespan at most 3/2*T
+// (accepted) or reports that T was rejected, which certifies T < OPT.
+//
+// T must be positive with denominator at most 2^20.
+func DualTest(in *Instance, v Variant, T Rat) (accepted bool, s *Schedule, err error) {
+	if in == nil {
+		return false, nil, errNilInstance
+	}
+	if err := in.Validate(); err != nil {
+		return false, nil, err
+	}
+	if T.Sign() <= 0 {
+		return false, nil, fmt.Errorf("setupsched: non-positive makespan guess %s", T)
+	}
+	if T.Den() > maxDualDen {
+		return false, nil, fmt.Errorf("setupsched: makespan guess denominator %d exceeds %d", T.Den(), maxDualDen)
+	}
+	p := core.Prepare(in)
+	switch v {
+	case Splittable:
+		ev := p.EvalSplit(T, nil)
+		if !ev.OK {
+			return false, nil, nil
+		}
+		s, err := p.BuildSplit(ev)
+		return true, s, err
+	case Preemptive:
+		ev := p.EvalPmtn(T, nil)
+		if !ev.OK {
+			return false, nil, nil
+		}
+		s, err := p.BuildPmtn(ev)
+		return true, s, err
+	default:
+		ev := p.EvalNonp(T)
+		if !ev.OK {
+			return false, nil, nil
+		}
+		s, err := p.BuildNonp(ev)
+		return true, s, err
+	}
+}
+
+// Verify re-checks a Result against its instance: the schedule must be
+// feasible for the variant, the makespan must match, and the certified
+// lower bound must not exceed the makespan.  Use it to audit results that
+// crossed a serialization or trust boundary.
+func Verify(in *Instance, v Variant, r *Result) error {
+	if in == nil || r == nil || r.Schedule == nil {
+		return errors.New("setupsched: Verify needs an instance and a result with a schedule")
+	}
+	if r.Schedule.Variant != v {
+		return fmt.Errorf("setupsched: schedule variant %v does not match %v", r.Schedule.Variant, v)
+	}
+	if err := r.Schedule.Validate(in); err != nil {
+		return err
+	}
+	if !r.Schedule.Makespan().Equal(r.Makespan) {
+		return fmt.Errorf("setupsched: stated makespan %s differs from schedule makespan %s",
+			r.Makespan, r.Schedule.Makespan())
+	}
+	if r.Makespan.Less(r.LowerBound) {
+		return fmt.Errorf("setupsched: makespan %s below claimed lower bound %s", r.Makespan, r.LowerBound)
+	}
+	if lb := in.LowerBound(v); r.LowerBound.Less(lb) {
+		return fmt.Errorf("setupsched: certified bound %s below trivial bound %s", r.LowerBound, lb)
+	}
+	return nil
+}
