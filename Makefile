@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet bench serve clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Root benchmarks reproduce the paper's Table 1 / figure measurements;
+# ./serve benchmarks track the serving layer's hot path (cache hit vs
+# cold solve).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ . ./serve
+
+serve:
+	$(GO) run ./cmd/schedserve
+
+clean:
+	$(GO) clean ./...

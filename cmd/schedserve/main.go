@@ -1,0 +1,79 @@
+// Command schedserve runs the setupsched HTTP solve service.
+//
+// Usage:
+//
+//	schedserve [-addr :8080] [-workers N] [-cache 4096]
+//
+// Endpoints (see package setupsched/serve for the wire formats):
+//
+//	POST /v1/solve        solve one instance
+//	POST /v1/solve/batch  solve an NDJSON stream of instances
+//	GET  /healthz         liveness probe
+//	GET  /v1/stats        counters, cache hit rate, latency quantiles
+//
+// Example:
+//
+//	schedserve -addr :8080 &
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "variant": "nonp",
+//	  "instance": {"m": 3, "classes": [{"setup": 4, "jobs": [7, 2, 5]},
+//	                                   {"setup": 1, "jobs": [3, 3]}]}
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"setupsched/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker pool size")
+	cacheSize := flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "schedserve: unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	handler := serve.New(serve.Config{Workers: *workers, CacheSize: *cacheSize})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("schedserve: listening on %s (workers=%d, cache=%d)", *addr, *workers, *cacheSize)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("schedserve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("schedserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("schedserve: shutdown: %v", err)
+		}
+	}
+}

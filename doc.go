@@ -48,6 +48,15 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Makespan, res.LowerBound, res.Ratio)
 //
+// # Serving
+//
+// Package setupsched/serve exposes the solvers as a long-running HTTP/JSON
+// service (run with cmd/schedserve): single and streaming-batch solve
+// endpoints backed by a bounded worker pool, plus an LRU result cache
+// keyed by sched.Instance.Fingerprint, a canonical-form hash invariant
+// under permutation of classes and of jobs within a class.  Cached
+// results are re-checked with Verify before they are served.
+//
 // See the examples/ directory for runnable end-to-end scenarios and
 // DESIGN.md for the system inventory and reproduction notes.
 package setupsched

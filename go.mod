@@ -1,0 +1,3 @@
+module setupsched
+
+go 1.24

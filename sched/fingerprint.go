@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Canonical is the canonical form of an instance: jobs sorted within each
+// class, classes sorted by (setup, size, job multiset), together with the
+// permutations linking canonical indices back to the original indexing.
+//
+// Two instances that differ only by a permutation of their classes or of
+// the jobs inside a class have byte-identical canonical instances, so the
+// canonical form is the right domain for fingerprinting and result
+// caching.  The stored permutations let a schedule computed in one index
+// space be translated into the other (see FromCanonical and ToCanonical).
+type Canonical struct {
+	// Instance is the canonical instance (a deep copy; the original is
+	// never aliased or modified).
+	Instance *Instance
+	// ClassOf maps a canonical class index to its original class index.
+	ClassOf []int
+	// JobOf maps a canonical (class, job position) to the job's original
+	// index within the original class ClassOf[class].
+	JobOf [][]int
+
+	classInv []int   // original class index -> canonical class index
+	jobInv   [][]int // canonical class -> original job index -> canonical position
+}
+
+// Canonicalize computes the canonical form of the instance in
+// O(n log n) time.  The receiver is left untouched.
+func (in *Instance) Canonicalize() *Canonical {
+	c := len(in.Classes)
+	jobOf := make([][]int, c)        // original class -> canonical job order
+	sortedJobs := make([][]int64, c) // original class -> ascending job sizes
+	for i := range in.Classes {
+		jobs := in.Classes[i].Jobs
+		idx := make([]int, len(jobs))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return jobs[idx[a]] < jobs[idx[b]] })
+		sj := make([]int64, len(jobs))
+		for pos, oj := range idx {
+			sj[pos] = jobs[oj]
+		}
+		jobOf[i] = idx
+		sortedJobs[i] = sj
+	}
+
+	ord := make([]int, c)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		ca, cb := &in.Classes[ord[a]], &in.Classes[ord[b]]
+		if ca.Setup != cb.Setup {
+			return ca.Setup < cb.Setup
+		}
+		ja, jb := sortedJobs[ord[a]], sortedJobs[ord[b]]
+		if len(ja) != len(jb) {
+			return len(ja) < len(jb)
+		}
+		for k := range ja {
+			if ja[k] != jb[k] {
+				return ja[k] < jb[k]
+			}
+		}
+		return false
+	})
+
+	ci := &Instance{M: in.M, Classes: make([]Class, c)}
+	jobOfCanon := make([][]int, c)
+	for k, oi := range ord {
+		ci.Classes[k] = Class{Setup: in.Classes[oi].Setup, Jobs: sortedJobs[oi]}
+		jobOfCanon[k] = jobOf[oi]
+	}
+
+	classInv := make([]int, c)
+	for k, oi := range ord {
+		classInv[oi] = k
+	}
+	jobInv := make([][]int, c)
+	for k := range jobOfCanon {
+		inv := make([]int, len(jobOfCanon[k]))
+		for pos, oj := range jobOfCanon[k] {
+			inv[oj] = pos
+		}
+		jobInv[k] = inv
+	}
+	return &Canonical{
+		Instance: ci,
+		ClassOf:  ord,
+		JobOf:    jobOfCanon,
+		classInv: classInv,
+		jobInv:   jobInv,
+	}
+}
+
+// Fingerprint returns the hex SHA-256 of the canonical instance encoding.
+func (c *Canonical) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(c.Instance.M)
+	put(int64(len(c.Instance.Classes)))
+	for i := range c.Instance.Classes {
+		cl := &c.Instance.Classes[i]
+		put(cl.Setup)
+		put(int64(len(cl.Jobs)))
+		for _, t := range cl.Jobs {
+			put(t)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint returns a canonical-form hash of the instance: invariant
+// under any permutation of the classes and of the jobs within a class,
+// and sensitive to the machine count, every setup time, and every job
+// processing time.
+func (in *Instance) Fingerprint() string {
+	return in.Canonicalize().Fingerprint()
+}
+
+// Equal reports whether the two instances are identical (same machine
+// count, classes and job order; not merely permutation-equivalent).
+func (in *Instance) Equal(o *Instance) bool {
+	if o == nil || in.M != o.M || len(in.Classes) != len(o.Classes) {
+		return false
+	}
+	for i := range in.Classes {
+		a, b := &in.Classes[i], &o.Classes[i]
+		if a.Setup != b.Setup || len(a.Jobs) != len(b.Jobs) {
+			return false
+		}
+		for j := range a.Jobs {
+			if a.Jobs[j] != b.Jobs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FromCanonical translates a schedule over the canonical instance into an
+// equivalent schedule over the original instance, rewriting every slot's
+// class and job indices.  The input is not modified.
+func (c *Canonical) FromCanonical(s *Schedule) *Schedule {
+	return remapSchedule(s, func(class, job int) (int, int) {
+		oc := c.ClassOf[class]
+		if job < 0 {
+			return oc, job
+		}
+		return oc, c.JobOf[class][job]
+	})
+}
+
+// ToCanonical translates a schedule over the original instance into an
+// equivalent schedule over the canonical instance.  The input is not
+// modified.
+func (c *Canonical) ToCanonical(s *Schedule) *Schedule {
+	return remapSchedule(s, func(class, job int) (int, int) {
+		k := c.classInv[class]
+		if job < 0 {
+			return k, job
+		}
+		return k, c.jobInv[k][job]
+	})
+}
+
+func remapSchedule(s *Schedule, f func(class, job int) (int, int)) *Schedule {
+	out := &Schedule{Variant: s.Variant, T: s.T, Runs: make([]MachineRun, len(s.Runs))}
+	for i := range s.Runs {
+		slots := make([]Slot, len(s.Runs[i].Slots))
+		for j, sl := range s.Runs[i].Slots {
+			sl.Class, sl.Job = f(sl.Class, sl.Job)
+			slots[j] = sl
+		}
+		out.Runs[i] = MachineRun{Count: s.Runs[i].Count, Slots: slots}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fpTestInstance() *Instance {
+	return &Instance{
+		M: 5,
+		Classes: []Class{
+			{Setup: 4, Jobs: []int64{7, 2, 5, 2}},
+			{Setup: 1, Jobs: []int64{3, 3}},
+			{Setup: 0, Jobs: []int64{9}},
+			{Setup: 4, Jobs: []int64{2, 7, 5, 2}}, // permutation twin of class 0
+			{Setup: 12, Jobs: []int64{1, 1, 1, 6}},
+		},
+	}
+}
+
+// permute returns a deep copy with classes shuffled and the jobs inside
+// every class shuffled.
+func permute(in *Instance, rng *rand.Rand) *Instance {
+	out := in.Clone()
+	rng.Shuffle(len(out.Classes), func(i, j int) {
+		out.Classes[i], out.Classes[j] = out.Classes[j], out.Classes[i]
+	})
+	for i := range out.Classes {
+		jobs := out.Classes[i].Jobs
+		rng.Shuffle(len(jobs), func(a, b int) { jobs[a], jobs[b] = jobs[b], jobs[a] })
+	}
+	return out
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	in := fpTestInstance()
+	want := in.Fingerprint()
+	if len(want) != 64 {
+		t.Fatalf("fingerprint %q is not 64 hex chars", want)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p := permute(in, rng)
+		if got := p.Fingerprint(); got != want {
+			t.Fatalf("trial %d: permuted fingerprint %s != original %s\npermuted: %+v",
+				trial, got, want, p)
+		}
+		if !p.Canonicalize().Instance.Equal(in.Canonicalize().Instance) {
+			t.Fatalf("trial %d: canonical instances differ", trial)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpTestInstance()
+	want := base.Fingerprint()
+	mutations := []struct {
+		name string
+		mut  func(*Instance)
+	}{
+		{"machines", func(in *Instance) { in.M++ }},
+		{"setup", func(in *Instance) { in.Classes[1].Setup++ }},
+		{"zero setup", func(in *Instance) { in.Classes[2].Setup = 2 }},
+		{"job size", func(in *Instance) { in.Classes[0].Jobs[2]++ }},
+		{"extra job", func(in *Instance) { in.Classes[3].Jobs = append(in.Classes[3].Jobs, 1) }},
+		{"drop class", func(in *Instance) { in.Classes = in.Classes[:len(in.Classes)-1] }},
+		{"split class", func(in *Instance) {
+			in.Classes[4].Jobs = in.Classes[4].Jobs[:2]
+			in.Classes = append(in.Classes, Class{Setup: 12, Jobs: []int64{1, 6}})
+		}},
+	}
+	for _, m := range mutations {
+		in := base.Clone()
+		m.mut(in)
+		if got := in.Fingerprint(); got == want {
+			t.Errorf("%s: fingerprint unchanged after mutation", m.name)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesEqualTotals(t *testing.T) {
+	// Same total work and setup, different partition into classes.
+	a := &Instance{M: 2, Classes: []Class{{Setup: 3, Jobs: []int64{4, 4}}, {Setup: 3, Jobs: []int64{8}}}}
+	b := &Instance{M: 2, Classes: []Class{{Setup: 3, Jobs: []int64{4, 8}}, {Setup: 3, Jobs: []int64{4}}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different instances share a fingerprint")
+	}
+}
+
+// serialSchedule builds the trivial feasible non-preemptive schedule that
+// runs every class (setup, then all jobs) back to back on one machine.
+func serialSchedule(in *Instance) *Schedule {
+	b := NewMachineBuilder()
+	for ci := range in.Classes {
+		cl := &in.Classes[ci]
+		if cl.Setup > 0 {
+			b.Place(SlotSetup, ci, -1, R(cl.Setup))
+		}
+		for j, tj := range cl.Jobs {
+			b.Place(SlotJob, ci, j, R(tj))
+		}
+	}
+	s := &Schedule{Variant: NonPreemptive}
+	s.AddMachine(b.Slots())
+	return s
+}
+
+func TestCanonicalScheduleRemap(t *testing.T) {
+	orig := fpTestInstance()
+	rng := rand.New(rand.NewSource(7))
+	perm := permute(orig, rng)
+
+	// A schedule for the permuted instance, translated to canonical space,
+	// must be feasible for the canonical instance...
+	canonPerm := perm.Canonicalize()
+	s := serialSchedule(perm)
+	if err := s.Validate(perm); err != nil {
+		t.Fatalf("serial schedule invalid: %v", err)
+	}
+	cs := canonPerm.ToCanonical(s)
+	if err := cs.Validate(canonPerm.Instance); err != nil {
+		t.Fatalf("canonical-space schedule invalid: %v", err)
+	}
+
+	// ...and translatable from canonical space into ANY permutation-twin's
+	// index space, since the canonical instances coincide.
+	canonOrig := orig.Canonicalize()
+	if !canonOrig.Instance.Equal(canonPerm.Instance) {
+		t.Fatal("canonical instances of permutation twins differ")
+	}
+	os := canonOrig.FromCanonical(cs)
+	if err := os.Validate(orig); err != nil {
+		t.Fatalf("remapped schedule invalid for twin: %v", err)
+	}
+	if !os.Makespan().Equal(s.Makespan()) {
+		t.Fatalf("remap changed makespan: %s != %s", os.Makespan(), s.Makespan())
+	}
+
+	// Round trip within one index space is the identity.
+	rt := canonPerm.FromCanonical(cs)
+	if err := rt.Validate(perm); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+	for ri := range s.Runs {
+		for si := range s.Runs[ri].Slots {
+			if s.Runs[ri].Slots[si] != rt.Runs[ri].Slots[si] {
+				t.Fatalf("round trip changed slot %d/%d: %+v != %+v",
+					ri, si, s.Runs[ri].Slots[si], rt.Runs[ri].Slots[si])
+			}
+		}
+	}
+}
+
+func TestCanonicalDoesNotAliasInput(t *testing.T) {
+	in := fpTestInstance()
+	c := in.Canonicalize()
+	before := c.Fingerprint()
+	in.Classes[0].Jobs[0] = 999
+	in.M = 1
+	if got := c.Fingerprint(); got != before {
+		t.Fatal("mutating the input changed an existing canonical form")
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+// Serving-layer hot-path benchmarks, in the style of the root bench_test.go:
+//
+//   - BenchmarkSolveCold_*   full solve with the cache bypassed
+//   - BenchmarkSolveHit_*    permutation-equivalent cache hit: canonicalize,
+//     fingerprint, LRU lookup, schedule remap and the Verify re-check
+//   - BenchmarkFingerprint_* canonicalization + hash alone
+//   - BenchmarkHTTPSolve     one cached solve through the full HTTP stack
+//
+// Run with:  go test -bench=. -benchmem ./serve
+//
+// The gap between Cold and Hit is the value of the result cache; later PRs
+// tuning the serving layer should watch Hit and Fingerprint.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"setupsched/internal/gen"
+	"setupsched/sched"
+)
+
+func benchServeInstance(n int) *sched.Instance {
+	classes := n / 8
+	if classes < 1 {
+		classes = 1
+	}
+	return gen.Uniform(gen.Params{
+		M: int64(n/50 + 1), Classes: classes, JobsPer: 8,
+		MaxSetup: 1000, MaxJob: 1000, Seed: int64(n),
+	})
+}
+
+var benchServeSizes = []struct {
+	name string
+	n    int
+}{
+	{"n=1e2", 100},
+	{"n=1e3", 1000},
+	{"n=1e4", 10000},
+}
+
+func benchSolve(b *testing.B, n int, warm bool) {
+	s := New(Config{})
+	in := benchServeInstance(n)
+	rng := rand.New(rand.NewSource(int64(n)))
+	// Pre-permuted request instances so permutation cost is off the clock.
+	perms := make([]*sched.Instance, 16)
+	for i := range perms {
+		perms[i] = permuteInstance(in, rng)
+	}
+	if warm {
+		if r := s.Solve(&SolveRequest{Instance: in}); r.Error != "" {
+			b.Fatal(r.Error)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &SolveRequest{Instance: perms[i%len(perms)], NoCache: !warm}
+		r := s.Solve(req)
+		if r.Error != "" {
+			b.Fatal(r.Error)
+		}
+		if warm && !r.Cached {
+			b.Fatal("expected cache hit")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/job")
+}
+
+func BenchmarkSolveCold(b *testing.B) {
+	for _, sz := range benchServeSizes {
+		b.Run(sz.name, func(b *testing.B) { benchSolve(b, sz.n, false) })
+	}
+}
+
+func BenchmarkSolveHit(b *testing.B) {
+	for _, sz := range benchServeSizes {
+		b.Run(sz.name, func(b *testing.B) { benchSolve(b, sz.n, true) })
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	for _, sz := range benchServeSizes {
+		b.Run(sz.name, func(b *testing.B) {
+			in := benchServeInstance(sz.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if fp := in.Fingerprint(); len(fp) != 64 {
+					b.Fatal("bad fingerprint")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHTTPSolve(b *testing.B) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	body, err := json.Marshal(&SolveRequest{Instance: benchServeInstance(1000)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the cache, then measure the full stack on the hit path.
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatal(fmt.Errorf("status %d", resp.StatusCode))
+		}
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"setupsched"
+	"setupsched/sched"
+)
+
+// cacheEntry is one cached solve outcome.  The schedule inside Result is
+// stored in *canonical* index space (see sched.Canonical), so a single
+// entry serves every instance that is permutation-equivalent to the one
+// that populated it; the canonical instance is kept to defend against
+// fingerprint collisions by exact comparison on every hit.
+type cacheEntry struct {
+	key    string
+	canon  *sched.Instance
+	result *setupsched.Result // schedule in canonical index space
+}
+
+// resultCache is a mutex-guarded LRU cache keyed by
+// (fingerprint, variant, algorithm, epsilon).
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry for key whose canonical instance equals canon,
+// promoting it to most recently used.  A key match with a different
+// canonical instance (a fingerprint collision) counts as a miss.
+func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	e := el.Value.(*cacheEntry)
+	if !e.canon.Equal(canon) {
+		c.misses++
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e
+}
+
+// put inserts or replaces the entry for key, evicting the least recently
+// used entry when over capacity.
+func (c *resultCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// remove drops the entry for key if present (used when a cached result
+// fails re-verification).
+func (c *resultCache) remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+	}
+}
+
+// snapshot returns current counters for /v1/stats.
+func (c *resultCache) snapshot() (size int, capacity int, hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.capacity, c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"setupsched"
+	"setupsched/sched"
+)
+
+func entry(key string, m int64) *cacheEntry {
+	in := &sched.Instance{M: m, Classes: []sched.Class{{Setup: 1, Jobs: []int64{1}}}}
+	return &cacheEntry{key: key, canon: in, result: &setupsched.Result{}}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(3)
+	for i := 0; i < 4; i++ {
+		c.put(entry(fmt.Sprintf("k%d", i), int64(i+1)))
+	}
+	// k0 is the oldest and must have been evicted.
+	if got := c.get("k0", entry("k0", 1).canon); got != nil {
+		t.Fatal("expected k0 to be evicted")
+	}
+	size, capacity, hits, misses, evictions := c.snapshot()
+	if size != 3 || capacity != 3 || evictions != 1 || hits != 0 || misses != 1 {
+		t.Fatalf("snapshot = size %d cap %d hits %d misses %d evictions %d",
+			size, capacity, hits, misses, evictions)
+	}
+
+	// Touching k1 promotes it; the next eviction must take k2 instead.
+	if got := c.get("k1", entry("k1", 2).canon); got == nil {
+		t.Fatal("expected k1 hit")
+	}
+	c.put(entry("k4", 5))
+	if got := c.get("k1", entry("k1", 2).canon); got == nil {
+		t.Fatal("k1 evicted despite recent use")
+	}
+	if got := c.get("k2", entry("k2", 3).canon); got != nil {
+		t.Fatal("expected k2 to be evicted")
+	}
+}
+
+func TestCacheCollisionDefense(t *testing.T) {
+	c := newResultCache(2)
+	c.put(entry("k", 1))
+	// Same key, different canonical instance: must miss, never return the
+	// other instance's result.
+	if got := c.get("k", entry("k", 2).canon); got != nil {
+		t.Fatal("cache returned an entry for a mismatched canonical instance")
+	}
+}
+
+func TestCacheReplaceAndRemove(t *testing.T) {
+	c := newResultCache(2)
+	c.put(entry("k", 1))
+	c.put(entry("k", 2)) // replace in place
+	if size, _, _, _, _ := c.snapshot(); size != 1 {
+		t.Fatalf("size after replace = %d, want 1", size)
+	}
+	if got := c.get("k", entry("k", 2).canon); got == nil {
+		t.Fatal("expected replaced entry to match new canonical instance")
+	}
+	c.remove("k")
+	c.remove("absent") // no-op
+	if size, _, _, _, _ := c.snapshot(); size != 0 {
+		t.Fatal("entry still present after remove")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	if newResultCache(0) != nil || newResultCache(-1) != nil {
+		t.Fatal("non-positive capacity must disable the cache")
+	}
+}

@@ -1,0 +1,453 @@
+// Package serve exposes the setupsched solvers as a long-running HTTP/JSON
+// service with a permutation-invariant result cache.
+//
+// Endpoints:
+//
+//	POST /v1/solve        solve one instance (JSON in, JSON out)
+//	POST /v1/solve/batch  solve an NDJSON stream of instances on a bounded
+//	                      worker pool; results stream back in arrival order
+//	GET  /healthz         liveness probe
+//	GET  /v1/stats        request counters, cache hit rate, latency quantiles
+//
+// Repeated traffic is served from an LRU cache keyed by
+// (instance fingerprint, variant, algorithm, epsilon).  The fingerprint is
+// computed on the instance's canonical form (sched.Canonical), so any
+// permutation of classes or of jobs within a class hits the same entry;
+// cached schedules are stored in canonical index space and translated back
+// into each request's indexing on the way out.  Every response — cached or
+// freshly solved — is re-checked with setupsched.Verify before it is
+// returned, so a cache can never weaken the approximation guarantee.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"setupsched"
+	"setupsched/sched"
+)
+
+// Config configures a Server.  The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Workers bounds the per-request worker pool of /v1/solve/batch.
+	// Default: runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize is the LRU result-cache capacity in entries.
+	// Default 4096; negative disables caching.
+	CacheSize int
+	// MaxBodyBytes caps a /v1/solve request body.  Default 32 MiB.
+	MaxBodyBytes int64
+	// MaxLineBytes caps one NDJSON line of /v1/solve/batch.  Default 8 MiB.
+	MaxLineBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the HTTP solve service.  Create one with New; it is safe for
+// concurrent use by any number of requests.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *resultCache // nil when caching is disabled
+	stats *serverStats
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		mux:   http.NewServeMux(),
+		stats: newServerStats(),
+	}
+	s.cache = newResultCache(s.cfg.CacheSize)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SolveRequest is the JSON body of POST /v1/solve and of each NDJSON line
+// of POST /v1/solve/batch.
+type SolveRequest struct {
+	// ID is an opaque client tag echoed back in the response; batch
+	// clients use it to correlate streamed results.
+	ID string `json:"id,omitempty"`
+	// Instance is the scheduling instance, in the same format as the
+	// schedsolve CLI: {"m": 3, "classes": [{"setup": 4, "jobs": [7, 2]}]}.
+	Instance *sched.Instance `json:"instance"`
+	// Variant is "split", "pmtn" or "nonp" (default "nonp").
+	Variant string `json:"variant,omitempty"`
+	// Algorithm is "auto", "2approx", "eps" or "exact" (default "auto").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Epsilon is the accuracy for Algorithm "eps" (default 1e-4).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// IncludeSchedule adds the full schedule to the response.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// NoCache bypasses the result cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// SolveResponse is the JSON result of one solve.  Exact rationals are
+// reported as "p" or "p/q" strings alongside float approximations.
+type SolveResponse struct {
+	ID              string        `json:"id,omitempty"`
+	Variant         string        `json:"variant,omitempty"`
+	Algorithm       string        `json:"algorithm,omitempty"`
+	Makespan        string        `json:"makespan,omitempty"`
+	MakespanFloat   float64       `json:"makespan_float,omitempty"`
+	LowerBound      string        `json:"lower_bound,omitempty"`
+	LowerBoundFloat float64       `json:"lower_bound_float,omitempty"`
+	Ratio           float64       `json:"ratio,omitempty"`
+	Probes          int           `json:"probes,omitempty"`
+	Machines        int64         `json:"machines,omitempty"`
+	Setups          int64         `json:"setups,omitempty"`
+	Fingerprint     string        `json:"fingerprint,omitempty"`
+	Cached          bool          `json:"cached"`
+	ElapsedMS       float64       `json:"elapsed_ms"`
+	Schedule        *ScheduleJSON `json:"schedule,omitempty"`
+	Error           string        `json:"error,omitempty"`
+
+	// internalErr marks Error as a server-side fault (HTTP 500) rather
+	// than a problem with the request (HTTP 422).
+	internalErr bool
+}
+
+// ScheduleJSON is the wire form of a sched.Schedule.
+type ScheduleJSON struct {
+	Variant  string    `json:"variant"`
+	Makespan string    `json:"makespan"`
+	Runs     []RunJSON `json:"runs"`
+}
+
+// RunJSON is one machine run: Count identical machines with these slots.
+type RunJSON struct {
+	Count int64      `json:"count"`
+	Slots []SlotJSON `json:"slots"`
+}
+
+// SlotJSON is one machine occupation; times are exact rational strings.
+type SlotJSON struct {
+	Kind  string `json:"kind"` // "setup" or "job"
+	Class int    `json:"class"`
+	Job   int    `json:"job"` // -1 for setups
+	Start string `json:"start"`
+	End   string `json:"end"`
+}
+
+func scheduleJSON(sc *sched.Schedule) *ScheduleJSON {
+	out := &ScheduleJSON{
+		Variant:  sc.Variant.Short(),
+		Makespan: sc.Makespan().String(),
+		Runs:     make([]RunJSON, len(sc.Runs)),
+	}
+	for i := range sc.Runs {
+		run := RunJSON{Count: sc.Runs[i].Count, Slots: make([]SlotJSON, len(sc.Runs[i].Slots))}
+		for j, sl := range sc.Runs[i].Slots {
+			kind := "job"
+			if sl.Kind == sched.SlotSetup {
+				kind = "setup"
+			}
+			run.Slots[j] = SlotJSON{
+				Kind: kind, Class: sl.Class, Job: sl.Job,
+				Start: sl.Start.String(), End: sl.End.String(),
+			}
+		}
+		out.Runs[i] = run
+	}
+	return out
+}
+
+func parseVariant(s string) (sched.Variant, error) {
+	switch s {
+	case "split", "splittable":
+		return sched.Splittable, nil
+	case "pmtn", "preemptive":
+		return sched.Preemptive, nil
+	case "", "nonp", "nonpreemptive":
+		return sched.NonPreemptive, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (want split, pmtn or nonp)", s)
+}
+
+func parseAlgo(s string) (setupsched.Algorithm, error) {
+	switch s {
+	case "", "auto":
+		return setupsched.Auto, nil
+	case "2approx":
+		return setupsched.TwoApprox, nil
+	case "eps":
+		return setupsched.EpsilonSearch, nil
+	case "exact", "exact32":
+		return setupsched.Exact32, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want auto, 2approx, eps or exact)", s)
+}
+
+// cacheKey builds the LRU key.  Epsilon only differentiates entries for
+// the eps-search algorithm; all other algorithms normalize it to 0.
+// Auto and Exact32 run the identical solver path, so they share entries.
+func cacheKey(fp string, v sched.Variant, a setupsched.Algorithm, eps float64) string {
+	if a == setupsched.Auto {
+		a = setupsched.Exact32
+	}
+	if a != setupsched.EpsilonSearch {
+		eps = 0
+	} else if eps <= 0 {
+		eps = 1e-4
+	}
+	return fp + "|" + v.Short() + "|" + strconv.Itoa(int(a)) + "|" +
+		strconv.FormatFloat(eps, 'g', -1, 64)
+}
+
+// Solve handles one request against the cache and the solvers.  It is the
+// shared core of /v1/solve and /v1/solve/batch and is exported for direct
+// embedding and benchmarks.  The returned response never aliases cache
+// memory.  Errors are reported inside the response (Error field) so batch
+// streams can carry per-item failures.
+func (s *Server) Solve(req *SolveRequest) *SolveResponse {
+	started := time.Now()
+	resp := s.solve(req)
+	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	resp.ID = req.ID
+	if resp.Error != "" {
+		s.stats.errors.Add(1)
+	} else {
+		s.stats.observe(time.Since(started))
+	}
+	return resp
+}
+
+func (s *Server) solve(req *SolveRequest) *SolveResponse {
+	v, err := parseVariant(req.Variant)
+	if err != nil {
+		return &SolveResponse{Error: err.Error()}
+	}
+	algo, err := parseAlgo(req.Algorithm)
+	if err != nil {
+		return &SolveResponse{Error: err.Error()}
+	}
+	if req.Instance == nil {
+		return &SolveResponse{Error: "missing instance"}
+	}
+	if err := req.Instance.Validate(); err != nil {
+		return &SolveResponse{Error: err.Error()}
+	}
+
+	canon := req.Instance.Canonicalize()
+	fp := canon.Fingerprint()
+	key := cacheKey(fp, v, algo, req.Epsilon)
+	useCache := s.cache != nil && !req.NoCache
+
+	if useCache {
+		if e := s.cache.get(key, canon.Instance); e != nil {
+			res := *e.result
+			res.Schedule = canon.FromCanonical(e.result.Schedule)
+			if err := setupsched.Verify(req.Instance, v, &res); err == nil {
+				return s.respond(req, v, fp, &res, true)
+			}
+			// A cached result that no longer verifies is poison: drop it
+			// and fall through to a cold solve.
+			s.cache.remove(key)
+		}
+	}
+
+	res, err := setupsched.Solve(req.Instance, v, &setupsched.Options{
+		Algorithm: algo,
+		Epsilon:   req.Epsilon,
+	})
+	if err != nil {
+		return &SolveResponse{Error: err.Error()}
+	}
+	if err := setupsched.Verify(req.Instance, v, res); err != nil {
+		return &SolveResponse{
+			Error:       "internal error: solver produced an invalid schedule: " + err.Error(),
+			internalErr: true,
+		}
+	}
+	if useCache {
+		canonRes := *res
+		canonRes.Schedule = canon.ToCanonical(res.Schedule)
+		s.cache.put(&cacheEntry{key: key, canon: canon.Instance, result: &canonRes})
+	}
+	return s.respond(req, v, fp, res, false)
+}
+
+func (s *Server) respond(req *SolveRequest, v sched.Variant, fp string, res *setupsched.Result, cached bool) *SolveResponse {
+	resp := &SolveResponse{
+		Variant:         v.Short(),
+		Algorithm:       res.Algorithm,
+		Makespan:        res.Makespan.String(),
+		MakespanFloat:   res.Makespan.Float64(),
+		LowerBound:      res.LowerBound.String(),
+		LowerBoundFloat: res.LowerBound.Float64(),
+		Ratio:           res.Ratio,
+		Probes:          res.Probes,
+		Machines:        res.Schedule.MachineCount(),
+		Setups:          res.Schedule.SetupCount(),
+		Fingerprint:     fp,
+		Cached:          cached,
+	}
+	if req.IncludeSchedule {
+		resp.Schedule = scheduleJSON(res.Schedule)
+	}
+	return resp
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.stats.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.stats.start).Seconds(),
+		Requests: RequestStats{
+			Solve:      s.stats.solveRequests.Load(),
+			Batch:      s.stats.batchRequests.Load(),
+			BatchItems: s.stats.batchItems.Load(),
+			Errors:     s.stats.errors.Load(),
+		},
+	}
+	if s.cache != nil {
+		size, capacity, hits, misses, evictions := s.cache.snapshot()
+		resp.Cache = CacheStats{
+			Enabled: true, Size: size, Capacity: capacity,
+			Hits: hits, Misses: misses, Evictions: evictions,
+		}
+		if hits+misses > 0 {
+			resp.Cache.HitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	count, p50, p99, max := s.stats.quantiles()
+	resp.LatencyMS = LatencyStats{Count: count, P50: p50, P99: p99, Max: max}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.stats.solveRequests.Add(1)
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &SolveResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	resp := s.Solve(&req)
+	status := http.StatusOK
+	switch {
+	case resp.internalErr:
+		status = http.StatusInternalServerError
+	case resp.Error != "":
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+// batchItem carries one NDJSON line through the worker pool together with
+// the channel its response must be delivered on.
+type batchItem struct {
+	line []byte
+	out  chan *SolveResponse
+}
+
+// handleBatch streams solves: it reads NDJSON SolveRequests, dispatches
+// them to a pool of cfg.Workers goroutines, and writes NDJSON
+// SolveResponses back in arrival order (each item's single-slot channel is
+// enqueued on `order` before the item is handed to the pool, so the writer
+// drains responses in exactly the order lines arrived, while up to
+// Workers solves proceed concurrently).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.batchRequests.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Interleaving reads of the request body with response writes needs
+	// explicit opt-in on HTTP/1 (the server otherwise discards the unread
+	// body at the first write).  HTTP/2 is full duplex already, so an
+	// "unsupported" error here is fine to ignore.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	jobs := make(chan batchItem)
+	order := make(chan chan *SolveResponse, 4*s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go func() {
+			for it := range jobs {
+				var req SolveRequest
+				if err := json.Unmarshal(it.line, &req); err != nil {
+					s.stats.errors.Add(1)
+					it.out <- &SolveResponse{Error: "decoding request: " + err.Error()}
+					continue
+				}
+				it.out <- s.Solve(&req)
+			}
+		}()
+	}
+
+	go func() {
+		defer close(jobs)
+		defer close(order)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), s.cfg.MaxLineBytes)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			s.stats.batchItems.Add(1)
+			it := batchItem{line: append([]byte(nil), line...), out: make(chan *SolveResponse, 1)}
+			order <- it.out
+			jobs <- it
+		}
+		if err := sc.Err(); err != nil {
+			s.stats.errors.Add(1)
+			ch := make(chan *SolveResponse, 1)
+			ch <- &SolveResponse{Error: "reading batch: " + err.Error()}
+			order <- ch
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for ch := range order {
+		resp := <-ch
+		// Encoding errors (client gone) are deliberately ignored: the
+		// loop must keep draining so the reader and workers can exit.
+		_ = enc.Encode(resp)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

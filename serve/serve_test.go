@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"setupsched"
+	"setupsched/internal/gen"
+	"setupsched/sched"
+)
+
+func testInstance(seed int64) *sched.Instance {
+	return gen.Uniform(gen.Params{
+		M: 4, Classes: 6, JobsPer: 4, MaxSetup: 20, MaxJob: 30, Seed: seed,
+	})
+}
+
+func permuteInstance(in *sched.Instance, rng *rand.Rand) *sched.Instance {
+	out := in.Clone()
+	rng.Shuffle(len(out.Classes), func(i, j int) {
+		out.Classes[i], out.Classes[j] = out.Classes[j], out.Classes[i]
+	})
+	for i := range out.Classes {
+		jobs := out.Classes[i].Jobs
+		rng.Shuffle(len(jobs), func(a, b int) { jobs[a], jobs[b] = jobs[b], jobs[a] })
+	}
+	return out
+}
+
+// parseRat parses the wire encoding "p" or "p/q" produced by Rat.String.
+func parseRat(t *testing.T, s string) sched.Rat {
+	t.Helper()
+	num, den := s, "1"
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, den = s[:i], s[i+1:]
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		t.Fatalf("bad rational %q: %v", s, err)
+	}
+	d, err := strconv.ParseInt(den, 10, 64)
+	if err != nil {
+		t.Fatalf("bad rational %q: %v", s, err)
+	}
+	return sched.RatOf(n, d)
+}
+
+// scheduleFromJSON rebuilds a sched.Schedule from its wire form so tests
+// can re-run setupsched.Verify on the client side of the API.
+func scheduleFromJSON(t *testing.T, sj *ScheduleJSON, variant sched.Variant) *sched.Schedule {
+	t.Helper()
+	s := &sched.Schedule{Variant: variant}
+	for _, run := range sj.Runs {
+		slots := make([]sched.Slot, len(run.Slots))
+		for i, sl := range run.Slots {
+			kind := sched.SlotJob
+			if sl.Kind == "setup" {
+				kind = sched.SlotSetup
+			}
+			slots[i] = sched.Slot{
+				Kind: kind, Class: sl.Class, Job: sl.Job,
+				Start: parseRat(t, sl.Start), End: parseRat(t, sl.End),
+			}
+		}
+		s.AddRun(run.Count, slots)
+	}
+	return s
+}
+
+// verifyResponse re-checks a SolveResponse (with schedule) against the
+// instance it was requested for, across the serialization boundary.
+func verifyResponse(t *testing.T, in *sched.Instance, v sched.Variant, resp *SolveResponse) {
+	t.Helper()
+	if resp.Error != "" {
+		t.Fatalf("solve error: %s", resp.Error)
+	}
+	if resp.Schedule == nil {
+		t.Fatal("response missing schedule (include_schedule was set)")
+	}
+	res := &setupsched.Result{
+		Schedule:   scheduleFromJSON(t, resp.Schedule, v),
+		Makespan:   parseRat(t, resp.Makespan),
+		LowerBound: parseRat(t, resp.LowerBound),
+	}
+	if err := setupsched.Verify(in, v, res); err != nil {
+		t.Fatalf("returned result fails Verify: %v", err)
+	}
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, *SolveResponse) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, &out
+}
+
+func getStats(t *testing.T, ts *httptest.Server) *StatsResponse {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status != "ok" {
+		t.Fatalf("healthz body: %+v, err %v", body, err)
+	}
+}
+
+func TestSolveEndpointAllVariants(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	in := testInstance(1)
+	for _, variant := range []string{"split", "pmtn", "nonp"} {
+		v, err := parseVariant(variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, out := postJSON(t, ts, "/v1/solve", &SolveRequest{
+			Instance: in, Variant: variant, IncludeSchedule: true,
+		})
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d (error %q)", variant, hr.StatusCode, out.Error)
+		}
+		verifyResponse(t, in, v, out)
+		if out.Cached {
+			t.Fatalf("%s: first solve reported cached", variant)
+		}
+		if len(out.Fingerprint) != 64 {
+			t.Fatalf("%s: bad fingerprint %q", variant, out.Fingerprint)
+		}
+		if out.Ratio > 1.5000001 && !strings.Contains(out.Algorithm, "fallback") {
+			t.Fatalf("%s: ratio %v exceeds 3/2 bound (%s)", variant, out.Ratio, out.Algorithm)
+		}
+	}
+}
+
+func TestSolveEndpointErrors(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	cases := []struct {
+		name   string
+		body   any
+		status int
+	}{
+		{"missing instance", &SolveRequest{}, http.StatusUnprocessableEntity},
+		{"bad variant", &SolveRequest{Instance: testInstance(2), Variant: "bogus"}, http.StatusUnprocessableEntity},
+		{"bad algorithm", &SolveRequest{Instance: testInstance(2), Algorithm: "bogus"}, http.StatusUnprocessableEntity},
+		{"invalid instance", &SolveRequest{Instance: &sched.Instance{M: 0}}, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		hr, out := postJSON(t, ts, "/v1/solve", c.body)
+		if hr.StatusCode != c.status || out.Error == "" {
+			t.Errorf("%s: status %d error %q, want status %d with error", c.name, hr.StatusCode, out.Error, c.status)
+		}
+	}
+
+	// Malformed JSON is a 400.
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong method is a 405 via the method-aware mux patterns.
+	resp, err = ts.Client().Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestCacheHitOnPermutedInstance(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(42))
+	in := testInstance(3)
+
+	for _, variant := range []string{"split", "pmtn", "nonp"} {
+		v, _ := parseVariant(variant)
+		_, first := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: variant})
+		if first.Error != "" || first.Cached {
+			t.Fatalf("%s: first solve: cached=%v err=%q", variant, first.Cached, first.Error)
+		}
+		for trial := 0; trial < 3; trial++ {
+			p := permuteInstance(in, rng)
+			_, out := postJSON(t, ts, "/v1/solve", &SolveRequest{
+				Instance: p, Variant: variant, IncludeSchedule: true,
+			})
+			if !out.Cached {
+				t.Fatalf("%s trial %d: permuted resolve was not served from cache", variant, trial)
+			}
+			if out.Makespan != first.Makespan {
+				t.Fatalf("%s: cached makespan %s != original %s", variant, out.Makespan, first.Makespan)
+			}
+			if out.Fingerprint != first.Fingerprint {
+				t.Fatalf("%s: fingerprint changed under permutation", variant)
+			}
+			// The remapped schedule must verify against the PERMUTED instance.
+			verifyResponse(t, p, v, out)
+		}
+	}
+
+	stats := getStats(t, ts)
+	if stats.Cache.Hits == 0 || stats.Cache.HitRate <= 0 {
+		t.Fatalf("expected cache hits, got %+v", stats.Cache)
+	}
+}
+
+func TestCacheKeySeparatesOptions(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	in := testInstance(4)
+
+	_, a := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp", Algorithm: "exact"})
+	_, b := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "split", Algorithm: "exact"})
+	_, c := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp", Algorithm: "2approx"})
+	_, d := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp", Algorithm: "eps", Epsilon: 0.25})
+	_, e := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp", Algorithm: "eps", Epsilon: 0.01})
+	for name, out := range map[string]*SolveResponse{"variant": b, "algorithm": c, "eps .25": d, "eps .01": e} {
+		if out.Error != "" {
+			t.Fatalf("%s: %s", name, out.Error)
+		}
+		if out.Cached {
+			t.Errorf("%s: differing options must not share a cache entry with %+v", name, a)
+		}
+	}
+
+	// "auto" resolves to the exact 3/2 algorithm, so it shares the entry
+	// populated by "exact".
+	_, g := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp", Algorithm: "auto"})
+	if !g.Cached {
+		t.Error("auto request did not reuse the exact-algorithm cache entry")
+	}
+
+	// NoCache must bypass both lookup and fill.
+	_, f := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp", Algorithm: "exact", NoCache: true})
+	if f.Cached {
+		t.Error("no_cache request was served from cache")
+	}
+}
+
+// batchLines builds an NDJSON body; returns the lines and, per line, the
+// instance and variant to verify against (nil instance for error lines).
+func batchLines(t *testing.T, nBase int) ([]string, []*SolveRequest) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	variants := []string{"split", "pmtn", "nonp"}
+	var lines []string
+	var reqs []*SolveRequest
+	add := func(r *SolveRequest) {
+		buf, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(buf))
+		reqs = append(reqs, r)
+	}
+	for i := 0; i < nBase; i++ {
+		in := testInstance(int64(1000 + i))
+		v := variants[i%len(variants)]
+		add(&SolveRequest{ID: fmt.Sprintf("i-%d", len(reqs)), Instance: in, Variant: v, IncludeSchedule: true})
+		add(&SolveRequest{ID: fmt.Sprintf("i-%d", len(reqs)), Instance: permuteInstance(in, rng), Variant: v, IncludeSchedule: true})
+	}
+	return lines, reqs
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Workers: 8}))
+	defer ts.Close()
+
+	lines, reqs := batchLines(t, 60) // 120 items across all three variants
+	// Interleave a malformed line and an invalid instance mid-stream.
+	badAt, invalidAt := 41, 83
+	lines[badAt] = "{this is not json"
+	reqs[badAt] = nil
+	lines[invalidAt] = `{"id":"i-` + strconv.Itoa(invalidAt) + `","instance":{"m":0,"classes":[]}}`
+	reqs[invalidAt] = nil
+
+	body := strings.Join(lines, "\n") + "\n\n" // trailing blank line must be ignored
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve/batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("batch content type %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var got []*SolveResponse
+	for sc.Scan() {
+		var out SolveResponse
+		if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
+			t.Fatalf("line %d: %v", len(got), err)
+		}
+		got = append(got, &out)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(lines) {
+		t.Fatalf("got %d responses for %d items", len(got), len(lines))
+	}
+
+	cached := 0
+	for i, out := range got {
+		if i == badAt || i == invalidAt {
+			if out.Error == "" {
+				t.Fatalf("item %d: expected an error response", i)
+			}
+			continue
+		}
+		req := reqs[i]
+		if out.ID != req.ID {
+			t.Fatalf("item %d: response id %q != request id %q (order not preserved)", i, out.ID, req.ID)
+		}
+		v, _ := parseVariant(req.Variant)
+		verifyResponse(t, req.Instance, v, out)
+		if out.Cached {
+			cached++
+		}
+	}
+
+	// Re-sending the whole batch must be served (near-)entirely from cache.
+	resp2, err := ts.Client().Post(ts.URL+"/v1/solve/batch", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	sc2.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	rerunCached := 0
+	n := 0
+	for sc2.Scan() {
+		var out SolveResponse
+		if err := json.Unmarshal(sc2.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Cached {
+			rerunCached++
+		}
+		n++
+	}
+	if n != len(lines) {
+		t.Fatalf("rerun: got %d responses for %d items", n, len(lines))
+	}
+	if rerunCached < len(lines)-2-10 {
+		t.Fatalf("rerun: only %d/%d items served from cache", rerunCached, len(lines)-2)
+	}
+
+	stats := getStats(t, ts)
+	if stats.Requests.Batch != 2 || stats.Requests.BatchItems != uint64(2*len(lines)) {
+		t.Fatalf("batch counters: %+v", stats.Requests)
+	}
+	if stats.Requests.Errors < 4 {
+		t.Fatalf("error counter %d, want >= 4", stats.Requests.Errors)
+	}
+	if stats.Cache.HitRate <= 0 {
+		t.Fatalf("cache hit rate not positive: %+v", stats.Cache)
+	}
+	if stats.LatencyMS.Count == 0 || stats.LatencyMS.P99 < stats.LatencyMS.P50 {
+		t.Fatalf("latency stats: %+v", stats.LatencyMS)
+	}
+	_ = cached // first pass may or may not hit depending on scheduling
+}
+
+func TestBatchPreservesOrderUnderConcurrency(t *testing.T) {
+	ts := httptest.NewServer(New(Config{Workers: 16, CacheSize: -1}))
+	defer ts.Close()
+
+	// Alternate heavy and trivial instances so completion order differs
+	// wildly from arrival order.
+	var lines []string
+	for i := 0; i < 64; i++ {
+		var in *sched.Instance
+		if i%2 == 0 {
+			in = gen.Uniform(gen.Params{M: 16, Classes: 400, JobsPer: 6, MaxSetup: 50, MaxJob: 100, Seed: int64(i)})
+		} else {
+			in = &sched.Instance{M: 1, Classes: []sched.Class{{Setup: 1, Jobs: []int64{1}}}}
+		}
+		buf, _ := json.Marshal(&SolveRequest{ID: strconv.Itoa(i), Instance: in})
+		lines = append(lines, string(buf))
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve/batch", "application/x-ndjson",
+		strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	i := 0
+	for sc.Scan() {
+		var out SolveResponse
+		if err := json.Unmarshal(sc.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Error != "" {
+			t.Fatalf("item %d: %s", i, out.Error)
+		}
+		if out.ID != strconv.Itoa(i) {
+			t.Fatalf("position %d got id %q", i, out.ID)
+		}
+		i++
+	}
+	if i != len(lines) {
+		t.Fatalf("got %d responses for %d items", i, len(lines))
+	}
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow bounds the number of recent solve latencies kept for the
+// p50/p99 estimates reported by /v1/stats.
+const latencyWindow = 4096
+
+// serverStats aggregates request counters and a sliding window of solve
+// latencies.  Counters are atomics; the latency ring is mutex-guarded.
+type serverStats struct {
+	start time.Time
+
+	solveRequests atomic.Uint64
+	batchRequests atomic.Uint64
+	batchItems    atomic.Uint64
+	errors        atomic.Uint64
+
+	mu        sync.Mutex
+	latencies [latencyWindow]float64 // milliseconds, ring buffer
+	next      int
+	filled    int
+}
+
+func newServerStats() *serverStats {
+	return &serverStats{start: time.Now()}
+}
+
+// observe records one solve latency (cache hits and cold solves alike).
+func (s *serverStats) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.mu.Lock()
+	s.latencies[s.next] = ms
+	s.next = (s.next + 1) % latencyWindow
+	if s.filled < latencyWindow {
+		s.filled++
+	}
+	s.mu.Unlock()
+}
+
+// quantiles returns the count, p50, p99 and max of the retained window.
+func (s *serverStats) quantiles() (count int, p50, p99, max float64) {
+	s.mu.Lock()
+	buf := make([]float64, s.filled)
+	copy(buf, s.latencies[:s.filled])
+	s.mu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(buf)
+	return len(buf), quantile(buf, 0.50), quantile(buf, 0.99), buf[len(buf)-1]
+}
+
+// quantile reads the q-th quantile from an ascending-sorted slice using
+// the nearest-rank method.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+// StatsResponse is the JSON body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      RequestStats `json:"requests"`
+	Cache         CacheStats   `json:"cache"`
+	LatencyMS     LatencyStats `json:"latency_ms"`
+}
+
+// RequestStats counts requests by kind.
+type RequestStats struct {
+	Solve      uint64 `json:"solve"`
+	Batch      uint64 `json:"batch"`
+	BatchItems uint64 `json:"batch_items"`
+	Errors     uint64 `json:"errors"`
+}
+
+// CacheStats reports result-cache occupancy and effectiveness.
+type CacheStats struct {
+	Enabled   bool    `json:"enabled"`
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// LatencyStats summarizes the sliding window of solve latencies.
+type LatencyStats struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
