@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench serve clean
+.PHONY: all build test test-race vet bench bench-smoke serve clean
 
 all: vet build test
 
@@ -10,6 +10,11 @@ build:
 test:
 	$(GO) test ./...
 
+# Shared Solvers serve concurrent requests; the race detector must stay
+# clean over the whole tree.
+test-race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
 
@@ -18,6 +23,13 @@ vet:
 # cold solve).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ . ./serve
+
+# One iteration of every serving-path and Solver-API benchmark: catches
+# regressions (a benchmark that no longer compiles or panics) in CI
+# without paying for full measurement runs.
+bench-smoke:
+	$(GO) test -bench='SolveCold|SolveHit|Fingerprint|HTTPSolve' -benchtime=1x -run=^$$ ./serve
+	$(GO) test -bench='SolverReuse|SolverOneShotPerCall|DualTest|SolveFacade' -benchtime=1x -run=^$$ .
 
 serve:
 	$(GO) run ./cmd/schedserve

@@ -14,6 +14,7 @@ package setupsched
 // Run with:  go test -bench=. -benchmem .
 
 import (
+	"context"
 	"testing"
 
 	"setupsched/internal/core"
@@ -139,7 +140,7 @@ func BenchmarkFigure1_SplittableBuild(b *testing.B) {
 func BenchmarkFigure2_NiceInstanceBuild(b *testing.B) {
 	in := gen.ExpensiveSetups(gen.Params{M: 600, Classes: 500, JobsPer: 6, MaxSetup: 1000, MaxJob: 200, Seed: 5})
 	p := core.Prepare(in)
-	res, err := p.SolvePmtnJump()
+	res, err := p.SolvePmtnJump(core.Ctl{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func BenchmarkFigure2_NiceInstanceBuild(b *testing.B) {
 func BenchmarkFigure3_LargeMachinesBuild(b *testing.B) {
 	in := gen.BigJobs(gen.Params{M: 64, Classes: 300, JobsPer: 6, MaxSetup: 300, MaxJob: 400, Seed: 6})
 	p := core.Prepare(in)
-	res, err := p.SolvePmtnJump()
+	res, err := p.SolvePmtnJump(core.Ctl{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func BenchmarkFigure7_NextFit2Approx(b *testing.B) {
 func BenchmarkFigure10_NonpBuild(b *testing.B) {
 	in := benchInstance(50000)
 	p := core.Prepare(in)
-	res, err := p.SolveNonpSearch()
+	res, err := p.SolveNonpSearch(core.Ctl{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func benchSplitHugeM(b *testing.B, m int64) {
 	p := core.Prepare(in)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SolveSplitJump(); err != nil {
+		if _, err := p.SolveSplitJump(core.Ctl{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -236,7 +237,7 @@ func BenchmarkAblation_JumpVsEps_Jump(b *testing.B) {
 	p := core.Prepare(in)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SolveSplitJump(); err != nil {
+		if _, err := p.SolveSplitJump(core.Ctl{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -247,7 +248,7 @@ func BenchmarkAblation_JumpVsEps_Eps(b *testing.B) {
 	p := core.Prepare(in)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SolveEps(sched.Splittable, 1e-6); err != nil {
+		if _, err := p.SolveEps(core.Ctl{}, sched.Splittable, 1e-6); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -259,6 +260,71 @@ func BenchmarkSolveFacade(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Solve(in, NonPreemptive, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Solver reuse vs one-shot: the one-shot facade re-validates and
+// re-prepares the instance on every call; a reused Solver pays both once.
+// This pair quantifies the gap the Solver API exists to close (the
+// serving layer's repeated-traffic hot path).
+func BenchmarkSolverOneShotPerCall(b *testing.B) {
+	in := benchInstance(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSolver(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Solve(context.Background(), NonPreemptive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverReuse(b *testing.B) {
+	in := benchInstance(10000)
+	s, err := NewSolver(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(context.Background(), NonPreemptive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Repeated dual tests are where preparation reuse pays most: a rejected
+// probe is one O(n) evaluation with no schedule construction, so the
+// legacy free function spends about half its time re-validating and
+// re-preparing the instance.  The guess below is under the trivial bound
+// and always rejected.
+func BenchmarkDualTestOneShot(b *testing.B) {
+	in := benchInstance(10000)
+	T := sched.R(in.N() / in.M / 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DualTest(in, NonPreemptive, T); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDualTestReuse(b *testing.B) {
+	in := benchInstance(10000)
+	s, err := NewSolver(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	T := sched.R(in.N() / in.M / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.DualTest(context.Background(), NonPreemptive, T); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	schedserve [-addr :8080] [-workers N] [-cache 4096]
+//	schedserve [-addr :8080] [-workers N] [-cache 4096] [-solvers 1024] \
+//	           [-timeout 0]
 //
 // Endpoints (see package setupsched/serve for the wire formats):
 //
@@ -41,13 +42,20 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "batch worker pool size")
 	cacheSize := flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+	solverCache := flag.Int("solvers", 1024, "prepared-solver cache capacity in entries (negative disables)")
+	timeout := flag.Duration("timeout", 0, "per-solve timeout (0 disables; requests may set a tighter timeout_ms)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "schedserve: unexpected arguments:", flag.Args())
 		os.Exit(2)
 	}
 
-	handler := serve.New(serve.Config{Workers: *workers, CacheSize: *cacheSize})
+	handler := serve.New(serve.Config{
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		SolverCacheSize: *solverCache,
+		SolveTimeout:    *timeout,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -59,7 +67,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("schedserve: listening on %s (workers=%d, cache=%d)", *addr, *workers, *cacheSize)
+		log.Printf("schedserve: listening on %s (workers=%d, cache=%d, solvers=%d, timeout=%v)",
+			*addr, *workers, *cacheSize, *solverCache, *timeout)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	schedsolve [-variant split|pmtn|nonp] [-algo auto|2approx|eps|exact] \
-//	           [-eps 1e-4] [-gantt] [instance.json]
+//	           [-eps 1e-4] [-timeout 0] [-gantt] [-trace] [instance.json]
 //
 // The instance format is
 //
@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,8 +28,10 @@ import (
 func main() {
 	variant := flag.String("variant", "nonp", "problem variant: split, pmtn or nonp")
 	algo := flag.String("algo", "auto", "algorithm: auto, 2approx, eps or exact")
-	eps := flag.Float64("eps", 1e-4, "accuracy for -algo eps")
+	eps := flag.Float64("eps", setupsched.DefaultEpsilon, "accuracy for -algo eps")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
 	gantt := flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
+	trace := flag.Bool("trace", false, "print the search's probe trace")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -53,7 +56,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := setupsched.Solve(&in, v, &setupsched.Options{Algorithm: a, Epsilon: *eps})
+	solver, err := setupsched.NewSolver(&in)
+	if err != nil {
+		fail(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := []setupsched.Option{setupsched.WithAlgorithm(a)}
+	if a == setupsched.EpsilonSearch {
+		opts = append(opts, setupsched.WithEpsilon(*eps))
+	}
+	res, err := solver.Solve(ctx, v, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -68,6 +85,16 @@ func main() {
 	fmt.Printf("ratio <=     %.4f\n", res.Ratio)
 	fmt.Printf("machines:    %d of %d used\n", res.Schedule.MachineCount(), in.M)
 	fmt.Printf("setups:      %d\n", res.Schedule.SetupCount())
+	fmt.Printf("probes:      %d\n", res.Probes)
+	if *trace {
+		for i, pr := range res.Trace {
+			verdict := "rejected (OPT > T)"
+			if pr.Accepted {
+				verdict = "accepted"
+			}
+			fmt.Printf("  probe %2d: T=%-12s %s\n", i+1, pr.T, verdict)
+		}
+	}
 	if *gantt {
 		fmt.Println()
 		fmt.Print(render.Legend(&in))

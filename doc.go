@@ -44,9 +44,45 @@
 //			{Setup: 1, Jobs: []int64{3, 3}},
 //		},
 //	}
-//	res, err := setupsched.Solve(in, setupsched.NonPreemptive, nil)
+//	solver, err := setupsched.NewSolver(in)
+//	if err != nil { ... }
+//	res, err := solver.Solve(ctx, setupsched.NonPreemptive)
 //	if err != nil { ... }
 //	fmt.Println(res.Makespan, res.LowerBound, res.Ratio)
+//
+// # Solver API
+//
+// A Solver is created once per instance and reused: NewSolver validates
+// the instance and runs the O(n) preparation that every algorithm and
+// every dual test shares, so repeated solves — across variants,
+// algorithms, or a stream of probe requests — skip it.  All methods are
+// context-first and safe for concurrent use:
+//
+//	solver, err := setupsched.NewSolver(in)
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := solver.Solve(ctx, setupsched.Preemptive,
+//		setupsched.WithAlgorithm(setupsched.EpsilonSearch),
+//		setupsched.WithEpsilon(1e-6),
+//		setupsched.WithProbeLimit(64),
+//		setupsched.WithObserver(myMetrics))
+//
+// A canceled or expired context aborts the search between probes with an
+// error matching both ErrCanceled and the context's own error; no
+// partial schedule is returned.  The searches are sequences of dual-test
+// evaluations ("probes") at makespan guesses T; an Observer registered
+// with WithObserver sees every probe live, and Result.Trace records the
+// full sequence after the fact.
+//
+// Migration from the legacy free functions (kept as deprecated shims):
+//
+//	Solve(in, v, &Options{Algorithm: a, Epsilon: e})  ->  NewSolver(in); s.Solve(ctx, v, WithAlgorithm(a), WithEpsilon(e))
+//	DualTest(in, v, T)                                ->  NewSolver(in); s.DualTest(ctx, v, T)
+//	LowerBound(in, v)                                 ->  NewSolver(in); s.LowerBound(v)
+//
+// Errors are typed: ErrNilInstance, *ValidationError (bad instance),
+// *EpsilonRangeError (epsilon outside (0, 1)), ErrCanceled (context),
+// ErrProbeLimit (budget from WithProbeLimit exhausted).
 //
 // # Serving
 //
@@ -55,7 +91,10 @@
 // endpoints backed by a bounded worker pool, plus an LRU result cache
 // keyed by sched.Instance.Fingerprint, a canonical-form hash invariant
 // under permutation of classes and of jobs within a class.  Cached
-// results are re-checked with Verify before they are served.
+// results are re-checked with Verify before they are served.  The
+// service keeps one prepared Solver per fingerprint, honors per-request
+// timeouts and client-disconnect cancellation, and reports probe-level
+// search metrics on /v1/stats.
 //
 // See the examples/ directory for runnable end-to-end scenarios and
 // DESIGN.md for the system inventory and reproduction notes.

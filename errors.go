@@ -1,0 +1,65 @@
+package setupsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"setupsched/internal/core"
+)
+
+// ErrNilInstance reports a nil *Instance argument.
+var ErrNilInstance = errors.New("setupsched: nil instance")
+
+// ErrCanceled matches (via errors.Is) any error returned because a solve
+// was aborted by its context.  The returned error also unwraps to the
+// context's own error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) keep working.
+var ErrCanceled = errors.New("setupsched: solve canceled")
+
+// ErrProbeLimit is returned when a search exhausts the probe budget set
+// with WithProbeLimit before converging.
+var ErrProbeLimit = core.ErrProbeLimit
+
+// ValidationError wraps an instance-validation failure from NewSolver or
+// one of the solve entry points.  It unwraps to the underlying cause.
+type ValidationError struct {
+	Err error
+}
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+
+// Unwrap returns the underlying validation failure.
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// EpsilonRangeError reports an epsilon outside the open interval (0, 1).
+type EpsilonRangeError struct {
+	Epsilon float64
+}
+
+func (e *EpsilonRangeError) Error() string {
+	return fmt.Sprintf("setupsched: epsilon %g out of range (need 0 < eps < 1)", e.Epsilon)
+}
+
+// canceledError ties a context error to the ErrCanceled sentinel: it
+// matches ErrCanceled via Is and unwraps to the context's error.
+type canceledError struct {
+	cause error
+}
+
+func (e *canceledError) Error() string {
+	return "setupsched: solve canceled: " + e.cause.Error()
+}
+
+func (e *canceledError) Unwrap() error { return e.cause }
+
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+
+// wrapSolveErr normalizes an error escaping a solve: context errors gain
+// the ErrCanceled identity, everything else passes through.
+func wrapSolveErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &canceledError{cause: err}
+	}
+	return err
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,19 +40,25 @@ func main() {
 	fmt.Printf("CNC line: %d centers, %d tool groups, %d operations\n\n",
 		in.M, in.NumClasses(), in.NumJobs())
 
-	// The preemptive optimum can be strictly better than any
-	// non-preemptive schedule; compare both variants plus the classical
-	// 2-approximation bound.
-	pmtn, err := setupsched.Solve(in, setupsched.Preemptive, nil)
+	// One Solver, three solves: the preemptive optimum can be strictly
+	// better than any non-preemptive schedule; compare both variants plus
+	// the classical 2-approximation bound.  The per-instance preparation
+	// is shared by all three runs.
+	solver, err := setupsched.NewSolver(in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	nonp, err := setupsched.Solve(in, setupsched.NonPreemptive, nil)
+	ctx := context.Background()
+	pmtn, err := solver.Solve(ctx, setupsched.Preemptive)
 	if err != nil {
 		log.Fatal(err)
 	}
-	two, err := setupsched.Solve(in, setupsched.Preemptive,
-		&setupsched.Options{Algorithm: setupsched.TwoApprox})
+	nonp, err := solver.Solve(ctx, setupsched.NonPreemptive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	two, err := solver.Solve(ctx, setupsched.Preemptive,
+		setupsched.WithAlgorithm(setupsched.TwoApprox))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,6 +40,12 @@ func main() {
 	fmt.Printf("print shop: %d presses, %d stock/ink classes, %d orders, total work+setups %d min\n\n",
 		in.M, in.NumClasses(), in.NumJobs(), in.N())
 
+	// One Solver runs all three algorithms on the shared preparation.
+	solver, err := setupsched.NewSolver(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 	type row struct {
 		name string
 		res  *setupsched.Result
@@ -46,13 +53,14 @@ func main() {
 	var rows []row
 	for _, r := range []struct {
 		name string
-		opts *setupsched.Options
+		opts []setupsched.Option
 	}{
-		{"exact 3/2 (binary search)", &setupsched.Options{Algorithm: setupsched.Exact32}},
-		{"(3/2+eps) dual search", &setupsched.Options{Algorithm: setupsched.EpsilonSearch, Epsilon: 1e-4}},
-		{"2-approximation", &setupsched.Options{Algorithm: setupsched.TwoApprox}},
+		{"exact 3/2 (binary search)", []setupsched.Option{setupsched.WithAlgorithm(setupsched.Exact32)}},
+		{"(3/2+eps) dual search", []setupsched.Option{
+			setupsched.WithAlgorithm(setupsched.EpsilonSearch), setupsched.WithEpsilon(1e-4)}},
+		{"2-approximation", []setupsched.Option{setupsched.WithAlgorithm(setupsched.TwoApprox)}},
 	} {
-		res, err := setupsched.Solve(in, setupsched.NonPreemptive, r.opts)
+		res, err := solver.Solve(ctx, setupsched.NonPreemptive, r.opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

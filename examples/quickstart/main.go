@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"setupsched"
 )
@@ -23,10 +25,21 @@ func main() {
 		},
 	}
 
+	// One Solver validates and prepares the instance once; every solve
+	// below reuses that preparation.
+	solver, err := setupsched.NewSolver(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A context bounds each solve; here a generous safety timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+
 	for _, v := range []setupsched.Variant{
 		setupsched.Splittable, setupsched.Preemptive, setupsched.NonPreemptive,
 	} {
-		res, err := setupsched.Solve(in, v, nil) // nil = exact 3/2-approximation
+		res, err := solver.Solve(ctx, v) // no options = exact 3/2-approximation
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,12 +50,16 @@ func main() {
 		}
 		fmt.Printf("%-24s makespan=%-8s OPT>=%-8s ratio<=%.3f  (%s, %d probes)\n",
 			v, res.Makespan, res.LowerBound, res.Ratio, res.Algorithm, res.Probes)
+		// Result.Trace records the search: every guess T and its verdict.
+		for _, p := range res.Trace {
+			fmt.Printf("    probe T=%-8s accepted=%v\n", p.T, p.Accepted)
+		}
 	}
 
 	// The dual test is available directly: either build a schedule with
 	// makespan <= 3/2*T or learn that T < OPT.
 	T := setupsched.Rat{}.AddInt(14)
-	ok, s, err := setupsched.DualTest(in, setupsched.NonPreemptive, T)
+	ok, s, err := solver.DualTest(ctx, setupsched.NonPreemptive, T)
 	if err != nil {
 		log.Fatal(err)
 	}

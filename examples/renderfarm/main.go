@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,8 +37,13 @@ func main() {
 	fmt.Printf("render farm: %d nodes, %d scenes, %d frames, %d s of work+setups\n\n",
 		in.M, in.NumClasses(), in.NumJobs(), in.N())
 
+	ctx := context.Background()
+	solver, err := setupsched.NewSolver(in)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	res, err := setupsched.Solve(in, setupsched.Splittable, nil)
+	res, err := solver.Solve(ctx, setupsched.Splittable)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +67,11 @@ func main() {
 	for _, m := range []int64{64, 128, 256, 512, 1024, 4096} {
 		cp := in.Clone()
 		cp.M = m
-		r, err := setupsched.Solve(cp, setupsched.Splittable, nil)
+		sv, err := setupsched.NewSolver(cp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := sv.Solve(ctx, setupsched.Splittable)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -78,17 +78,17 @@ func TestSolversOnSmallRandomInstances(t *testing.T) {
 		optSplit, errS := exact.Splittable(in)
 
 		// --- splittable ---
-		r2, err := p.SolveSplit2()
+		r2, err := p.SolveSplit2(Ctl{})
 		if err != nil {
 			t.Fatalf("%s: %v", tag("split2"), err)
 		}
 		checkResult(t, in, sched.Splittable, r2, 4, tag("split2"))
-		re, err := p.SolveEps(sched.Splittable, 1e-4)
+		re, err := p.SolveEps(Ctl{}, sched.Splittable, 1e-4)
 		if err != nil {
 			t.Fatalf("%s: %v", tag("splitEps"), err)
 		}
 		checkResult(t, in, sched.Splittable, re, 3, tag("splitEps"))
-		rj, err := p.SolveSplitJump()
+		rj, err := p.SolveSplitJump(Ctl{})
 		if err != nil {
 			t.Fatalf("%s: %v", tag("splitJump"), err)
 		}
@@ -104,17 +104,17 @@ func TestSolversOnSmallRandomInstances(t *testing.T) {
 		}
 
 		// --- non-preemptive ---
-		rn2, err := p.SolveNonp2(sched.NonPreemptive)
+		rn2, err := p.SolveNonp2(Ctl{}, sched.NonPreemptive)
 		if err != nil {
 			t.Fatalf("%s: %v", tag("nonp2"), err)
 		}
 		checkResult(t, in, sched.NonPreemptive, rn2, 4, tag("nonp2"))
-		rne, err := p.SolveEps(sched.NonPreemptive, 1e-4)
+		rne, err := p.SolveEps(Ctl{}, sched.NonPreemptive, 1e-4)
 		if err != nil {
 			t.Fatalf("%s: %v", tag("nonpEps"), err)
 		}
 		checkResult(t, in, sched.NonPreemptive, rne, 3, tag("nonpEps"))
-		rnb, err := p.SolveNonpSearch()
+		rnb, err := p.SolveNonpSearch(Ctl{})
 		if err != nil {
 			t.Fatalf("%s: %v", tag("nonpSearch"), err)
 		}
@@ -130,17 +130,17 @@ func TestSolversOnSmallRandomInstances(t *testing.T) {
 		}
 
 		// --- preemptive ---
-		rp2, err := p.SolveNonp2(sched.Preemptive)
+		rp2, err := p.SolveNonp2(Ctl{}, sched.Preemptive)
 		if err != nil {
 			t.Fatalf("%s: %v", tag("pmtn2"), err)
 		}
 		checkResult(t, in, sched.Preemptive, rp2, 4, tag("pmtn2"))
-		rpe, err := p.SolveEps(sched.Preemptive, 1e-4)
+		rpe, err := p.SolveEps(Ctl{}, sched.Preemptive, 1e-4)
 		if err != nil {
 			t.Fatalf("%s: %v", tag("pmtnEps"), err)
 		}
 		checkResult(t, in, sched.Preemptive, rpe, 3, tag("pmtnEps"))
-		rpj, err := p.SolvePmtnJump()
+		rpj, err := p.SolvePmtnJump(Ctl{})
 		if err != nil {
 			t.Fatalf("%s: %v", tag("pmtnJump"), err)
 		}
@@ -259,15 +259,15 @@ func TestGeneratorFamiliesMediumSize(t *testing.T) {
 					v     sched.Variant
 					f     func() (*Result, error)
 				}{
-					{"split2", 4, sched.Splittable, p.SolveSplit2},
-					{"splitJump", 3, sched.Splittable, p.SolveSplitJump},
-					{"pmtn2", 4, sched.Preemptive, func() (*Result, error) { return p.SolveNonp2(sched.Preemptive) }},
-					{"pmtnJump", 3, sched.Preemptive, p.SolvePmtnJump},
-					{"nonp2", 4, sched.NonPreemptive, func() (*Result, error) { return p.SolveNonp2(sched.NonPreemptive) }},
-					{"nonpSearch", 3, sched.NonPreemptive, p.SolveNonpSearch},
-					{"splitEps", 3, sched.Splittable, func() (*Result, error) { return p.SolveEps(sched.Splittable, 0.01) }},
-					{"pmtnEps", 3, sched.Preemptive, func() (*Result, error) { return p.SolveEps(sched.Preemptive, 0.01) }},
-					{"nonpEps", 3, sched.NonPreemptive, func() (*Result, error) { return p.SolveEps(sched.NonPreemptive, 0.01) }},
+					{"split2", 4, sched.Splittable, func() (*Result, error) { return p.SolveSplit2(Ctl{}) }},
+					{"splitJump", 3, sched.Splittable, func() (*Result, error) { return p.SolveSplitJump(Ctl{}) }},
+					{"pmtn2", 4, sched.Preemptive, func() (*Result, error) { return p.SolveNonp2(Ctl{}, sched.Preemptive) }},
+					{"pmtnJump", 3, sched.Preemptive, func() (*Result, error) { return p.SolvePmtnJump(Ctl{}) }},
+					{"nonp2", 4, sched.NonPreemptive, func() (*Result, error) { return p.SolveNonp2(Ctl{}, sched.NonPreemptive) }},
+					{"nonpSearch", 3, sched.NonPreemptive, func() (*Result, error) { return p.SolveNonpSearch(Ctl{}) }},
+					{"splitEps", 3, sched.Splittable, func() (*Result, error) { return p.SolveEps(Ctl{}, sched.Splittable, 0.01) }},
+					{"pmtnEps", 3, sched.Preemptive, func() (*Result, error) { return p.SolveEps(Ctl{}, sched.Preemptive, 0.01) }},
+					{"nonpEps", 3, sched.NonPreemptive, func() (*Result, error) { return p.SolveEps(Ctl{}, sched.NonPreemptive, 0.01) }},
 				} {
 					r, err := run.f()
 					if err != nil {
@@ -300,11 +300,12 @@ func TestTrivialAndEdgeInstances(t *testing.T) {
 		}
 		p := Prepare(in)
 		for vi, solve := range []func() (*Result, error){
-			p.SolveSplit2, p.SolveSplitJump,
-			func() (*Result, error) { return p.SolveNonp2(sched.Preemptive) },
-			p.SolvePmtnJump,
-			func() (*Result, error) { return p.SolveNonp2(sched.NonPreemptive) },
-			p.SolveNonpSearch,
+			func() (*Result, error) { return p.SolveSplit2(Ctl{}) },
+			func() (*Result, error) { return p.SolveSplitJump(Ctl{}) },
+			func() (*Result, error) { return p.SolveNonp2(Ctl{}, sched.Preemptive) },
+			func() (*Result, error) { return p.SolvePmtnJump(Ctl{}) },
+			func() (*Result, error) { return p.SolveNonp2(Ctl{}, sched.NonPreemptive) },
+			func() (*Result, error) { return p.SolveNonpSearch(Ctl{}) },
 		} {
 			r, err := solve()
 			if err != nil {

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"setupsched/sched"
+)
+
+// ErrProbeLimit is returned when a search exceeds its configured probe
+// budget before converging.
+var ErrProbeLimit = errors.New("probe limit reached")
+
+// Observer receives probe-level events from the dual-approximation
+// searches.  Implementations must be safe for use from the goroutine
+// running the solve; a single solve never emits events concurrently.
+type Observer interface {
+	// ProbeStarted fires before a dual test is evaluated at guess T.
+	ProbeStarted(T sched.Rat)
+	// ProbeFinished fires after the dual test at T decided accept/reject.
+	ProbeFinished(T sched.Rat, accepted bool)
+	// SearchFinished fires once after a solve completes successfully.
+	SearchFinished(algorithm string, probes int)
+}
+
+// Ctl carries the per-solve control surface through the searches: a
+// cancellation context, an optional probe observer and an optional probe
+// budget.  The zero value means "run to completion, unobserved".
+type Ctl struct {
+	// Ctx cancels the search between probes; nil means never cancel.
+	Ctx context.Context
+	// Obs receives probe events; nil means no observation.
+	Obs Observer
+	// ProbeLimit aborts the search with ErrProbeLimit once this many
+	// probes have run; zero or negative means unlimited.
+	ProbeLimit int
+}
+
+// interrupted reports the context error, if any.  The deadline is also
+// checked against the wall clock directly: probes are tight CPU-bound
+// loops, and on a saturated (or single-core) machine the context's timer
+// goroutine may not have been scheduled yet when the deadline passes.
+func (c Ctl) interrupted() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := c.Ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}

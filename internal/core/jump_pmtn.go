@@ -22,7 +22,10 @@ import (
 // the selection shifted, the search subdivides at T_new and retries,
 // falling back to a sound conservative answer after a bounded number of
 // rounds (see DESIGN.md, "Knapsack constancy").
-func (p *Prep) SolvePmtnJump() (*Result, error) {
+func (p *Prep) SolvePmtnJump(ctl Ctl) (*Result, error) {
+	if err := ctl.interrupted(); err != nil {
+		return nil, err
+	}
 	if p.M >= int64(p.NJob) {
 		s := p.oneJobPerMachine(sched.Preemptive)
 		return &Result{Schedule: s, T: s.T, LowerBound: s.T, Algorithm: "pmtn/jump"}, nil
@@ -30,18 +33,23 @@ func (p *Prep) SolvePmtnJump() (*Result, error) {
 	test := func(T sched.Rat) bool { return p.EvalPmtn(T, nil).OK }
 	build := func(T sched.Rat) (*sched.Schedule, error) { return p.BuildPmtn(p.EvalPmtn(T, nil)) }
 	tmin := p.TMin(sched.Preemptive)
-	if test(tmin) {
+	br := &bracket{lo: tmin, hi: sched.R(p.N), ctl: ctl}
+	if br.probe(test, tmin) {
+		if err := br.checkpoint(); err != nil {
+			return nil, err
+		}
 		s, err := build(tmin)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "pmtn/jump", Probes: 1}, nil
+		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "pmtn/jump", Probes: br.probes}, nil
 	}
-	br := &bracket{lo: tmin, hi: sched.R(p.N), probes: 1}
-	if !test(br.hi) {
+	if !br.probe(test, sched.R(p.N)) {
+		if br.err != nil {
+			return nil, br.err
+		}
 		return nil, errInternal("preemptive dual rejected N")
 	}
-	br.probes++
 
 	// Breakpoints of the partition and of big-job membership.
 	bps := make([]sched.Rat, 0, p.NJob+3*p.C)
@@ -59,7 +67,7 @@ func (p *Prep) SolvePmtnJump() (*Result, error) {
 	}
 	bps = sortRats(bps)
 
-	for round := 0; round < 48; round++ {
+	for round := 0; round < 48 && br.err == nil; round++ {
 		br.narrowOnCandidates(test, bps)
 
 		// Jump search for the I+exp classes of the interval's partition.
@@ -113,8 +121,11 @@ func (p *Prep) SolvePmtnJump() (*Result, error) {
 		}
 		// Verify the interval constancy at the candidate point; on a
 		// mismatch, subdivide at the candidate and retry.
+		if !br.begin(tNew) {
+			return nil, br.err
+		}
 		evPoint := p.EvalPmtn(tNew, nil)
-		br.probes++
+		br.end(tNew, evPoint.OK)
 		if evPoint.OK && evPoint.L == evInt.L {
 			s, err := p.BuildPmtn(evPoint)
 			if err != nil {
@@ -127,6 +138,9 @@ func (p *Prep) SolvePmtnJump() (*Result, error) {
 		} else {
 			br.lo = tNew
 		}
+	}
+	if err := br.checkpoint(); err != nil {
+		return nil, err
 	}
 	// Bounded rounds exhausted: sound conservative fallback.
 	s, err := build(br.hi)

@@ -191,8 +191,8 @@ func TestTrivialOneJobPerMachine(t *testing.T) {
 	}}
 	p := Prepare(in)
 	for _, f := range []func() (*Result, error){
-		p.SolvePmtnJump,
-		p.SolveNonpSearch,
+		func() (*Result, error) { return p.SolvePmtnJump(Ctl{}) },
+		func() (*Result, error) { return p.SolveNonpSearch(Ctl{}) },
 	} {
 		r, err := f()
 		if err != nil {
@@ -226,7 +226,7 @@ func TestProbeCounts(t *testing.T) {
 			in.Classes = append(in.Classes, cl)
 		}
 		p := Prepare(in)
-		rs, err := p.SolveSplitJump()
+		rs, err := p.SolveSplitJump(Ctl{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -236,7 +236,7 @@ func TestProbeCounts(t *testing.T) {
 			t.Errorf("iter %d: split jump used %d probes (c=%d m=%d budget %d)",
 				iter, rs.Probes, c, in.M, budget)
 		}
-		rp, err := p.SolvePmtnJump()
+		rp, err := p.SolvePmtnJump(Ctl{})
 		if err != nil {
 			t.Fatal(err)
 		}

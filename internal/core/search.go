@@ -35,15 +35,68 @@ func (r *Result) RatioUpperBound() float64 {
 // bracket maintains the dual-search invariant: every probe at or below lo
 // was rejected (or lo is the trivial lower bound), so OPT > every rejected
 // point; hi was accepted.
+//
+// The bracket is also the choke point for per-probe control: every probe
+// first checks the Ctl's context and probe budget and notifies its
+// observer.  Once err is set (cancellation or budget exhaustion) all
+// further probes are no-ops that report rejection without moving the
+// bracket; callers must check err before trusting the bracket or building
+// a schedule.
 type bracket struct {
 	lo, hi sched.Rat
 	probes int
+	ctl    Ctl
+	err    error
+}
+
+// begin performs the pre-probe bookkeeping (cancellation check, probe
+// budget, observer notification).  It reports whether the probe may run;
+// on false the bracket's err is set.
+func (br *bracket) begin(T sched.Rat) bool {
+	if br.err != nil {
+		return false
+	}
+	if err := br.ctl.interrupted(); err != nil {
+		br.err = err
+		return false
+	}
+	if br.ctl.ProbeLimit > 0 && br.probes >= br.ctl.ProbeLimit {
+		br.err = ErrProbeLimit
+		return false
+	}
+	br.probes++
+	if br.ctl.Obs != nil {
+		br.ctl.Obs.ProbeStarted(T)
+	}
+	return true
+}
+
+// end performs the post-probe observer notification.
+func (br *bracket) end(T sched.Rat, accepted bool) {
+	if br.ctl.Obs != nil {
+		br.ctl.Obs.ProbeFinished(T, accepted)
+	}
+}
+
+// checkpoint reports any pending abort condition (set error, canceled
+// context).  Solvers call it before expensive post-search work such as
+// schedule construction, so an expired deadline is honored even when
+// every probe beat it.
+func (br *bracket) checkpoint() error {
+	if br.err == nil {
+		br.err = br.ctl.interrupted()
+	}
+	return br.err
 }
 
 // probe tests T and narrows the bracket, keeping the invariant.
 func (br *bracket) probe(test func(sched.Rat) bool, T sched.Rat) bool {
-	br.probes++
-	if test(T) {
+	if !br.begin(T) {
+		return false
+	}
+	ok := test(T)
+	br.end(T, ok)
+	if ok {
 		br.hi = T
 		return true
 	}
@@ -57,7 +110,7 @@ func (br *bracket) probe(test func(sched.Rat) bool, T sched.Rat) bool {
 func (br *bracket) narrowOnCandidates(test func(sched.Rat) bool, cands []sched.Rat) {
 	lo := sort.Search(len(cands), func(i int) bool { return br.lo.Less(cands[i]) })
 	hi := sort.Search(len(cands), func(i int) bool { return !cands[i].Less(br.hi) })
-	for lo < hi {
+	for lo < hi && br.err == nil {
 		mid := lo + (hi-lo)/2
 		c := cands[mid]
 		if !br.lo.Less(c) { // candidate slid out of the bracket
@@ -80,7 +133,7 @@ func (br *bracket) narrowOnCandidates(test func(sched.Rat) bool, cands []sched.R
 // g in [gLo, gHi], narrowing the bracket until no family member remains
 // strictly inside.
 func (br *bracket) narrowOnJumps(test func(sched.Rat) bool, jumpAt func(int64) sched.Rat, gLo, gHi int64) {
-	for gLo <= gHi {
+	for gLo <= gHi && br.err == nil {
 		g := gLo + (gHi-gLo)/2
 		T := jumpAt(g) // decreasing in g
 		switch {
@@ -109,7 +162,10 @@ func sortRats(rs []sched.Rat) []sched.Rat {
 }
 
 // SolveSplit2 runs the splittable 2-approximation (Theorem 1).
-func (p *Prep) SolveSplit2() (*Result, error) {
+func (p *Prep) SolveSplit2(ctl Ctl) (*Result, error) {
+	if err := ctl.interrupted(); err != nil {
+		return nil, err
+	}
 	s, err := p.TwoApproxSplit()
 	if err != nil {
 		return nil, err
@@ -118,7 +174,10 @@ func (p *Prep) SolveSplit2() (*Result, error) {
 }
 
 // SolveNonp2 runs the non-preemptive (or preemptive) 2-approximation.
-func (p *Prep) SolveNonp2(v sched.Variant) (*Result, error) {
+func (p *Prep) SolveNonp2(ctl Ctl, v sched.Variant) (*Result, error) {
+	if err := ctl.interrupted(); err != nil {
+		return nil, err
+	}
 	s, err := p.TwoApproxNonPreemptive(v)
 	if err != nil {
 		return nil, err
@@ -145,27 +204,35 @@ func epsToRat(eps float64) sched.Rat {
 // SolveEps runs the (3/2+eps)-approximation (Theorem 2): binary search on
 // the 3/2-dual test over [T_min, N] until the bracket's relative width is
 // below eps, then build at the accepted end.
-func (p *Prep) SolveEps(v sched.Variant, eps float64) (*Result, error) {
+func (p *Prep) SolveEps(ctl Ctl, v sched.Variant, eps float64) (*Result, error) {
 	test, build, name := p.dualFor(v)
 	tmin := p.TMin(v)
-	if test(tmin) {
+	br := &bracket{lo: tmin, hi: sched.R(p.N), ctl: ctl}
+	if br.probe(test, tmin) {
+		if err := br.checkpoint(); err != nil {
+			return nil, err
+		}
 		s, err := build(tmin)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: name + "/eps", Probes: 1}, nil
+		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: name + "/eps", Probes: br.probes}, nil
 	}
-	br := &bracket{lo: tmin, hi: sched.R(p.N), probes: 1}
-	if !test(br.hi) {
+	if !br.probe(test, sched.R(p.N)) {
+		if br.err != nil {
+			return nil, br.err
+		}
 		return nil, errInternal("dual test rejected the trivial upper bound N (unsound rejection)")
 	}
-	br.probes++
 	er := epsToRat(eps)
-	for iter := 0; iter < 128; iter++ {
+	for iter := 0; iter < 128 && br.err == nil; iter++ {
 		if br.hi.Sub(br.lo).Cmp(br.lo.Mul(er)) <= 0 {
 			break
 		}
 		br.probe(test, sched.Mid(br.lo, br.hi))
+	}
+	if err := br.checkpoint(); err != nil {
+		return nil, err
 	}
 	s, err := build(br.hi)
 	if err != nil {
@@ -202,21 +269,26 @@ func (p *Prep) dualFor(v sched.Variant) (func(sched.Rat) bool, func(sched.Rat) (
 // Lemma 3) jumps.  On the final jump-free interval the required load L and
 // machine count m_exp are constant, so the smallest acceptable makespan is
 // either hi or L/m, decided in O(1) (step 9 of Algorithm 1).
-func (p *Prep) SolveSplitJump() (*Result, error) {
+func (p *Prep) SolveSplitJump(ctl Ctl) (*Result, error) {
 	test := func(T sched.Rat) bool { return p.EvalSplit(T, nil).OK }
 	tmin := p.TMin(sched.Splittable)
-	if test(tmin) {
+	br := &bracket{lo: tmin, hi: sched.R(p.N), ctl: ctl}
+	if br.probe(test, tmin) {
+		if err := br.checkpoint(); err != nil {
+			return nil, err
+		}
 		s, err := p.BuildSplit(p.EvalSplit(tmin, nil))
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "split/jump", Probes: 1}, nil
+		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "split/jump", Probes: br.probes}, nil
 	}
-	br := &bracket{lo: tmin, hi: sched.R(p.N), probes: 1}
-	if !test(br.hi) {
+	if !br.probe(test, sched.R(p.N)) {
+		if br.err != nil {
+			return nil, br.err
+		}
 		return nil, errInternal("splittable dual rejected N")
 	}
-	br.probes++
 
 	// Phase A: partition breakpoints 2 s_i.
 	bps := make([]sched.Rat, 0, p.C)
@@ -224,6 +296,9 @@ func (p *Prep) SolveSplitJump() (*Result, error) {
 		bps = append(bps, sched.R(2*p.In.Classes[i].Setup))
 	}
 	br.narrowOnCandidates(test, sortRats(bps))
+	if br.err != nil {
+		return nil, br.err
+	}
 
 	// Phases B + C: jumps of expensive classes.
 	evInt := p.EvalSplit(br.lo, &br.hi)
@@ -257,6 +332,9 @@ func (p *Prep) SolveSplitJump() (*Result, error) {
 		}
 		br.narrowOnCandidates(test, sortRats(cands))
 	}
+	if br.err != nil {
+		return nil, br.err
+	}
 
 	// Closing step (Algorithm 1, step 9).
 	return p.closeJump(br, p.EvalSplit(br.lo, &br.hi).machineData(), test,
@@ -287,6 +365,9 @@ func (ev *SplitEval) machineData() intervalData {
 // giving the exact 3/2 ratio.
 func (p *Prep) closeJump(br *bracket, data intervalData, test func(sched.Rat) bool,
 	build func(sched.Rat) (*sched.Schedule, error), algo string) (*Result, error) {
+	if err := br.checkpoint(); err != nil {
+		return nil, err
+	}
 	ret := func(T sched.Rat) (*Result, error) {
 		s, err := build(T)
 		if err != nil {
@@ -307,9 +388,11 @@ func (p *Prep) closeJump(br *bracket, data intervalData, test func(sched.Rat) bo
 		// them; hi is the threshold.
 		return ret(br.hi)
 	}
-	br.probes++
-	if test(tNew) {
+	if br.probe(test, tNew) {
 		return ret(tNew)
+	}
+	if br.err != nil {
+		return nil, br.err
 	}
 	// The interval-constancy assumption failed (possible only for the
 	// preemptive knapsack term, see DESIGN.md); fall back to a sound
@@ -325,38 +408,52 @@ func (p *Prep) closeJump(br *bracket, data intervalData, test func(sched.Rat) bo
 // case (Theorem 8): OPT is integral, so an integer binary search over
 // [T_min, 2 T_min] with the 3/2-dual test of Theorem 9 is exact and runs
 // in O(n log T_min) = O(n log(n + Delta)).
-func (p *Prep) SolveNonpSearch() (*Result, error) {
+func (p *Prep) SolveNonpSearch(ctl Ctl) (*Result, error) {
+	if err := ctl.interrupted(); err != nil {
+		return nil, err
+	}
 	if p.M >= int64(p.NJob) {
 		s := p.oneJobPerMachine(sched.NonPreemptive)
 		return &Result{Schedule: s, T: s.T, LowerBound: s.T, Algorithm: "nonp/binsearch"}, nil
 	}
+	// lastEv keeps the most recent evaluation so the accept-at-tmin fast
+	// path can build from it without re-running the O(n) dual test.
+	var lastEv *NonpEval
+	test := func(T sched.Rat) bool { lastEv = p.EvalNonp(T); return lastEv.OK }
 	tmin := p.TMin(sched.NonPreemptive).Num()
-	probes := 1
-	if ev := p.EvalNonp(sched.R(tmin)); ev.OK {
-		s, err := p.BuildNonp(ev)
+	br := &bracket{lo: sched.R(tmin), hi: sched.R(2 * tmin), ctl: ctl}
+	if br.probe(test, sched.R(tmin)) {
+		if err := br.checkpoint(); err != nil {
+			return nil, err
+		}
+		s, err := p.BuildNonp(lastEv)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Schedule: s, T: sched.R(tmin), LowerBound: sched.R(tmin), Algorithm: "nonp/binsearch", Probes: probes}, nil
+		return &Result{Schedule: s, T: sched.R(tmin), LowerBound: sched.R(tmin), Algorithm: "nonp/binsearch", Probes: br.probes}, nil
 	}
 	lo, hi := tmin, 2*tmin
-	probes++
-	if ev := p.EvalNonp(sched.R(hi)); !ev.OK {
-		return nil, errInternal("non-preemptive dual rejected 2*T_min >= OPT (%s)", ev.Reason)
+	if !br.probe(test, sched.R(hi)) {
+		if br.err != nil {
+			return nil, br.err
+		}
+		return nil, errInternal("non-preemptive dual rejected 2*T_min >= OPT (%s)", lastEv.Reason)
 	}
-	for hi-lo > 1 {
+	for hi-lo > 1 && br.err == nil {
 		mid := lo + (hi-lo)/2
-		probes++
-		if p.EvalNonp(sched.R(mid)).OK {
+		if br.probe(test, sched.R(mid)) {
 			hi = mid
 		} else {
 			lo = mid
 		}
+	}
+	if err := br.checkpoint(); err != nil {
+		return nil, err
 	}
 	// lo rejected => OPT >= lo+1 = hi: the result is a true 3/2-approximation.
 	s, err := p.BuildNonp(p.EvalNonp(sched.R(hi)))
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: s, T: sched.R(hi), LowerBound: sched.R(hi), Algorithm: "nonp/binsearch", Probes: probes}, nil
+	return &Result{Schedule: s, T: sched.R(hi), LowerBound: sched.R(hi), Algorithm: "nonp/binsearch", Probes: br.probes}, nil
 }

@@ -34,9 +34,9 @@ func TestStressLargeInstances(t *testing.T) {
 					name string
 					f    func() (*Result, error)
 				}{
-					{"splitJump", p.SolveSplitJump},
-					{"pmtnJump", p.SolvePmtnJump},
-					{"nonpSearch", p.SolveNonpSearch},
+					{"splitJump", func() (*Result, error) { return p.SolveSplitJump(Ctl{}) }},
+					{"pmtnJump", func() (*Result, error) { return p.SolvePmtnJump(Ctl{}) }},
+					{"nonpSearch", func() (*Result, error) { return p.SolveNonpSearch(Ctl{}) }},
 				} {
 					r, err := run.f()
 					if err != nil {
@@ -75,7 +75,7 @@ func TestStressHugeMachineCounts(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := Prepare(in)
-		r, err := p.SolveSplitJump()
+		r, err := p.SolveSplitJump(Ctl{})
 		if err != nil {
 			t.Fatalf("iter %d (m=%d): %v", iter, in.M, err)
 		}
@@ -113,7 +113,7 @@ func TestEpsAccuracy(t *testing.T) {
 	p := Prepare(in)
 	var lastGap float64
 	for i, eps := range []float64{0.5, 0.05, 0.005, 0.0005} {
-		r, err := p.SolveEps(sched.Preemptive, eps)
+		r, err := p.SolveEps(Ctl{}, sched.Preemptive, eps)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,9 +135,9 @@ func TestEpsAccuracy(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	in := gen.BigJobs(gen.Params{M: 6, Classes: 40, JobsPer: 5, MaxSetup: 70, MaxJob: 90, Seed: 9})
 	for _, f := range []func(*Prep) (*Result, error){
-		(*Prep).SolveSplitJump,
-		(*Prep).SolvePmtnJump,
-		(*Prep).SolveNonpSearch,
+		func(p *Prep) (*Result, error) { return p.SolveSplitJump(Ctl{}) },
+		func(p *Prep) (*Result, error) { return p.SolvePmtnJump(Ctl{}) },
+		func(p *Prep) (*Result, error) { return p.SolveNonpSearch(Ctl{}) },
 	} {
 		a, err := f(Prepare(in))
 		if err != nil {

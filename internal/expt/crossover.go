@@ -29,15 +29,15 @@ func Crossover(ms []int64, seed int64) ([]CrossoverRow, error) {
 		in := base.Clone()
 		in.M = m
 		p := core.Prepare(in)
-		rs, err := p.SolveSplitJump()
+		rs, err := p.SolveSplitJump(core.Ctl{})
 		if err != nil {
 			return nil, fmt.Errorf("crossover m=%d split: %w", m, err)
 		}
-		rp, err := p.SolvePmtnJump()
+		rp, err := p.SolvePmtnJump(core.Ctl{})
 		if err != nil {
 			return nil, fmt.Errorf("crossover m=%d pmtn: %w", m, err)
 		}
-		rn, err := p.SolveNonpSearch()
+		rn, err := p.SolveNonpSearch(core.Ctl{})
 		if err != nil {
 			return nil, fmt.Errorf("crossover m=%d nonp: %w", m, err)
 		}

@@ -39,23 +39,23 @@ type Algo struct {
 func Algorithms() []Algo {
 	return []Algo{
 		{"split/2approx", sched.Splittable, 2.0,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveSplit2() }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveSplit2(core.Ctl{}) }},
 		{"split/eps", sched.Splittable, 1.5 * 1.001,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(sched.Splittable, 1e-3) }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(core.Ctl{}, sched.Splittable, 1e-3) }},
 		{"split/jump", sched.Splittable, 1.5,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveSplitJump() }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveSplitJump(core.Ctl{}) }},
 		{"pmtn/2approx", sched.Preemptive, 2.0,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveNonp2(sched.Preemptive) }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveNonp2(core.Ctl{}, sched.Preemptive) }},
 		{"pmtn/eps", sched.Preemptive, 1.5 * 1.001,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(sched.Preemptive, 1e-3) }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(core.Ctl{}, sched.Preemptive, 1e-3) }},
 		{"pmtn/jump", sched.Preemptive, 1.5,
-			func(p *core.Prep) (*core.Result, error) { return p.SolvePmtnJump() }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolvePmtnJump(core.Ctl{}) }},
 		{"nonp/2approx", sched.NonPreemptive, 2.0,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveNonp2(sched.NonPreemptive) }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveNonp2(core.Ctl{}, sched.NonPreemptive) }},
 		{"nonp/eps", sched.NonPreemptive, 1.5 * 1.001,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(sched.NonPreemptive, 1e-3) }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveEps(core.Ctl{}, sched.NonPreemptive, 1e-3) }},
 		{"nonp/binsearch", sched.NonPreemptive, 1.5,
-			func(p *core.Prep) (*core.Result, error) { return p.SolveNonpSearch() }},
+			func(p *core.Prep) (*core.Result, error) { return p.SolveNonpSearch(core.Ctl{}) }},
 	}
 }
 
@@ -256,12 +256,12 @@ func CompareTable(instancesPerFamily int) ([]CompareRow, error) {
 			})
 			p := core.Prepare(in)
 			lb := in.LowerBound(sched.NonPreemptive).Float64()
-			r, err := p.SolveNonpSearch()
+			r, err := p.SolveNonpSearch(core.Ctl{})
 			if err != nil {
 				return nil, err
 			}
 			jump := r.Schedule.Makespan().Float64() / lb
-			two, err := p.SolveNonp2(sched.NonPreemptive)
+			two, err := p.SolveNonp2(core.Ctl{}, sched.NonPreemptive)
 			if err != nil {
 				return nil, err
 			}

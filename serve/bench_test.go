@@ -15,6 +15,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -56,14 +57,14 @@ func benchSolve(b *testing.B, n int, warm bool) {
 		perms[i] = permuteInstance(in, rng)
 	}
 	if warm {
-		if r := s.Solve(&SolveRequest{Instance: in}); r.Error != "" {
+		if r := s.Solve(context.Background(), &SolveRequest{Instance: in}); r.Error != "" {
 			b.Fatal(r.Error)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req := &SolveRequest{Instance: perms[i%len(perms)], NoCache: !warm}
-		r := s.Solve(req)
+		r := s.Solve(context.Background(), req)
 		if r.Error != "" {
 			b.Fatal(r.Error)
 		}

@@ -17,16 +17,27 @@
 // into each request's indexing on the way out.  Every response — cached or
 // freshly solved — is re-checked with setupsched.Verify before it is
 // returned, so a cache can never weaken the approximation guarantee.
+//
+// Below the result cache, a second LRU keyed by fingerprint alone holds
+// prepared setupsched.Solvers, so a result-cache miss on a known instance
+// shape still reuses the instance's O(n) preparation.  Solves run under
+// the request's context tightened by the server's SolveTimeout and the
+// request's timeout_ms: client disconnects and deadline hits abort the
+// search mid-probe (HTTP 408) and are counted in /v1/stats along with
+// every dual-test probe the searches run.
 package serve
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"setupsched"
@@ -42,6 +53,14 @@ type Config struct {
 	// CacheSize is the LRU result-cache capacity in entries.
 	// Default 4096; negative disables caching.
 	CacheSize int
+	// SolverCacheSize is the LRU capacity of prepared per-fingerprint
+	// Solvers (instance preparation reuse).  Default 1024; negative
+	// disables reuse and prepares per request.
+	SolverCacheSize int
+	// SolveTimeout bounds each solve (per batch item on the NDJSON
+	// path).  Zero means no server-side limit; requests may still set a
+	// tighter timeout_ms of their own.
+	SolveTimeout time.Duration
 	// MaxBodyBytes caps a /v1/solve request body.  Default 32 MiB.
 	MaxBodyBytes int64
 	// MaxLineBytes caps one NDJSON line of /v1/solve/batch.  Default 8 MiB.
@@ -55,6 +74,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
 	}
+	if c.SolverCacheSize == 0 {
+		c.SolverCacheSize = 1024
+	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
@@ -67,10 +89,11 @@ func (c Config) withDefaults() Config {
 // Server is the HTTP solve service.  Create one with New; it is safe for
 // concurrent use by any number of requests.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *resultCache // nil when caching is disabled
-	stats *serverStats
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *resultCache // nil when result caching is disabled
+	solvers *solverCache // nil when solver reuse is disabled
+	stats   *serverStats
 }
 
 // New returns a Server with the given configuration.
@@ -81,6 +104,7 @@ func New(cfg Config) *Server {
 		stats: newServerStats(),
 	}
 	s.cache = newResultCache(s.cfg.CacheSize)
+	s.solvers = newSolverCache(s.cfg.SolverCacheSize)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -108,8 +132,14 @@ type SolveRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	// Epsilon is the accuracy for Algorithm "eps" (default 1e-4).
 	Epsilon float64 `json:"epsilon,omitempty"`
+	// TimeoutMS bounds this solve in milliseconds; it can only tighten
+	// the server's configured SolveTimeout, never extend it.  Zero means
+	// no per-request limit.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// IncludeSchedule adds the full schedule to the response.
 	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// IncludeTrace adds the search's probe trace to the response.
+	IncludeTrace bool `json:"include_trace,omitempty"`
 	// NoCache bypasses the result cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
 }
@@ -132,11 +162,35 @@ type SolveResponse struct {
 	Cached          bool          `json:"cached"`
 	ElapsedMS       float64       `json:"elapsed_ms"`
 	Schedule        *ScheduleJSON `json:"schedule,omitempty"`
+	Trace           []ProbeJSON   `json:"trace,omitempty"`
 	Error           string        `json:"error,omitempty"`
 
-	// internalErr marks Error as a server-side fault (HTTP 500) rather
-	// than a problem with the request (HTTP 422).
-	internalErr bool
+	// status is the HTTP status /v1/solve responds with; zero means OK.
+	// Batch items carry errors in-band, so the field stays internal.
+	status int
+}
+
+// ProbeJSON is one dual-test evaluation of the search (wire form of
+// setupsched.Probe): the makespan guess T and the accept/reject decision.
+type ProbeJSON struct {
+	T        string `json:"t"`
+	Accepted bool   `json:"accepted"`
+}
+
+func traceJSON(trace []setupsched.Probe) []ProbeJSON {
+	if len(trace) == 0 {
+		return nil
+	}
+	out := make([]ProbeJSON, len(trace))
+	for i, p := range trace {
+		out[i] = ProbeJSON{T: p.T.String(), Accepted: p.Accepted}
+	}
+	return out
+}
+
+// errResponse builds an error response carrying its HTTP status.
+func errResponse(status int, msg string) *SolveResponse {
+	return &SolveResponse{Error: msg, status: status}
 }
 
 // ScheduleJSON is the wire form of a sched.Schedule.
@@ -220,20 +274,40 @@ func cacheKey(fp string, v sched.Variant, a setupsched.Algorithm, eps float64) s
 	if a != setupsched.EpsilonSearch {
 		eps = 0
 	} else if eps <= 0 {
-		eps = 1e-4
+		eps = setupsched.DefaultEpsilon
 	}
 	return fp + "|" + v.Short() + "|" + strconv.Itoa(int(a)) + "|" +
 		strconv.FormatFloat(eps, 'g', -1, 64)
 }
 
-// Solve handles one request against the cache and the solvers.  It is the
-// shared core of /v1/solve and /v1/solve/batch and is exported for direct
-// embedding and benchmarks.  The returned response never aliases cache
-// memory.  Errors are reported inside the response (Error field) so batch
-// streams can carry per-item failures.
-func (s *Server) Solve(req *SolveRequest) *SolveResponse {
+// solveContext derives the context one solve runs under: the request
+// context (client disconnect), tightened by the server's SolveTimeout
+// and the request's own timeout_ms, whichever is smaller.
+func (s *Server) solveContext(ctx context.Context, req *SolveRequest) (context.Context, context.CancelFunc) {
+	d := s.cfg.SolveTimeout
+	if req.TimeoutMS > 0 {
+		rd := time.Duration(req.TimeoutMS) * time.Millisecond
+		// An absurd timeout_ms overflows to <= 0; a request may only
+		// tighten the server-wide limit, never lift it.
+		if rd > 0 && (d <= 0 || rd < d) {
+			d = rd
+		}
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Solve handles one request against the caches and the solvers.  It is
+// the shared core of /v1/solve and /v1/solve/batch and is exported for
+// direct embedding and benchmarks.  The context cancels the solve (client
+// disconnect, per-request or server-wide timeout).  The returned response
+// never aliases cache memory.  Errors are reported inside the response
+// (Error field) so batch streams can carry per-item failures.
+func (s *Server) Solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 	started := time.Now()
-	resp := s.solve(req)
+	resp := s.solve(ctx, req)
 	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
 	resp.ID = req.ID
 	if resp.Error != "" {
@@ -244,20 +318,28 @@ func (s *Server) Solve(req *SolveRequest) *SolveResponse {
 	return resp
 }
 
-func (s *Server) solve(req *SolveRequest) *SolveResponse {
+func (s *Server) solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 	v, err := parseVariant(req.Variant)
 	if err != nil {
-		return &SolveResponse{Error: err.Error()}
+		return errResponse(http.StatusBadRequest, err.Error())
 	}
 	algo, err := parseAlgo(req.Algorithm)
 	if err != nil {
-		return &SolveResponse{Error: err.Error()}
+		return errResponse(http.StatusBadRequest, err.Error())
 	}
 	if req.Instance == nil {
-		return &SolveResponse{Error: "missing instance"}
+		return errResponse(http.StatusBadRequest, "missing instance")
+	}
+	// Validate the explicit epsilon before the cache lookup, so a bad
+	// request is rejected identically on hot and cold caches (cacheKey
+	// normalizes epsilon and would otherwise serve a cached 200).
+	if algo == setupsched.EpsilonSearch && req.Epsilon != 0 &&
+		(req.Epsilon <= 0 || req.Epsilon >= 1) {
+		return errResponse(http.StatusBadRequest,
+			(&setupsched.EpsilonRangeError{Epsilon: req.Epsilon}).Error())
 	}
 	if err := req.Instance.Validate(); err != nil {
-		return &SolveResponse{Error: err.Error()}
+		return errResponse(http.StatusBadRequest, err.Error())
 	}
 
 	canon := req.Instance.Canonicalize()
@@ -278,26 +360,79 @@ func (s *Server) solve(req *SolveRequest) *SolveResponse {
 		}
 	}
 
-	res, err := setupsched.Solve(req.Instance, v, &setupsched.Options{
-		Algorithm: algo,
-		Epsilon:   req.Epsilon,
-	})
+	// Solve the canonical form on the shared per-fingerprint Solver, so
+	// permutation-equivalent traffic reuses one O(n) preparation.  The
+	// schedule is translated back into the request's indexing below.
+	solver, err := s.solverFor(fp, canon.Instance)
 	if err != nil {
-		return &SolveResponse{Error: err.Error()}
+		return errResponse(http.StatusInternalServerError, "internal error: preparing solver: "+err.Error())
 	}
-	if err := setupsched.Verify(req.Instance, v, res); err != nil {
-		return &SolveResponse{
-			Error:       "internal error: solver produced an invalid schedule: " + err.Error(),
-			internalErr: true,
-		}
+	opts := []setupsched.Option{
+		setupsched.WithAlgorithm(algo),
+		setupsched.WithObserver(probeCounter{n: &s.stats.probes}),
+	}
+	// Epsilon only configures the eps-search; other algorithms ignored it
+	// before the Solver API and must keep doing so.
+	if algo == setupsched.EpsilonSearch && req.Epsilon != 0 {
+		opts = append(opts, setupsched.WithEpsilon(req.Epsilon))
+	}
+	sctx, cancel := s.solveContext(ctx, req)
+	defer cancel()
+	canonRes, err := solver.Solve(sctx, v, opts...)
+	if err != nil {
+		return s.solveError(err)
+	}
+	res := *canonRes
+	res.Schedule = canon.FromCanonical(canonRes.Schedule)
+	if err := setupsched.Verify(req.Instance, v, &res); err != nil {
+		return errResponse(http.StatusInternalServerError,
+			"internal error: solver produced an invalid schedule: "+err.Error())
 	}
 	if useCache {
-		canonRes := *res
-		canonRes.Schedule = canon.ToCanonical(res.Schedule)
-		s.cache.put(&cacheEntry{key: key, canon: canon.Instance, result: &canonRes})
+		// Strip the probe trace before caching: it describes the search
+		// that just ran (a cache hit runs none), and retaining dozens of
+		// rationals per entry would bloat the LRU for data almost no
+		// response serves.
+		cached := *canonRes
+		cached.Trace = nil
+		s.cache.put(&cacheEntry{key: key, canon: canon.Instance, result: &cached})
 	}
-	return s.respond(req, v, fp, res, false)
+	return s.respond(req, v, fp, &res, false)
 }
+
+// solverFor returns the shared Solver for the canonical instance, or a
+// fresh unshared one when solver reuse is disabled.
+func (s *Server) solverFor(fp string, canon *sched.Instance) (*setupsched.Solver, error) {
+	if s.solvers != nil {
+		return s.solvers.getOrCreate(fp, canon)
+	}
+	return setupsched.NewSolver(canon)
+}
+
+// solveError maps a Solver error to a response with the right HTTP
+// status: 400 for anything wrong with the request, 408 for a timeout or
+// client cancellation, 500 for internal faults.
+func (s *Server) solveError(err error) *SolveResponse {
+	var vErr *setupsched.ValidationError
+	var eErr *setupsched.EpsilonRangeError
+	switch {
+	case errors.Is(err, setupsched.ErrCanceled):
+		s.stats.timeouts.Add(1)
+		return errResponse(http.StatusRequestTimeout, err.Error())
+	case errors.As(err, &eErr), errors.As(err, &vErr), errors.Is(err, setupsched.ErrNilInstance):
+		return errResponse(http.StatusBadRequest, err.Error())
+	default:
+		return errResponse(http.StatusInternalServerError, "internal error: "+err.Error())
+	}
+}
+
+// probeCounter feeds the searches' probe events into the server-wide
+// counter reported by /v1/stats.
+type probeCounter struct{ n *atomic.Uint64 }
+
+func (p probeCounter) ProbeStarted(setupsched.Rat)        {}
+func (p probeCounter) ProbeFinished(setupsched.Rat, bool) { p.n.Add(1) }
+func (p probeCounter) SearchFinished(string, int)         {}
 
 func (s *Server) respond(req *SolveRequest, v sched.Variant, fp string, res *setupsched.Result, cached bool) *SolveResponse {
 	resp := &SolveResponse{
@@ -316,6 +451,9 @@ func (s *Server) respond(req *SolveRequest, v sched.Variant, fp string, res *set
 	}
 	if req.IncludeSchedule {
 		resp.Schedule = scheduleJSON(res.Schedule)
+	}
+	if req.IncludeTrace {
+		resp.Trace = traceJSON(res.Trace)
 	}
 	return resp
 }
@@ -336,6 +474,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			BatchItems: s.stats.batchItems.Load(),
 			Errors:     s.stats.errors.Load(),
 		},
+		Search: SearchStats{
+			Probes:   s.stats.probes.Load(),
+			Timeouts: s.stats.timeouts.Load(),
+		},
 	}
 	if s.cache != nil {
 		size, capacity, hits, misses, evictions := s.cache.snapshot()
@@ -345,6 +487,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		if hits+misses > 0 {
 			resp.Cache.HitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	if s.solvers != nil {
+		size, capacity, hits, misses, evictions := s.solvers.snapshot()
+		resp.Solvers = CacheStats{
+			Enabled: true, Size: size, Capacity: capacity,
+			Hits: hits, Misses: misses, Evictions: evictions,
+		}
+		if hits+misses > 0 {
+			resp.Solvers.HitRate = float64(hits) / float64(hits+misses)
 		}
 	}
 	count, p50, p99, max := s.stats.quantiles()
@@ -361,13 +513,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, &SolveResponse{Error: "decoding request: " + err.Error()})
 		return
 	}
-	resp := s.Solve(&req)
-	status := http.StatusOK
-	switch {
-	case resp.internalErr:
-		status = http.StatusInternalServerError
-	case resp.Error != "":
-		status = http.StatusUnprocessableEntity
+	resp := s.Solve(r.Context(), &req)
+	status := resp.status
+	if status == 0 {
+		status = http.StatusOK
 	}
 	writeJSON(w, status, resp)
 }
@@ -405,7 +554,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					it.out <- &SolveResponse{Error: "decoding request: " + err.Error()}
 					continue
 				}
-				it.out <- s.Solve(&req)
+				// The request context cancels in-flight solves when the
+				// client disconnects mid-stream.
+				it.out <- s.Solve(r.Context(), &req)
 			}
 		}()
 	}

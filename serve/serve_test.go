@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"setupsched"
 	"setupsched/internal/gen"
@@ -183,10 +185,10 @@ func TestSolveEndpointErrors(t *testing.T) {
 		body   any
 		status int
 	}{
-		{"missing instance", &SolveRequest{}, http.StatusUnprocessableEntity},
-		{"bad variant", &SolveRequest{Instance: testInstance(2), Variant: "bogus"}, http.StatusUnprocessableEntity},
-		{"bad algorithm", &SolveRequest{Instance: testInstance(2), Algorithm: "bogus"}, http.StatusUnprocessableEntity},
-		{"invalid instance", &SolveRequest{Instance: &sched.Instance{M: 0}}, http.StatusUnprocessableEntity},
+		{"missing instance", &SolveRequest{}, http.StatusBadRequest},
+		{"bad variant", &SolveRequest{Instance: testInstance(2), Variant: "bogus"}, http.StatusBadRequest},
+		{"bad algorithm", &SolveRequest{Instance: testInstance(2), Algorithm: "bogus"}, http.StatusBadRequest},
+		{"invalid instance", &SolveRequest{Instance: &sched.Instance{M: 0}}, http.StatusBadRequest},
 	}
 	for _, c := range cases {
 		hr, out := postJSON(t, ts, "/v1/solve", c.body)
@@ -453,5 +455,133 @@ func TestBatchPreservesOrderUnderConcurrency(t *testing.T) {
 	}
 	if i != len(lines) {
 		t.Fatalf("got %d responses for %d items", i, len(lines))
+	}
+}
+
+// heavyInstance is shaped so a single preemptive dual test costs several
+// milliseconds (n = 5e5): a 1ms timeout has expired by the time the first
+// probe finishes, so the pre-build checkpoint reliably aborts the solve.
+func heavyInstance() *sched.Instance {
+	return gen.ExpensiveSetups(gen.Params{
+		M: 512, Classes: 2000, JobsPer: 500, MaxSetup: 100000, MaxJob: 1000, Seed: 7,
+	})
+}
+
+func TestSolveTimeoutReturns408(t *testing.T) {
+	ts := httptest.NewServer(New(Config{CacheSize: -1}))
+	defer ts.Close()
+
+	hr, out := postJSON(t, ts, "/v1/solve", &SolveRequest{
+		Instance: heavyInstance(), Variant: "pmtn", TimeoutMS: 1,
+	})
+	if hr.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status %d (error %q), want 408", hr.StatusCode, out.Error)
+	}
+	if out.Error == "" {
+		t.Fatal("timeout response carries no error")
+	}
+	stats := getStats(t, ts)
+	if stats.Search.Timeouts == 0 {
+		t.Fatalf("timeout not counted: %+v", stats.Search)
+	}
+
+	// The server-wide SolveTimeout must cap requests that ask for more.
+	ts2 := httptest.NewServer(New(Config{CacheSize: -1, SolveTimeout: time.Millisecond}))
+	defer ts2.Close()
+	hr2, _ := postJSON(t, ts2, "/v1/solve", &SolveRequest{
+		Instance: heavyInstance(), Variant: "pmtn", TimeoutMS: 60000,
+	})
+	if hr2.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("server-wide timeout: status %d, want 408", hr2.StatusCode)
+	}
+}
+
+func TestSolveRejectsBadEpsilon(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	// Warm the cache entry a bad request would otherwise hit (cacheKey
+	// normalizes invalid epsilon to the default): rejection must not
+	// depend on cache state.
+	if hr, out := postJSON(t, ts, "/v1/solve", &SolveRequest{
+		Instance: testInstance(5), Algorithm: "eps",
+	}); hr.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: status %d error %q", hr.StatusCode, out.Error)
+	}
+	for _, eps := range []float64{-0.5, 1, 7} {
+		hr, out := postJSON(t, ts, "/v1/solve", &SolveRequest{
+			Instance: testInstance(5), Algorithm: "eps", Epsilon: eps,
+		})
+		if hr.StatusCode != http.StatusBadRequest || out.Error == "" {
+			t.Errorf("eps=%v: status %d error %q, want 400 with error", eps, hr.StatusCode, out.Error)
+		}
+	}
+	// Other algorithms always ignored epsilon; keep accepting it.
+	if hr, out := postJSON(t, ts, "/v1/solve", &SolveRequest{
+		Instance: testInstance(5), Algorithm: "exact", Epsilon: -3,
+	}); hr.StatusCode != http.StatusOK {
+		t.Errorf("exact with garbage epsilon: status %d error %q, want 200", hr.StatusCode, out.Error)
+	}
+}
+
+func TestSolveContextClampsOverflow(t *testing.T) {
+	s := New(Config{SolveTimeout: time.Second})
+	ctx, cancel := s.solveContext(context.Background(), &SolveRequest{TimeoutMS: 1 << 62})
+	defer cancel()
+	d, ok := ctx.Deadline()
+	if !ok || time.Until(d) > 2*time.Second {
+		t.Fatalf("overflowing timeout_ms lifted the server-wide limit (deadline %v ok=%v)", d, ok)
+	}
+}
+
+func TestProbeStatsAndTrace(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	in := testInstance(6)
+
+	_, out := postJSON(t, ts, "/v1/solve", &SolveRequest{
+		Instance: in, Variant: "nonp", IncludeTrace: true,
+	})
+	if out.Error != "" {
+		t.Fatal(out.Error)
+	}
+	if out.Probes == 0 || len(out.Trace) != out.Probes {
+		t.Fatalf("probes=%d trace len=%d, want equal and positive", out.Probes, len(out.Trace))
+	}
+	// The last accepted probe of the trace certifies the makespan bound.
+	last := out.Trace[len(out.Trace)-1]
+	if !last.Accepted {
+		t.Fatalf("search ended on a rejected probe: %+v", out.Trace)
+	}
+	stats := getStats(t, ts)
+	if stats.Search.Probes < uint64(out.Probes) {
+		t.Fatalf("server probe counter %d < solve probes %d", stats.Search.Probes, out.Probes)
+	}
+}
+
+func TestSolverReuseAcrossPermutedRequests(t *testing.T) {
+	ts := httptest.NewServer(New(Config{CacheSize: -1})) // no result cache: every request solves
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(11))
+	in := testInstance(9)
+
+	var first *SolveResponse
+	for i := 0; i < 6; i++ {
+		req := &SolveRequest{Instance: permuteInstance(in, rng), Variant: "nonp"}
+		_, out := postJSON(t, ts, "/v1/solve", req)
+		if out.Error != "" {
+			t.Fatal(out.Error)
+		}
+		if first == nil {
+			first = out
+		} else if out.Makespan != first.Makespan || out.LowerBound != first.LowerBound {
+			t.Fatalf("solve %d diverged: %s/%s vs %s/%s", i, out.Makespan, out.LowerBound, first.Makespan, first.LowerBound)
+		}
+	}
+	stats := getStats(t, ts)
+	if !stats.Solvers.Enabled || stats.Solvers.Hits < 5 {
+		t.Fatalf("prepared-solver reuse not happening: %+v", stats.Solvers)
+	}
+	if stats.Solvers.Size != 1 {
+		t.Fatalf("expected one prepared solver, have %d", stats.Solvers.Size)
 	}
 }

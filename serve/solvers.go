@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"setupsched"
+	"setupsched/sched"
+)
+
+// solverEntry is one prepared setupsched.Solver, keyed by the fingerprint
+// of the canonical instance it was built for.  As with the result cache,
+// the canonical instance is kept so a fingerprint collision is detected
+// by exact comparison instead of silently solving the wrong instance.
+type solverEntry struct {
+	fp     string
+	canon  *sched.Instance
+	solver *setupsched.Solver
+}
+
+// solverCache is a mutex-guarded LRU of prepared Solvers.  Every request
+// for a permutation-equivalent instance reuses the same Solver, so the
+// O(n) preparation pass runs once per distinct instance instead of once
+// per request — the serving layer's answer to the Solver API's "prepare
+// once, solve many" contract.
+type solverCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byFP     map[string]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+func newSolverCache(capacity int) *solverCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &solverCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byFP:     make(map[string]*list.Element, capacity),
+	}
+}
+
+// getOrCreate returns the cached Solver for the canonical instance,
+// building and inserting one on a miss (or on a fingerprint collision,
+// in which case the colliding entry is left alone and the fresh Solver
+// is not cached).
+func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched.Solver, error) {
+	c.mu.Lock()
+	if el, ok := c.byFP[fp]; ok {
+		e := el.Value.(*solverEntry)
+		if e.canon.Equal(canon) {
+			c.ll.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			return e.solver, nil
+		}
+		c.misses++
+		c.mu.Unlock()
+		return setupsched.NewSolver(canon)
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Prepare outside the lock: preparation is O(n) and must not
+	// serialize unrelated requests.
+	solver, err := setupsched.NewSolver(canon)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byFP[fp]; !ok {
+		c.byFP[fp] = c.ll.PushFront(&solverEntry{fp: fp, canon: canon, solver: solver})
+		for c.ll.Len() > c.capacity {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.byFP, oldest.Value.(*solverEntry).fp)
+			c.evictions++
+		}
+	}
+	return solver, nil
+}
+
+// snapshot returns current counters for /v1/stats.
+func (c *solverCache) snapshot() (size int, capacity int, hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.capacity, c.hits, c.misses, c.evictions
+}

@@ -20,6 +20,8 @@ type serverStats struct {
 	batchRequests atomic.Uint64
 	batchItems    atomic.Uint64
 	errors        atomic.Uint64
+	probes        atomic.Uint64
+	timeouts      atomic.Uint64
 
 	mu        sync.Mutex
 	latencies [latencyWindow]float64 // milliseconds, ring buffer
@@ -76,7 +78,9 @@ func quantile(sorted []float64, q float64) float64 {
 type StatsResponse struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Requests      RequestStats `json:"requests"`
+	Search        SearchStats  `json:"search"`
 	Cache         CacheStats   `json:"cache"`
+	Solvers       CacheStats   `json:"solvers"`
 	LatencyMS     LatencyStats `json:"latency_ms"`
 }
 
@@ -86,6 +90,14 @@ type RequestStats struct {
 	Batch      uint64 `json:"batch"`
 	BatchItems uint64 `json:"batch_items"`
 	Errors     uint64 `json:"errors"`
+}
+
+// SearchStats reports probe-level search activity: every dual-test
+// evaluation run by the searches (cache hits run none) and the number of
+// solves aborted by timeout or client cancellation.
+type SearchStats struct {
+	Probes   uint64 `json:"probes"`
+	Timeouts uint64 `json:"timeouts"`
 }
 
 // CacheStats reports result-cache occupancy and effectiveness.

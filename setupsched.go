@@ -1,6 +1,7 @@
 package setupsched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -62,11 +63,15 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// Options configure Solve.  The zero value (or nil) selects Auto.
+// Options configure the legacy Solve free function.  The zero value (or
+// nil) selects Auto.
+//
+// Deprecated: use functional options (WithAlgorithm, WithEpsilon, ...)
+// with Solver.Solve instead.
 type Options struct {
 	// Algorithm picks the approximation algorithm.
 	Algorithm Algorithm
-	// Epsilon is the accuracy of EpsilonSearch (default 1e-4).
+	// Epsilon is the accuracy of EpsilonSearch (default DefaultEpsilon).
 	Epsilon float64
 }
 
@@ -88,54 +93,39 @@ type Result struct {
 	Algorithm string
 	// Probes is the number of dual-test evaluations performed.
 	Probes int
+	// Trace records every dual-test evaluation of the search in
+	// execution order (len(Trace) == Probes for solves through
+	// Solver.Solve; nil for results that predate the Solver API, e.g.
+	// deserialized ones).
+	Trace []Probe
 }
-
-var errNilInstance = errors.New("setupsched: nil instance")
 
 // Solve computes an approximate schedule for the instance under the given
 // variant.  A nil opts selects the exact 3/2-approximation.
+//
+// Deprecated: use NewSolver and Solver.Solve, which reuse the
+// per-instance preparation across calls and support cancellation,
+// observers and probe limits.  Solve(in, v, opts) is equivalent to a
+// fresh NewSolver(in) followed by Solve(context.Background(), v, ...).
 func Solve(in *Instance, v Variant, opts *Options) (*Result, error) {
-	if in == nil {
-		return nil, errNilInstance
-	}
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	if opts == nil {
-		opts = &Options{}
-	}
-	eps := opts.Epsilon
-	if eps <= 0 {
-		eps = 1e-4
-	}
-	p := core.Prepare(in)
-	var (
-		r   *core.Result
-		err error
-	)
-	switch opts.Algorithm {
-	case TwoApprox:
-		if v == Splittable {
-			r, err = p.SolveSplit2()
-		} else {
-			r, err = p.SolveNonp2(v)
-		}
-	case EpsilonSearch:
-		r, err = p.SolveEps(v, eps)
-	default: // Auto, Exact32
-		switch v {
-		case Splittable:
-			r, err = p.SolveSplitJump()
-		case Preemptive:
-			r, err = p.SolvePmtnJump()
-		default:
-			r, err = p.SolveNonpSearch()
-		}
-	}
+	s, err := NewSolver(in)
 	if err != nil {
 		return nil, err
 	}
-	return finish(r), nil
+	var o []Option
+	if opts != nil {
+		// The legacy switch ran the exact-3/2 path for Auto, Exact32 AND
+		// any out-of-enum value, and only ever read Epsilon for
+		// EpsilonSearch; preserve both so no old caller breaks.
+		switch opts.Algorithm {
+		case TwoApprox, EpsilonSearch, Exact32:
+			o = append(o, WithAlgorithm(opts.Algorithm))
+		}
+		if opts.Algorithm == EpsilonSearch && opts.Epsilon != 0 {
+			o = append(o, WithEpsilon(opts.Epsilon))
+		}
+	}
+	return s.Solve(context.Background(), v, o...)
 }
 
 func finish(r *core.Result) *Result {
@@ -153,14 +143,14 @@ func finish(r *core.Result) *Result {
 // LowerBound returns the trivial variant-specific lower bound on OPT
 // (max(N/m, s_max) for splittable; max(N/m, max_i(s_i + t_max^(i)))
 // otherwise, rounded up to an integer for the non-preemptive case).
+//
+// Deprecated: use NewSolver and Solver.LowerBound.
 func LowerBound(in *Instance, v Variant) (Rat, error) {
-	if in == nil {
-		return Rat{}, errNilInstance
-	}
-	if err := in.Validate(); err != nil {
+	s, err := NewSolver(in)
+	if err != nil {
 		return Rat{}, err
 	}
-	return in.LowerBound(v), nil
+	return s.LowerBound(v), nil
 }
 
 // maxDualDen bounds the denominator of user-supplied dual guesses so the
@@ -172,43 +162,15 @@ const maxDualDen = 1 << 20
 // (accepted) or reports that T was rejected, which certifies T < OPT.
 //
 // T must be positive with denominator at most 2^20.
+//
+// Deprecated: use NewSolver and Solver.DualTest, which reuse the
+// per-instance preparation across probes.
 func DualTest(in *Instance, v Variant, T Rat) (accepted bool, s *Schedule, err error) {
-	if in == nil {
-		return false, nil, errNilInstance
-	}
-	if err := in.Validate(); err != nil {
+	sv, err := NewSolver(in)
+	if err != nil {
 		return false, nil, err
 	}
-	if T.Sign() <= 0 {
-		return false, nil, fmt.Errorf("setupsched: non-positive makespan guess %s", T)
-	}
-	if T.Den() > maxDualDen {
-		return false, nil, fmt.Errorf("setupsched: makespan guess denominator %d exceeds %d", T.Den(), maxDualDen)
-	}
-	p := core.Prepare(in)
-	switch v {
-	case Splittable:
-		ev := p.EvalSplit(T, nil)
-		if !ev.OK {
-			return false, nil, nil
-		}
-		s, err := p.BuildSplit(ev)
-		return true, s, err
-	case Preemptive:
-		ev := p.EvalPmtn(T, nil)
-		if !ev.OK {
-			return false, nil, nil
-		}
-		s, err := p.BuildPmtn(ev)
-		return true, s, err
-	default:
-		ev := p.EvalNonp(T)
-		if !ev.OK {
-			return false, nil, nil
-		}
-		s, err := p.BuildNonp(ev)
-		return true, s, err
-	}
+	return sv.DualTest(context.Background(), v, T)
 }
 
 // Verify re-checks a Result against its instance: the schedule must be

@@ -1,0 +1,282 @@
+package setupsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"setupsched/internal/core"
+)
+
+// DefaultEpsilon is the accuracy used by EpsilonSearch when no explicit
+// epsilon is supplied.
+const DefaultEpsilon = 1e-4
+
+// Observer receives probe-level events from a running solve.  The dual
+// approximation searches are sequences of probe evaluations at makespan
+// guesses T; an Observer sees each one as it happens, which powers live
+// metrics, progress reporting and Result.Trace.
+//
+// A single solve emits events sequentially from its own goroutine, but an
+// Observer shared between concurrent solves (for example one Solver used
+// by many requests) must be safe for concurrent use.
+type Observer interface {
+	// ProbeStarted fires before the dual test is evaluated at guess T.
+	ProbeStarted(T Rat)
+	// ProbeFinished fires after the dual test at T decided accept/reject.
+	ProbeFinished(T Rat, accepted bool)
+	// SearchFinished fires once after a successful solve with the
+	// algorithm's name and its total probe count.
+	SearchFinished(algorithm string, probes int)
+}
+
+// Probe records one dual-test evaluation of a search (see Result.Trace).
+type Probe struct {
+	// T is the makespan guess that was tested.
+	T Rat
+	// Accepted reports the dual test's decision: true means a schedule
+	// with makespan at most 3/2*T exists, false certifies T < OPT.
+	Accepted bool
+}
+
+// Solver solves one instance repeatedly without redoing the per-instance
+// preparation (class work sums, maxima, trivial bounds — the O(n)
+// core.Prepare pass).  Create one with NewSolver and reuse it across
+// variants, algorithms and requests; it is immutable after construction
+// and safe for concurrent use.
+type Solver struct {
+	in   *Instance
+	prep *core.Prep
+}
+
+// NewSolver validates the instance and computes the shared preparation.
+// The instance must not be mutated while the Solver is in use.
+func NewSolver(in *Instance) (*Solver, error) {
+	if in == nil {
+		return nil, ErrNilInstance
+	}
+	if err := in.Validate(); err != nil {
+		return nil, &ValidationError{Err: err}
+	}
+	return &Solver{in: in, prep: core.Prepare(in)}, nil
+}
+
+// Instance returns the instance this Solver was built for.
+func (s *Solver) Instance() *Instance { return s.in }
+
+// LowerBound returns the trivial variant-specific lower bound on OPT
+// (max(N/m, s_max) for splittable; max(N/m, max_i(s_i + t_max^(i)))
+// otherwise, rounded up to an integer for the non-preemptive case).
+func (s *Solver) LowerBound(v Variant) Rat { return s.prep.TMin(v) }
+
+// Option configures one Solver.Solve or Solver.DualTest call.
+type Option func(*solveConfig) error
+
+// solveConfig is the resolved option set of one call.
+type solveConfig struct {
+	algorithm  Algorithm
+	epsilon    float64
+	observers  []Observer
+	probeLimit int
+}
+
+// WithAlgorithm selects the approximation algorithm (default Auto, the
+// exact 3/2-approximation).
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *solveConfig) error {
+		switch a {
+		case Auto, TwoApprox, EpsilonSearch, Exact32:
+			c.algorithm = a
+			return nil
+		}
+		return fmt.Errorf("setupsched: unknown algorithm %v", a)
+	}
+}
+
+// WithEpsilon sets the accuracy of EpsilonSearch.  The value must lie in
+// the open interval (0, 1); anything else is rejected with an
+// *EpsilonRangeError instead of being silently replaced by the default.
+func WithEpsilon(eps float64) Option {
+	return func(c *solveConfig) error {
+		if eps <= 0 || eps >= 1 {
+			return &EpsilonRangeError{Epsilon: eps}
+		}
+		c.epsilon = eps
+		return nil
+	}
+}
+
+// WithObserver attaches an Observer to the call.  Multiple observers may
+// be attached; they are notified in registration order.  A nil observer
+// is ignored.
+func WithObserver(obs Observer) Option {
+	return func(c *solveConfig) error {
+		if obs != nil {
+			c.observers = append(c.observers, obs)
+		}
+		return nil
+	}
+}
+
+// WithProbeLimit bounds the number of dual-test evaluations a search may
+// perform; exceeding it aborts the solve with ErrProbeLimit.  The
+// searches need O(log) probes, so a limit of a few dozen is generous for
+// any realistic instance.  Zero (the default) means unlimited; negative
+// limits are rejected.
+func WithProbeLimit(n int) Option {
+	return func(c *solveConfig) error {
+		if n < 0 {
+			return fmt.Errorf("setupsched: negative probe limit %d", n)
+		}
+		c.probeLimit = n
+		return nil
+	}
+}
+
+func resolveOptions(opts []Option) (*solveConfig, error) {
+	cfg := &solveConfig{algorithm: Auto, epsilon: DefaultEpsilon}
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return cfg, nil
+}
+
+// traceObserver collects the probe sequence for Result.Trace.
+type traceObserver struct {
+	trace []Probe
+}
+
+func (t *traceObserver) ProbeStarted(Rat) {}
+func (t *traceObserver) ProbeFinished(T Rat, accepted bool) {
+	t.trace = append(t.trace, Probe{T: T, Accepted: accepted})
+}
+func (t *traceObserver) SearchFinished(string, int) {}
+
+// multiObserver fans events out to several observers in order.
+type multiObserver []Observer
+
+func (m multiObserver) ProbeStarted(T Rat) {
+	for _, o := range m {
+		o.ProbeStarted(T)
+	}
+}
+
+func (m multiObserver) ProbeFinished(T Rat, accepted bool) {
+	for _, o := range m {
+		o.ProbeFinished(T, accepted)
+	}
+}
+
+func (m multiObserver) SearchFinished(algorithm string, probes int) {
+	for _, o := range m {
+		o.SearchFinished(algorithm, probes)
+	}
+}
+
+// Solve computes an approximate schedule for the Solver's instance under
+// the given variant.  The context cancels the search between probes: a
+// canceled or expired ctx aborts promptly with an error matching both
+// ErrCanceled and the context's own error, and no partial schedule is
+// returned.  With no options it runs the exact 3/2-approximation.
+func (s *Solver) Solve(ctx context.Context, v Variant, opts ...Option) (*Result, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	tr := &traceObserver{}
+	obs := multiObserver(append([]Observer{tr}, cfg.observers...))
+	ctl := core.Ctl{Ctx: ctx, Obs: obs, ProbeLimit: cfg.probeLimit}
+
+	var r *core.Result
+	switch cfg.algorithm {
+	case TwoApprox:
+		if v == Splittable {
+			r, err = s.prep.SolveSplit2(ctl)
+		} else {
+			r, err = s.prep.SolveNonp2(ctl, v)
+		}
+	case EpsilonSearch:
+		r, err = s.prep.SolveEps(ctl, v, cfg.epsilon)
+	default: // Auto, Exact32
+		switch v {
+		case Splittable:
+			r, err = s.prep.SolveSplitJump(ctl)
+		case Preemptive:
+			r, err = s.prep.SolvePmtnJump(ctl)
+		default:
+			r, err = s.prep.SolveNonpSearch(ctl)
+		}
+	}
+	if err != nil {
+		return nil, wrapSolveErr(err)
+	}
+	res := finish(r)
+	res.Trace = tr.trace
+	obs.SearchFinished(res.Algorithm, res.Probes)
+	return res, nil
+}
+
+// DualTest runs the variant's 3/2-dual approximation at the makespan
+// guess T: it either returns a feasible schedule with makespan at most
+// 3/2*T (accepted) or reports that T was rejected, which certifies
+// T < OPT.  Observers attached with WithObserver see the probe; the
+// search-only options WithAlgorithm and WithProbeLimit do not apply to a
+// single probe and are rejected rather than silently ignored.
+//
+// T must be positive with denominator at most 2^20.
+func (s *Solver) DualTest(ctx context.Context, v Variant, T Rat, opts ...Option) (accepted bool, sc *Schedule, err error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return false, nil, err
+	}
+	if cfg.algorithm != Auto || cfg.probeLimit != 0 {
+		return false, nil, errors.New("setupsched: WithAlgorithm and WithProbeLimit do not apply to DualTest")
+	}
+	if T.Sign() <= 0 {
+		return false, nil, fmt.Errorf("setupsched: non-positive makespan guess %s", T)
+	}
+	if T.Den() > maxDualDen {
+		return false, nil, fmt.Errorf("setupsched: makespan guess denominator %d exceeds %d", T.Den(), maxDualDen)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return false, nil, wrapSolveErr(err)
+		}
+	}
+	obs := multiObserver(cfg.observers)
+	obs.ProbeStarted(T)
+	accepted, sc, err = s.dualTest(v, T)
+	obs.ProbeFinished(T, accepted)
+	return accepted, sc, err
+}
+
+func (s *Solver) dualTest(v Variant, T Rat) (bool, *Schedule, error) {
+	switch v {
+	case Splittable:
+		ev := s.prep.EvalSplit(T, nil)
+		if !ev.OK {
+			return false, nil, nil
+		}
+		sc, err := s.prep.BuildSplit(ev)
+		return true, sc, err
+	case Preemptive:
+		ev := s.prep.EvalPmtn(T, nil)
+		if !ev.OK {
+			return false, nil, nil
+		}
+		sc, err := s.prep.BuildPmtn(ev)
+		return true, sc, err
+	default:
+		ev := s.prep.EvalNonp(T)
+		if !ev.OK {
+			return false, nil, nil
+		}
+		sc, err := s.prep.BuildNonp(ev)
+		return true, sc, err
+	}
+}
