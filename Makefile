@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke serve clean
+.PHONY: all build test test-race vet bench bench-smoke fuzz-smoke stress-smoke serve clean
 
 all: vet build test
 
@@ -30,6 +30,18 @@ bench:
 bench-smoke:
 	$(GO) test -bench='SolveCold|SolveHit|Fingerprint|HTTPSolve' -benchtime=1x -run=^$$ ./serve
 	$(GO) test -bench='SolverReuse|SolverOneShotPerCall|DualTest|SolveFacade' -benchtime=1x -run=^$$ .
+
+# Short fuzz sessions on the canonicalization/verification trust
+# boundaries.  The native fuzzer allows one -fuzz target per invocation.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzFingerprintCanonicalRoundTrip -fuzztime=$(FUZZTIME) ./sched
+	$(GO) test -run='^$$' -fuzz=FuzzVerifySchedule -fuzztime=$(FUZZTIME) .
+
+# A short differential soak: every schedgen family through all nine
+# algorithms with guarantee checking (see cmd/schedstress).
+stress-smoke:
+	$(GO) run ./cmd/schedstress -families all -seeds 10 -duration 10s
 
 serve:
 	$(GO) run ./cmd/schedserve

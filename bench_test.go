@@ -19,7 +19,7 @@ import (
 
 	"setupsched/internal/core"
 	"setupsched/internal/expt"
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 	"setupsched/sched"
 )
 
@@ -28,7 +28,7 @@ func benchInstance(n int) *Instance {
 	if classes < 1 {
 		classes = 1
 	}
-	return gen.Uniform(gen.Params{
+	return schedgen.Uniform(schedgen.Params{
 		M: int64(n/50 + 1), Classes: classes, JobsPer: 8,
 		MaxSetup: 1000, MaxJob: 1000, Seed: int64(n),
 	})
@@ -138,7 +138,7 @@ func BenchmarkFigure1_SplittableBuild(b *testing.B) {
 
 // Figures 2/5: the preemptive nice-instance construction.
 func BenchmarkFigure2_NiceInstanceBuild(b *testing.B) {
-	in := gen.ExpensiveSetups(gen.Params{M: 600, Classes: 500, JobsPer: 6, MaxSetup: 1000, MaxJob: 200, Seed: 5})
+	in := schedgen.ExpensiveSetups(schedgen.Params{M: 600, Classes: 500, JobsPer: 6, MaxSetup: 1000, MaxJob: 200, Seed: 5})
 	p := core.Prepare(in)
 	res, err := p.SolvePmtnJump(core.Ctl{})
 	if err != nil {
@@ -155,7 +155,7 @@ func BenchmarkFigure2_NiceInstanceBuild(b *testing.B) {
 
 // Figures 3/4: the preemptive general construction with large machines.
 func BenchmarkFigure3_LargeMachinesBuild(b *testing.B) {
-	in := gen.BigJobs(gen.Params{M: 64, Classes: 300, JobsPer: 6, MaxSetup: 300, MaxJob: 400, Seed: 6})
+	in := schedgen.BigJobs(schedgen.Params{M: 64, Classes: 300, JobsPer: 6, MaxSetup: 300, MaxJob: 400, Seed: 6})
 	p := core.Prepare(in)
 	res, err := p.SolvePmtnJump(core.Ctl{})
 	if err != nil {
@@ -211,6 +211,47 @@ func BenchmarkFigure10_NonpBuild(b *testing.B) {
 	}
 }
 
+// --- Per-family datapoints over the schedgen catalog ---
+//
+// One sub-benchmark per adversarial family at a fixed mid size, for each
+// exact 3/2 search.  These are the BENCH trajectory's per-family series:
+// a regression in one structural regime (say nearhalf's J+ churn or
+// msweep's run compression) shows up as that family's datapoint moving
+// while the others hold still.
+
+func benchFamilyInstance(f schedgen.Family) *Instance {
+	return f.Make(schedgen.Params{
+		M: 64, Classes: 1000, JobsPer: 8, MaxSetup: 500, MaxJob: 800, Seed: 1,
+	})
+}
+
+func benchFamilies(b *testing.B, run func(*core.Prep) (*core.Result, error)) {
+	for _, fam := range schedgen.Families {
+		in := benchFamilyInstance(fam)
+		p := core.Prepare(in)
+		b.Run(fam.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := run(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFamilies_SplitJump(b *testing.B) {
+	benchFamilies(b, func(p *core.Prep) (*core.Result, error) { return p.SolveSplitJump(core.Ctl{}) })
+}
+
+func BenchmarkFamilies_PmtnJump(b *testing.B) {
+	benchFamilies(b, func(p *core.Prep) (*core.Result, error) { return p.SolvePmtnJump(core.Ctl{}) })
+}
+
+func BenchmarkFamilies_NonpSearch(b *testing.B) {
+	benchFamilies(b, func(p *core.Prep) (*core.Result, error) { return p.SolveNonpSearch(core.Ctl{}) })
+}
+
 // --- Ablations ---
 
 // Run compression: the splittable solver on a cluster of one million
@@ -220,7 +261,7 @@ func BenchmarkAblation_RunCompression_m1e3(b *testing.B) { benchSplitHugeM(b, 1_
 func BenchmarkAblation_RunCompression_m1e6(b *testing.B) { benchSplitHugeM(b, 1_000_000) }
 
 func benchSplitHugeM(b *testing.B, m int64) {
-	in := gen.Uniform(gen.Params{M: m, Classes: 200, JobsPer: 8, MaxSetup: 50, MaxJob: 100, Seed: 1})
+	in := schedgen.Uniform(schedgen.Params{M: m, Classes: 200, JobsPer: 8, MaxSetup: 50, MaxJob: 100, Seed: 1})
 	p := core.Prepare(in)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

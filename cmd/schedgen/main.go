@@ -7,8 +7,10 @@
 //	         [-maxsetup 100] [-maxjob 100] [-seed 1]
 //
 //	schedgen -family bigjobs -m 6 | schedsolve -variant pmtn -gantt
+//	schedgen -list   # print the full catalog with descriptions
 //
-// Families: uniform, expensive, smallbatch, singlejob, bigjobs, zipf.
+// The catalog lives in package schedgen; -list prints every family and
+// the structural regime it stresses.
 package main
 
 import (
@@ -17,7 +19,7 @@ import (
 	"fmt"
 	"os"
 
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 )
 
 func main() {
@@ -28,19 +30,23 @@ func main() {
 	maxSetup := flag.Int64("maxsetup", 100, "maximum setup time")
 	maxJob := flag.Int64("maxjob", 100, "maximum job processing time")
 	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "print the family catalog with descriptions and exit")
 	flag.Parse()
 
-	fam, err := gen.ByName(*family)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "schedgen:", err)
-		fmt.Fprint(os.Stderr, "known families:")
-		for _, f := range gen.Families {
-			fmt.Fprintf(os.Stderr, " %s", f.Name)
+	if *list {
+		for _, f := range schedgen.Families {
+			fmt.Printf("%-12s %s\n", f.Name, f.Description)
 		}
-		fmt.Fprintln(os.Stderr)
+		return
+	}
+
+	fam, err := schedgen.ByName(*family)
+	if err != nil {
+		// The error already lists the known families.
+		fmt.Fprintln(os.Stderr, "schedgen:", err)
 		os.Exit(2)
 	}
-	in := fam.Make(gen.Params{
+	in := fam.Make(schedgen.Params{
 		M: *m, Classes: *classes, JobsPer: *jobs,
 		MaxSetup: *maxSetup, MaxJob: *maxJob, Seed: *seed,
 	})

@@ -1,0 +1,154 @@
+// Command schedstress soaks the solvers with generated adversarial
+// instances and differentially verifies every paper guarantee: each
+// instance is solved by all nine algorithms through the public Solver API,
+// every result is re-checked with setupsched.Verify, measured ratios are
+// asserted against the per-variant guarantees, and — on instances small
+// enough for exhaustive search — certified bounds and makespans are
+// checked against true optima (plus baseline and cross-variant sanity).
+//
+// Usage:
+//
+//	schedstress [-families all] [-profiles all] [-seeds 20] [-seedbase 0]
+//	            [-workers NumCPU] [-duration 0] [-eps 1e-3] [-maxviol 20] [-v]
+//
+//	schedstress -families all -seeds 50          # one full verified sweep
+//	schedstress -duration 10s                    # soak until the clock runs out
+//	schedstress -families nearhalf,ratstress -v  # drill into two regimes
+//
+// Every violation is printed with the (family, profile, seed) triple that
+// regenerates the offending instance.  Exit status: 0 all checks passed,
+// 1 violations found, 2 usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"setupsched/internal/diff"
+	"setupsched/schedgen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	families := flag.String("families", "all", "comma-separated schedgen families, or 'all'")
+	profiles := flag.String("profiles", "all", "comma-separated size profiles (tiny, small, medium), or 'all'")
+	seeds := flag.Int64("seeds", 20, "seeds per (family, profile) pair and round")
+	seedBase := flag.Int64("seedbase", 0, "first seed of the sweep")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel check workers")
+	duration := flag.Duration("duration", 0, "keep sweeping fresh seeds until this much time has passed (0 = one sweep)")
+	eps := flag.Float64("eps", diff.DefaultEpsilon, "accuracy of the eps-search specs")
+	maxViol := flag.Int("maxviol", 20, "stop after this many violations (0 = unlimited)")
+	verbose := flag.Bool("v", false, "per-round progress output")
+	flag.Parse()
+
+	fams, err := schedgen.Select(*families)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedstress:", err)
+		return 2
+	}
+	profs, err := diff.ProfilesByNames(*profiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedstress:", err)
+		return 2
+	}
+	if *seeds <= 0 {
+		fmt.Fprintln(os.Stderr, "schedstress: -seeds must be positive")
+		return 2
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	total := &diff.Summary{MaxRatioVsLB: map[string]float64{}}
+	start := time.Now()
+	rounds := 0
+	for {
+		cfg := diff.Config{
+			Families: fams, Profiles: profs,
+			Seeds: *seeds, SeedBase: *seedBase + int64(rounds)*(*seeds),
+			Epsilon: *eps, Workers: *workers, MaxViolations: *maxViol,
+		}
+		sum, err := diff.Run(ctx, cfg)
+		merge(total, sum)
+		rounds++
+		if *verbose {
+			fmt.Printf("round %d: seeds [%d, %d), %d instances, %d solves, %d violations (%.1fs elapsed)\n",
+				rounds, cfg.SeedBase, cfg.SeedBase+cfg.Seeds,
+				sum.Instances, sum.Solves, len(sum.Violations), time.Since(start).Seconds())
+		}
+		// Only the soak deadline itself is a clean stop; any other error is
+		// an infrastructure failure that must fail the run even if the
+		// deadline has since expired.
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			report(total, rounds, time.Since(start))
+			fmt.Fprintln(os.Stderr, "schedstress:", err)
+			return 2
+		}
+		stop := *duration <= 0 || ctx.Err() != nil
+		if *maxViol > 0 && len(total.Violations) >= *maxViol {
+			stop = true
+		}
+		if stop {
+			break
+		}
+	}
+
+	report(total, rounds, time.Since(start))
+	if len(total.Violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func merge(dst, src *diff.Summary) {
+	dst.Instances += src.Instances
+	dst.Solves += src.Solves
+	dst.ExactNonp += src.ExactNonp
+	dst.ExactSplit += src.ExactSplit
+	dst.Fallbacks += src.Fallbacks
+	for name, r := range src.MaxRatioVsLB {
+		if r > dst.MaxRatioVsLB[name] {
+			dst.MaxRatioVsLB[name] = r
+		}
+	}
+	dst.Violations = append(dst.Violations, src.Violations...)
+}
+
+func report(sum *diff.Summary, rounds int, elapsed time.Duration) {
+	fmt.Printf("schedstress: %d instances, %d solves in %d round(s), %.1fs\n",
+		sum.Instances, sum.Solves, rounds, elapsed.Seconds())
+	fmt.Printf("  exact references: %d non-preemptive, %d splittable; %d fallback runs\n",
+		sum.ExactNonp, sum.ExactSplit, sum.Fallbacks)
+
+	names := make([]string, 0, len(sum.MaxRatioVsLB))
+	for name := range sum.MaxRatioVsLB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Println("  worst measured makespan / certified-bound ratios:")
+	for _, name := range names {
+		fmt.Printf("    %-14s %.6f\n", name, sum.MaxRatioVsLB[name])
+	}
+
+	if len(sum.Violations) == 0 {
+		fmt.Println("  all guarantees held")
+		return
+	}
+	fmt.Printf("  %d VIOLATIONS:\n", len(sum.Violations))
+	for _, v := range sum.Violations {
+		fmt.Printf("    %s\n", v)
+	}
+}

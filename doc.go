@@ -96,6 +96,23 @@
 // timeouts and client-disconnect cancellation, and reports probe-level
 // search metrics on /v1/stats.
 //
+// # Testing
+//
+// Package setupsched/schedgen generates deterministic, seed-reproducible
+// adversarial instances, one self-describing family per structural regime
+// of the paper's analysis (cheap/expensive setups, single-job classes,
+// jobs at the T/2 threshold, heavy-tailed class sizes, all-setup and
+// no-setup extremes, rational-ratio stress, machine-count sweeps).  On
+// top of it, the differential harness internal/diff solves every family
+// with all nine paper algorithms, re-checks each result with Verify,
+// asserts the measured ratios against the per-variant guarantees, and
+// cross-checks certified bounds and makespans against exhaustive optima
+// (internal/exact) on small instances and against baseline and
+// cross-variant bounds otherwise.  cmd/schedstress exposes the harness as
+// a soak CLI; native fuzz targets (FuzzFingerprintCanonicalRoundTrip,
+// FuzzVerifySchedule) guard the canonicalization and verification trust
+// boundaries.
+//
 // See the examples/ directory for runnable end-to-end scenarios and
 // DESIGN.md for the system inventory and reproduction notes.
 package setupsched

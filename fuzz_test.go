@@ -1,0 +1,155 @@
+package setupsched
+
+import (
+	"context"
+	"testing"
+
+	"setupsched/sched"
+)
+
+// fuzzInstance mirrors the decoder in sched/fuzz_test.go: any byte stream
+// yields a small valid instance, so the fuzzer explores structure rather
+// than parser acceptance.
+func fuzzSolveInstance(m int64, data []byte) *Instance {
+	next := func() int64 {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return int64(b)
+	}
+	abs := m
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs < 0 { // math.MinInt64
+		abs = 0
+	}
+	in := &Instance{M: 1 + abs%5}
+	classes := 1 + int(next())%5
+	for c := 0; c < classes; c++ {
+		cl := Class{Setup: next() % 24}
+		jobs := 1 + int(next())%4
+		for j := 0; j < jobs; j++ {
+			cl.Jobs = append(cl.Jobs, 1+next()%32)
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+func cloneSchedule(s *Schedule) *Schedule {
+	out := &Schedule{Variant: s.Variant, T: s.T, Runs: make([]sched.MachineRun, len(s.Runs))}
+	for i := range s.Runs {
+		out.Runs[i] = sched.MachineRun{
+			Count: s.Runs[i].Count,
+			Slots: append([]sched.Slot(nil), s.Runs[i].Slots...),
+		}
+	}
+	return out
+}
+
+// mutateResult corrupts a copy of the result in a way that is invalid by
+// construction.  kind selects the corruption, idx the target slot; the
+// second return is false when the corruption does not apply to this
+// result (nothing was changed).
+func mutateResult(res *Result, kind uint8, idx uint16) (*Result, bool) {
+	mut := *res
+	mut.Schedule = cloneSchedule(res.Schedule)
+	switch kind % 4 {
+	case 0: // lie about the makespan
+		mut.Makespan = mut.Makespan.AddInt(1)
+		return &mut, true
+	case 1: // claim a lower bound above the makespan
+		mut.LowerBound = mut.Makespan.AddInt(1)
+		return &mut, true
+	case 2: // drop one job piece: its work can no longer be covered
+		target := int(idx)
+		for i := range mut.Schedule.Runs {
+			slots := mut.Schedule.Runs[i].Slots
+			for j := range slots {
+				if slots[j].Kind != sched.SlotJob {
+					continue
+				}
+				if target > 0 {
+					target--
+					continue
+				}
+				mut.Schedule.Runs[i].Slots = append(slots[:j:j], slots[j+1:]...)
+				// The dropped piece may have carried the makespan; keep the
+				// stated makespan consistent so the work check, not the
+				// makespan mismatch, is what must catch this.
+				mut.Makespan = mut.Schedule.Makespan()
+				return &mut, true
+			}
+		}
+		return nil, false
+	default: // stretch one job piece: overwork and/or overlap
+		target := int(idx)
+		for i := range mut.Schedule.Runs {
+			slots := mut.Schedule.Runs[i].Slots
+			for j := range slots {
+				if slots[j].Kind != sched.SlotJob {
+					continue
+				}
+				if target > 0 {
+					target--
+					continue
+				}
+				slots[j].End = slots[j].End.AddInt(1)
+				mut.Makespan = mut.Schedule.Makespan()
+				return &mut, true
+			}
+		}
+		return nil, false
+	}
+}
+
+// FuzzVerifySchedule solves arbitrary small instances under all three
+// variants and checks that Verify
+//
+//   - accepts the solver's result after it has been remapped through the
+//     canonical index maps and back (the translation the serving layer
+//     performs on every cache hit), and
+//   - rejects every corrupted result: a lied-about makespan, an
+//     impossible lower bound, a dropped job piece, a stretched job piece.
+func FuzzVerifySchedule(f *testing.F) {
+	f.Add(int64(2), uint8(0), uint8(0), uint16(0), []byte{2, 3, 2, 7, 9})
+	f.Add(int64(3), uint8(1), uint8(2), uint16(1), []byte{1, 0, 1, 16})
+	f.Add(int64(1), uint8(2), uint8(3), uint16(5), []byte{4, 4, 2, 2, 2, 8, 1, 1})
+	f.Fuzz(func(t *testing.T, m int64, variant, mutKind uint8, mutIdx uint16, data []byte) {
+		in := fuzzSolveInstance(m, data)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid instance: %v", err)
+		}
+		v := sched.Variants[int(variant)%len(sched.Variants)]
+		solver, err := NewSolver(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := solver.Solve(context.Background(), v)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if err := Verify(in, v, res); err != nil {
+			t.Fatalf("%v: Verify rejected the solver's own result: %v", v, err)
+		}
+
+		// The canonical remap round trip must stay verifiable.
+		c := in.Canonicalize()
+		remapped := *res
+		remapped.Schedule = c.FromCanonical(c.ToCanonical(res.Schedule))
+		if err := Verify(in, v, &remapped); err != nil {
+			t.Fatalf("%v: Verify rejected the canonically remapped result: %v", v, err)
+		}
+
+		// Every applicable corruption must be rejected.
+		if mut, ok := mutateResult(res, mutKind, mutIdx); ok {
+			if err := Verify(in, v, mut); err == nil {
+				t.Fatalf("%v: Verify accepted corrupted result (mutation %d, idx %d)",
+					v, mutKind%4, mutIdx)
+			}
+		}
+	})
+}

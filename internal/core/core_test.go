@@ -6,7 +6,7 @@ import (
 	"testing"
 
 	"setupsched/internal/exact"
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 	"setupsched/sched"
 )
 
@@ -241,11 +241,11 @@ func TestDualSoundness(t *testing.T) {
 // TestGeneratorFamiliesMediumSize runs every solver on medium instances
 // from all generator families.
 func TestGeneratorFamiliesMediumSize(t *testing.T) {
-	for _, fam := range gen.Families {
+	for _, fam := range schedgen.Families {
 		fam := fam
 		t.Run(fam.Name, func(t *testing.T) {
 			for seed := int64(0); seed < 6; seed++ {
-				in := fam.Make(gen.Params{
+				in := fam.Make(schedgen.Params{
 					M: 3 + seed*2, Classes: 8 + int(seed), JobsPer: 5,
 					MaxSetup: 40, MaxJob: 60, Seed: seed,
 				})

@@ -147,5 +147,5 @@ func (p *Prep) SolvePmtnJump(ctl Ctl) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: "pmtn/jump/fallback", Probes: br.probes}, nil
+	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: "pmtn/jump/fallback", Probes: br.probes, Fallback: true}, nil
 }

@@ -20,6 +20,11 @@ type Result struct {
 	Algorithm string
 	// Probes counts dual-test evaluations performed by the search.
 	Probes int
+	// Fallback marks the bounded-round conservative paths: the schedule
+	// and its 3/2*T bound are still sound, but the certified LowerBound is
+	// conservative, so Makespan/LowerBound may exceed the search's usual
+	// guarantee.
+	Fallback bool
 }
 
 // RatioUpperBound returns Makespan/LowerBound as a float, an upper bound
@@ -401,7 +406,7 @@ func (p *Prep) closeJump(br *bracket, data intervalData, test func(sched.Rat) bo
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: algo + "/fallback", Probes: br.probes}, nil
+	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: algo + "/fallback", Probes: br.probes, Fallback: true}, nil
 }
 
 // SolveNonpSearch is the exact 3/2-approximation for the non-preemptive

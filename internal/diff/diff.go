@@ -1,0 +1,546 @@
+// Package diff is the differential guarantee-checking harness: it runs
+// every paper algorithm on generated instances through the public Solver
+// API and cross-checks the results against each other, against exhaustive
+// optima (internal/exact, when the instance is small enough), and against
+// the classical baselines (internal/baseline).
+//
+// For every instance it asserts, per algorithm:
+//
+//   - setupsched.Verify accepts the result (feasible schedule, stated
+//     makespan matches, certified bound sound against the trivial bound);
+//   - makespan / certified lower bound never exceeds the paper guarantee
+//     (2 for the 2-approximations, 3/2 for the exact searches,
+//     (3/2)(1+eps) for the eps-searches), except for the documented
+//     bounded-round fallbacks, which are counted instead;
+//   - where internal/exact can solve the instance: the certified lower
+//     bound never exceeds OPT, no schedule beats OPT, and the makespan
+//     stays within guarantee*OPT (using the sandwich
+//     OPT_split <= OPT_pmtn <= OPT_nonp for the preemptive variant);
+//
+// and, per instance:
+//
+//   - the exact optima respect OPT_split <= OPT_nonp;
+//   - every preemptive/non-preemptive makespan is at least every certified
+//     splittable lower bound (and non-preemptive at least preemptive),
+//     the relaxation chain of the three variants;
+//   - the baseline schedules validate, and their makespans are upper
+//     bounds: at least the exact non-preemptive optimum and at least every
+//     certified non-preemptive lower bound.
+//
+// Any broken invariant becomes a Violation carrying the family, seed and
+// size profile that produced it, so one (family, Params) pair reproduces
+// the failure exactly.  cmd/schedstress drives this package as a soak CLI;
+// diff_test.go drives it as tier-1 table tests.
+package diff
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"setupsched"
+	"setupsched/internal/baseline"
+	"setupsched/internal/exact"
+	"setupsched/sched"
+	"setupsched/schedgen"
+)
+
+// DefaultEpsilon is the eps-search accuracy used when Config.Epsilon is 0.
+const DefaultEpsilon = 1e-3
+
+// Spec is one algorithm under differential test.
+type Spec struct {
+	// Name labels the spec in reports ("pmtn/eps", ...).
+	Name      string
+	Variant   sched.Variant
+	Algorithm setupsched.Algorithm
+	// Epsilon is the accuracy passed to the eps-search (0 otherwise).
+	Epsilon float64
+	// GuarNum/GuarDen is the paper guarantee as an exact rational (2/1 or
+	// 3/2).  For EpsilonSearch the effective bound is
+	// (GuarNum/GuarDen)*(1+Epsilon), compared in floats with relative
+	// slack 1e-9; the exact rationals are compared exactly.
+	GuarNum, GuarDen int64
+}
+
+// Guarantee returns the spec's ratio bound as a float (eps included).
+func (s Spec) Guarantee() float64 {
+	g := float64(s.GuarNum) / float64(s.GuarDen)
+	if s.Algorithm == setupsched.EpsilonSearch {
+		g *= 1 + s.Epsilon
+	}
+	return g
+}
+
+// Specs returns the nine paper algorithms (the rows of Table 1) routed
+// through the public Solver API, with eps as the eps-search accuracy.
+func Specs(eps float64) []Spec {
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	var out []Spec
+	for _, v := range sched.Variants {
+		var short string
+		switch v {
+		case sched.Splittable:
+			short = "split"
+		case sched.Preemptive:
+			short = "pmtn"
+		default:
+			short = "nonp"
+		}
+		out = append(out,
+			Spec{short + "/2approx", v, setupsched.TwoApprox, 0, 2, 1},
+			Spec{short + "/eps", v, setupsched.EpsilonSearch, eps, 3, 2},
+			Spec{short + "/exact32", v, setupsched.Exact32, 0, 3, 2},
+		)
+	}
+	return out
+}
+
+// AlgoRun is the outcome of one spec on one instance.
+type AlgoRun struct {
+	Spec      Spec
+	Algorithm string // algorithm name reported by the solver
+	Makespan  sched.Rat
+	Lower     sched.Rat
+	Probes    int
+	// RatioVsLB is Makespan/Lower, the measured ratio the guarantee caps.
+	RatioVsLB float64
+	// Fallback reports the documented bounded-round fallback path, whose
+	// certified bound is conservative (guarantee-vs-LB not asserted).
+	Fallback bool
+}
+
+// Report is the outcome of checking one instance.
+type Report struct {
+	Fingerprint string
+	Jobs        int
+	Classes     int
+	Machines    int64
+	// OptNonp is the exhaustive non-preemptive optimum, or -1 when the
+	// instance exceeds the exact-search budget.
+	OptNonp int64
+	// OptSplit is the exhaustive splittable optimum when HasOptSplit.
+	OptSplit    sched.Rat
+	HasOptSplit bool
+	Runs        []AlgoRun
+	Fallbacks   int
+	// Violations lists every broken invariant, human-readable.
+	Violations []string
+}
+
+func (r *Report) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// exact-search gates tighter than internal/exact's own, keeping the
+// per-instance exhaustive budget small enough for soak throughput.
+func wantExactNonp(in *sched.Instance) bool {
+	return in.NumJobs() <= 12 && in.M <= 4 && len(in.Classes) <= 12
+}
+
+func wantExactSplit(in *sched.Instance) bool {
+	return in.M <= 4 && len(in.Classes) <= 4
+}
+
+// CheckInstance runs every spec on the instance and cross-checks the
+// results.  Violations are reported in the Report, not as an error; the
+// error return is reserved for infrastructure failures (context
+// cancellation, a nil or invalid instance).
+func CheckInstance(ctx context.Context, in *sched.Instance, eps float64) (*Report, error) {
+	solver, err := setupsched.NewSolver(in)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Fingerprint: in.Fingerprint(),
+		Jobs:        in.NumJobs(),
+		Classes:     in.NumClasses(),
+		Machines:    in.M,
+		OptNonp:     -1,
+	}
+
+	// Exhaustive references, where affordable.
+	if wantExactNonp(in) {
+		switch opt, err := exact.NonPreemptive(in); {
+		case err == nil:
+			rep.OptNonp = opt
+		case !errors.Is(err, exact.ErrTooLarge):
+			return nil, err
+		}
+	}
+	if wantExactSplit(in) {
+		switch opt, err := exact.Splittable(in); {
+		case err == nil:
+			rep.OptSplit, rep.HasOptSplit = opt, true
+		case !errors.Is(err, exact.ErrTooLarge):
+			return nil, err
+		}
+	}
+	if rep.OptNonp >= 0 && rep.HasOptSplit && sched.R(rep.OptNonp).Less(rep.OptSplit) {
+		rep.violate("exact optima inverted: OPT_split %s > OPT_nonp %d", rep.OptSplit, rep.OptNonp)
+	}
+
+	for _, spec := range Specs(eps) {
+		opts := []setupsched.Option{setupsched.WithAlgorithm(spec.Algorithm)}
+		if spec.Algorithm == setupsched.EpsilonSearch {
+			opts = append(opts, setupsched.WithEpsilon(spec.Epsilon))
+		}
+		res, err := solver.Solve(ctx, spec.Variant, opts...)
+		if err != nil {
+			if errors.Is(err, setupsched.ErrCanceled) {
+				return rep, err
+			}
+			rep.violate("%s: solve failed: %v", spec.Name, err)
+			continue
+		}
+		run := AlgoRun{
+			Spec:      spec,
+			Algorithm: res.Algorithm,
+			Makespan:  res.Makespan,
+			Lower:     res.LowerBound,
+			Probes:    res.Probes,
+			RatioVsLB: res.Ratio,
+			Fallback:  res.Fallback,
+		}
+		rep.Runs = append(rep.Runs, run)
+		if run.Fallback {
+			rep.Fallbacks++
+		}
+		checkRun(rep, in, run, res)
+	}
+	checkRelaxationChain(rep)
+	checkBaselines(rep, in)
+	return rep, nil
+}
+
+// checkRun asserts the per-algorithm invariants for one result.
+func checkRun(rep *Report, in *sched.Instance, run AlgoRun, res *setupsched.Result) {
+	spec := run.Spec
+	if err := setupsched.Verify(in, spec.Variant, res); err != nil {
+		rep.violate("%s: Verify rejected the solver's own result: %v", spec.Name, err)
+		return
+	}
+
+	// Guarantee against the certified lower bound (skipped for the
+	// documented conservative fallbacks, which are counted instead).
+	if !run.Fallback && !withinGuarantee(spec, run.Makespan, run.Lower) {
+		rep.violate("%s: makespan %s exceeds guarantee %.6f x certified bound %s (ratio %.6f)",
+			spec.Name, run.Makespan, spec.Guarantee(), run.Lower, run.RatioVsLB)
+	}
+
+	// Differential checks against the exhaustive optima.  The preemptive
+	// optimum is sandwiched: OPT_split <= OPT_pmtn <= OPT_nonp.
+	var optLo, optHi sched.Rat // OPT in [optLo, optHi] for this variant
+	var haveLo, haveHi bool
+	switch spec.Variant {
+	case sched.Splittable:
+		if rep.HasOptSplit {
+			optLo, optHi, haveLo, haveHi = rep.OptSplit, rep.OptSplit, true, true
+		}
+	case sched.NonPreemptive:
+		if rep.OptNonp >= 0 {
+			o := sched.R(rep.OptNonp)
+			optLo, optHi, haveLo, haveHi = o, o, true, true
+		}
+	case sched.Preemptive:
+		if rep.HasOptSplit {
+			optLo, haveLo = rep.OptSplit, true
+		}
+		if rep.OptNonp >= 0 {
+			optHi, haveHi = sched.R(rep.OptNonp), true
+		}
+	}
+	if haveHi && optHi.Less(run.Lower) {
+		rep.violate("%s: certified lower bound %s exceeds exact optimum %s (unsound certificate)",
+			spec.Name, run.Lower, optHi)
+	}
+	if haveLo && run.Makespan.Less(optLo) {
+		rep.violate("%s: schedule makespan %s beats the exact optimum %s (infeasible schedule or broken exact search)",
+			spec.Name, run.Makespan, optLo)
+	}
+	if haveHi && !run.Fallback && !withinGuarantee(spec, run.Makespan, optHi) {
+		rep.violate("%s: makespan %s exceeds guarantee %.6f x exact optimum %s",
+			spec.Name, run.Makespan, spec.Guarantee(), optHi)
+	}
+}
+
+// withinGuarantee reports mk <= guarantee * ref — exactly in rationals for
+// the 2 and 3/2 bounds, in floats with 1e-9 relative slack for the
+// eps-inflated bound.
+func withinGuarantee(spec Spec, mk, ref sched.Rat) bool {
+	if spec.Algorithm == setupsched.EpsilonSearch {
+		return mk.Float64() <= spec.Guarantee()*ref.Float64()*(1+1e-9)
+	}
+	return mk.Leq(ref.MulInt(spec.GuarNum).DivInt(spec.GuarDen))
+}
+
+// checkRelaxationChain asserts OPT_split <= OPT_pmtn <= OPT_nonp through
+// the runs: a feasible schedule of a stricter variant can never undercut a
+// certified lower bound of a more relaxed one.
+func checkRelaxationChain(rep *Report) {
+	rank := func(v sched.Variant) int {
+		switch v {
+		case sched.Splittable:
+			return 0
+		case sched.Preemptive:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for _, lower := range rep.Runs {
+		for _, upper := range rep.Runs {
+			if rank(lower.Spec.Variant) < rank(upper.Spec.Variant) &&
+				upper.Makespan.Less(lower.Lower) {
+				rep.violate("relaxation chain broken: %s makespan %s below %s certified bound %s",
+					upper.Spec.Name, upper.Makespan, lower.Spec.Name, lower.Lower)
+			}
+		}
+	}
+}
+
+// checkBaselines validates the classical baselines and uses them as upper
+// bounds: every baseline schedules the instance non-preemptively, so its
+// makespan is at least OPT_nonp and at least every certified
+// non-preemptive lower bound.
+func checkBaselines(rep *Report, in *sched.Instance) {
+	for _, b := range []struct {
+		name string
+		make func(*sched.Instance) *sched.Schedule
+	}{
+		{"baseline/lpt", baseline.LPTBatches},
+		{"baseline/nextfit", baseline.NextFitBatches},
+		{"baseline/monmapotts", baseline.MonmaPottsSplit},
+	} {
+		s := b.make(in)
+		if err := s.Validate(in); err != nil {
+			rep.violate("%s: invalid schedule: %v", b.name, err)
+			continue
+		}
+		mk := s.Makespan()
+		if rep.OptNonp >= 0 && mk.Less(sched.R(rep.OptNonp)) {
+			rep.violate("%s: makespan %s beats the exact non-preemptive optimum %d", b.name, mk, rep.OptNonp)
+		}
+		for _, run := range rep.Runs {
+			if run.Spec.Variant == sched.NonPreemptive && mk.Less(run.Lower) {
+				rep.violate("%s: makespan %s below %s certified bound %s", b.name, mk, run.Spec.Name, run.Lower)
+			}
+		}
+	}
+}
+
+// Profile is a named instance-size profile.
+type Profile struct {
+	Name string
+	// Params sizes the generated instances; Seed is overwritten per run.
+	Params schedgen.Params
+}
+
+// DefaultProfiles returns the standard soak ladder: "tiny" is sized so
+// internal/exact can compute true optima, "small" and "medium" are checked
+// against certified bounds, baselines and the relaxation chain only.
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{"tiny", schedgen.Params{M: 3, Classes: 3, JobsPer: 2, MaxSetup: 12, MaxJob: 16}},
+		{"small", schedgen.Params{M: 4, Classes: 10, JobsPer: 3, MaxSetup: 40, MaxJob: 60}},
+		{"medium", schedgen.Params{M: 16, Classes: 80, JobsPer: 5, MaxSetup: 200, MaxJob: 300}},
+	}
+}
+
+// ProfilesByNames resolves a comma-separated profile list against
+// DefaultProfiles; "all" (or "") selects every profile.
+func ProfilesByNames(spec string) ([]Profile, error) {
+	all := DefaultProfiles()
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return all, nil
+	}
+	known := make([]string, len(all))
+	for i, p := range all {
+		known[i] = p.Name
+	}
+	var out []Profile
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		found := false
+		for _, p := range all {
+			if p.Name == name {
+				out = append(out, p)
+				seen[name] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("diff: unknown profile %q (known: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("diff: empty profile selection %q", spec)
+	}
+	return out, nil
+}
+
+// Violation is one broken invariant with everything needed to reproduce
+// it: the family, size profile and seed regenerate the instance exactly.
+type Violation struct {
+	Family      string
+	Profile     string
+	Seed        int64
+	Fingerprint string
+	Msg         string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s/%s seed=%d fp=%.12s] %s", v.Family, v.Profile, v.Seed, v.Fingerprint, v.Msg)
+}
+
+// Config drives one Run sweep.
+type Config struct {
+	// Families to generate; empty means the full schedgen catalog.
+	Families []schedgen.Family
+	// Profiles to size instances with; empty means DefaultProfiles.
+	Profiles []Profile
+	// Seeds runs seeds SeedBase .. SeedBase+Seeds-1 per (family, profile).
+	Seeds    int64
+	SeedBase int64
+	// Epsilon is the eps-search accuracy (default DefaultEpsilon).
+	Epsilon float64
+	// Workers bounds check parallelism; <= 0 means 1.
+	Workers int
+	// MaxViolations stops early once this many violations are collected
+	// (0 = unlimited).
+	MaxViolations int
+}
+
+// Summary aggregates a Run sweep.
+type Summary struct {
+	Instances  int64
+	Solves     int64
+	ExactNonp  int64 // instances with an exhaustive non-preemptive optimum
+	ExactSplit int64 // instances with an exhaustive splittable optimum
+	Fallbacks  int64
+	// MaxRatioVsLB is the worst measured makespan/certified-bound ratio
+	// per spec name, over non-fallback runs.
+	MaxRatioVsLB map[string]float64
+	Violations   []Violation
+}
+
+// Run sweeps families x profiles x seeds, checking every instance on a
+// bounded worker pool.  It stops early when ctx is done (returning what
+// was checked so far with the context's error) or when MaxViolations is
+// reached (nil error).
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	families := cfg.Families
+	if len(families) == 0 {
+		families = schedgen.Families
+	}
+	profiles := cfg.Profiles
+	if len(profiles) == 0 {
+		profiles = DefaultProfiles()
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	type item struct {
+		fam     schedgen.Family
+		profile Profile
+		seed    int64
+	}
+	jobs := make(chan item)
+	sum := &Summary{MaxRatioVsLB: map[string]float64{}}
+	var mu sync.Mutex
+	var firstErr error
+	stop := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil ||
+			(cfg.MaxViolations > 0 && len(sum.Violations) >= cfg.MaxViolations)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range jobs {
+				p := it.profile.Params
+				p.Seed = it.seed
+				in := it.fam.Make(p)
+				rep, err := CheckInstance(ctx, in, cfg.Epsilon)
+				mu.Lock()
+				record := func() {
+					for _, msg := range rep.Violations {
+						sum.Violations = append(sum.Violations, Violation{
+							Family: it.fam.Name, Profile: it.profile.Name, Seed: it.seed,
+							Fingerprint: rep.Fingerprint, Msg: msg,
+						})
+					}
+				}
+				if err != nil {
+					if firstErr == nil && !errors.Is(err, setupsched.ErrCanceled) {
+						firstErr = fmt.Errorf("%s/%s seed %d: %w", it.fam.Name, it.profile.Name, it.seed, err)
+					}
+					if firstErr == nil && ctx.Err() != nil {
+						firstErr = ctx.Err()
+					}
+					// A cancellation mid-instance must not discard evidence
+					// the completed specs already produced.
+					if rep != nil {
+						record()
+					}
+					mu.Unlock()
+					continue
+				}
+				sum.Instances++
+				sum.Solves += int64(len(rep.Runs))
+				sum.Fallbacks += int64(rep.Fallbacks)
+				if rep.OptNonp >= 0 {
+					sum.ExactNonp++
+				}
+				if rep.HasOptSplit {
+					sum.ExactSplit++
+				}
+				for _, run := range rep.Runs {
+					if !run.Fallback && run.RatioVsLB > sum.MaxRatioVsLB[run.Spec.Name] {
+						sum.MaxRatioVsLB[run.Spec.Name] = run.RatioVsLB
+					}
+				}
+				record()
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for _, fam := range families {
+		for _, profile := range profiles {
+			for s := int64(0); s < cfg.Seeds; s++ {
+				if ctx.Err() != nil || stop() {
+					break feed
+				}
+				jobs <- item{fam, profile, cfg.SeedBase + s}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return sum, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}

@@ -5,7 +5,7 @@ import (
 	"strings"
 
 	"setupsched/internal/core"
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 )
 
 // CrossoverRow records the makespans of the three variants on the same
@@ -21,7 +21,7 @@ type CrossoverRow struct {
 
 // Crossover sweeps the machine count on a fixed workload.
 func Crossover(ms []int64, seed int64) ([]CrossoverRow, error) {
-	base := gen.Uniform(gen.Params{
+	base := schedgen.Uniform(schedgen.Params{
 		M: 1, Classes: 24, JobsPer: 6, MaxSetup: 120, MaxJob: 80, Seed: seed,
 	})
 	var rows []CrossoverRow

@@ -23,7 +23,7 @@ import (
 	"setupsched/internal/baseline"
 	"setupsched/internal/core"
 	"setupsched/internal/exact"
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 	"setupsched/sched"
 )
 
@@ -81,10 +81,10 @@ type RatioRow struct {
 func RatioTable(instancesPerFamily int) ([]RatioRow, error) {
 	algos := Algorithms()
 	var rows []RatioRow
-	for _, fam := range gen.Families {
+	for _, fam := range schedgen.Families {
 		insts := make([]*sched.Instance, 0, instancesPerFamily)
 		for seed := 0; seed < instancesPerFamily; seed++ {
-			in := fam.Make(gen.Params{
+			in := fam.Make(schedgen.Params{
 				M:        int64(2 + seed%3),
 				Classes:  2 + seed%3,
 				JobsPer:  2,
@@ -134,7 +134,7 @@ func RatioTable(instancesPerFamily int) ([]RatioRow, error) {
 						row.MaxVsOPT = v
 					}
 				}
-				if r > algo.Guarantee+1e-9 && !strings.Contains(res.Algorithm, "fallback") {
+				if r > algo.Guarantee+1e-9 && !res.Fallback {
 					row.Violations++
 				}
 			}
@@ -179,7 +179,7 @@ func ScalingTable(sizes []int, reps int) ([]ScalingRow, error) {
 			if classes < 1 {
 				classes = 1
 			}
-			in := gen.Uniform(gen.Params{
+			in := schedgen.Uniform(schedgen.Params{
 				M: int64(n/50 + 1), Classes: classes, JobsPer: 8,
 				MaxSetup: 1000, MaxJob: 1000, Seed: int64(n),
 			})
@@ -247,10 +247,10 @@ type CompareRow struct {
 // CompareTable compares nonpreemptive algorithms with classical baselines.
 func CompareTable(instancesPerFamily int) ([]CompareRow, error) {
 	var rows []CompareRow
-	for _, fam := range gen.Families {
+	for _, fam := range schedgen.Families {
 		row := CompareRow{Family: fam.Name}
 		for seed := 0; seed < instancesPerFamily; seed++ {
-			in := fam.Make(gen.Params{
+			in := fam.Make(schedgen.Params{
 				M: 4, Classes: 12, JobsPer: 4,
 				MaxSetup: 30, MaxJob: 40, Seed: int64(seed),
 			})

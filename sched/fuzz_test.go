@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fuzzInstance decodes an instance from raw fuzz bytes: a machine count
+// plus a byte stream consumed as (setup, jobCount, jobs...) records.  The
+// decoder never fails — any input yields a small valid instance — so the
+// fuzzer spends its budget on structure, not on satisfying a parser.
+func fuzzInstance(m int64, data []byte) *Instance {
+	next := func() int64 {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return int64(b)
+	}
+	in := &Instance{M: 1 + absInt64(m)%6}
+	classes := 1 + int(next())%6
+	for c := 0; c < classes; c++ {
+		cl := Class{Setup: next() % 32}
+		jobs := 1 + int(next())%5
+		for j := 0; j < jobs; j++ {
+			cl.Jobs = append(cl.Jobs, 1+next()%48)
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		if x == -1<<63 {
+			return 0
+		}
+		return -x
+	}
+	return x
+}
+
+// permuteInstance returns a copy with classes shuffled and the jobs inside
+// every class shuffled, driven by the given deterministic source.
+func permuteInstance(in *Instance, rng *rand.Rand) *Instance {
+	out := in.Clone()
+	rng.Shuffle(len(out.Classes), func(a, b int) {
+		out.Classes[a], out.Classes[b] = out.Classes[b], out.Classes[a]
+	})
+	for i := range out.Classes {
+		jobs := out.Classes[i].Jobs
+		rng.Shuffle(len(jobs), func(a, b int) {
+			jobs[a], jobs[b] = jobs[b], jobs[a]
+		})
+	}
+	return out
+}
+
+// FuzzFingerprintCanonicalRoundTrip checks, for arbitrary instances and
+// arbitrary permutations of their classes and jobs:
+//
+//   - Fingerprint is permutation-invariant (the cache-correctness property
+//     the serving layer relies on);
+//   - the canonical instances of the original and the permutation are
+//     byte-identical;
+//   - the canonical index maps are true inverses: remapping any schedule
+//     ToCanonical and back FromCanonical is the identity.
+func FuzzFingerprintCanonicalRoundTrip(f *testing.F) {
+	f.Add(int64(3), int64(1), []byte{2, 5, 2, 7, 9, 1, 1, 3})
+	f.Add(int64(1), int64(99), []byte{0})
+	f.Add(int64(5), int64(-17), []byte{4, 0, 3, 1, 1, 1, 30, 2, 30, 30})
+	f.Fuzz(func(t *testing.T, m, permSeed int64, data []byte) {
+		in := fuzzInstance(m, data)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid instance: %v", err)
+		}
+		perm := permuteInstance(in, rand.New(rand.NewSource(permSeed)))
+
+		if got, want := perm.Fingerprint(), in.Fingerprint(); got != want {
+			t.Fatalf("fingerprint not permutation-invariant: %s != %s", got, want)
+		}
+		ci, cp := in.Canonicalize(), perm.Canonicalize()
+		if !ci.Instance.Equal(cp.Instance) {
+			t.Fatalf("canonical instances differ:\n%+v\n%+v", ci.Instance, cp.Instance)
+		}
+
+		// Round trip: a schedule touching every (class, job) pair must
+		// survive ToCanonical then FromCanonical unchanged.
+		s := enumerationSchedule(in)
+		rt := ci.FromCanonical(ci.ToCanonical(s))
+		if !schedulesIdentical(s, rt) {
+			t.Fatalf("ToCanonical/FromCanonical round trip changed the schedule:\n%v\n%v", s, rt)
+		}
+		// And the permuted instance's maps must translate its indexing
+		// into the same canonical slots as the original's.
+		sp := enumerationSchedule(perm)
+		if !schedulesSameShape(ci.ToCanonical(s), cp.ToCanonical(sp)) {
+			t.Fatal("canonical schedules of permuted twins differ in shape")
+		}
+	})
+}
+
+// enumerationSchedule lays every setup and job of the instance end to end
+// on one machine — not an optimized schedule, but a feasible-shaped one
+// that mentions every index exactly once.
+func enumerationSchedule(in *Instance) *Schedule {
+	b := NewMachineBuilder()
+	for c := range in.Classes {
+		b.Place(SlotSetup, c, -1, R(in.Classes[c].Setup+1))
+		for j, tj := range in.Classes[c].Jobs {
+			b.Place(SlotJob, c, j, R(tj))
+		}
+	}
+	s := &Schedule{Variant: NonPreemptive}
+	s.AddMachine(b.Slots())
+	s.T = s.Makespan()
+	return s
+}
+
+func schedulesIdentical(a, b *Schedule) bool {
+	if a.Variant != b.Variant || !a.T.Equal(b.T) || len(a.Runs) != len(b.Runs) {
+		return false
+	}
+	for i := range a.Runs {
+		if a.Runs[i].Count != b.Runs[i].Count || len(a.Runs[i].Slots) != len(b.Runs[i].Slots) {
+			return false
+		}
+		for j, sa := range a.Runs[i].Slots {
+			sb := b.Runs[i].Slots[j]
+			if sa.Kind != sb.Kind || sa.Class != sb.Class || sa.Job != sb.Job ||
+				!sa.Start.Equal(sb.Start) || !sa.End.Equal(sb.End) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// schedulesSameShape compares slot index targets and multiplicities while
+// ignoring times (the enumeration schedules of permuted twins visit the
+// same canonical indices in different orders at different offsets).
+func schedulesSameShape(a, b *Schedule) bool {
+	count := func(s *Schedule) map[[3]int]int {
+		m := map[[3]int]int{}
+		for i := range s.Runs {
+			for _, sl := range s.Runs[i].Slots {
+				m[[3]int{int(sl.Kind), sl.Class, sl.Job}]++
+			}
+		}
+		return m
+	}
+	ca, cb := count(a), count(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,369 @@
+// Package schedgen generates deterministic, seed-reproducible scheduling
+// instances for tests, benchmarks and the differential guarantee-checking
+// harness (internal/diff, cmd/schedstress).
+//
+// The source paper (Deppert & Jansen, SPAA 2019) has no empirical section,
+// so the catalog is built from the structural regimes its worst-case
+// analysis distinguishes: cheap vs expensive setups, small batches
+// (s_i + P(C_i) << OPT), single-job classes (the Schuurman-Woeginger
+// preemptive regime), jobs near the T/2 big-job threshold, heavy-tailed
+// class sizes, degenerate all-setup / no-setup extremes, rational-ratio
+// stress for the exact arithmetic, and machine-count sweeps.  Related
+// evaluations (Mäcker et al.; Jansen et al., "Empowering the
+// Configuration-IP") test against exactly these adversarial shapes.
+//
+// Every family is pure: the same Params always produce the identical
+// instance, so any failure found by a soak or fuzz run is reproduced by
+// its (family, Params) pair alone.
+package schedgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"setupsched/sched"
+)
+
+// Params control the generators.  All families draw from
+// rand.NewSource(Seed) only, so equal Params give equal instances.
+type Params struct {
+	M        int64 // machines
+	Classes  int   // number of classes c (some families reinterpret, see docs)
+	JobsPer  int   // expected jobs per class (>= 1)
+	MaxSetup int64 // setups drawn from [0, MaxSetup]
+	MaxJob   int64 // processing times drawn from [1, MaxJob]
+	Seed     int64
+}
+
+// Family is one named, self-describing generator.
+type Family struct {
+	// Name is the stable identifier used by CLIs and test tables.
+	Name string
+	// Description says which structural regime the family stresses.
+	Description string
+	// Make builds the instance; it must be deterministic in Params.
+	Make func(Params) *sched.Instance
+}
+
+// Uniform draws setups and job lengths uniformly.
+func Uniform(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		nj := 1
+		if p.JobsPer > 1 {
+			nj = 1 + rng.Intn(2*p.JobsPer-1)
+		}
+		cl := sched.Class{Setup: rng.Int63n(p.MaxSetup + 1)}
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(p.MaxJob))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// ExpensiveSetups makes setups dominate processing times, so most classes
+// are expensive at the interesting makespan guesses.
+func ExpensiveSetups(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: p.MaxSetup/2 + rng.Int63n(p.MaxSetup/2+1)}
+		nj := 1 + rng.Intn(max(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(max(p.MaxJob/4, 1)))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// SmallBatches produces many light classes (the Monma-Potts/Chen regime
+// where s_i + P(C_i) is far below OPT).
+func SmallBatches(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: rng.Int63n(max(p.MaxSetup/8, 1) + 1)}
+		nj := 1 + rng.Intn(max(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(max(p.MaxJob/8, 1)))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// SingleJobClasses produces |C_i| = 1 instances (the Schuurman-Woeginger
+// preemptive regime).
+func SingleJobClasses(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		in.Classes = append(in.Classes, sched.Class{
+			Setup: rng.Int63n(p.MaxSetup + 1),
+			Jobs:  []int64{1 + rng.Int63n(p.MaxJob)},
+		})
+	}
+	return in
+}
+
+// BigJobs places many jobs just above and below T/2-style thresholds,
+// stressing the J+/K/C* partitions.
+func BigJobs(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	base := max(p.MaxJob, 8)
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: rng.Int63n(base/4 + 1)}
+		nj := 1 + rng.Intn(max(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			switch rng.Intn(3) {
+			case 0: // big
+				cl.Jobs = append(cl.Jobs, base/2+rng.Int63n(base/2+1))
+			case 1: // near the boundary
+				cl.Jobs = append(cl.Jobs, base/2-rng.Int63n(base/8+1))
+			default: // small
+				cl.Jobs = append(cl.Jobs, 1+rng.Int63n(base/4))
+			}
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// NearHalf concentrates every job tightly at the T/2 big-job threshold:
+// processing times are MaxJob/2 - 1, MaxJob/2 or MaxJob/2 + 1 with small
+// setups.  At makespan guesses around MaxJob the J+ partition flips job by
+// job, the adversarial regime for the 3/2 dual tests.
+func NearHalf(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	base := max(p.MaxJob, 8)
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: rng.Int63n(max(base/8, 1) + 1)}
+		nj := 1 + rng.Intn(max(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, max(base/2+rng.Int63n(3)-1, 1))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// Zipf draws job lengths and setups from a heavy-tailed distribution,
+// producing a few dominant classes.
+func Zipf(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	zipf := rand.NewZipf(rng, 1.5, 1, uint64(max(p.MaxJob-1, 1)))
+	zipfS := rand.NewZipf(rng, 1.3, 1, uint64(max(p.MaxSetup, 1)))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: int64(zipfS.Uint64())}
+		nj := 1 + rng.Intn(max(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+int64(zipf.Uint64()))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// ZipfClassSizes draws the number of jobs per class from a heavy-tailed
+// distribution: a few giant classes next to many singletons, so class
+// work P(C_i) spans orders of magnitude within one instance.
+func ZipfClassSizes(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	// Tail up to ~JobsPer^2 jobs in one class, expectation near JobsPer.
+	tail := uint64(max(p.JobsPer*p.JobsPer, 2))
+	zipfN := rand.NewZipf(rng, 1.4, 1, tail)
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: rng.Int63n(p.MaxSetup + 1)}
+		nj := 1 + int(zipfN.Uint64())
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(p.MaxJob))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// NoSetup sets every setup to zero: the problem degenerates to classical
+// makespan scheduling (P||Cmax and relatives), the boundary where every
+// class is trivially cheap and the setup machinery must get out of the way.
+func NoSetup(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: 0}
+		nj := 1 + rng.Intn(max(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(p.MaxJob))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// AllSetup makes the schedule almost pure setup: setups in
+// [MaxSetup/2, MaxSetup], every job a unit.  Placement of setups is the
+// whole problem, the opposite extreme of NoSetup.
+func AllSetup(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	for c := 0; c < p.Classes; c++ {
+		cl := sched.Class{Setup: p.MaxSetup/2 + rng.Int63n(p.MaxSetup/2+1)}
+		nj := 1 + rng.Intn(max(p.JobsPer, 1))
+		for j := 0; j < nj; j++ {
+			cl.Jobs = append(cl.Jobs, 1)
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// ManyClassesOneJob sharpens the Schuurman-Woeginger regime: every class
+// is a single unit job behind a full-range setup, and classes vastly
+// outnumber machines, so setups are the entire scheduling substance.
+func ManyClassesOneJob(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	in := &sched.Instance{M: p.M}
+	// Guarantee classes >> machines regardless of the caller's ratio.
+	c := max(p.Classes, int(min(4*p.M, 1<<20)))
+	for i := 0; i < c; i++ {
+		in.Classes = append(in.Classes, sched.Class{
+			Setup: rng.Int63n(p.MaxSetup + 1),
+			Jobs:  []int64{1},
+		})
+	}
+	// The amplified class count must still respect the magnitude contract
+	// m*N <= MaxMachineLoadProduct; shed classes (never machines — the
+	// machine excess is the family's point) until it fits.
+	if in.M > 0 {
+		n := in.N()
+		for len(in.Classes) > 1 && n > sched.MaxMachineLoadProduct/in.M {
+			last := &in.Classes[len(in.Classes)-1]
+			n -= last.Setup + 1
+			in.Classes = in.Classes[:len(in.Classes)-1]
+		}
+	}
+	return in
+}
+
+// OneClassManyJobs is the opposite degenerate shape: a single class
+// carrying Classes*JobsPer jobs behind one setup, so the only question is
+// how to split one batch across all machines.
+func OneClassManyJobs(p Params) *sched.Instance {
+	rng := rand.New(rand.NewSource(p.Seed))
+	cl := sched.Class{Setup: rng.Int63n(p.MaxSetup + 1)}
+	n := max(p.Classes, 1) * max(p.JobsPer, 1)
+	for j := 0; j < n; j++ {
+		cl.Jobs = append(cl.Jobs, 1+rng.Int63n(p.MaxJob))
+	}
+	return &sched.Instance{M: p.M, Classes: []sched.Class{cl}}
+}
+
+// RationalStress pads a uniform instance so the total load N satisfies
+// N = 1 (mod m): the per-machine bound N/m and the guesses derived from it
+// carry the full denominator m through every probe, stressing the exact
+// rational arithmetic (and any code tempted to round).
+func RationalStress(p Params) *sched.Instance {
+	in := Uniform(p)
+	if in.M > 1 && len(in.Classes) > 0 {
+		delta := ((1-in.N())%in.M + in.M) % in.M
+		if delta == 0 {
+			delta = in.M
+		}
+		last := len(in.Classes) - 1
+		in.Classes[last].Jobs = append(in.Classes[last].Jobs, delta)
+	}
+	return in
+}
+
+// MachineSweep reinterprets the seed as a machine-count sweep: m is
+// Params.M shifted left by Seed mod 11 (so consecutive seeds cover three
+// decades of machine counts, from fewer machines than classes to vastly
+// more), with uniform setups and jobs.  It exercises the splittable run
+// compression and every m-dependent partition boundary.
+func MachineSweep(p Params) *sched.Instance {
+	shifted := p
+	shift := uint(((p.Seed % 11) + 11) % 11) // Go's % keeps the sign; negative seeds must still shift by 0..10
+	shifted.M = min(p.M<<shift, sched.MaxMachines)
+	in := Uniform(shifted)
+	// Respect the magnitude contract m*N <= MaxMachineLoadProduct even for
+	// extreme sweeps: shrink m (never the load) until it fits.
+	for in.M > 1 && in.N() > sched.MaxMachineLoadProduct/in.M {
+		in.M /= 2
+	}
+	return in
+}
+
+// Families lists the full catalog in a stable order.
+var Families = []Family{
+	{"uniform", "uniform setups and job lengths; the unbiased control", Uniform},
+	{"expensive", "setups dominate processing times; most classes expensive at interesting guesses", ExpensiveSetups},
+	{"smallbatch", "many light classes with s_i + P(C_i) far below OPT (Monma-Potts/Chen regime)", SmallBatches},
+	{"singlejob", "every class one job (Schuurman-Woeginger preemptive regime)", SingleJobClasses},
+	{"bigjobs", "jobs scattered above/below the T/2 threshold, stressing J+/K/C* partitions", BigJobs},
+	{"nearhalf", "all jobs within 1 of MaxJob/2; the J+ partition flips job by job near T=MaxJob", NearHalf},
+	{"zipf", "heavy-tailed job lengths and setups; a few dominant classes", Zipf},
+	{"zipfclass", "heavy-tailed class sizes; giant classes next to singletons", ZipfClassSizes},
+	{"nosetup", "all setups zero; degenerates to classical makespan scheduling", NoSetup},
+	{"allsetup", "setups in [max/2, max] with unit jobs; schedules are almost pure setup", AllSetup},
+	{"manyclasses", "unit job per class, classes >> machines; setups are the whole problem", ManyClassesOneJob},
+	{"oneclass", "a single class with all jobs behind one setup; pure batch splitting", OneClassManyJobs},
+	{"ratstress", "total load fixed to 1 mod m, so N/m carries denominator m through every probe", RationalStress},
+	{"msweep", "machine count swept over three decades by seed; stresses run compression", MachineSweep},
+}
+
+// ByName returns the named family.
+func ByName(name string) (Family, error) {
+	for _, f := range Families {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Family{}, fmt.Errorf("schedgen: unknown family %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the catalog's family names in stable order.
+func Names() []string {
+	out := make([]string, len(Families))
+	for i, f := range Families {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Select resolves a comma-separated family list; "all" (or "") selects the
+// whole catalog.  Duplicates are removed, order follows the catalog.
+func Select(spec string) ([]Family, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return append([]Family(nil), Families...), nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := ByName(name); err != nil {
+			return nil, err
+		}
+		want[name] = true
+	}
+	var out []Family
+	for _, f := range Families {
+		if want[f.Name] {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("schedgen: empty family selection %q", spec)
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+package schedgen
+
+import (
+	"strings"
+	"testing"
+
+	"setupsched/sched"
+)
+
+func TestAllFamiliesProduceValidInstances(t *testing.T) {
+	for _, fam := range Families {
+		for seed := int64(0); seed < 20; seed++ {
+			in := fam.Make(Params{
+				M: 1 + seed%7, Classes: 1 + int(seed)%9, JobsPer: 1 + int(seed)%5,
+				MaxSetup: 1 + seed*3, MaxJob: 1 + seed*7, Seed: seed,
+			})
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s seed %d: %v", fam.Name, seed, err)
+			}
+			if in.NumClasses() == 0 || in.NumJobs() == 0 {
+				t.Fatalf("%s seed %d: empty instance", fam.Name, seed)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Params{M: 4, Classes: 6, JobsPer: 3, MaxSetup: 20, MaxJob: 30, Seed: 99}
+	for _, fam := range Families {
+		a, b := fam.Make(p), fam.Make(p)
+		if !a.Equal(b) {
+			t.Errorf("%s: generator not deterministic", fam.Name)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	p := Params{M: 4, Classes: 12, JobsPer: 4, MaxSetup: 50, MaxJob: 80, Seed: 1}
+	q := p
+	q.Seed = 2
+	for _, fam := range Families {
+		if fam.Make(p).Fingerprint() == fam.Make(q).Fingerprint() {
+			t.Errorf("%s: seeds 1 and 2 collide", fam.Name)
+		}
+	}
+}
+
+func TestFamilyShapes(t *testing.T) {
+	p := Params{M: 4, Classes: 40, JobsPer: 4, MaxSetup: 100, MaxJob: 100, Seed: 3}
+
+	// expensive: setups at least half the configured maximum.
+	exp := ExpensiveSetups(p)
+	for i := range exp.Classes {
+		if exp.Classes[i].Setup < p.MaxSetup/2 {
+			t.Fatalf("expensive family made cheap setup %d", exp.Classes[i].Setup)
+		}
+	}
+	// smallbatch: batch weights well below max setup + jobs.
+	small := SmallBatches(p)
+	for i := range small.Classes {
+		if small.Classes[i].Setup > p.MaxSetup/8 {
+			t.Fatalf("smallbatch family made setup %d", small.Classes[i].Setup)
+		}
+	}
+	// singlejob: every class has exactly one job.
+	single := SingleJobClasses(p)
+	for i := range single.Classes {
+		if len(single.Classes[i].Jobs) != 1 {
+			t.Fatalf("singlejob family made %d jobs", len(single.Classes[i].Jobs))
+		}
+	}
+	// zipf produces valid instances with heavy tails (sanity only).
+	z := Zipf(p)
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearHalfClustersAtThreshold(t *testing.T) {
+	p := Params{M: 4, Classes: 30, JobsPer: 4, MaxSetup: 100, MaxJob: 64, Seed: 5}
+	in := NearHalf(p)
+	for i := range in.Classes {
+		if in.Classes[i].Setup > p.MaxJob/8 {
+			t.Fatalf("nearhalf setup %d above base/8", in.Classes[i].Setup)
+		}
+		for _, tj := range in.Classes[i].Jobs {
+			if tj < p.MaxJob/2-1 || tj > p.MaxJob/2+1 {
+				t.Fatalf("nearhalf job %d outside [%d, %d]", tj, p.MaxJob/2-1, p.MaxJob/2+1)
+			}
+		}
+	}
+}
+
+func TestZipfClassSizesHeavyTail(t *testing.T) {
+	p := Params{M: 4, Classes: 200, JobsPer: 5, MaxSetup: 50, MaxJob: 60, Seed: 11}
+	in := ZipfClassSizes(p)
+	singles, giant := 0, 0
+	for i := range in.Classes {
+		switch n := len(in.Classes[i].Jobs); {
+		case n == 1:
+			singles++
+		case n >= 2*p.JobsPer:
+			giant++
+		}
+	}
+	if singles == 0 || giant == 0 {
+		t.Fatalf("zipfclass tail not heavy: %d singletons, %d giants", singles, giant)
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	p := Params{M: 4, Classes: 25, JobsPer: 3, MaxSetup: 80, MaxJob: 90, Seed: 7}
+	for i, cl := range NoSetup(p).Classes {
+		if cl.Setup != 0 {
+			t.Fatalf("nosetup class %d has setup %d", i, cl.Setup)
+		}
+	}
+	for i, cl := range AllSetup(p).Classes {
+		if cl.Setup < p.MaxSetup/2 {
+			t.Fatalf("allsetup class %d has cheap setup %d", i, cl.Setup)
+		}
+		for _, tj := range cl.Jobs {
+			if tj != 1 {
+				t.Fatalf("allsetup class %d has non-unit job %d", i, tj)
+			}
+		}
+	}
+}
+
+func TestManyClassesOneJob(t *testing.T) {
+	p := Params{M: 8, Classes: 3, JobsPer: 4, MaxSetup: 60, MaxJob: 50, Seed: 2}
+	in := ManyClassesOneJob(p)
+	if int64(len(in.Classes)) < 4*p.M {
+		t.Fatalf("manyclasses made only %d classes for m=%d", len(in.Classes), p.M)
+	}
+	for i := range in.Classes {
+		if len(in.Classes[i].Jobs) != 1 || in.Classes[i].Jobs[0] != 1 {
+			t.Fatalf("manyclasses class %d is not a single unit job", i)
+		}
+	}
+}
+
+func TestOneClassManyJobs(t *testing.T) {
+	p := Params{M: 8, Classes: 6, JobsPer: 4, MaxSetup: 60, MaxJob: 50, Seed: 2}
+	in := OneClassManyJobs(p)
+	if len(in.Classes) != 1 {
+		t.Fatalf("oneclass made %d classes", len(in.Classes))
+	}
+	if got := len(in.Classes[0].Jobs); got != p.Classes*p.JobsPer {
+		t.Fatalf("oneclass made %d jobs, want %d", got, p.Classes*p.JobsPer)
+	}
+}
+
+func TestRationalStressResidue(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := Params{M: 2 + seed%9, Classes: 8, JobsPer: 3, MaxSetup: 40, MaxJob: 70, Seed: seed}
+		in := RationalStress(p)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if in.M > 1 && in.N()%in.M != 1 {
+			t.Fatalf("seed %d: N=%d mod m=%d is %d, want 1", seed, in.N(), in.M, in.N()%in.M)
+		}
+	}
+}
+
+// TestDegenerateParams pins the CLI-reachable edge cases: zero classes
+// must not panic, negative seeds must still produce valid instances, and
+// the self-amplifying families must respect the m*N magnitude contract
+// even at the machine-count limit.
+func TestDegenerateParams(t *testing.T) {
+	if in := RationalStress(Params{M: 4, Classes: 0, JobsPer: 2, MaxSetup: 10, MaxJob: 10, Seed: 1}); len(in.Classes) != 0 {
+		t.Fatalf("ratstress invented %d classes from none", len(in.Classes))
+	}
+	for _, seed := range []int64{-1, -5, -1 << 62} {
+		in := MachineSweep(Params{M: 4, Classes: 5, JobsPer: 2, MaxSetup: 10, MaxJob: 10, Seed: seed})
+		if err := in.Validate(); err != nil {
+			t.Fatalf("msweep seed %d: %v", seed, err)
+		}
+	}
+	huge := ManyClassesOneJob(Params{M: sched.MaxMachines, Classes: 3, JobsPer: 1, MaxSetup: 100, MaxJob: 10, Seed: 1})
+	if err := huge.Validate(); err != nil {
+		t.Fatalf("manyclasses at the machine limit: %v", err)
+	}
+}
+
+func TestMachineSweepCoversDecades(t *testing.T) {
+	p := Params{M: 4, Classes: 10, JobsPer: 3, MaxSetup: 30, MaxJob: 40}
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 11; seed++ {
+		p.Seed = seed
+		in := MachineSweep(p)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seen[in.M] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("msweep produced only %d distinct machine counts over 11 seeds", len(seen))
+	}
+}
+
+func TestBigJobsHitThresholds(t *testing.T) {
+	in := BigJobs(Params{M: 3, Classes: 30, JobsPer: 5, MaxJob: 64, MaxSetup: 10, Seed: 1})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The family must actually produce jobs above half the base size.
+	big := 0
+	for i := range in.Classes {
+		for _, tj := range in.Classes[i].Jobs {
+			if tj > 32 {
+				big++
+			}
+		}
+	}
+	if big == 0 {
+		t.Error("bigjobs family produced no big jobs")
+	}
+	_ = sched.Splittable
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("uniform")
+	if err != nil || f.Name != "uniform" {
+		t.Errorf("ByName(uniform) = %v, %v", f.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestCatalogSelfDescribing(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Families {
+		if f.Name == "" || f.Description == "" || f.Make == nil {
+			t.Fatalf("family %+v not self-describing", f.Name)
+		}
+		if seen[f.Name] {
+			t.Fatalf("duplicate family name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	if len(Names()) != len(Families) {
+		t.Fatalf("Names() returned %d entries for %d families", len(Names()), len(Families))
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("all")
+	if err != nil || len(all) != len(Families) {
+		t.Fatalf("Select(all) = %d families, %v", len(all), err)
+	}
+	got, err := Select("zipf, uniform,uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "uniform" || got[1].Name != "zipf" {
+		names := make([]string, len(got))
+		for i, f := range got {
+			names[i] = f.Name
+		}
+		t.Fatalf("Select order/dedup wrong: %s", strings.Join(names, ","))
+	}
+	if _, err := Select("uniform,bogus"); err == nil {
+		t.Error("Select accepted unknown family")
+	}
+	if _, err := Select(" , "); err == nil {
+		t.Error("Select accepted blank selection")
+	}
+}

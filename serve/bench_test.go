@@ -23,7 +23,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 	"setupsched/sched"
 )
 
@@ -32,7 +32,7 @@ func benchServeInstance(n int) *sched.Instance {
 	if classes < 1 {
 		classes = 1
 	}
-	return gen.Uniform(gen.Params{
+	return schedgen.Uniform(schedgen.Params{
 		M: int64(n/50 + 1), Classes: classes, JobsPer: 8,
 		MaxSetup: 1000, MaxJob: 1000, Seed: int64(n),
 	})

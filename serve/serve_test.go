@@ -15,12 +15,12 @@ import (
 	"time"
 
 	"setupsched"
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 	"setupsched/sched"
 )
 
 func testInstance(seed int64) *sched.Instance {
-	return gen.Uniform(gen.Params{
+	return schedgen.Uniform(schedgen.Params{
 		M: 4, Classes: 6, JobsPer: 4, MaxSetup: 20, MaxJob: 30, Seed: seed,
 	})
 }
@@ -424,7 +424,7 @@ func TestBatchPreservesOrderUnderConcurrency(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		var in *sched.Instance
 		if i%2 == 0 {
-			in = gen.Uniform(gen.Params{M: 16, Classes: 400, JobsPer: 6, MaxSetup: 50, MaxJob: 100, Seed: int64(i)})
+			in = schedgen.Uniform(schedgen.Params{M: 16, Classes: 400, JobsPer: 6, MaxSetup: 50, MaxJob: 100, Seed: int64(i)})
 		} else {
 			in = &sched.Instance{M: 1, Classes: []sched.Class{{Setup: 1, Jobs: []int64{1}}}}
 		}
@@ -462,7 +462,7 @@ func TestBatchPreservesOrderUnderConcurrency(t *testing.T) {
 // milliseconds (n = 5e5): a 1ms timeout has expired by the time the first
 // probe finishes, so the pre-build checkpoint reliably aborts the solve.
 func heavyInstance() *sched.Instance {
-	return gen.ExpensiveSetups(gen.Params{
+	return schedgen.ExpensiveSetups(schedgen.Params{
 		M: 512, Classes: 2000, JobsPer: 500, MaxSetup: 100000, MaxJob: 1000, Seed: 7,
 	})
 }

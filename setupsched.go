@@ -93,6 +93,11 @@ type Result struct {
 	Algorithm string
 	// Probes is the number of dual-test evaluations performed.
 	Probes int
+	// Fallback marks results from a search's documented bounded-round
+	// conservative path: the schedule is still feasible and within 3/2 of
+	// the accepted guess, but the certified LowerBound is conservative,
+	// so Ratio may exceed the algorithm's usual guarantee.
+	Fallback bool
 	// Trace records every dual-test evaluation of the search in
 	// execution order (len(Trace) == Probes for solves through
 	// Solver.Solve; nil for results that predate the Solver API, e.g.
@@ -137,6 +142,7 @@ func finish(r *core.Result) *Result {
 		Ratio:      r.RatioUpperBound(),
 		Algorithm:  r.Algorithm,
 		Probes:     r.Probes,
+		Fallback:   r.Fallback,
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 )
 
 func exampleInstance() *Instance {
@@ -121,8 +121,8 @@ func TestDualTestAcceptAndReject(t *testing.T) {
 func TestPublicAPIRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	for iter := 0; iter < 40; iter++ {
-		fam := gen.Families[iter%len(gen.Families)]
-		in := fam.Make(gen.Params{
+		fam := schedgen.Families[iter%len(schedgen.Families)]
+		in := fam.Make(schedgen.Params{
 			M:        int64(1 + rng.Intn(8)),
 			Classes:  1 + rng.Intn(10),
 			JobsPer:  1 + rng.Intn(6),

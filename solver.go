@@ -96,6 +96,9 @@ func WithAlgorithm(a Algorithm) Option {
 // WithEpsilon sets the accuracy of EpsilonSearch.  The value must lie in
 // the open interval (0, 1); anything else is rejected with an
 // *EpsilonRangeError instead of being silently replaced by the default.
+// The search works on exact rationals with tolerance denominator 2^20, so
+// the certified relative gap effectively floors at 2^-20 for smaller
+// epsilons.
 func WithEpsilon(eps float64) Option {
 	return func(c *solveConfig) error {
 		if eps <= 0 || eps >= 1 {

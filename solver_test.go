@@ -5,7 +5,7 @@ import (
 	"errors"
 	"testing"
 
-	"setupsched/internal/gen"
+	"setupsched/schedgen"
 )
 
 // multiProbeInstance needs a genuine search (its trivial bound is
@@ -42,7 +42,7 @@ func TestNewSolverValidation(t *testing.T) {
 func TestSolverReuseMatchesOneShot(t *testing.T) {
 	rng := []int64{3, 17}
 	for _, seed := range rng {
-		in := gen.Uniform(gen.Params{
+		in := schedgen.Uniform(schedgen.Params{
 			M: 3, Classes: 6, JobsPer: 5, MaxSetup: 30, MaxJob: 40, Seed: seed,
 		})
 		solver, err := NewSolver(in)
