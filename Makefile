@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke fuzz-smoke stress-smoke serve clean
+.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke serve clean
 
 all: vet build test
 
@@ -29,7 +29,17 @@ bench:
 # without paying for full measurement runs.
 bench-smoke:
 	$(GO) test -bench='SolveCold|SolveHit|Fingerprint|HTTPSolve' -benchtime=1x -run=^$$ ./serve
-	$(GO) test -bench='SolverReuse|SolverOneShotPerCall|DualTest|SolveFacade' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='SolverReuse|SolverOneShotPerCall|DualTest|SolveFacade|Parallel_' -benchtime=1x -run=^$$ .
+
+# Regenerate the machine-readable performance-trajectory baseline
+# (parallel engine vs serial path; see README "Performance tracking").
+BENCH_SIZES ?= 1000,10000,100000
+BENCH_REPS  ?= 3
+BENCH_PAR   ?= 4
+bench-json:
+	$(GO) run ./cmd/schedbench -json -sizes $(BENCH_SIZES) -reps $(BENCH_REPS) \
+		-parallelism $(BENCH_PAR) -o BENCH_core.json
+	$(GO) run ./cmd/schedbench -validate BENCH_core.json
 
 # Short fuzz sessions on the canonicalization/verification trust
 # boundaries.  The native fuzzer allows one -fuzz target per invocation.

@@ -295,6 +295,81 @@ func BenchmarkAblation_JumpVsEps_Eps(b *testing.B) {
 	}
 }
 
+// --- Parallel engine: speculative probing and SolveAll fan-out ---
+//
+// The serial/parallel pairs below are the wall-clock datapoints behind
+// BENCH_core.json (see cmd/schedbench -json).  The instance shape is
+// machine-rich and setup-dominated so every search genuinely probes
+// (~10-24 dual tests); on a single-core box the parallel variants pay
+// goroutine overhead without a win — compare the pairs on GOMAXPROCS > 1.
+
+func benchSearchyInstance(n int) *Instance {
+	classes := n / 8
+	if classes < 1 {
+		classes = 1
+	}
+	return schedgen.ExpensiveSetups(schedgen.Params{
+		M: int64(n/10 + 1), Classes: classes, JobsPer: 8,
+		MaxSetup: 500, MaxJob: 60, Seed: int64(n),
+	})
+}
+
+func benchSpeculativeNonp(b *testing.B, k int) {
+	p := core.Prepare(benchSearchyInstance(100000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveNonpSearch(core.Ctl{Parallelism: k}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_NonpSearch_Serial(b *testing.B) { benchSpeculativeNonp(b, 1) }
+func BenchmarkParallel_NonpSearch_Spec4(b *testing.B)  { benchSpeculativeNonp(b, 4) }
+
+func benchSpeculativeEps(b *testing.B, k int) {
+	p := core.Prepare(benchSearchyInstance(100000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SolveEps(core.Ctl{Parallelism: k}, sched.Preemptive, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_EpsSearch_Serial(b *testing.B) { benchSpeculativeEps(b, 1) }
+func BenchmarkParallel_EpsSearch_Spec4(b *testing.B)  { benchSpeculativeEps(b, 4) }
+
+func benchSolveAll(b *testing.B, par int) {
+	s, err := NewSolver(benchSearchyInstance(100000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []Option{}
+	if par > 1 {
+		opts = append(opts, WithParallelism(par))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rrs, err := s.SolveAll(context.Background(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rr := range rrs {
+			if rr.Err != nil {
+				b.Fatal(rr.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkParallel_SolveAll_Serial(b *testing.B)  { benchSolveAll(b, 1) }
+func BenchmarkParallel_SolveAll_Fanout4(b *testing.B) { benchSolveAll(b, 4) }
+func BenchmarkParallel_SolveAll_Fanout9(b *testing.B) { benchSolveAll(b, 9) }
+
 // End-to-end Solve through the public API (includes validation-free path).
 func BenchmarkSolveFacade(b *testing.B) {
 	in := benchInstance(10000)

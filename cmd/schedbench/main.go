@@ -5,26 +5,43 @@
 // Usage:
 //
 //	schedbench [-instances 40] [-sizes 1000,10000,100000] [-reps 3] [-skip-scaling]
+//	schedbench -json [-o BENCH_core.json] [-parallelism N]
+//	schedbench -validate BENCH_core.json
 //
-// The output is the source of EXPERIMENTS.md.
+// The default (table) output is the source of EXPERIMENTS.md.  With
+// -json the command instead measures the parallel solve engine against
+// the serial path (speculative probing per algorithm plus the SolveAll
+// nine-run fan-out) and emits the machine-readable BENCH_core.json
+// report tracking the repo's performance trajectory; -validate checks an
+// existing report's schema, for CI smoke tests and pre-commit sanity.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"setupsched/internal/benchjson"
 	"setupsched/internal/expt"
 )
 
 func main() {
 	instances := flag.Int("instances", 40, "instances per generator family for ratio/compare tables")
-	sizesFlag := flag.String("sizes", "1000,10000,100000", "comma-separated job counts for the scaling table")
+	sizesFlag := flag.String("sizes", "1000,10000,100000", "comma-separated job counts for the scaling table / -json datapoints")
 	reps := flag.Int("reps", 3, "repetitions per timing measurement")
 	skipScaling := flag.Bool("skip-scaling", false, "skip the (slower) scaling table")
+	jsonMode := flag.Bool("json", false, "emit the machine-readable BENCH_core.json report instead of tables")
+	out := flag.String("o", "", "with -json: write the report to this file instead of stdout")
+	parallelism := flag.Int("parallelism", 0, "with -json: goroutine width of the parallel datapoints (default GOMAXPROCS)")
+	validate := flag.String("validate", "", "validate an existing BENCH_core.json report and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		os.Exit(runValidate(*validate))
+	}
 
 	var sizes []int
 	for _, part := range strings.Split(*sizesFlag, ",") {
@@ -34,6 +51,10 @@ func main() {
 			os.Exit(2)
 		}
 		sizes = append(sizes, v)
+	}
+
+	if *jsonMode {
+		os.Exit(runJSON(sizes, *reps, *parallelism, *out))
 	}
 
 	fmt.Println("## Measured approximation ratios (Table 1 reproduction)")
@@ -69,6 +90,58 @@ func main() {
 		}
 		fmt.Println(expt.FormatScalingTable(sc))
 	}
+}
+
+// runJSON measures the parallel engine and writes the BENCH_core report.
+func runJSON(sizes []int, reps, parallelism int, out string) int {
+	rep, err := benchjson.BenchCore(sizes, reps, parallelism)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		return 1
+	}
+	if err := benchjson.ValidateBenchReport(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench: self-check failed:", err)
+		return 1
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(buf)
+	} else {
+		err = os.WriteFile(out, buf, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		return 1
+	}
+	return 0
+}
+
+// runValidate parses and validates a report file.
+func runValidate(path string) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		return 1
+	}
+	var rep benchjson.BenchReport
+	dec := json.NewDecoder(strings.NewReader(string(buf)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", path, err)
+		return 1
+	}
+	if err := benchjson.ValidateBenchReport(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: valid %s report (%d results, gomaxprocs=%d)\n",
+		path, rep.Schema, len(rep.Results), rep.GoMaxProcs)
+	return 0
 }
 
 func fail(err error) {

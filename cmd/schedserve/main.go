@@ -3,7 +3,7 @@
 // Usage:
 //
 //	schedserve [-addr :8080] [-workers N] [-cache 4096] [-solvers 1024] \
-//	           [-timeout 0]
+//	           [-timeout 0] [-max-parallelism GOMAXPROCS]
 //
 // Endpoints (see package setupsched/serve for the wire formats):
 //
@@ -44,6 +44,7 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
 	solverCache := flag.Int("solvers", 1024, "prepared-solver cache capacity in entries (negative disables)")
 	timeout := flag.Duration("timeout", 0, "per-solve timeout (0 disables; requests may set a tighter timeout_ms)")
+	maxPar := flag.Int("max-parallelism", runtime.GOMAXPROCS(0), "cap on the per-request parallelism knob (negative forces serial solves)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "schedserve: unexpected arguments:", flag.Args())
@@ -54,6 +55,7 @@ func main() {
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
 		SolverCacheSize: *solverCache,
+		MaxParallelism:  *maxPar,
 		SolveTimeout:    *timeout,
 	})
 	srv := &http.Server{
@@ -67,8 +69,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("schedserve: listening on %s (workers=%d, cache=%d, solvers=%d, timeout=%v)",
-			*addr, *workers, *cacheSize, *solverCache, *timeout)
+		log.Printf("schedserve: listening on %s (workers=%d, cache=%d, solvers=%d, timeout=%v, max-parallelism=%d)",
+			*addr, *workers, *cacheSize, *solverCache, *timeout, *maxPar)
 		errc <- srv.ListenAndServe()
 	}()
 

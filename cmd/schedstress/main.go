@@ -9,11 +9,13 @@
 // Usage:
 //
 //	schedstress [-families all] [-profiles all] [-seeds 20] [-seedbase 0]
-//	            [-workers NumCPU] [-duration 0] [-eps 1e-3] [-maxviol 20] [-v]
+//	            [-workers NumCPU] [-parallelism 1] [-crosscheck 0]
+//	            [-duration 0] [-eps 1e-3] [-maxviol 20] [-v]
 //
 //	schedstress -families all -seeds 50          # one full verified sweep
 //	schedstress -duration 10s                    # soak until the clock runs out
 //	schedstress -families nearhalf,ratstress -v  # drill into two regimes
+//	schedstress -parallelism 4 -crosscheck 4     # exercise + verify the parallel engine
 //
 // Every violation is printed with the (family, profile, seed) triple that
 // regenerates the offending instance.  Exit status: 0 all checks passed,
@@ -44,6 +46,8 @@ func run() int {
 	seeds := flag.Int64("seeds", 20, "seeds per (family, profile) pair and round")
 	seedBase := flag.Int64("seedbase", 0, "first seed of the sweep")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel check workers")
+	parallelism := flag.Int("parallelism", 1, "per-instance SolveAll fan-out width (each instance's nine algorithms solved concurrently)")
+	crossCheck := flag.Int("crosscheck", 0, "if > 1, also verify the parallel engine (fan-out + speculative probing at this width) is bit-identical to the serial path")
 	duration := flag.Duration("duration", 0, "keep sweeping fresh seeds until this much time has passed (0 = one sweep)")
 	eps := flag.Float64("eps", diff.DefaultEpsilon, "accuracy of the eps-search specs")
 	maxViol := flag.Int("maxviol", 20, "stop after this many violations (0 = unlimited)")
@@ -80,6 +84,7 @@ func run() int {
 			Families: fams, Profiles: profs,
 			Seeds: *seeds, SeedBase: *seedBase + int64(rounds)*(*seeds),
 			Epsilon: *eps, Workers: *workers, MaxViolations: *maxViol,
+			Parallelism: *parallelism, CrossCheckParallel: *crossCheck,
 		}
 		sum, err := diff.Run(ctx, cfg)
 		merge(total, sum)

@@ -74,6 +74,40 @@
 // with WithObserver sees every probe live, and Result.Trace records the
 // full sequence after the fact.
 //
+// # Concurrency and parallelism
+//
+// A Solver is immutable after NewSolver and safe for concurrent use: any
+// number of goroutines may call Solve, SolveAll, DualTest and LowerBound
+// on one Solver simultaneously, all sharing the one prepared instance.
+// On top of that, two knobs parallelize a single logical request:
+//
+//   - Solve with WithParallelism(n) probes speculatively: the dual
+//     search evaluates up to n candidate guesses concurrently per round
+//     and keeps the tightest accept/reject bracket.  The accepted guess,
+//     certified lower bound and schedule are bit-identical to the serial
+//     search; only latency, Probes and the Trace length change.
+//   - SolveAll solves many (variant, algorithm) combinations — by
+//     default the paper's nine, see PaperRuns and WithRuns — off the one
+//     shared preparation, with WithParallelism(n) bounding the number of
+//     concurrent runs and results reported in deterministic (requested)
+//     order.
+//
+// Observer event ordering: one solve emits its events sequentially from
+// the goroutine coordinating it, never concurrently.  A speculative
+// batch of k guesses is reported as a block — k ProbeStarted calls in
+// ascending-T order before any evaluation runs, then the k matching
+// ProbeFinished calls in the same order.  An Observer shared by several
+// concurrent solves (one metrics sink behind a server, or any Observer
+// passed to SolveAll) must be safe for concurrent use.  Result.Trace
+// stays execution-ordered and deduplicated by guess under speculation.
+//
+// The whole tree runs race-clean (go test -race ./..., enforced in CI),
+// and internal/diff cross-checks the parallel engine's bit-identity
+// against the serial path over the full schedgen catalog.
+//
+// See ALGORITHMS.md for the paper-to-code map of all nine algorithms and
+// the search machinery the parallel engine plugs into.
+//
 // Migration from the legacy free functions (kept as deprecated shims):
 //
 //	Solve(in, v, &Options{Algorithm: a, Epsilon: e})  ->  NewSolver(in); s.Solve(ctx, v, WithAlgorithm(a), WithEpsilon(e))
@@ -93,8 +127,10 @@
 // under permutation of classes and of jobs within a class.  Cached
 // results are re-checked with Verify before they are served.  The
 // service keeps one prepared Solver per fingerprint, honors per-request
-// timeouts and client-disconnect cancellation, and reports probe-level
-// search metrics on /v1/stats.
+// timeouts, client-disconnect cancellation and a per-request parallelism
+// knob (speculative probing, clamped server-side), and reports
+// probe-level search metrics plus the process's goroutine posture on
+// /v1/stats.
 //
 // # Testing
 //

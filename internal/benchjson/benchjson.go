@@ -1,0 +1,249 @@
+// Package benchjson measures the parallel solve engine against the
+// serial path through the public Solver API and emits/validates the
+// machine-readable BENCH_core.json performance-trajectory report.  It
+// lives outside internal/expt so the root package's benchmarks can keep
+// importing expt without an import cycle.
+package benchjson
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"setupsched"
+	"setupsched/schedgen"
+)
+
+// BenchCoreSchema versions the BENCH_core.json wire format.
+const BenchCoreSchema = "setupsched/bench_core/v1"
+
+// BenchResult is one datapoint of the machine-readable benchmark report:
+// one algorithm (or the whole-paper fan-out) at one instance size, in one
+// engine mode.
+type BenchResult struct {
+	// Name is the measured path: "split/exact32", "nonp/eps", ... or
+	// "solveall/paper" for the nine-run fan-out.
+	Name string `json:"name"`
+	// N is the instance's job count.
+	N int `json:"n"`
+	// Mode is "serial" or "parallel" (speculative probing resp. SolveAll
+	// fan-out at Parallelism goroutines).
+	Mode string `json:"mode"`
+	// Parallelism is the goroutine width of the parallel mode (1 for
+	// serial datapoints).
+	Parallelism int `json:"parallelism"`
+	// NsPerOp is the mean wall-clock time per solve in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Probes is the dual-test count of one solve (0 where not applicable).
+	Probes int `json:"probes"`
+}
+
+// BenchReport is the schema of BENCH_core.json, the repo's performance
+// trajectory baseline: successive PRs append comparable runs, keyed by
+// the environment fields.  Parallel datapoints only demonstrate a
+// wall-clock win when GoMaxProcs > 1; the file records the environment so
+// a single-core CI run is never misread as a speedup regression.
+type BenchReport struct {
+	Schema        string        `json:"schema"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	Sizes         []int         `json:"sizes"`
+	Reps          int           `json:"reps"`
+	Results       []BenchResult `json:"results"`
+}
+
+// benchSpec is one measured solve path.
+type benchSpec struct {
+	name string
+	run  func(s *setupsched.Solver, parallelism int) (probes int, err error)
+}
+
+func benchSpecs() []benchSpec {
+	var out []benchSpec
+	for _, r := range setupsched.PaperRuns() {
+		if r.Algorithm == setupsched.TwoApprox {
+			continue // no search to speculate on
+		}
+		r := r
+		var name string
+		switch r.Variant {
+		case setupsched.Splittable:
+			name = "split/"
+		case setupsched.Preemptive:
+			name = "pmtn/"
+		default:
+			name = "nonp/"
+		}
+		if r.Algorithm == setupsched.EpsilonSearch {
+			name += "eps"
+		} else {
+			name += "exact32"
+		}
+		out = append(out, benchSpec{name: name, run: func(s *setupsched.Solver, parallelism int) (int, error) {
+			opts := []setupsched.Option{setupsched.WithAlgorithm(r.Algorithm)}
+			if parallelism > 1 {
+				opts = append(opts, setupsched.WithParallelism(parallelism))
+			}
+			res, err := s.Solve(context.Background(), r.Variant, opts...)
+			if err != nil {
+				return 0, err
+			}
+			return res.Probes, nil
+		}})
+	}
+	out = append(out, benchSpec{name: "solveall/paper", run: func(s *setupsched.Solver, parallelism int) (int, error) {
+		var opts []setupsched.Option
+		if parallelism > 1 {
+			opts = append(opts, setupsched.WithParallelism(parallelism))
+		}
+		rrs, err := s.SolveAll(context.Background(), opts...)
+		if err != nil {
+			return 0, err
+		}
+		var probes int
+		for _, rr := range rrs {
+			if rr.Err != nil {
+				return 0, rr.Err
+			}
+			probes += rr.Result.Probes
+		}
+		return probes, nil
+	}})
+	return out
+}
+
+// benchCoreInstance builds the setup-heavy instance shape used for the
+// trajectory datapoints.  Unlike the uniform shape, its dual searches
+// genuinely probe (~10 dual tests per exact search), so both the
+// speculative and the fan-out paths are exercised.
+func benchCoreInstance(n int) *setupsched.Instance {
+	classes := n / 8
+	if classes < 1 {
+		classes = 1
+	}
+	// Machine-rich and setup-dominated (the cfg of the engine tests): the
+	// trivial bound is rejected and every exact search runs its full
+	// breakpoint/jump narrowing.
+	// Slightly fewer machines than classes keeps the expensive classes'
+	// machine demand above m at the trivial bound.
+	return schedgen.ExpensiveSetups(schedgen.Params{
+		M: int64(n/10 + 1), Classes: classes, JobsPer: 8,
+		MaxSetup: 500, MaxJob: 60, Seed: int64(n),
+	})
+}
+
+// BenchCore measures the parallel solve engine against the serial path
+// across instance sizes and returns the machine-readable report.
+// parallelism <= 1 defaults to runtime.GOMAXPROCS(0).
+func BenchCore(sizes []int, reps, parallelism int) (*BenchReport, error) {
+	if len(sizes) == 0 {
+		return nil, errors.New("benchjson: BenchCore needs at least one size")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	if parallelism <= 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism < 2 {
+		// Never emit "parallel" rows that secretly ran serial (width 1
+		// disables the engine entirely): on a single-CPU box the parallel
+		// datapoints then measure goroutine overhead at width 2, which is
+		// honest — the recorded gomaxprocs tells the reader why.
+		parallelism = 2
+	}
+	rep := &BenchReport{
+		Schema:        BenchCoreSchema,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GeneratedUnix: time.Now().Unix(),
+		Sizes:         sizes,
+		Reps:          reps,
+	}
+	for _, n := range sizes {
+		in := benchCoreInstance(n)
+		solver, err := setupsched.NewSolver(in)
+		if err != nil {
+			return nil, err
+		}
+		nj := in.NumJobs()
+		for _, spec := range benchSpecs() {
+			for _, mode := range []struct {
+				name string
+				par  int
+			}{{"serial", 1}, {"parallel", parallelism}} {
+				var probes int
+				// One warm-up solve keeps one-time costs out of the mean.
+				if probes, err = spec.run(solver, mode.par); err != nil {
+					return nil, fmt.Errorf("%s n=%d %s: %w", spec.name, n, mode.name, err)
+				}
+				start := time.Now()
+				for r := 0; r < reps; r++ {
+					if _, err := spec.run(solver, mode.par); err != nil {
+						return nil, fmt.Errorf("%s n=%d %s: %w", spec.name, n, mode.name, err)
+					}
+				}
+				el := time.Since(start)
+				rep.Results = append(rep.Results, BenchResult{
+					Name: spec.name, N: nj, Mode: mode.name, Parallelism: mode.par,
+					NsPerOp: float64(el.Nanoseconds()) / float64(reps),
+					Probes:  probes,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// ValidateBenchReport checks the structural invariants of a BENCH_core
+// report: schema tag, environment fields, and positive measurements with
+// serial/parallel pairs for every (name, n).
+func ValidateBenchReport(rep *BenchReport) error {
+	if rep == nil {
+		return errors.New("benchjson: nil bench report")
+	}
+	if rep.Schema != BenchCoreSchema {
+		return fmt.Errorf("benchjson: schema %q, want %q", rep.Schema, BenchCoreSchema)
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.GoMaxProcs < 1 {
+		return errors.New("benchjson: bench report missing environment fields")
+	}
+	if rep.GeneratedUnix <= 0 || rep.Reps < 1 || len(rep.Sizes) == 0 {
+		return errors.New("benchjson: bench report missing run parameters")
+	}
+	if len(rep.Results) == 0 {
+		return errors.New("benchjson: bench report has no results")
+	}
+	type key struct {
+		name string
+		n    int
+		mode string
+	}
+	seen := map[key]bool{}
+	for _, r := range rep.Results {
+		if r.Name == "" || r.N < 1 || r.NsPerOp <= 0 || r.Parallelism < 1 {
+			return fmt.Errorf("benchjson: malformed result %+v", r)
+		}
+		if r.Mode != "serial" && r.Mode != "parallel" {
+			return fmt.Errorf("benchjson: result %q has unknown mode %q", r.Name, r.Mode)
+		}
+		seen[key{r.Name, r.N, r.Mode}] = true
+	}
+	for k := range seen {
+		other := "serial"
+		if k.mode == "serial" {
+			other = "parallel"
+		}
+		if !seen[key{k.name, k.n, other}] {
+			return fmt.Errorf("benchjson: result %s n=%d has no %s counterpart", k.name, k.n, other)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchCoreRoundTrip runs a tiny measurement, validates it, and
+// checks the JSON encoding survives a decode/validate round trip — the
+// same path CI's bench-json smoke exercises.
+func TestBenchCoreRoundTrip(t *testing.T) {
+	rep, err := BenchCore([]int{400}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	// Every search path must genuinely probe on the bench instance shape,
+	// otherwise the datapoints measure nothing.
+	for _, r := range rep.Results {
+		if r.Probes < 2 {
+			t.Errorf("%s n=%d %s: only %d probes; bench instance no longer exercises the search", r.Name, r.N, r.Mode, r.Probes)
+		}
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(&back); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+}
+
+// TestValidateBenchReportRejects covers the validator's failure modes.
+func TestValidateBenchReportRejects(t *testing.T) {
+	good, err := BenchCore([]int{200}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*BenchReport)
+	}{
+		{"nil", nil},
+		{"schema", func(r *BenchReport) { r.Schema = "bogus" }},
+		{"environment", func(r *BenchReport) { r.GoMaxProcs = 0 }},
+		{"no results", func(r *BenchReport) { r.Results = nil }},
+		{"bad mode", func(r *BenchReport) { r.Results[0].Mode = "warp" }},
+		{"unpaired", func(r *BenchReport) { r.Results = r.Results[:1] }},
+	}
+	for _, tc := range cases {
+		var rep *BenchReport
+		if tc.mutate != nil {
+			cp := *good
+			cp.Results = append([]BenchResult(nil), good.Results...)
+			tc.mutate(&cp)
+			rep = &cp
+		}
+		if err := ValidateBenchReport(rep); err == nil {
+			t.Errorf("%s: validator accepted a malformed report", tc.name)
+		}
+	}
+}

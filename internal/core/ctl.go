@@ -13,8 +13,18 @@ import (
 var ErrProbeLimit = errors.New("probe limit reached")
 
 // Observer receives probe-level events from the dual-approximation
-// searches.  Implementations must be safe for use from the goroutine
-// running the solve; a single solve never emits events concurrently.
+// searches.
+//
+// Event ordering contract: all events of one solve are emitted
+// sequentially from the goroutine coordinating that solve, never
+// concurrently — even when the search probes speculatively
+// (Ctl.Parallelism > 1).  A speculative batch of k guesses is reported as
+// a block: k ProbeStarted calls in ascending-T order before any of the k
+// evaluations runs, then k ProbeFinished calls in the same ascending-T
+// order once all of them have returned.  Serial probes (the default)
+// interleave Started/Finished pairwise as before.  An Observer shared by
+// several concurrent solves (e.g. one metrics sink behind a server) must
+// itself be safe for concurrent use.
 type Observer interface {
 	// ProbeStarted fires before a dual test is evaluated at guess T.
 	ProbeStarted(T sched.Rat)
@@ -25,16 +35,34 @@ type Observer interface {
 }
 
 // Ctl carries the per-solve control surface through the searches: a
-// cancellation context, an optional probe observer and an optional probe
-// budget.  The zero value means "run to completion, unobserved".
+// cancellation context, an optional probe observer, an optional probe
+// budget and the speculative-probing width.  The zero value means "run to
+// completion, serially, unobserved".
 type Ctl struct {
 	// Ctx cancels the search between probes; nil means never cancel.
 	Ctx context.Context
 	// Obs receives probe events; nil means no observation.
 	Obs Observer
 	// ProbeLimit aborts the search with ErrProbeLimit once this many
-	// probes have run; zero or negative means unlimited.
+	// probes have run; zero or negative means unlimited.  Speculative
+	// probes count against the budget like serial ones, so a tight limit
+	// may abort a speculative search where the serial one converges.
 	ProbeLimit int
+	// Parallelism is the speculative probe width: the searches may
+	// evaluate up to this many candidate guesses T concurrently per
+	// round, keeping the tightest resulting accept/reject bracket.  The
+	// accepted guess, certified lower bound and schedule are bit-identical
+	// to the serial search for any width; only wall-clock time, the probe
+	// count and the Trace length change.  Zero or one means fully serial.
+	Parallelism int
+}
+
+// width returns the effective speculation width (>= 1).
+func (c Ctl) width() int {
+	if c.Parallelism < 1 {
+		return 1
+	}
+	return c.Parallelism
 }
 
 // interrupted reports the context error, if any.  The deadline is also

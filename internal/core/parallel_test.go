@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"setupsched/sched"
+	"setupsched/schedgen"
+)
+
+// solveWith runs every search algorithm of a variant with the given Ctl.
+func allSearches(v sched.Variant) map[string]func(p *Prep, ctl Ctl) (*Result, error) {
+	out := map[string]func(p *Prep, ctl Ctl) (*Result, error){
+		"eps": func(p *Prep, ctl Ctl) (*Result, error) { return p.SolveEps(ctl, v, 1e-3) },
+	}
+	switch v {
+	case sched.Splittable:
+		out["exact32"] = func(p *Prep, ctl Ctl) (*Result, error) { return p.SolveSplitJump(ctl) }
+	case sched.Preemptive:
+		out["exact32"] = func(p *Prep, ctl Ctl) (*Result, error) { return p.SolvePmtnJump(ctl) }
+	default:
+		out["exact32"] = func(p *Prep, ctl Ctl) (*Result, error) { return p.SolveNonpSearch(ctl) }
+	}
+	return out
+}
+
+// TestSpeculativeBitIdentical asserts that the speculative searches return
+// bit-identical accepted guesses, lower bounds and makespans for every
+// speculation width, across the full schedgen catalog and all variants.
+func TestSpeculativeBitIdentical(t *testing.T) {
+	// Three regimes: one where most duals accept the trivial bound (fast
+	// paths), and two setup-heavy ones whose searches genuinely probe
+	// (7-17 dual tests each, see the class-jumping breakpoint structure).
+	regimes := []schedgen.Params{
+		{M: 6, Classes: 20, JobsPer: 4, MaxSetup: 60, MaxJob: 90},
+		{M: 32, Classes: 40, JobsPer: 3, MaxSetup: 500, MaxJob: 60},
+		{M: 8, Classes: 12, JobsPer: 1, MaxSetup: 300, MaxJob: 300},
+	}
+	for _, fam := range schedgen.Families {
+		for _, params := range regimes {
+			for seed := int64(0); seed < 2; seed++ {
+				p := params
+				p.Seed = seed
+				in := fam.Make(p)
+				prep := Prepare(in)
+				for _, v := range sched.Variants {
+					for name, run := range allSearches(v) {
+						serial, err := run(prep, Ctl{})
+						if err != nil {
+							t.Fatalf("%s/%s/%v seed %d: serial: %v", fam.Name, name, v, seed, err)
+						}
+						for _, k := range []int{2, 3, 4, 8} {
+							spec, err := run(prep, Ctl{Parallelism: k})
+							if err != nil {
+								t.Fatalf("%s/%s/%v seed %d k=%d: %v", fam.Name, name, v, seed, k, err)
+							}
+							tag := fmt.Sprintf("%s/%s/%v seed %d k=%d", fam.Name, name, v, seed, k)
+							if !spec.T.Equal(serial.T) {
+								t.Errorf("%s: guess %s != serial %s", tag, spec.T, serial.T)
+							}
+							if !spec.LowerBound.Equal(serial.LowerBound) {
+								t.Errorf("%s: lower bound %s != serial %s", tag, spec.LowerBound, serial.LowerBound)
+							}
+							if !spec.Schedule.Makespan().Equal(serial.Schedule.Makespan()) {
+								t.Errorf("%s: makespan %s != serial %s", tag, spec.Schedule.Makespan(), serial.Schedule.Makespan())
+							}
+							if spec.Algorithm != serial.Algorithm {
+								t.Errorf("%s: algorithm %q != serial %q", tag, spec.Algorithm, serial.Algorithm)
+							}
+							if spec.Probes < serial.Probes {
+								t.Errorf("%s: speculative probes %d < serial %d (speculation can only add probes)",
+									tag, spec.Probes, serial.Probes)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrepConcurrentUse hammers one shared Prep from many goroutines mixing
+// dual evaluations, builds and full (speculative) searches.  Run under
+// -race this is the concurrency-contract regression test for Prep.
+func TestPrepConcurrentUse(t *testing.T) {
+	in := schedgen.BigJobs(schedgen.Params{M: 8, Classes: 40, JobsPer: 5, MaxSetup: 80, MaxJob: 120, Seed: 7})
+	prep := Prepare(in)
+	T := prep.TMin(sched.Preemptive).MulInt(3).DivInt(2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch g % 4 {
+				case 0:
+					if ev := prep.EvalSplit(T, nil); ev.OK {
+						if _, err := prep.BuildSplit(ev); err != nil {
+							errs <- err
+							return
+						}
+					}
+				case 1:
+					if ev := prep.EvalPmtn(T, nil); ev.OK {
+						if _, err := prep.BuildPmtn(ev); err != nil {
+							errs <- err
+							return
+						}
+					}
+				case 2:
+					if ev := prep.EvalNonp(T.MulInt(2)); ev.OK {
+						if _, err := prep.BuildNonp(ev); err != nil {
+							errs <- err
+							return
+						}
+					}
+				default:
+					if _, err := prep.SolvePmtnJump(Ctl{Parallelism: 4}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// orderObserver records the probe event stream and fails on contract
+// violations: a ProbeFinished without a preceding ProbeStarted for the
+// same guess, or concurrent (interleaved-from-two-goroutines) events are
+// surfaced as out-of-order sequences.
+type orderObserver struct {
+	started  []sched.Rat
+	finished []sched.Rat
+}
+
+func (o *orderObserver) ProbeStarted(T sched.Rat) { o.started = append(o.started, T) }
+func (o *orderObserver) ProbeFinished(T sched.Rat, ok bool) {
+	o.finished = append(o.finished, T)
+}
+func (o *orderObserver) SearchFinished(string, int) {}
+
+// TestSpeculativeObserverOrdering is the regression test for the
+// bracket.probe observer contract under speculation: every guess is
+// started exactly once and finished exactly once, no guess is probed
+// twice (Trace stays deduplicated), and the number of events matches the
+// reported probe count.
+func TestSpeculativeObserverOrdering(t *testing.T) {
+	for _, fam := range []schedgen.Family{schedgen.Families[0], schedgen.Families[5]} {
+		in := fam.Make(schedgen.Params{M: 5, Classes: 24, JobsPer: 4, MaxSetup: 50, MaxJob: 70, Seed: 11})
+		prep := Prepare(in)
+		for _, v := range sched.Variants {
+			for name, run := range allSearches(v) {
+				for _, k := range []int{1, 4} {
+					obs := &orderObserver{}
+					res, err := run(prep, Ctl{Obs: obs, Parallelism: k})
+					if err != nil {
+						t.Fatalf("%s/%s/%v k=%d: %v", fam.Name, name, v, k, err)
+					}
+					tag := fmt.Sprintf("%s/%s/%v k=%d", fam.Name, name, v, k)
+					if len(obs.started) != res.Probes || len(obs.finished) != res.Probes {
+						t.Fatalf("%s: %d started / %d finished events for %d probes",
+							tag, len(obs.started), len(obs.finished), res.Probes)
+					}
+					seen := map[string]int{}
+					for _, T := range obs.started {
+						seen[T.String()]++
+					}
+					for s, n := range seen {
+						if n > 1 {
+							t.Errorf("%s: guess %s probed %d times (want deduplicated probes)", tag, s, n)
+						}
+					}
+					fin := map[string]int{}
+					for _, T := range obs.finished {
+						fin[T.String()]++
+						if fin[T.String()] > seen[T.String()] {
+							t.Errorf("%s: ProbeFinished(%s) without matching ProbeStarted", tag, T)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculativeCancellation checks that cancellation aborts speculative
+// searches with the context's error, exactly like the serial path.
+func TestSpeculativeCancellation(t *testing.T) {
+	// Setup-heavy regime whose non-preemptive search needs ~11 probes, so
+	// both the cancellation and the probe budget genuinely interrupt it.
+	in := schedgen.ExpensiveSetups(schedgen.Params{M: 32, Classes: 40, JobsPer: 3, MaxSetup: 500, MaxJob: 60, Seed: 11})
+	prep := Prepare(in)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := prep.SolveNonpSearch(Ctl{Ctx: ctx, Parallelism: 4}); err == nil {
+		t.Fatal("canceled speculative search returned no error")
+	} else if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// A probe budget must also cut speculative batches short.  Calibrate
+	// the limit against the unbounded serial run so the search is
+	// guaranteed to need more probes than the budget allows.
+	full, err := prep.SolveNonpSearch(Ctl{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Probes < 3 {
+		t.Fatalf("calibration instance converged in %d probes; need >= 3", full.Probes)
+	}
+	if _, err := prep.SolveNonpSearch(Ctl{ProbeLimit: 2, Parallelism: 8}); err != ErrProbeLimit {
+		t.Fatalf("want ErrProbeLimit, got %v", err)
+	}
+}

@@ -29,34 +29,46 @@ func cmpProd(a, b, c, d int64) int { return num128.CmpProd(a, b, c, d) }
 // Prep carries the per-instance precomputation shared by all algorithms:
 // class work sums, maxima and the trivial bounds.  Build once, reuse for
 // every makespan probe.
+//
+// Concurrency contract: a Prep is immutable after Prepare returns (and the
+// instance it wraps must not be mutated while in use).  Every Eval*,
+// Build* and Solve* method only reads the Prep and keeps all mutable
+// per-probe state in per-call evaluation records (SplitEval, PmtnEval,
+// NonpEval) and builder locals, so any number of goroutines may run any
+// of them on one shared Prep concurrently.  This is what allows one
+// prepared instance to back speculative probing (Ctl.Parallelism) and
+// whole-solve fan-out (the public Solver.SolveAll) without copies.
 type Prep struct {
 	In   *sched.Instance
 	M    int64
 	C    int
 	NJob int
 
-	P     []int64 // P[i] = P(C_i)
-	TMaxC []int64 // max job length per class
-	SMax  int64
-	PJ    int64 // P(J) total work
-	SumS  int64 // sum of all setups
-	N     int64 // PJ + SumS
-	SPT   int64 // max_i (s_i + tmax_i)
+	P      []int64 // P[i] = P(C_i)
+	TMaxC  []int64 // max job length per class
+	Setups []int64 // Setups[i] = s_i (flat copy shared by all wrap calls)
+	SMax   int64
+	PJ     int64 // P(J) total work
+	SumS   int64 // sum of all setups
+	N      int64 // PJ + SumS
+	SPT    int64 // max_i (s_i + tmax_i)
 }
 
 // Prepare computes the shared per-instance data in O(n).
 func Prepare(in *sched.Instance) *Prep {
 	p := &Prep{
-		In:    in,
-		M:     in.M,
-		C:     len(in.Classes),
-		P:     make([]int64, len(in.Classes)),
-		TMaxC: make([]int64, len(in.Classes)),
+		In:     in,
+		M:      in.M,
+		C:      len(in.Classes),
+		P:      make([]int64, len(in.Classes)),
+		TMaxC:  make([]int64, len(in.Classes)),
+		Setups: make([]int64, len(in.Classes)),
 	}
 	for i := range in.Classes {
 		c := &in.Classes[i]
 		p.P[i] = c.Work()
 		p.TMaxC[i] = c.MaxJob()
+		p.Setups[i] = c.Setup
 		p.PJ += p.P[i]
 		p.SumS += c.Setup
 		if c.Setup > p.SMax {
@@ -84,14 +96,9 @@ func (p *Prep) TMin(v sched.Variant) sched.Rat {
 	}
 }
 
-// setups returns the per-class setup slice (for wrap calls).
-func (p *Prep) setups() []int64 {
-	s := make([]int64, p.C)
-	for i := range p.In.Classes {
-		s[i] = p.In.Classes[i].Setup
-	}
-	return s
-}
+// setups returns the shared per-class setup slice (for wrap calls).  The
+// slice is part of the immutable Prep; callers must not modify it.
+func (p *Prep) setups() []int64 { return p.Setups }
 
 // mulRatCmp reports the sign of a*T - b where a, b >= 0 and T is rational,
 // computed exactly in 128 bits.

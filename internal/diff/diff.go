@@ -100,6 +100,23 @@ func Specs(eps float64) []Spec {
 	return out
 }
 
+// specRuns converts the spec list into SolveAll runs plus the shared
+// eps-search accuracy, scanned (not index-assumed) from the specs so a
+// catalog reorder cannot silently break the SolveAll option set.
+func specRuns(specs []Spec) (runs []setupsched.Run, eps float64) {
+	runs = make([]setupsched.Run, len(specs))
+	for i, spec := range specs {
+		runs[i] = setupsched.Run{Variant: spec.Variant, Algorithm: spec.Algorithm}
+		if spec.Algorithm == setupsched.EpsilonSearch && eps == 0 {
+			eps = spec.Epsilon
+		}
+	}
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	return runs, eps
+}
+
 // AlgoRun is the outcome of one spec on one instance.
 type AlgoRun struct {
 	Spec      Spec
@@ -151,6 +168,14 @@ func wantExactSplit(in *sched.Instance) bool {
 // error return is reserved for infrastructure failures (context
 // cancellation, a nil or invalid instance).
 func CheckInstance(ctx context.Context, in *sched.Instance, eps float64) (*Report, error) {
+	return CheckInstanceParallel(ctx, in, eps, 1)
+}
+
+// CheckInstanceParallel is CheckInstance with the nine algorithm runs
+// fanned out concurrently through Solver.SolveAll at the given width
+// (<= 1 is fully serial).  The fan-out path returns bit-identical results
+// to the serial loop, so the checks are width-independent.
+func CheckInstanceParallel(ctx context.Context, in *sched.Instance, eps float64, parallelism int) (*Report, error) {
 	solver, err := setupsched.NewSolver(in)
 	if err != nil {
 		return nil, err
@@ -184,19 +209,32 @@ func CheckInstance(ctx context.Context, in *sched.Instance, eps float64) (*Repor
 		rep.violate("exact optima inverted: OPT_split %s > OPT_nonp %d", rep.OptSplit, rep.OptNonp)
 	}
 
-	for _, spec := range Specs(eps) {
-		opts := []setupsched.Option{setupsched.WithAlgorithm(spec.Algorithm)}
-		if spec.Algorithm == setupsched.EpsilonSearch {
-			opts = append(opts, setupsched.WithEpsilon(spec.Epsilon))
-		}
-		res, err := solver.Solve(ctx, spec.Variant, opts...)
-		if err != nil {
-			if errors.Is(err, setupsched.ErrCanceled) {
-				return rep, err
+	// All nine specs go through Solver.SolveAll off the one shared
+	// preparation; with parallelism > 1 they solve concurrently, in
+	// deterministic report order either way.
+	specs := Specs(eps)
+	runs, specEps := specRuns(specs)
+	opts := []setupsched.Option{
+		setupsched.WithRuns(runs...),
+		setupsched.WithEpsilon(specEps),
+	}
+	if parallelism > 1 {
+		opts = append(opts, setupsched.WithParallelism(parallelism))
+	}
+	results, err := solver.SolveAll(ctx, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i, rr := range results {
+		spec := specs[i]
+		if rr.Err != nil {
+			if errors.Is(rr.Err, setupsched.ErrCanceled) {
+				return rep, rr.Err
 			}
-			rep.violate("%s: solve failed: %v", spec.Name, err)
+			rep.violate("%s: solve failed: %v", spec.Name, rr.Err)
 			continue
 		}
+		res := rr.Result
 		run := AlgoRun{
 			Spec:      spec,
 			Algorithm: res.Algorithm,
@@ -416,6 +454,16 @@ type Config struct {
 	Epsilon float64
 	// Workers bounds check parallelism; <= 0 means 1.
 	Workers int
+	// Parallelism fans each instance's nine algorithm runs out through
+	// Solver.SolveAll at this width; <= 1 keeps the serial loop.  It
+	// multiplies with Workers, so the effective goroutine bound is
+	// Workers * Parallelism.
+	Parallelism int
+	// CrossCheckParallel > 1 additionally verifies, per instance, that the
+	// parallel engine (SolveAll fan-out and speculative probing at this
+	// width) returns bit-identical makespans, bounds and guesses to the
+	// serial path; mismatches become Violations.
+	CrossCheckParallel int
 	// MaxViolations stops early once this many violations are collected
 	// (0 = unlimited).
 	MaxViolations int
@@ -477,7 +525,12 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 				p := it.profile.Params
 				p.Seed = it.seed
 				in := it.fam.Make(p)
-				rep, err := CheckInstance(ctx, in, cfg.Epsilon)
+				rep, err := CheckInstanceParallel(ctx, in, cfg.Epsilon, cfg.Parallelism)
+				if err == nil && cfg.CrossCheckParallel > 1 {
+					var msgs []string
+					msgs, err = CheckEngineParallel(ctx, in, cfg.Epsilon, cfg.CrossCheckParallel)
+					rep.Violations = append(rep.Violations, msgs...)
+				}
 				mu.Lock()
 				record := func() {
 					for _, msg := range rep.Violations {

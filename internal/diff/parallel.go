@@ -1,0 +1,86 @@
+package diff
+
+import (
+	"context"
+	"fmt"
+
+	"setupsched"
+	"setupsched/sched"
+)
+
+// CheckEngineParallel cross-checks the parallel solve engine against the
+// serial path on one instance.  Every paper spec is solved three ways off
+// one shared preparation:
+//
+//   - serially (Solver.Solve, the reference);
+//   - through Solver.SolveAll with the given fan-out width;
+//   - with speculative probing (Solver.Solve + WithParallelism).
+//
+// All three must return bit-identical makespans, certified lower bounds
+// and accepted guesses — the engine's core contract.  The probe count may
+// legitimately differ (speculation evaluates guesses a serial search
+// skips), so it is not compared.  Mismatches come back as human-readable
+// violations; the error return is reserved for infrastructure failures.
+func CheckEngineParallel(ctx context.Context, in *sched.Instance, eps float64, parallelism int) ([]string, error) {
+	if parallelism < 2 {
+		parallelism = 2
+	}
+	solver, err := setupsched.NewSolver(in)
+	if err != nil {
+		return nil, err
+	}
+	specs := Specs(eps)
+	runs, specEps := specRuns(specs)
+	fanned, err := solver.SolveAll(ctx,
+		setupsched.WithRuns(runs...),
+		setupsched.WithEpsilon(specEps),
+		setupsched.WithParallelism(parallelism))
+	if err != nil {
+		return nil, err
+	}
+
+	var violations []string
+	for i, spec := range specs {
+		opts := []setupsched.Option{setupsched.WithAlgorithm(spec.Algorithm)}
+		if spec.Algorithm == setupsched.EpsilonSearch {
+			opts = append(opts, setupsched.WithEpsilon(spec.Epsilon))
+		}
+		serial, err := solver.Solve(ctx, spec.Variant, opts...)
+		if err != nil {
+			return violations, err
+		}
+		spec32 := append(append([]setupsched.Option(nil), opts...), setupsched.WithParallelism(parallelism))
+		speculative, err := solver.Solve(ctx, spec.Variant, spec32...)
+		if err != nil {
+			return violations, err
+		}
+		if fanned[i].Err != nil {
+			return violations, fanned[i].Err
+		}
+		for _, cmp := range []struct {
+			engine string
+			res    *setupsched.Result
+		}{
+			{"SolveAll fan-out", fanned[i].Result},
+			{"speculative search", speculative},
+		} {
+			if !cmp.res.Makespan.Equal(serial.Makespan) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s makespan %s != serial %s", spec.Name, cmp.engine, cmp.res.Makespan, serial.Makespan))
+			}
+			if !cmp.res.LowerBound.Equal(serial.LowerBound) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s lower bound %s != serial %s", spec.Name, cmp.engine, cmp.res.LowerBound, serial.LowerBound))
+			}
+			if !cmp.res.Guess.Equal(serial.Guess) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s accepted guess %s != serial %s", spec.Name, cmp.engine, cmp.res.Guess, serial.Guess))
+			}
+			if cmp.res.Algorithm != serial.Algorithm {
+				violations = append(violations, fmt.Sprintf(
+					"%s: %s algorithm %q != serial %q", spec.Name, cmp.engine, cmp.res.Algorithm, serial.Algorithm))
+			}
+		}
+	}
+	return violations, nil
+}

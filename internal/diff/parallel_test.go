@@ -1,0 +1,71 @@
+package diff
+
+import (
+	"context"
+	"testing"
+
+	"setupsched/schedgen"
+)
+
+// TestEngineParallelBitIdentical is the acceptance cross-check of the
+// parallel solve engine: over the full schedgen catalog, SolveAll fan-out
+// and speculative probing must return bit-identical makespans, certified
+// bounds and accepted guesses to the serial path, for every spec.
+func TestEngineParallelBitIdentical(t *testing.T) {
+	profiles := []Profile{
+		{"tiny", schedgen.Params{M: 3, Classes: 3, JobsPer: 2, MaxSetup: 12, MaxJob: 16}},
+		// Setup-heavy sizing whose searches genuinely probe (the tiny
+		// profile mostly accepts the trivial bound on the first guess).
+		{"searchy", schedgen.Params{M: 32, Classes: 40, JobsPer: 3, MaxSetup: 500, MaxJob: 60}},
+	}
+	for _, fam := range schedgen.Families {
+		fam := fam
+		t.Run(fam.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, prof := range profiles {
+				for seed := int64(0); seed < 3; seed++ {
+					p := prof.Params
+					p.Seed = seed
+					in := fam.Make(p)
+					msgs, err := CheckEngineParallel(context.Background(), in, 0, 4)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", prof.Name, seed, err)
+					}
+					for _, msg := range msgs {
+						t.Errorf("%s seed %d: %s", prof.Name, seed, msg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckInstanceParallelMatchesSerial asserts the fan-out check path
+// produces the same report as the serial one.
+func TestCheckInstanceParallelMatchesSerial(t *testing.T) {
+	in := schedgen.ExpensiveSetups(schedgen.Params{M: 32, Classes: 40, JobsPer: 3, MaxSetup: 500, MaxJob: 60, Seed: 1})
+	serial, err := CheckInstance(context.Background(), in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CheckInstanceParallel(context.Background(), in, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Violations) != 0 || len(par.Violations) != 0 {
+		t.Fatalf("violations: serial %v, parallel %v", serial.Violations, par.Violations)
+	}
+	if len(serial.Runs) != len(par.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial.Runs), len(par.Runs))
+	}
+	for i := range serial.Runs {
+		s, p := serial.Runs[i], par.Runs[i]
+		if s.Spec.Name != p.Spec.Name {
+			t.Fatalf("run %d ordering differs: %s vs %s", i, s.Spec.Name, p.Spec.Name)
+		}
+		if !s.Makespan.Equal(p.Makespan) || !s.Lower.Equal(p.Lower) {
+			t.Errorf("%s: serial (%s, %s) != parallel (%s, %s)",
+				s.Spec.Name, s.Makespan, s.Lower, p.Makespan, p.Lower)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"setupsched/sched"
+	"setupsched/schedgen"
+)
+
+// parallelTestInstance is setup-heavy enough that the searches genuinely
+// probe, so the parallelism knob exercises speculative batches.
+func parallelTestInstance() *sched.Instance {
+	return schedgen.ExpensiveSetups(schedgen.Params{
+		M: 32, Classes: 40, JobsPer: 3, MaxSetup: 500, MaxJob: 60, Seed: 11,
+	})
+}
+
+// TestSolveParallelismKnob: a parallel request succeeds, returns the same
+// makespan/bounds as the serial one, and is counted in /v1/stats.
+func TestSolveParallelismKnob(t *testing.T) {
+	// The cap defaults to GOMAXPROCS, which may be 1 on a small box; pin
+	// it so the knob demonstrably engages.
+	ts := httptest.NewServer(New(Config{CacheSize: -1, MaxParallelism: 8}))
+	defer ts.Close()
+	in := parallelTestInstance()
+
+	_, serial := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp"})
+	if serial.Error != "" {
+		t.Fatalf("serial solve: %s", serial.Error)
+	}
+	_, par := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "nonp", Parallelism: 4})
+	if par.Error != "" {
+		t.Fatalf("parallel solve: %s", par.Error)
+	}
+	if par.Makespan != serial.Makespan || par.LowerBound != serial.LowerBound {
+		t.Fatalf("parallel result (%s, %s) differs from serial (%s, %s)",
+			par.Makespan, par.LowerBound, serial.Makespan, serial.LowerBound)
+	}
+
+	st := getStats(t, ts)
+	if st.Search.ParallelSolves != 1 {
+		t.Fatalf("parallel_solves = %d, want 1", st.Search.ParallelSolves)
+	}
+	if st.Runtime.MaxProcs < 1 || st.Runtime.Goroutines < 1 {
+		t.Fatalf("runtime stats not populated: %+v", st.Runtime)
+	}
+	if st.Runtime.MaxParallelism != 8 {
+		t.Fatalf("max_parallelism = %d, want 8", st.Runtime.MaxParallelism)
+	}
+}
+
+// TestSolveParallelismClamp: the knob is clamped to the server cap, and a
+// negative cap forces serial solves (parallel_solves stays zero).
+func TestSolveParallelismClamp(t *testing.T) {
+	ts := httptest.NewServer(New(Config{CacheSize: -1, MaxParallelism: -1}))
+	defer ts.Close()
+	in := parallelTestInstance()
+	resp, out := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: in, Variant: "split", Parallelism: 64})
+	if resp.StatusCode != http.StatusOK || out.Error != "" {
+		t.Fatalf("clamped solve failed: %d %s", resp.StatusCode, out.Error)
+	}
+	if st := getStats(t, ts); st.Search.ParallelSolves != 0 {
+		t.Fatalf("parallel_solves = %d with a negative cap, want 0", st.Search.ParallelSolves)
+	}
+	if st := getStats(t, ts); st.Runtime.MaxParallelism != -1 {
+		t.Fatalf("max_parallelism = %d, want -1", st.Runtime.MaxParallelism)
+	}
+}
+
+// TestSolveParallelismInvalid: negative request parallelism is a 400.
+func TestSolveParallelismInvalid(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, out := postJSON(t, ts, "/v1/solve", &SolveRequest{Instance: parallelTestInstance(), Parallelism: -2})
+	if resp.StatusCode != http.StatusBadRequest || out.Error == "" {
+		t.Fatalf("negative parallelism: status %d, error %q", resp.StatusCode, out.Error)
+	}
+}

@@ -25,6 +25,12 @@
 // request's timeout_ms: client disconnects and deadline hits abort the
 // search mid-probe (HTTP 408) and are counted in /v1/stats along with
 // every dual-test probe the searches run.
+//
+// A request may set "parallelism" to let its solve probe speculatively on
+// that many goroutines (clamped to the server's MaxParallelism).  The
+// engine guarantees bit-identical results to the serial solve, so the
+// caches ignore the knob; /v1/stats counts parallel solves and reports
+// the process's goroutine posture.
 package serve
 
 import (
@@ -57,6 +63,10 @@ type Config struct {
 	// Solvers (instance preparation reuse).  Default 1024; negative
 	// disables reuse and prepares per request.
 	SolverCacheSize int
+	// MaxParallelism caps the per-request "parallelism" knob (speculative
+	// probe goroutines per solve).  Default runtime.GOMAXPROCS(0);
+	// negative forces every solve serial regardless of the request.
+	MaxParallelism int
 	// SolveTimeout bounds each solve (per batch item on the NDJSON
 	// path).  Zero means no server-side limit; requests may still set a
 	// tighter timeout_ms of their own.
@@ -76,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SolverCacheSize == 0 {
 		c.SolverCacheSize = 1024
+	}
+	if c.MaxParallelism == 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
@@ -136,6 +149,12 @@ type SolveRequest struct {
 	// the server's configured SolveTimeout, never extend it.  Zero means
 	// no per-request limit.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Parallelism is the number of goroutines this solve may use for
+	// speculative probe search, clamped to the server's MaxParallelism.
+	// Results are bit-identical to a serial solve (only latency and the
+	// probe count change), which is why cache entries are shared across
+	// parallelism values.  Zero or one means serial.
+	Parallelism int `json:"parallelism,omitempty"`
 	// IncludeSchedule adds the full schedule to the response.
 	IncludeSchedule bool `json:"include_schedule,omitempty"`
 	// IncludeTrace adds the search's probe trace to the response.
@@ -338,6 +357,10 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 		return errResponse(http.StatusBadRequest,
 			(&setupsched.EpsilonRangeError{Epsilon: req.Epsilon}).Error())
 	}
+	if req.Parallelism < 0 {
+		return errResponse(http.StatusBadRequest,
+			fmt.Sprintf("negative parallelism %d", req.Parallelism))
+	}
 	if err := req.Instance.Validate(); err != nil {
 		return errResponse(http.StatusBadRequest, err.Error())
 	}
@@ -376,6 +399,13 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 	if algo == setupsched.EpsilonSearch && req.Epsilon != 0 {
 		opts = append(opts, setupsched.WithEpsilon(req.Epsilon))
 	}
+	// Speculative probe search, clamped to the server-wide cap.  The
+	// result is bit-identical to the serial solve, so the cache stays
+	// oblivious to the knob.
+	if par := s.clampParallelism(req.Parallelism); par > 1 {
+		opts = append(opts, setupsched.WithParallelism(par))
+		s.stats.parallelSolves.Add(1)
+	}
 	sctx, cancel := s.solveContext(ctx, req)
 	defer cancel()
 	canonRes, err := solver.Solve(sctx, v, opts...)
@@ -398,6 +428,19 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 		s.cache.put(&cacheEntry{key: key, canon: canon.Instance, result: &cached})
 	}
 	return s.respond(req, v, fp, &res, false)
+}
+
+// clampParallelism bounds a requested speculative width by the server's
+// MaxParallelism (negative cap forces serial).
+func (s *Server) clampParallelism(n int) int {
+	cap := s.cfg.MaxParallelism
+	if cap < 1 || n < 1 {
+		return 1
+	}
+	if n > cap {
+		return cap
+	}
+	return n
 }
 
 // solverFor returns the shared Solver for the canonical instance, or a
@@ -475,8 +518,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Errors:     s.stats.errors.Load(),
 		},
 		Search: SearchStats{
-			Probes:   s.stats.probes.Load(),
-			Timeouts: s.stats.timeouts.Load(),
+			Probes:         s.stats.probes.Load(),
+			Timeouts:       s.stats.timeouts.Load(),
+			ParallelSolves: s.stats.parallelSolves.Load(),
+		},
+		Runtime: RuntimeStats{
+			Goroutines:     runtime.NumGoroutine(),
+			MaxProcs:       runtime.GOMAXPROCS(0),
+			MaxParallelism: s.cfg.MaxParallelism,
 		},
 	}
 	if s.cache != nil {

@@ -16,12 +16,13 @@ const latencyWindow = 4096
 type serverStats struct {
 	start time.Time
 
-	solveRequests atomic.Uint64
-	batchRequests atomic.Uint64
-	batchItems    atomic.Uint64
-	errors        atomic.Uint64
-	probes        atomic.Uint64
-	timeouts      atomic.Uint64
+	solveRequests  atomic.Uint64
+	batchRequests  atomic.Uint64
+	batchItems     atomic.Uint64
+	errors         atomic.Uint64
+	probes         atomic.Uint64
+	timeouts       atomic.Uint64
+	parallelSolves atomic.Uint64
 
 	mu        sync.Mutex
 	latencies [latencyWindow]float64 // milliseconds, ring buffer
@@ -82,6 +83,19 @@ type StatsResponse struct {
 	Cache         CacheStats   `json:"cache"`
 	Solvers       CacheStats   `json:"solvers"`
 	LatencyMS     LatencyStats `json:"latency_ms"`
+	Runtime       RuntimeStats `json:"runtime"`
+}
+
+// RuntimeStats reports the server process's goroutine posture, for sizing
+// the parallelism knobs against the actual hardware.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count at stats time (includes all
+	// in-flight solves and their speculative probe workers).
+	Goroutines int `json:"goroutines"`
+	// MaxProcs is runtime.GOMAXPROCS(0), the scheduler's CPU budget.
+	MaxProcs int `json:"gomaxprocs"`
+	// MaxParallelism is the server's cap on the per-request knob.
+	MaxParallelism int `json:"max_parallelism"`
 }
 
 // RequestStats counts requests by kind.
@@ -93,11 +107,13 @@ type RequestStats struct {
 }
 
 // SearchStats reports probe-level search activity: every dual-test
-// evaluation run by the searches (cache hits run none) and the number of
-// solves aborted by timeout or client cancellation.
+// evaluation run by the searches (cache hits run none), the number of
+// solves aborted by timeout or client cancellation, and how many solves
+// ran with speculative probing (request parallelism > 1 after clamping).
 type SearchStats struct {
-	Probes   uint64 `json:"probes"`
-	Timeouts uint64 `json:"timeouts"`
+	Probes         uint64 `json:"probes"`
+	Timeouts       uint64 `json:"timeouts"`
+	ParallelSolves uint64 `json:"parallel_solves"`
 }
 
 // CacheStats reports result-cache occupancy and effectiveness.

@@ -98,10 +98,12 @@ type Result struct {
 	// the accepted guess, but the certified LowerBound is conservative,
 	// so Ratio may exceed the algorithm's usual guarantee.
 	Fallback bool
-	// Trace records every dual-test evaluation of the search in
-	// execution order (len(Trace) == Probes for solves through
-	// Solver.Solve; nil for results that predate the Solver API, e.g.
-	// deserialized ones).
+	// Trace records the dual-test evaluations of the search in execution
+	// order, deduplicated by guess: under speculative probing
+	// (WithParallelism) a guess can be evaluated redundantly and is
+	// recorded once, at its first evaluation, so len(Trace) <= Probes
+	// with equality for serial solves.  Nil for results that predate the
+	// Solver API (e.g. deserialized ones).
 	Trace []Probe
 }
 

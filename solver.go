@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"setupsched/internal/core"
 )
@@ -69,15 +70,18 @@ func (s *Solver) Instance() *Instance { return s.in }
 // otherwise, rounded up to an integer for the non-preemptive case).
 func (s *Solver) LowerBound(v Variant) Rat { return s.prep.TMin(v) }
 
-// Option configures one Solver.Solve or Solver.DualTest call.
+// Option configures one Solver.Solve, Solver.SolveAll or Solver.DualTest
+// call.
 type Option func(*solveConfig) error
 
 // solveConfig is the resolved option set of one call.
 type solveConfig struct {
-	algorithm  Algorithm
-	epsilon    float64
-	observers  []Observer
-	probeLimit int
+	algorithm   Algorithm
+	epsilon     float64
+	observers   []Observer
+	probeLimit  int
+	parallelism int
+	runs        []Run
 }
 
 // WithAlgorithm selects the approximation algorithm (default Auto, the
@@ -90,6 +94,53 @@ func WithAlgorithm(a Algorithm) Option {
 			return nil
 		}
 		return fmt.Errorf("setupsched: unknown algorithm %v", a)
+	}
+}
+
+// WithParallelism sets the number of goroutines a call may use.  n must
+// be at least 1 (the default: fully serial).
+//
+// For Solver.Solve, n is the speculative probing width: the dual search
+// evaluates up to n candidate makespan guesses concurrently per round and
+// keeps the tightest accept/reject bracket.  The accepted guess, the
+// certified lower bound and the schedule are bit-identical to the serial
+// search; only wall-clock time, Probes and the Trace length change
+// (speculation evaluates guesses a serial search can skip).
+//
+// For Solver.SolveAll, n bounds how many (variant, algorithm) runs solve
+// concurrently; each individual run probes serially.
+func WithParallelism(n int) Option {
+	return func(c *solveConfig) error {
+		if n < 1 {
+			return fmt.Errorf("setupsched: parallelism %d < 1", n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
+// WithRuns restricts Solver.SolveAll to the given (variant, algorithm)
+// combinations, solved and reported in exactly this order.  Only applies
+// to SolveAll; Solve and DualTest reject it.
+func WithRuns(runs ...Run) Option {
+	return func(c *solveConfig) error {
+		if len(runs) == 0 {
+			return fmt.Errorf("setupsched: WithRuns needs at least one run")
+		}
+		for _, r := range runs {
+			switch r.Variant {
+			case Splittable, Preemptive, NonPreemptive:
+			default:
+				return fmt.Errorf("setupsched: unknown variant %v in WithRuns", r.Variant)
+			}
+			switch r.Algorithm {
+			case Auto, TwoApprox, EpsilonSearch, Exact32:
+			default:
+				return fmt.Errorf("setupsched: unknown algorithm %v in WithRuns", r.Algorithm)
+			}
+		}
+		c.runs = append([]Run(nil), runs...)
+		return nil
 	}
 }
 
@@ -137,7 +188,7 @@ func WithProbeLimit(n int) Option {
 }
 
 func resolveOptions(opts []Option) (*solveConfig, error) {
-	cfg := &solveConfig{algorithm: Auto, epsilon: DefaultEpsilon}
+	cfg := &solveConfig{algorithm: Auto, epsilon: DefaultEpsilon, parallelism: 1}
 	for _, o := range opts {
 		if o == nil {
 			continue
@@ -149,13 +200,25 @@ func resolveOptions(opts []Option) (*solveConfig, error) {
 	return cfg, nil
 }
 
-// traceObserver collects the probe sequence for Result.Trace.
+// traceObserver collects the probe sequence for Result.Trace, in the
+// order the search admitted the probes and deduplicated by guess: a
+// makespan guess evaluated more than once (possible only under
+// speculative probing) is recorded at its first evaluation.
 type traceObserver struct {
 	trace []Probe
+	seen  map[string]bool
 }
 
 func (t *traceObserver) ProbeStarted(Rat) {}
 func (t *traceObserver) ProbeFinished(T Rat, accepted bool) {
+	key := T.String()
+	if t.seen == nil {
+		t.seen = make(map[string]bool)
+	}
+	if t.seen[key] {
+		return
+	}
+	t.seen[key] = true
 	t.trace = append(t.trace, Probe{T: T, Accepted: accepted})
 }
 func (t *traceObserver) SearchFinished(string, int) {}
@@ -185,18 +248,31 @@ func (m multiObserver) SearchFinished(algorithm string, probes int) {
 // the given variant.  The context cancels the search between probes: a
 // canceled or expired ctx aborts promptly with an error matching both
 // ErrCanceled and the context's own error, and no partial schedule is
-// returned.  With no options it runs the exact 3/2-approximation.
+// returned.  With no options it runs the exact 3/2-approximation
+// serially; WithParallelism(n) turns on speculative probing (see the
+// option's documentation — results stay bit-identical to the serial
+// search).
 func (s *Solver) Solve(ctx context.Context, v Variant, opts ...Option) (*Result, error) {
 	cfg, err := resolveOptions(opts)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.runs != nil {
+		return nil, errors.New("setupsched: WithRuns only applies to SolveAll")
+	}
+	return s.solveRun(ctx, v, cfg.algorithm, cfg, cfg.parallelism)
+}
+
+// solveRun executes one (variant, algorithm) solve under the resolved
+// configuration; parallelism is the speculative probing width.
+func (s *Solver) solveRun(ctx context.Context, v Variant, algorithm Algorithm, cfg *solveConfig, parallelism int) (*Result, error) {
 	tr := &traceObserver{}
 	obs := multiObserver(append([]Observer{tr}, cfg.observers...))
-	ctl := core.Ctl{Ctx: ctx, Obs: obs, ProbeLimit: cfg.probeLimit}
+	ctl := core.Ctl{Ctx: ctx, Obs: obs, ProbeLimit: cfg.probeLimit, Parallelism: parallelism}
 
 	var r *core.Result
-	switch cfg.algorithm {
+	var err error
+	switch algorithm {
 	case TwoApprox:
 		if v == Splittable {
 			r, err = s.prep.SolveSplit2(ctl)
@@ -224,6 +300,90 @@ func (s *Solver) Solve(ctx context.Context, v Variant, opts ...Option) (*Result,
 	return res, nil
 }
 
+// Run names one (variant, algorithm) combination for Solver.SolveAll.
+type Run struct {
+	Variant   Variant
+	Algorithm Algorithm
+}
+
+// String renders the run as "variant/algorithm".
+func (r Run) String() string { return r.Variant.Short() + "/" + r.Algorithm.String() }
+
+// RunResult is the outcome of one Run of a SolveAll call.  Exactly one of
+// Result and Err is non-nil.
+type RunResult struct {
+	Run    Run
+	Result *Result
+	Err    error
+}
+
+// PaperRuns returns the nine algorithm combinations of the paper's
+// Table 1 — every variant solved with the 2-approximation, the
+// (3/2+eps)-search and the exact 3/2-approximation — in the order
+// SolveAll reports them by default.
+func PaperRuns() []Run {
+	var out []Run
+	for _, v := range []Variant{Splittable, Preemptive, NonPreemptive} {
+		for _, a := range []Algorithm{TwoApprox, EpsilonSearch, Exact32} {
+			out = append(out, Run{Variant: v, Algorithm: a})
+		}
+	}
+	return out
+}
+
+// SolveAll solves many (variant, algorithm) combinations concurrently off
+// the Solver's one shared preparation.  By default it runs PaperRuns();
+// restrict or reorder the set with WithRuns.  WithParallelism(n) bounds
+// how many runs are in flight at once (default 1, fully serial); each
+// run probes serially, so results are bit-identical to calling Solve once
+// per run.  The returned slice always has one entry per requested run, in
+// the requested order regardless of completion order, with per-run
+// failures in RunResult.Err (a canceled context marks every unfinished
+// run with an error matching ErrCanceled).  The error return is reserved
+// for invalid options.
+//
+// WithAlgorithm does not apply (the algorithm is part of each Run);
+// WithEpsilon configures every EpsilonSearch run, and observers attached
+// with WithObserver receive events from concurrent runs and must be safe
+// for concurrent use.
+func (s *Solver) SolveAll(ctx context.Context, opts ...Option) ([]RunResult, error) {
+	cfg, err := resolveOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.algorithm != Auto {
+		return nil, errors.New("setupsched: WithAlgorithm does not apply to SolveAll; use WithRuns")
+	}
+	runs := cfg.runs
+	if runs == nil {
+		runs = PaperRuns()
+	}
+	out := make([]RunResult, len(runs))
+	workers := cfg.parallelism
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r := runs[i]
+				res, err := s.solveRun(ctx, r.Variant, r.Algorithm, cfg, 1)
+				out[i] = RunResult{Run: r, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range runs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, nil
+}
+
 // DualTest runs the variant's 3/2-dual approximation at the makespan
 // guess T: it either returns a feasible schedule with makespan at most
 // 3/2*T (accepted) or reports that T was rejected, which certifies
@@ -237,8 +397,8 @@ func (s *Solver) DualTest(ctx context.Context, v Variant, T Rat, opts ...Option)
 	if err != nil {
 		return false, nil, err
 	}
-	if cfg.algorithm != Auto || cfg.probeLimit != 0 {
-		return false, nil, errors.New("setupsched: WithAlgorithm and WithProbeLimit do not apply to DualTest")
+	if cfg.algorithm != Auto || cfg.probeLimit != 0 || cfg.parallelism != 1 || cfg.runs != nil {
+		return false, nil, errors.New("setupsched: WithAlgorithm, WithProbeLimit, WithParallelism and WithRuns do not apply to DualTest")
 	}
 	if T.Sign() <= 0 {
 		return false, nil, fmt.Errorf("setupsched: non-positive makespan guess %s", T)
