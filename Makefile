@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke serve clean
+.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke serve clean
 
 all: vet build test
 
@@ -30,6 +30,7 @@ bench:
 bench-smoke:
 	$(GO) test -bench='SolveCold|SolveHit|Fingerprint|HTTPSolve' -benchtime=1x -run=^$$ ./serve
 	$(GO) test -bench='SolverReuse|SolverOneShotPerCall|DualTest|SolveFacade|Parallel_' -benchtime=1x -run=^$$ .
+	$(GO) test -bench='Session_' -benchtime=1x -run=^$$ ./stream
 
 # Regenerate the machine-readable performance-trajectory baseline
 # (parallel engine vs serial path; see README "Performance tracking").
@@ -42,16 +43,24 @@ bench-json:
 	$(GO) run ./cmd/schedbench -validate BENCH_core.json
 
 # Short fuzz sessions on the canonicalization/verification trust
-# boundaries.  The native fuzzer allows one -fuzz target per invocation.
+# boundaries and the incremental session engine.  The native fuzzer
+# allows one -fuzz target per invocation.
 FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFingerprintCanonicalRoundTrip -fuzztime=$(FUZZTIME) ./sched
 	$(GO) test -run='^$$' -fuzz=FuzzVerifySchedule -fuzztime=$(FUZZTIME) .
+	$(GO) test -run='^$$' -fuzz=FuzzSessionDeltas -fuzztime=$(FUZZTIME) ./stream
 
 # A short differential soak: every schedgen family through all nine
 # algorithms with guarantee checking (see cmd/schedstress).
 stress-smoke:
 	$(GO) run ./cmd/schedstress -families all -seeds 10 -duration 10s
+
+# The streaming session layer's smoke: race-checked session tests plus a
+# drift-trace soak asserting incremental-vs-fresh bit-identity.
+stream-smoke:
+	$(GO) test -race ./stream
+	$(GO) run ./cmd/schedstress -drift -seeds 10
 
 serve:
 	$(GO) run ./cmd/schedserve

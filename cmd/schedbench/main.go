@@ -11,9 +11,15 @@
 // The default (table) output is the source of EXPERIMENTS.md.  With
 // -json the command instead measures the parallel solve engine against
 // the serial path (speculative probing per algorithm plus the SolveAll
-// nine-run fan-out) and emits the machine-readable BENCH_core.json
-// report tracking the repo's performance trajectory; -validate checks an
-// existing report's schema, for CI smoke tests and pre-commit sanity.
+// nine-run fan-out) and the incremental session engine against stateless
+// re-solving (warm re-solve after a delta vs cold NewSolver+Solve), and
+// records the run into the machine-readable BENCH_core.json report
+// tracking the repo's performance trajectory.  The report holds one run
+// per environment (go version / OS / arch / GOMAXPROCS): regenerating
+// into an existing file replaces the matching environment's run and
+// keeps the others, so single-core and multi-core baselines coexist and
+// comparisons never mix environments.  -validate checks an existing
+// report's schema, for CI smoke tests and pre-commit sanity.
 package main
 
 import (
@@ -92,13 +98,26 @@ func main() {
 	}
 }
 
-// runJSON measures the parallel engine and writes the BENCH_core report.
+// runJSON measures the solve engines and writes the BENCH_core report,
+// merging the run into an existing env-keyed report at -o if present.
 func runJSON(sizes []int, reps, parallelism int, out string) int {
-	rep, err := benchjson.BenchCore(sizes, reps, parallelism)
+	run, err := benchjson.BenchCore(sizes, reps, parallelism)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedbench:", err)
 		return 1
 	}
+	rep := &benchjson.BenchReport{}
+	if out != "" {
+		if prev, err := os.ReadFile(out); err == nil {
+			var existing benchjson.BenchReport
+			// A stale or pre-v2 file is replaced wholesale rather than
+			// merged into.
+			if json.Unmarshal(prev, &existing) == nil && existing.Schema == benchjson.BenchCoreSchema {
+				rep = &existing
+			}
+		}
+	}
+	benchjson.MergeRun(rep, *run)
 	if err := benchjson.ValidateBenchReport(rep); err != nil {
 		fmt.Fprintln(os.Stderr, "schedbench: self-check failed:", err)
 		return 1
@@ -139,8 +158,10 @@ func runValidate(path string) int {
 		fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", path, err)
 		return 1
 	}
-	fmt.Printf("%s: valid %s report (%d results, gomaxprocs=%d)\n",
-		path, rep.Schema, len(rep.Results), rep.GoMaxProcs)
+	fmt.Printf("%s: valid %s report (%d runs)\n", path, rep.Schema, len(rep.Runs))
+	for i := range rep.Runs {
+		fmt.Printf("  %s: %d results (num_cpu=%d)\n", rep.Runs[i].EnvKey(), len(rep.Runs[i].Results), rep.Runs[i].NumCPU)
+	}
 	return 0
 }
 

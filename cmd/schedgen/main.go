@@ -1,16 +1,19 @@
 // Command schedgen emits synthetic scheduling instances as JSON, ready to
-// be piped into schedsolve.
+// be piped into schedsolve, and replayable NDJSON delta traces for the
+// streaming session layer (stream.Session, schedstream).
 //
 // Usage:
 //
 //	schedgen [-family uniform] [-m 8] [-classes 20] [-jobs 5]
 //	         [-maxsetup 100] [-maxjob 100] [-seed 1]
+//	schedgen -trace churn [-steps 40] ...    # NDJSON delta trace
 //
 //	schedgen -family bigjobs -m 6 | schedsolve -variant pmtn -gantt
-//	schedgen -list   # print the full catalog with descriptions
+//	schedgen -trace setupdrift | schedstream -check
+//	schedgen -list   # print both catalogs with descriptions
 //
-// The catalog lives in package schedgen; -list prints every family and
-// the structural regime it stresses.
+// The catalogs live in package schedgen; -list prints every instance
+// family and every drift regime with the structural regime it stresses.
 package main
 
 import (
@@ -24,18 +27,48 @@ import (
 
 func main() {
 	family := flag.String("family", "uniform", "generator family")
+	trace := flag.String("trace", "", "emit an NDJSON delta trace from this drift regime instead of one instance")
+	steps := flag.Int("steps", 40, "with -trace: number of deltas to generate")
 	m := flag.Int64("m", 8, "machines")
 	classes := flag.Int("classes", 20, "number of classes")
 	jobs := flag.Int("jobs", 5, "expected jobs per class")
 	maxSetup := flag.Int64("maxsetup", 100, "maximum setup time")
 	maxJob := flag.Int64("maxjob", 100, "maximum job processing time")
 	seed := flag.Int64("seed", 1, "random seed")
-	list := flag.Bool("list", false, "print the family catalog with descriptions and exit")
+	list := flag.Bool("list", false, "print the family and drift-regime catalogs with descriptions and exit")
 	flag.Parse()
 
 	if *list {
+		fmt.Println("instance families (-family):")
 		for _, f := range schedgen.Families {
-			fmt.Printf("%-12s %s\n", f.Name, f.Description)
+			fmt.Printf("  %-12s %s\n", f.Name, f.Description)
+		}
+		fmt.Println("\ndrift regimes (-trace):")
+		for _, r := range schedgen.DriftRegimes {
+			fmt.Printf("  %-12s %s\n", r.Name, r.Description)
+		}
+		return
+	}
+
+	p := schedgen.Params{
+		M: *m, Classes: *classes, JobsPer: *jobs,
+		MaxSetup: *maxSetup, MaxJob: *maxJob, Seed: *seed,
+	}
+
+	if *trace != "" {
+		regime, err := schedgen.DriftByName(*trace)
+		if err != nil {
+			// The error already lists the known regimes.
+			fmt.Fprintln(os.Stderr, "schedgen:", err)
+			os.Exit(2)
+		}
+		if *steps < 1 {
+			fmt.Fprintln(os.Stderr, "schedgen: -steps must be positive")
+			os.Exit(2)
+		}
+		if err := schedgen.EncodeTrace(os.Stdout, regime.Make(p, *steps)); err != nil {
+			fmt.Fprintln(os.Stderr, "schedgen:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -46,10 +79,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedgen:", err)
 		os.Exit(2)
 	}
-	in := fam.Make(schedgen.Params{
-		M: *m, Classes: *classes, JobsPer: *jobs,
-		MaxSetup: *maxSetup, MaxJob: *maxJob, Seed: *seed,
-	})
+	in := fam.Make(p)
 	if err := in.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "schedgen: generated invalid instance:", err)
 		os.Exit(1)

@@ -3,16 +3,24 @@
 // Usage:
 //
 //	schedserve [-addr :8080] [-workers N] [-cache 4096] [-solvers 1024] \
-//	           [-timeout 0] [-max-parallelism GOMAXPROCS]
+//	           [-timeout 0] [-max-parallelism GOMAXPROCS] [-max-batches 2*N] \
+//	           [-max-sessions 256] [-session-ttl 15m]
 //
 // Endpoints (see package setupsched/serve for the wire formats):
 //
-//	POST /v1/solve        solve one instance
-//	POST /v1/solve/batch  solve an NDJSON stream of instances
-//	GET  /healthz         liveness probe
-//	GET  /v1/stats        counters, cache hit rate, latency quantiles
+//	POST   /v1/solve               solve one instance
+//	POST   /v1/solve/batch         solve an NDJSON stream of instances
+//	                               (429 + Retry-After when saturated)
+//	POST   /v1/sessions            open an incremental solve session
+//	GET    /v1/sessions/{id}       session shape and revision
+//	POST   /v1/sessions/{id}/delta apply instance deltas
+//	POST   /v1/sessions/{id}/solve warm re-solve of the session instance
+//	DELETE /v1/sessions/{id}       close a session
+//	GET    /healthz                liveness probe
+//	GET    /v1/stats               counters, cache/session hit rates,
+//	                               latency quantiles
 //
-// Example:
+// Example (stateless solve, then a session with a delta):
 //
 //	schedserve -addr :8080 &
 //	curl -s localhost:8080/v1/solve -d '{
@@ -20,6 +28,12 @@
 //	  "instance": {"m": 3, "classes": [{"setup": 4, "jobs": [7, 2, 5]},
 //	                                   {"setup": 1, "jobs": [3, 3]}]}
 //	}'
+//	SID=$(curl -s localhost:8080/v1/sessions -d '{
+//	  "instance": {"m": 3, "classes": [{"setup": 4, "jobs": [7, 2, 5]}]}
+//	}' | jq -r .session_id)
+//	curl -s localhost:8080/v1/sessions/$SID/delta -d '{
+//	  "deltas": [{"op": "add_jobs", "class": 0, "jobs": [6]}]}'
+//	curl -s localhost:8080/v1/sessions/$SID/solve -d '{"variant": "nonp"}'
 package main
 
 import (
@@ -45,6 +59,9 @@ func main() {
 	solverCache := flag.Int("solvers", 1024, "prepared-solver cache capacity in entries (negative disables)")
 	timeout := flag.Duration("timeout", 0, "per-solve timeout (0 disables; requests may set a tighter timeout_ms)")
 	maxPar := flag.Int("max-parallelism", runtime.GOMAXPROCS(0), "cap on the per-request parallelism knob (negative forces serial solves)")
+	maxBatches := flag.Int("max-batches", 0, "concurrent batch requests before 429 (0 = 2*workers, negative = unlimited)")
+	maxSessions := flag.Int("max-sessions", 256, "live incremental solve sessions retained, LRU-evicted past this (negative disables sessions)")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session eviction deadline (negative disables the TTL)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "schedserve: unexpected arguments:", flag.Args())
@@ -52,11 +69,14 @@ func main() {
 	}
 
 	handler := serve.New(serve.Config{
-		Workers:         *workers,
-		CacheSize:       *cacheSize,
-		SolverCacheSize: *solverCache,
-		MaxParallelism:  *maxPar,
-		SolveTimeout:    *timeout,
+		Workers:              *workers,
+		CacheSize:            *cacheSize,
+		SolverCacheSize:      *solverCache,
+		MaxParallelism:       *maxPar,
+		SolveTimeout:         *timeout,
+		MaxConcurrentBatches: *maxBatches,
+		SessionCapacity:      *maxSessions,
+		SessionTTL:           *sessionTTL,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -69,8 +89,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("schedserve: listening on %s (workers=%d, cache=%d, solvers=%d, timeout=%v, max-parallelism=%d)",
-			*addr, *workers, *cacheSize, *solverCache, *timeout, *maxPar)
+		log.Printf("schedserve: listening on %s (workers=%d, cache=%d, solvers=%d, timeout=%v, max-parallelism=%d, max-batches=%d, max-sessions=%d, session-ttl=%v)",
+			*addr, *workers, *cacheSize, *solverCache, *timeout, *maxPar, *maxBatches, *maxSessions, *sessionTTL)
 		errc <- srv.ListenAndServe()
 	}()
 

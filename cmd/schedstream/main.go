@@ -1,0 +1,190 @@
+// Command schedstream replays an NDJSON delta trace (schedgen -trace, or
+// hand-written) through an incremental solve session, reporting how the
+// session engine answered each solve point — warm-started, cached or
+// cold — and the amortized cost against stateless re-solving.
+//
+// Usage:
+//
+//	schedstream [-f trace.ndjson] [-variant nonp] [-algorithm auto]
+//	            [-eps 1e-4] [-check] [-v]
+//
+//	schedgen -trace churn -steps 100 | schedstream
+//	schedgen -trace scale | schedstream -check -v   # cross-check vs fresh solves
+//
+// The trace format is one JSON object per line: first {"base": instance},
+// then {"delta": {"op": ...}} edits interleaved with {"solve": true}
+// solve points.  With -check every solve point is also solved by a fresh
+// cold Solver and compared bit-for-bit (the stream package's identity
+// contract); any mismatch fails the run.  Exit status: 0 ok, 1 mismatch
+// or replay failure, 2 usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"setupsched"
+	"setupsched/sched"
+	"setupsched/schedgen"
+	"setupsched/stream"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	file := flag.String("f", "", "trace file (default stdin)")
+	variant := flag.String("variant", "nonp", "variant solved at solve points: split, pmtn or nonp")
+	algorithm := flag.String("algorithm", "auto", "algorithm: auto, 2approx, eps or exact")
+	eps := flag.Float64("eps", setupsched.DefaultEpsilon, "accuracy for -algorithm eps")
+	check := flag.Bool("check", false, "cross-check every solve point against a fresh cold Solver (bit-identity)")
+	verbose := flag.Bool("v", false, "per-solve-point output")
+	flag.Parse()
+
+	v, ok := map[string]sched.Variant{
+		"split": sched.Splittable, "splittable": sched.Splittable,
+		"pmtn": sched.Preemptive, "preemptive": sched.Preemptive,
+		"nonp": sched.NonPreemptive, "nonpreemptive": sched.NonPreemptive,
+	}[*variant]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "schedstream: unknown variant %q (want split, pmtn or nonp)\n", *variant)
+		return 2
+	}
+	algo, ok := map[string]setupsched.Algorithm{
+		"auto": setupsched.Auto, "2approx": setupsched.TwoApprox,
+		"eps": setupsched.EpsilonSearch, "exact": setupsched.Exact32, "exact32": setupsched.Exact32,
+	}[*algorithm]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "schedstream: unknown algorithm %q (want auto, 2approx, eps or exact)\n", *algorithm)
+		return 2
+	}
+
+	var in io.Reader = os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedstream:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := schedgen.DecodeTrace(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedstream:", err)
+		return 1
+	}
+
+	sess, err := stream.NewSession(events[0].Base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedstream:", err)
+		return 1
+	}
+	mirror := events[0].Base.Clone()
+	opts := []stream.SolveOption{stream.WithAlgorithm(algo)}
+	if algo == setupsched.EpsilonSearch {
+		opts = append(opts, stream.WithEpsilon(*eps))
+	}
+
+	ctx := context.Background()
+	var sessionNs, freshNs int64
+	solvePoints, mismatches := 0, 0
+	start := time.Now()
+	for i, ev := range events[1:] {
+		switch {
+		case ev.Delta != nil:
+			if err := sess.Apply(ctx, *ev.Delta); err != nil {
+				fmt.Fprintf(os.Stderr, "schedstream: event %d (%s): %v\n", i+1, ev.Delta, err)
+				return 1
+			}
+			if *check {
+				if _, err := ev.Delta.Apply(mirror); err != nil {
+					fmt.Fprintf(os.Stderr, "schedstream: event %d (%s): fresh replay rejected: %v\n", i+1, ev.Delta, err)
+					return 1
+				}
+			}
+		case ev.Solve:
+			solvePoints++
+			t0 := time.Now()
+			res, err := sess.Solve(ctx, v, opts...)
+			sessionNs += time.Since(t0).Nanoseconds()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "schedstream: solve point %d: %v\n", solvePoints, err)
+				return 1
+			}
+			mode := "cold"
+			switch {
+			case res.Cached:
+				mode = "cached"
+			case res.Warm:
+				mode = "warm"
+			}
+			if *verbose {
+				shape, _ := sess.Describe(ctx)
+				fmt.Printf("solve %3d rev %4d (m=%d c=%d n=%d): makespan %-12s bound %-12s probes %2d %s\n",
+					solvePoints, res.Rev, shape.Machines, shape.Classes, shape.Jobs, res.Makespan, res.LowerBound, res.Probes, mode)
+			}
+			if *check {
+				t1 := time.Now()
+				solver, err := setupsched.NewSolver(mirror.Clone())
+				var fres *setupsched.Result
+				if err == nil {
+					fOpts := []setupsched.Option{setupsched.WithAlgorithm(algo)}
+					if algo == setupsched.EpsilonSearch {
+						fOpts = append(fOpts, setupsched.WithEpsilon(*eps))
+					}
+					fres, err = solver.Solve(ctx, v, fOpts...)
+				}
+				freshNs += time.Since(t1).Nanoseconds()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "schedstream: solve point %d: fresh solve: %v\n", solvePoints, err)
+					return 1
+				}
+				if !res.Fallback && !fres.Fallback &&
+					(!res.Makespan.Equal(fres.Makespan) || !res.LowerBound.Equal(fres.LowerBound) ||
+						!res.Guess.Equal(fres.Guess) || res.Algorithm != fres.Algorithm) {
+					mismatches++
+					fmt.Fprintf(os.Stderr,
+						"schedstream: solve point %d MISMATCH: session (mk=%s lb=%s T=%s %s) != fresh (mk=%s lb=%s T=%s %s)\n",
+						solvePoints, res.Makespan, res.LowerBound, res.Guess, res.Algorithm,
+						fres.Makespan, fres.LowerBound, fres.Guess, fres.Algorithm)
+				}
+			}
+		}
+	}
+
+	st := sess.Stats()
+	fmt.Printf("schedstream: %d deltas, %d solve points in %.1fms (%s, %s)\n",
+		st.Deltas, solvePoints, float64(time.Since(start).Nanoseconds())/1e6, v.Short(), algo)
+	fmt.Printf("  engine: %d solver runs, %d warm hits, %d cache hits, %d prep rebuilds\n",
+		st.Solves, st.WarmHits, st.CacheHits, st.Rebuilds)
+	if solvePoints > 0 {
+		fmt.Printf("  session solve time: %.3fms total, %.3fms/solve\n",
+			float64(sessionNs)/1e6, float64(sessionNs)/1e6/float64(solvePoints))
+	}
+	if *check {
+		if solvePoints > 0 {
+			fmt.Printf("  fresh solve time:   %.3fms total, %.3fms/solve (%.1fx)\n",
+				float64(freshNs)/1e6, float64(freshNs)/1e6/float64(solvePoints),
+				float64(freshNs)/float64(max64(sessionNs, 1)))
+		}
+		if mismatches > 0 {
+			fmt.Printf("  %d MISMATCHES\n", mismatches)
+			return 1
+		}
+		fmt.Println("  all solve points bit-identical to fresh solves")
+	}
+	return 0
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -11,15 +11,22 @@
 //	schedstress [-families all] [-profiles all] [-seeds 20] [-seedbase 0]
 //	            [-workers NumCPU] [-parallelism 1] [-crosscheck 0]
 //	            [-duration 0] [-eps 1e-3] [-maxviol 20] [-v]
+//	schedstress -drift [-regimes all] [-steps 24] ...
 //
 //	schedstress -families all -seeds 50          # one full verified sweep
 //	schedstress -duration 10s                    # soak until the clock runs out
 //	schedstress -families nearhalf,ratstress -v  # drill into two regimes
 //	schedstress -parallelism 4 -crosscheck 4     # exercise + verify the parallel engine
+//	schedstress -drift -seeds 10                 # incremental-vs-fresh identity soak
 //
-// Every violation is printed with the (family, profile, seed) triple that
-// regenerates the offending instance.  Exit status: 0 all checks passed,
-// 1 violations found, 2 usage error.
+// With -drift the soak switches to the streaming layer: schedgen drift
+// traces (job churn, setup drift, machine scaling) are replayed through
+// stream.Sessions and every solve point is checked bit-for-bit against a
+// fresh cold solve (see internal/diff.CheckSessionTrace).
+//
+// Every violation is printed with the (family-or-regime, profile, seed)
+// triple that regenerates the offending instance or trace.  Exit status:
+// 0 all checks passed, 1 violations found, 2 usage error.
 package main
 
 import (
@@ -51,6 +58,9 @@ func run() int {
 	duration := flag.Duration("duration", 0, "keep sweeping fresh seeds until this much time has passed (0 = one sweep)")
 	eps := flag.Float64("eps", diff.DefaultEpsilon, "accuracy of the eps-search specs")
 	maxViol := flag.Int("maxviol", 20, "stop after this many violations (0 = unlimited)")
+	drift := flag.Bool("drift", false, "soak the streaming session layer on drift traces instead of stateless instances")
+	regimes := flag.String("regimes", "all", "with -drift: comma-separated drift regimes, or 'all'")
+	steps := flag.Int("steps", 24, "with -drift: deltas per generated trace")
 	verbose := flag.Bool("v", false, "per-round progress output")
 	flag.Parse()
 
@@ -74,6 +84,15 @@ func run() int {
 	if *duration > 0 {
 		ctx, cancel = context.WithTimeout(ctx, *duration)
 		defer cancel()
+	}
+
+	if *drift {
+		regs, err := schedgen.SelectDrift(*regimes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedstress:", err)
+			return 2
+		}
+		return runDrift(ctx, regs, profs, *seeds, *seedBase, *steps, *eps, *workers, *maxViol, *duration, *verbose)
 	}
 
 	total := &diff.Summary{MaxRatioVsLB: map[string]float64{}}
@@ -116,6 +135,70 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runDrift is the -drift soak loop: sweep drift traces until the clock
+// (or the single sweep) runs out, mirroring the stateless soak's round
+// structure so seeds never repeat across rounds.
+func runDrift(ctx context.Context, regimes []schedgen.DriftRegime, profs []diff.Profile,
+	seeds, seedBase int64, steps int, eps float64, workers, maxViol int,
+	duration time.Duration, verbose bool) int {
+	total := &diff.DriftSummary{}
+	start := time.Now()
+	rounds := 0
+	for {
+		cfg := diff.DriftConfig{
+			Regimes: regimes, Profiles: profs,
+			Seeds: seeds, SeedBase: seedBase + int64(rounds)*seeds,
+			Steps: steps, Epsilon: eps, Workers: workers, MaxViolations: maxViol,
+		}
+		sum, err := diff.RunDrift(ctx, cfg)
+		total.Traces += sum.Traces
+		total.Deltas += sum.Deltas
+		total.Solves += sum.Solves
+		total.WarmHits += sum.WarmHits
+		total.CacheHits += sum.CacheHits
+		total.Rebuilds += sum.Rebuilds
+		total.Violations = append(total.Violations, sum.Violations...)
+		rounds++
+		if verbose {
+			fmt.Printf("drift round %d: seeds [%d, %d), %d traces, %d deltas, %d solves, %d violations (%.1fs elapsed)\n",
+				rounds, cfg.SeedBase, cfg.SeedBase+cfg.Seeds,
+				sum.Traces, sum.Deltas, sum.Solves, len(sum.Violations), time.Since(start).Seconds())
+		}
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			reportDrift(total, rounds, time.Since(start))
+			fmt.Fprintln(os.Stderr, "schedstress:", err)
+			return 2
+		}
+		stop := duration <= 0 || ctx.Err() != nil
+		if maxViol > 0 && len(total.Violations) >= maxViol {
+			stop = true
+		}
+		if stop {
+			break
+		}
+	}
+	reportDrift(total, rounds, time.Since(start))
+	if len(total.Violations) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func reportDrift(sum *diff.DriftSummary, rounds int, elapsed time.Duration) {
+	fmt.Printf("schedstress -drift: %d traces, %d deltas, %d session solves in %d round(s), %.1fs\n",
+		sum.Traces, sum.Deltas, sum.Solves, rounds, elapsed.Seconds())
+	fmt.Printf("  engine: %d warm hits, %d cache hits, %d prep rebuilds\n",
+		sum.WarmHits, sum.CacheHits, sum.Rebuilds)
+	if len(sum.Violations) == 0 {
+		fmt.Println("  every solve point bit-identical to a fresh solve")
+		return
+	}
+	fmt.Printf("  %d VIOLATIONS:\n", len(sum.Violations))
+	for _, v := range sum.Violations {
+		fmt.Printf("    %s\n", v)
+	}
 }
 
 func merge(dst, src *diff.Summary) {

@@ -108,6 +108,27 @@
 // See ALGORITHMS.md for the paper-to-code map of all nine algorithms and
 // the search machinery the parallel engine plugs into.
 //
+// # Incremental sessions
+//
+// A Solver is immutable by design; absorbing instance mutation is the
+// job of package setupsched/stream.  A stream.Session wraps a private
+// mutable instance, applies deltas (sched.Delta: job churn, setup drift,
+// class add/remove, machine scaling) by patching the shared preparation
+// in O(|delta|) instead of re-running the O(n) pass, and re-solves
+// warm: the exact searches are seeded with the previous certified
+// [reject, accept] bracket — the previous threshold probed first, the
+// delta-shifted bound second — so a stream of small edits re-certifies
+// in O(1)-ish probes per change.  The contract is bit-identity: at
+// every revision a session solve returns exactly what a fresh
+// NewSolver + Solve of the current instance returns (probe counts and
+// traces excepted — warm solves run fewer probes).  The eps-search
+// always re-solves cold, because its certified pair is a function of
+// the full bisection trajectory; warm solves that land on a documented
+// bounded-round fallback are discarded and re-run cold for the same
+// reason.  internal/diff replays generated drift traces through
+// sessions and fresh solvers side by side to enforce all of this
+// (tier-1, schedstress -drift, FuzzSessionDeltas).
+//
 // Migration from the legacy free functions (kept as deprecated shims):
 //
 //	Solve(in, v, &Options{Algorithm: a, Epsilon: e})  ->  NewSolver(in); s.Solve(ctx, v, WithAlgorithm(a), WithEpsilon(e))
@@ -130,7 +151,10 @@
 // timeouts, client-disconnect cancellation and a per-request parallelism
 // knob (speculative probing, clamped server-side), and reports
 // probe-level search metrics plus the process's goroutine posture on
-// /v1/stats.
+// /v1/stats.  Stateful delta traffic goes through the /v1/sessions
+// endpoints, which keep stream.Sessions alive server-side under TTL and
+// LRU eviction; a saturated batch worker pool answers 429 with
+// Retry-After instead of queueing unboundedly.
 //
 // # Testing
 //

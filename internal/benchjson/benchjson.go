@@ -1,8 +1,10 @@
-// Package benchjson measures the parallel solve engine against the
-// serial path through the public Solver API and emits/validates the
-// machine-readable BENCH_core.json performance-trajectory report.  It
-// lives outside internal/expt so the root package's benchmarks can keep
-// importing expt without an import cycle.
+// Package benchjson measures the solve engines against their baselines
+// through the public APIs and emits/validates the machine-readable
+// BENCH_core.json performance-trajectory report: the parallel engine vs
+// the serial path, and the incremental session engine (warm re-solve
+// after a delta) vs a cold NewSolver+Solve.  It lives outside
+// internal/expt so the root package's benchmarks can keep importing expt
+// without an import cycle.
 package benchjson
 
 import (
@@ -13,48 +15,84 @@ import (
 	"time"
 
 	"setupsched"
+	"setupsched/sched"
 	"setupsched/schedgen"
+	"setupsched/stream"
 )
 
-// BenchCoreSchema versions the BENCH_core.json wire format.
-const BenchCoreSchema = "setupsched/bench_core/v1"
+// BenchCoreSchema versions the BENCH_core.json wire format.  v2 holds a
+// list of runs keyed by environment, so single-core and multi-core
+// measurements coexist in one file and comparisons are only ever made
+// within one environment (a gomaxprocs=1 run must never be read as a
+// parallel-speedup regression).
+const BenchCoreSchema = "setupsched/bench_core/v2"
 
-// BenchResult is one datapoint of the machine-readable benchmark report:
-// one algorithm (or the whole-paper fan-out) at one instance size, in one
-// engine mode.
+// BenchResult is one datapoint: one measured path at one instance size in
+// one engine mode.
 type BenchResult struct {
-	// Name is the measured path: "split/exact32", "nonp/eps", ... or
-	// "solveall/paper" for the nine-run fan-out.
+	// Name is the measured path: "split/exact32", "nonp/eps", ...,
+	// "solveall/paper" for the nine-run fan-out, or "session/<variant>"
+	// for the incremental session engine.
 	Name string `json:"name"`
 	// N is the instance's job count.
 	N int `json:"n"`
-	// Mode is "serial" or "parallel" (speculative probing resp. SolveAll
-	// fan-out at Parallelism goroutines).
+	// Mode pairs up baselines and contenders: "serial" vs "parallel"
+	// (speculative probing resp. SolveAll fan-out), and "cold" vs "warm"
+	// (fresh NewSolver+Solve per change vs session delta + warm re-solve).
 	Mode string `json:"mode"`
-	// Parallelism is the goroutine width of the parallel mode (1 for
-	// serial datapoints).
+	// Parallelism is the goroutine width of the parallel mode (1
+	// otherwise).
 	Parallelism int `json:"parallelism"`
-	// NsPerOp is the mean wall-clock time per solve in nanoseconds.
+	// NsPerOp is the mean wall-clock time per operation in nanoseconds.
+	// For the session pairs one operation is one delta plus one re-solve.
 	NsPerOp float64 `json:"ns_per_op"`
 	// Probes is the dual-test count of one solve (0 where not applicable).
 	Probes int `json:"probes"`
 }
 
-// BenchReport is the schema of BENCH_core.json, the repo's performance
-// trajectory baseline: successive PRs append comparable runs, keyed by
-// the environment fields.  Parallel datapoints only demonstrate a
-// wall-clock win when GoMaxProcs > 1; the file records the environment so
-// a single-core CI run is never misread as a speedup regression.
-type BenchReport struct {
-	Schema        string        `json:"schema"`
+// modePeer maps each mode to the counterpart it is compared against.
+var modePeer = map[string]string{
+	"serial": "parallel", "parallel": "serial",
+	"cold": "warm", "warm": "cold",
+}
+
+// BenchRun is one environment's worth of datapoints.
+type BenchRun struct {
 	GoVersion     string        `json:"go_version"`
 	GOOS          string        `json:"goos"`
 	GOARCH        string        `json:"goarch"`
 	GoMaxProcs    int           `json:"gomaxprocs"`
+	NumCPU        int           `json:"num_cpu"`
 	GeneratedUnix int64         `json:"generated_unix"`
 	Sizes         []int         `json:"sizes"`
 	Reps          int           `json:"reps"`
 	Results       []BenchResult `json:"results"`
+}
+
+// EnvKey identifies the environment a run was measured in; successive
+// regenerations replace the run with the matching key instead of mixing
+// measurements across environments.
+func (r *BenchRun) EnvKey() string {
+	return fmt.Sprintf("%s/%s/%s/gomaxprocs=%d", r.GoVersion, r.GOOS, r.GOARCH, r.GoMaxProcs)
+}
+
+// BenchReport is the schema of BENCH_core.json: environment-keyed runs.
+type BenchReport struct {
+	Schema string     `json:"schema"`
+	Runs   []BenchRun `json:"runs"`
+}
+
+// MergeRun inserts the run into the report, replacing an existing run
+// with the same environment key.
+func MergeRun(rep *BenchReport, run BenchRun) {
+	rep.Schema = BenchCoreSchema
+	for i := range rep.Runs {
+		if rep.Runs[i].EnvKey() == run.EnvKey() {
+			rep.Runs[i] = run
+			return
+		}
+	}
+	rep.Runs = append(rep.Runs, run)
 }
 
 // benchSpec is one measured solve path.
@@ -117,14 +155,34 @@ func benchSpecs() []benchSpec {
 	return out
 }
 
-// benchCoreInstance builds the setup-heavy instance shape used for the
+// BenchCoreInstance builds the setup-heavy instance shape used for the
 // trajectory datapoints.  Unlike the uniform shape, its dual searches
-// genuinely probe (~10 dual tests per exact search), so both the
-// speculative and the fan-out paths are exercised.
-func benchCoreInstance(n int) *setupsched.Instance {
+// genuinely probe, so the speculative, fan-out and warm-start paths are
+// all exercised.  Setup and job magnitudes are large (~2e9 resp. ~2e8):
+// the searches' probe counts scale with log T — the paper's
+// O(n log(n + Delta)) — so value-heavy instances are where search cost,
+// and therefore speculation and warm starts, genuinely matter; tiny
+// magnitudes would hide the search behind the O(n) schedule emission.
+// (v1 reports used MaxSetup 500; v2 datapoints are not comparable.)
+func BenchCoreInstance(n int) *sched.Instance {
 	classes := n / 8
 	if classes < 1 {
 		classes = 1
+	}
+	// Magnitudes are capped so m*N stays safely inside the instance
+	// limits at every size: N <= ~0.225*n*maxSetup for this shape and
+	// m ~ n/10, so maxSetup <= ~1.6e18/n^2 keeps m*N below half of
+	// sched.MaxMachineLoadProduct.
+	maxSetup := int64(2_000_000_000)
+	if cap := int64(1.6e18) / int64(n) / int64(n); cap < maxSetup {
+		maxSetup = cap
+	}
+	if maxSetup < 500 {
+		maxSetup = 500
+	}
+	maxJob := maxSetup / 10
+	if maxJob < 60 {
+		maxJob = 60
 	}
 	// Machine-rich and setup-dominated (the cfg of the engine tests): the
 	// trivial bound is rejected and every exact search runs its full
@@ -133,14 +191,97 @@ func benchCoreInstance(n int) *setupsched.Instance {
 	// machine demand above m at the trivial bound.
 	return schedgen.ExpensiveSetups(schedgen.Params{
 		M: int64(n/10 + 1), Classes: classes, JobsPer: 8,
-		MaxSetup: 500, MaxJob: 60, Seed: int64(n),
+		MaxSetup: maxSetup, MaxJob: maxJob, Seed: int64(n),
 	})
 }
 
+// sessionDelta returns the alternating small edit the session pairs
+// replay: one job arrives, then departs, so the instance stays bounded
+// over any number of reps while every re-solve sees a real change.
+func sessionDelta(i int, jobs0 int) sched.Delta {
+	if i%2 == 0 {
+		return sched.Delta{Op: sched.DeltaAddJobs, Class: 0, Jobs: []int64{17}}
+	}
+	return sched.Delta{Op: sched.DeltaRemoveJob, Class: 0, Job: jobs0}
+}
+
+// benchSession measures the session engine on one instance: "warm" is
+// one delta applied to a live Session followed by a warm re-solve;
+// "cold" is the same delta applied to a plain instance followed by a
+// fresh NewSolver+Solve — the stateless cost the session amortizes.
+func benchSession(in *sched.Instance, v sched.Variant, reps int) (cold, warm BenchResult, err error) {
+	name := "session/" + v.Short()
+	nj := in.NumJobs()
+	jobs0 := len(in.Classes[0].Jobs)
+
+	// Cold: rebuild everything per change.
+	coldIn := in.Clone()
+	ctx := context.Background()
+	var coldProbes int
+	coldOnce := func(i int) error {
+		if _, err := sessionDelta(i, jobs0).Apply(coldIn); err != nil {
+			return err
+		}
+		solver, err := setupsched.NewSolver(coldIn)
+		if err != nil {
+			return err
+		}
+		res, err := solver.Solve(ctx, v)
+		if err != nil {
+			return err
+		}
+		coldProbes = res.Probes
+		return nil
+	}
+	if err := coldOnce(0); err != nil { // warm-up (also de-aligns the alternation)
+		return cold, warm, fmt.Errorf("%s cold: %w", name, err)
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := coldOnce(i + 1); err != nil {
+			return cold, warm, fmt.Errorf("%s cold: %w", name, err)
+		}
+	}
+	coldNs := float64(time.Since(start).Nanoseconds()) / float64(reps)
+
+	// Warm: the session absorbs the same stream of changes.
+	sess, err := stream.NewSession(in)
+	if err != nil {
+		return cold, warm, err
+	}
+	var warmProbes int
+	warmOnce := func(i int) error {
+		if err := sess.Apply(ctx, sessionDelta(i, jobs0)); err != nil {
+			return err
+		}
+		res, err := sess.Solve(ctx, v)
+		if err != nil {
+			return err
+		}
+		warmProbes = res.Probes
+		return nil
+	}
+	if err := warmOnce(0); err != nil {
+		return cold, warm, fmt.Errorf("%s warm: %w", name, err)
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if err := warmOnce(i + 1); err != nil {
+			return cold, warm, fmt.Errorf("%s warm: %w", name, err)
+		}
+	}
+	warmNs := float64(time.Since(start).Nanoseconds()) / float64(reps)
+
+	cold = BenchResult{Name: name, N: nj, Mode: "cold", Parallelism: 1, NsPerOp: coldNs, Probes: coldProbes}
+	warm = BenchResult{Name: name, N: nj, Mode: "warm", Parallelism: 1, NsPerOp: warmNs, Probes: warmProbes}
+	return cold, warm, nil
+}
+
 // BenchCore measures the parallel solve engine against the serial path
-// across instance sizes and returns the machine-readable report.
-// parallelism <= 1 defaults to runtime.GOMAXPROCS(0).
-func BenchCore(sizes []int, reps, parallelism int) (*BenchReport, error) {
+// and the session engine against stateless re-solving, across instance
+// sizes, returning one environment-keyed run.  parallelism <= 1 defaults
+// to runtime.GOMAXPROCS(0).
+func BenchCore(sizes []int, reps, parallelism int) (*BenchRun, error) {
 	if len(sizes) == 0 {
 		return nil, errors.New("benchjson: BenchCore needs at least one size")
 	}
@@ -154,21 +295,21 @@ func BenchCore(sizes []int, reps, parallelism int) (*BenchReport, error) {
 		// Never emit "parallel" rows that secretly ran serial (width 1
 		// disables the engine entirely): on a single-CPU box the parallel
 		// datapoints then measure goroutine overhead at width 2, which is
-		// honest — the recorded gomaxprocs tells the reader why.
+		// honest — the recorded gomaxprocs/num_cpu tell the reader why.
 		parallelism = 2
 	}
-	rep := &BenchReport{
-		Schema:        BenchCoreSchema,
+	run := &BenchRun{
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
 		GeneratedUnix: time.Now().Unix(),
 		Sizes:         sizes,
 		Reps:          reps,
 	}
 	for _, n := range sizes {
-		in := benchCoreInstance(n)
+		in := BenchCoreInstance(n)
 		solver, err := setupsched.NewSolver(in)
 		if err != nil {
 			return nil, err
@@ -191,35 +332,61 @@ func BenchCore(sizes []int, reps, parallelism int) (*BenchReport, error) {
 					}
 				}
 				el := time.Since(start)
-				rep.Results = append(rep.Results, BenchResult{
+				run.Results = append(run.Results, BenchResult{
 					Name: spec.name, N: nj, Mode: mode.name, Parallelism: mode.par,
 					NsPerOp: float64(el.Nanoseconds()) / float64(reps),
 					Probes:  probes,
 				})
 			}
 		}
+		for _, v := range sched.Variants {
+			cold, warm, err := benchSession(in, v, reps)
+			if err != nil {
+				return nil, err
+			}
+			run.Results = append(run.Results, cold, warm)
+		}
 	}
-	return rep, nil
+	return run, nil
 }
 
 // ValidateBenchReport checks the structural invariants of a BENCH_core
-// report: schema tag, environment fields, and positive measurements with
-// serial/parallel pairs for every (name, n).
+// report: schema tag, at least one run, environment fields, unique
+// environment keys, and positive measurements with a mode counterpart
+// (serial/parallel resp. cold/warm) for every (name, n) within each run.
 func ValidateBenchReport(rep *BenchReport) error {
 	if rep == nil {
 		return errors.New("benchjson: nil bench report")
 	}
 	if rep.Schema != BenchCoreSchema {
-		return fmt.Errorf("benchjson: schema %q, want %q", rep.Schema, BenchCoreSchema)
+		return fmt.Errorf("benchjson: schema %q, want %q (regenerate with schedbench -json)", rep.Schema, BenchCoreSchema)
 	}
-	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.GoMaxProcs < 1 {
-		return errors.New("benchjson: bench report missing environment fields")
+	if len(rep.Runs) == 0 {
+		return errors.New("benchjson: bench report has no runs")
 	}
-	if rep.GeneratedUnix <= 0 || rep.Reps < 1 || len(rep.Sizes) == 0 {
-		return errors.New("benchjson: bench report missing run parameters")
+	envs := map[string]bool{}
+	for i := range rep.Runs {
+		run := &rep.Runs[i]
+		if err := validateRun(run); err != nil {
+			return fmt.Errorf("benchjson: run %s: %w", run.EnvKey(), err)
+		}
+		if envs[run.EnvKey()] {
+			return fmt.Errorf("benchjson: duplicate environment %s (runs must be merged per environment)", run.EnvKey())
+		}
+		envs[run.EnvKey()] = true
 	}
-	if len(rep.Results) == 0 {
-		return errors.New("benchjson: bench report has no results")
+	return nil
+}
+
+func validateRun(run *BenchRun) error {
+	if run.GoVersion == "" || run.GOOS == "" || run.GOARCH == "" || run.GoMaxProcs < 1 || run.NumCPU < 1 {
+		return errors.New("missing environment fields")
+	}
+	if run.GeneratedUnix <= 0 || run.Reps < 1 || len(run.Sizes) == 0 {
+		return errors.New("missing run parameters")
+	}
+	if len(run.Results) == 0 {
+		return errors.New("no results")
 	}
 	type key struct {
 		name string
@@ -227,22 +394,18 @@ func ValidateBenchReport(rep *BenchReport) error {
 		mode string
 	}
 	seen := map[key]bool{}
-	for _, r := range rep.Results {
+	for _, r := range run.Results {
 		if r.Name == "" || r.N < 1 || r.NsPerOp <= 0 || r.Parallelism < 1 {
-			return fmt.Errorf("benchjson: malformed result %+v", r)
+			return fmt.Errorf("malformed result %+v", r)
 		}
-		if r.Mode != "serial" && r.Mode != "parallel" {
-			return fmt.Errorf("benchjson: result %q has unknown mode %q", r.Name, r.Mode)
+		if modePeer[r.Mode] == "" {
+			return fmt.Errorf("result %q has unknown mode %q", r.Name, r.Mode)
 		}
 		seen[key{r.Name, r.N, r.Mode}] = true
 	}
 	for k := range seen {
-		other := "serial"
-		if k.mode == "serial" {
-			other = "parallel"
-		}
-		if !seen[key{k.name, k.n, other}] {
-			return fmt.Errorf("benchjson: result %s n=%d has no %s counterpart", k.name, k.n, other)
+		if !seen[key{k.name, k.n, modePeer[k.mode]}] {
+			return fmt.Errorf("result %s n=%d has no %s counterpart", k.name, k.n, modePeer[k.mode])
 		}
 	}
 	return nil

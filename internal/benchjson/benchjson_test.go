@@ -5,24 +5,41 @@ import (
 	"testing"
 )
 
-// TestBenchCoreRoundTrip runs a tiny measurement, validates it, and
-// checks the JSON encoding survives a decode/validate round trip — the
-// same path CI's bench-json smoke exercises.
-func TestBenchCoreRoundTrip(t *testing.T) {
-	rep, err := BenchCore([]int{400}, 1, 2)
+// TestBenchCoreShape runs a tiny measurement and checks the run carries
+// every expected datapoint pair, validates, and survives a JSON
+// round trip — the same path CI's bench-json smoke exercises.
+func TestBenchCoreShape(t *testing.T) {
+	run, err := BenchCore([]int{400}, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rep := &BenchReport{}
+	MergeRun(rep, *run)
 	if err := ValidateBenchReport(rep); err != nil {
 		t.Fatal(err)
 	}
-	// Every search path must genuinely probe on the bench instance shape,
-	// otherwise the datapoints measure nothing.
-	for _, r := range rep.Results {
+
+	names := map[string]bool{}
+	for _, r := range run.Results {
+		names[r.Name+"/"+r.Mode] = true
+		// Every measured path must genuinely probe on the bench instance
+		// shape, otherwise the datapoints measure nothing.
 		if r.Probes < 2 {
 			t.Errorf("%s n=%d %s: only %d probes; bench instance no longer exercises the search", r.Name, r.N, r.Mode, r.Probes)
 		}
 	}
+	for _, want := range []string{
+		"split/exact32/serial", "split/exact32/parallel",
+		"solveall/paper/serial", "solveall/paper/parallel",
+		"session/splittable/cold", "session/splittable/warm",
+		"session/preemptive/cold", "session/preemptive/warm",
+		"session/nonpreemptive/cold", "session/nonpreemptive/warm",
+	} {
+		if !names[want] {
+			t.Errorf("missing datapoint %s", want)
+		}
+	}
+
 	buf, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +50,31 @@ func TestBenchCoreRoundTrip(t *testing.T) {
 	}
 	if err := ValidateBenchReport(&back); err != nil {
 		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+}
+
+// TestMergeRunKeysByEnvironment pins the env-keyed comparison contract: a
+// run regenerated in the same environment replaces its predecessor, a run
+// from a different environment is appended.
+func TestMergeRunKeysByEnvironment(t *testing.T) {
+	run, err := BenchCore([]int{200}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &BenchReport{}
+	MergeRun(rep, *run)
+	MergeRun(rep, *run)
+	if len(rep.Runs) != 1 {
+		t.Fatalf("same-environment merge kept %d runs, want 1", len(rep.Runs))
+	}
+	other := *run
+	other.GoMaxProcs = run.GoMaxProcs + 3
+	MergeRun(rep, other)
+	if len(rep.Runs) != 2 {
+		t.Fatalf("different-environment merge kept %d runs, want 2", len(rep.Runs))
+	}
+	if err := ValidateBenchReport(rep); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -48,21 +90,23 @@ func TestValidateBenchReportRejects(t *testing.T) {
 	}{
 		{"nil", nil},
 		{"schema", func(r *BenchReport) { r.Schema = "bogus" }},
-		{"environment", func(r *BenchReport) { r.GoMaxProcs = 0 }},
-		{"no results", func(r *BenchReport) { r.Results = nil }},
-		{"bad mode", func(r *BenchReport) { r.Results[0].Mode = "warp" }},
-		{"unpaired", func(r *BenchReport) { r.Results = r.Results[:1] }},
+		{"no runs", func(r *BenchReport) { r.Runs = nil }},
+		{"environment", func(r *BenchReport) { r.Runs[0].GoMaxProcs = 0 }},
+		{"no results", func(r *BenchReport) { r.Runs[0].Results = nil }},
+		{"bad mode", func(r *BenchReport) { r.Runs[0].Results[0].Mode = "warp" }},
+		{"unpaired", func(r *BenchReport) { r.Runs[0].Results = r.Runs[0].Results[:1] }},
+		{"duplicate env", func(r *BenchReport) { r.Runs = append(r.Runs, r.Runs[0]) }},
 	}
 	for _, tc := range cases {
 		var rep *BenchReport
 		if tc.mutate != nil {
-			cp := *good
-			cp.Results = append([]BenchResult(nil), good.Results...)
-			tc.mutate(&cp)
-			rep = &cp
+			rep = &BenchReport{}
+			MergeRun(rep, *good)
+			rep.Runs[0].Results = append([]BenchResult(nil), good.Results...)
+			tc.mutate(rep)
 		}
 		if err := ValidateBenchReport(rep); err == nil {
-			t.Errorf("%s: validator accepted a malformed report", tc.name)
+			t.Errorf("%s: validator accepted a broken report", tc.name)
 		}
 	}
 }

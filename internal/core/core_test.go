@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"setupsched/internal/exact"
-	"setupsched/schedgen"
 	"setupsched/sched"
+	"setupsched/schedgen"
 )
 
 // smallRandomInstance draws a tiny instance suitable for exact solving.

@@ -34,6 +34,28 @@ type Observer interface {
 	SearchFinished(algorithm string, probes int)
 }
 
+// BracketSeed warm-starts a dual search from a previously certified
+// [reject, accept] pair.  Each side is an optimism-ordered candidate
+// ladder: His typically holds the previous accepted guess itself (small
+// deltas rarely move the threshold, so re-confirming it costs one probe)
+// followed by the guess shifted up by the delta's added load (the
+// provable upper bound on how far the threshold can move); Los mirrors
+// this downward.  The seed is advisory: every candidate is validated by a
+// real probe before it narrows the bracket, so a stale or wrong seed
+// costs a bounded number of extra probes and can never change the
+// search's answer — the exact searches converge to the unique threshold
+// of the monotone dual test from any correctly narrowed bracket.  See
+// stream.Session for the producer.
+type BracketSeed struct {
+	// Los are guesses expected to be rejected (certifying OPT > Lo),
+	// probed in order while they lie strictly inside the bracket.
+	Los []sched.Rat
+	// His are guesses expected to be accepted, probed in order until one
+	// confirms; a confirmed hi lets the search skip its trivial-upper-
+	// bound probe and reports Result.SeedUsed.
+	His []sched.Rat
+}
+
 // Ctl carries the per-solve control surface through the searches: a
 // cancellation context, an optional probe observer, an optional probe
 // budget and the speculative-probing width.  The zero value means "run to
@@ -55,6 +77,25 @@ type Ctl struct {
 	// to the serial search for any width; only wall-clock time, the probe
 	// count and the Trace length change.  Zero or one means fully serial.
 	Parallelism int
+	// Seed warm-starts the exact searches (Class Jumping, the integral
+	// non-preemptive search) from a previously certified bracket; nil
+	// means a cold start.  The eps-search ignores it: its certified pair
+	// is a function of the full bisection trajectory, so seeding would
+	// change the reported bound (see ALGORITHMS.md, "Warm-started
+	// re-solves").
+	Seed *BracketSeed
+	// Scratch lends the schedule builders reusable working memory; nil
+	// allocates per call.  Output is identical either way.  Setting it is
+	// only sound when the caller serializes all solves sharing the
+	// scratch (stream.Session holds its lock across the whole solve);
+	// the concurrent paths (Solver, SolveAll fan-out) must leave it nil.
+	Scratch *BuildScratch
+}
+
+// BuildScratch aggregates the builders' reusable working memory (see
+// Ctl.Scratch).  The zero value is ready for use.
+type BuildScratch struct {
+	Nonp NonpScratch
 }
 
 // width returns the effective speculation width (>= 1).

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"setupsched/sched"
+)
+
+func incTestInstance(rng *rand.Rand, classes int) *sched.Instance {
+	in := &sched.Instance{M: 1 + rng.Int63n(8)}
+	for c := 0; c < classes; c++ {
+		cl := sched.Class{Setup: rng.Int63n(50)}
+		for j := 0; j <= rng.Intn(5); j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(40))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// randomDelta proposes a random delta against the current instance shape;
+// it may be invalid (Inc must reject it without state damage).
+func randomDelta(rng *rand.Rand, in *sched.Instance) sched.Delta {
+	switch rng.Intn(7) {
+	case 0:
+		jobs := make([]int64, 1+rng.Intn(3))
+		for i := range jobs {
+			jobs[i] = 1 + rng.Int63n(40)
+		}
+		return sched.Delta{Op: sched.DeltaAddJobs, Class: rng.Intn(len(in.Classes) + 1), Jobs: jobs}
+	case 1:
+		c := rng.Intn(len(in.Classes))
+		j := 0
+		if n := len(in.Classes[c].Jobs); n > 0 {
+			j = rng.Intn(n + 1) // may be out of range
+		}
+		return sched.Delta{Op: sched.DeltaRemoveJob, Class: c, Job: j}
+	case 2:
+		return sched.Delta{Op: sched.DeltaSetSetup, Class: rng.Intn(len(in.Classes)), Setup: rng.Int63n(60) - 2}
+	case 3:
+		jobs := make([]int64, 1+rng.Intn(3))
+		for i := range jobs {
+			jobs[i] = 1 + rng.Int63n(40)
+		}
+		return sched.Delta{Op: sched.DeltaAddClass, Setup: rng.Int63n(50), Jobs: jobs}
+	case 4:
+		return sched.Delta{Op: sched.DeltaRemoveClass, Class: rng.Intn(len(in.Classes) + 1)}
+	case 5:
+		return sched.Delta{Op: sched.DeltaSetMachines, M: rng.Int63n(12)} // may be 0 (invalid)
+	default:
+		return sched.Delta{Op: sched.DeltaSetSetup, Class: rng.Intn(len(in.Classes)), Setup: rng.Int63n(60)}
+	}
+}
+
+// TestIncMatchesFreshPrepare drives random delta sequences through Inc
+// and asserts after every step that the patched Prep equals a cold
+// Prepare, and that a mirror instance evolved by sched.Delta.Apply agrees
+// on acceptance and content.
+func TestIncMatchesFreshPrepare(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		base := incTestInstance(rng, 2+rng.Intn(8))
+		if err := base.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid base: %v", seed, err)
+		}
+		inc := NewInc(base.Clone())
+		mirror := base.Clone()
+		for step := 0; step < 120; step++ {
+			d := randomDelta(rng, mirror)
+			errInc := inc.Apply(d)
+			_, errMirror := d.Apply(mirror)
+			if (errInc == nil) != (errMirror == nil) {
+				t.Fatalf("seed %d step %d %s: Inc err %v, fresh err %v", seed, step, d, errInc, errMirror)
+			}
+			if !inc.Prep().In.Equal(mirror) {
+				t.Fatalf("seed %d step %d %s: Inc instance diverged from mirror", seed, step, d)
+			}
+			if err := inc.Check(); err != nil {
+				t.Fatalf("seed %d step %d %s: %v", seed, step, d, err)
+			}
+		}
+		if inc.Rebuilds() == 0 {
+			t.Errorf("seed %d: 120 deltas never hit the staleness rebuild", seed)
+		}
+	}
+}
+
+// TestIncStalenessRebuild pins the rebuild fallback: the threshold is
+// max(64, c), so 64 patches on a small instance trigger exactly one
+// rebuild and reset the patch counter.
+func TestIncStalenessRebuild(t *testing.T) {
+	in := &sched.Instance{M: 2, Classes: []sched.Class{{Setup: 3, Jobs: []int64{4, 5}}}}
+	inc := NewInc(in)
+	for i := 0; i < 63; i++ {
+		if err := inc.Apply(sched.Delta{Op: sched.DeltaSetSetup, Class: 0, Setup: int64(3 + i%5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Rebuilds() != 0 || inc.Patched() != 63 {
+		t.Fatalf("after 63 deltas: rebuilds %d, patched %d", inc.Rebuilds(), inc.Patched())
+	}
+	if err := inc.Apply(sched.Delta{Op: sched.DeltaSetSetup, Class: 0, Setup: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Rebuilds() != 1 || inc.Patched() != 0 {
+		t.Fatalf("after 64 deltas: rebuilds %d, patched %d (want 1, 0)", inc.Rebuilds(), inc.Patched())
+	}
+	if err := inc.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeededSearchesMatchCold asserts the core warm-start contract
+// directly: for arbitrary (even wrong) seeds, the exact searches return
+// bit-identical schedules, guesses and bounds to the cold run.
+func TestSeededSearchesMatchCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		in := incTestInstance(rng, 3+rng.Intn(10))
+		if err := in.Validate(); err != nil {
+			continue
+		}
+		p := Prepare(in)
+		for _, tc := range []struct {
+			name  string
+			solve func(Ctl) (*Result, error)
+		}{
+			{"split/jump", p.SolveSplitJump},
+			{"pmtn/jump", p.SolvePmtnJump},
+			{"nonp/binsearch", p.SolveNonpSearch},
+		} {
+			cold, err := tc.solve(Ctl{})
+			if err != nil {
+				t.Fatalf("trial %d %s cold: %v", trial, tc.name, err)
+			}
+			var los []sched.Rat
+			if cold.HasSeedLo {
+				los = []sched.Rat{cold.SeedLo}
+			}
+			seeds := []*BracketSeed{
+				// The previous certified pair itself (the unchanged-instance case).
+				{Los: los, His: []sched.Rat{cold.T}},
+				// A shifted ladder (the post-delta case).
+				{Los: append(append([]sched.Rat(nil), los...), cold.SeedLo.SubInt(3)),
+					His: []sched.Rat{cold.T, cold.T.AddInt(5)}},
+				// A wrong pair (lo candidate above the threshold, hi below it).
+				{Los: []sched.Rat{cold.T.AddInt(2)}, His: los},
+				// Hi only.
+				{His: []sched.Rat{cold.T}},
+			}
+			for si, sd := range seeds {
+				warm, err := tc.solve(Ctl{Seed: sd})
+				if err != nil {
+					t.Fatalf("trial %d %s seed %d: %v", trial, tc.name, si, err)
+				}
+				if cold.Fallback || warm.Fallback {
+					continue // trajectory-dependent conservative path
+				}
+				if !warm.T.Equal(cold.T) || !warm.LowerBound.Equal(cold.LowerBound) ||
+					!warm.Schedule.Makespan().Equal(cold.Schedule.Makespan()) ||
+					warm.Algorithm != cold.Algorithm {
+					t.Fatalf("trial %d %s seed %d: warm (T=%s LB=%s mk=%s %s) != cold (T=%s LB=%s mk=%s %s)",
+						trial, tc.name, si,
+						warm.T, warm.LowerBound, warm.Schedule.Makespan(), warm.Algorithm,
+						cold.T, cold.LowerBound, cold.Schedule.Makespan(), cold.Algorithm)
+				}
+			}
+		}
+	}
+}
+
+// TestSeededSearchSavesProbes pins the point of warm starts: re-solving
+// with the previous certified pair must not probe more than a handful of
+// times, far below the cold search.
+func TestSeededSearchSavesProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := incTestInstance(rng, 60)
+	in.M = 7
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := Prepare(in)
+	cold, err := p.SolveNonpSearch(Ctl{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Probes < 5 {
+		t.Skipf("cold search converged in %d probes; instance too easy to demonstrate savings", cold.Probes)
+	}
+	seed := &BracketSeed{His: []sched.Rat{cold.T}}
+	if cold.HasSeedLo {
+		seed.Los = []sched.Rat{cold.SeedLo}
+	}
+	warm, err := p.SolveNonpSearch(Ctl{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.SeedUsed {
+		t.Fatal("seed with the previous certified pair was not used")
+	}
+	if warm.Probes > 4 {
+		t.Fatalf("warm re-solve took %d probes (cold %d); want <= 4", warm.Probes, cold.Probes)
+	}
+}

@@ -44,11 +44,18 @@ func (p *Prep) SolvePmtnJump(ctl Ctl) (*Result, error) {
 		}
 		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "pmtn/jump", Probes: br.probes}, nil
 	}
-	if !br.probe(test, sched.R(p.N)) {
-		if br.err != nil {
-			return nil, br.err
+	// Warm start: a confirmed seed hi makes the N probe redundant (N >= hi
+	// is accepted by monotonicity).
+	if !br.seedNarrow(test) {
+		if !br.probe(test, sched.R(p.N)) {
+			if br.err != nil {
+				return nil, br.err
+			}
+			return nil, errInternal("preemptive dual rejected N")
 		}
-		return nil, errInternal("preemptive dual rejected N")
+	}
+	if br.err != nil {
+		return nil, br.err
 	}
 
 	// Breakpoints of the partition and of big-job membership.
@@ -131,7 +138,7 @@ func (p *Prep) SolvePmtnJump(ctl Ctl) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &Result{Schedule: s, T: tNew, LowerBound: tNew, Algorithm: "pmtn/jump", Probes: br.probes}, nil
+			return br.annotate(&Result{Schedule: s, T: tNew, LowerBound: tNew, Algorithm: "pmtn/jump", Probes: br.probes}, true), nil
 		}
 		if evPoint.OK {
 			br.hi = tNew
@@ -147,5 +154,5 @@ func (p *Prep) SolvePmtnJump(ctl Ctl) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: "pmtn/jump/fallback", Probes: br.probes, Fallback: true}, nil
+	return br.annotate(&Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: "pmtn/jump/fallback", Probes: br.probes, Fallback: true}, true), nil
 }

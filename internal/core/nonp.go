@@ -130,22 +130,103 @@ type nonpMachine struct {
 	crossing   int // index of the border-reaching step-3 item, or -1
 }
 
-type nonpBuild struct {
-	p         *Prep
-	T         int64
-	machines  []*nonpMachine
-	parents   []nonpParent
-	parentIdx map[int64]int
+// nonpClassState tracks one class's machines and leftover jobs between
+// the construction steps.
+type nonpClassState struct {
+	candidates []int // machines that may take step-2/3 load of the class
+	restJobs   []int
+	restLens   []int64
+	restFull   []int64
 }
 
-func (b *nonpBuild) newMachine() (*nonpMachine, int) {
-	m := &nonpMachine{crossing: -1, step3Start: -1}
-	b.machines = append(b.machines, m)
-	return m, len(b.machines) - 1
+// nonpBuild is the builder's working state.  Machines live in one value
+// slice and are addressed by index only (taking a *nonpMachine across a
+// newMachine call would dangle when the slice grows); their initial item
+// lists are carved out of a shared arena.  Everything here is reusable
+// between builds — see NonpScratch — and nothing the emitted Schedule
+// references aliases it.
+type nonpBuild struct {
+	p *Prep
+	T int64
+
+	machines  []nonpMachine
+	itemArena []nonpItem
+	itemOff   int
+	parents   []nonpParent
+	parentIdx map[int64]int
+
+	states    []nonpClassState
+	wrapJobsA []int
+	wrapLensA []int64
+	restJobsA []int
+	restLensA []int64
+
+	order   []int
+	live    []nonpItem
+	insBuf  []nonpItem
+	tailBuf []nonpItem
+}
+
+// machItemCap is each machine's arena-backed initial item capacity (a
+// setup plus a handful of jobs); machines that outgrow it migrate to a
+// private backing array on the next append.
+const machItemCap = 8
+
+// reset prepares the builder for one construction, retaining all backing
+// arrays from previous uses.
+func (b *nonpBuild) reset(p *Prep, T int64) {
+	b.p, b.T = p, T
+	b.machines = b.machines[:0]
+	b.itemOff = 0
+	b.parents = b.parents[:0]
+	if b.parentIdx == nil {
+		b.parentIdx = map[int64]int{}
+	} else {
+		clear(b.parentIdx)
+	}
+	if cap(b.states) >= p.C {
+		b.states = b.states[:p.C]
+	} else {
+		b.states = make([]nonpClassState, p.C)
+	}
+	if cap(b.wrapJobsA) < p.NJob {
+		b.wrapJobsA = make([]int, 0, p.NJob)
+		b.wrapLensA = make([]int64, 0, p.NJob)
+		b.restJobsA = make([]int, 0, p.NJob)
+		b.restLensA = make([]int64, 0, p.NJob)
+	} else {
+		b.wrapJobsA = b.wrapJobsA[:0]
+		b.wrapLensA = b.wrapLensA[:0]
+		b.restJobsA = b.restJobsA[:0]
+		b.restLensA = b.restLensA[:0]
+	}
+	b.order = b.order[:0]
+}
+
+// itemSeg returns a fresh exclusive full-slice segment of the item arena.
+// Old segments keep whatever backing they were carved from, so replacing
+// an exhausted arena never invalidates them.
+func (b *nonpBuild) itemSeg() []nonpItem {
+	if b.itemOff+machItemCap > len(b.itemArena) {
+		n := 2 * len(b.itemArena)
+		if n < 2048 {
+			n = 2048
+		}
+		b.itemArena = make([]nonpItem, n)
+		b.itemOff = 0
+	}
+	seg := b.itemArena[b.itemOff : b.itemOff : b.itemOff+machItemCap]
+	b.itemOff += machItemCap
+	return seg
+}
+
+func (b *nonpBuild) newMachine() int {
+	b.machines = append(b.machines, nonpMachine{crossing: -1, step3Start: -1, items: b.itemSeg()})
+	return len(b.machines) - 1
 }
 
 func (b *nonpBuild) put(mi int, it nonpItem) {
-	m := b.machines[mi]
+	m := &b.machines[mi]
 	if it.parent >= 0 {
 		b.parents[it.parent].pieces = append(b.parents[it.parent].pieces,
 			nonpLoc{mach: mi, item: len(m.items)})
@@ -214,64 +295,93 @@ func (jc *jobCursor) fill(mi int, cap int64) {
 }
 
 // remainder returns the unplaced jobs; the first may be a partial piece.
+// The returned slices alias the cursor's inputs where possible (nothing
+// downstream mutates them); only a genuinely split first job forces a
+// copy of the length column.
 func (jc *jobCursor) remainder() ([]int, []int64, []int64) {
 	if jc.done() {
 		return nil, nil, nil
 	}
-	jobs := append([]int(nil), jc.jobs[jc.pos:]...)
-	lens := append([]int64(nil), jc.lens[jc.pos:]...)
-	full := append([]int64(nil), jc.full[jc.pos:]...)
-	lens[0] = jc.left
+	jobs := jc.jobs[jc.pos:]
+	full := jc.full[jc.pos:]
+	lens := jc.lens[jc.pos:]
+	if jc.left != lens[0] {
+		lens = append([]int64(nil), lens...)
+		lens[0] = jc.left
+	}
 	return jobs, lens, full
+}
+
+// NonpScratch carries the non-preemptive builder's reusable working
+// memory across solves.  Construction is allocation-bound; a serialized
+// caller that rebuilds after every change (stream.Session) passes one
+// scratch via Ctl.Scratch so steady-state re-solves stop paying the
+// builder's allocations.  The emitted Schedule never aliases scratch
+// memory, so results stay valid after the scratch is reused.  A scratch
+// must not be used by two builds concurrently.
+type NonpScratch struct {
+	b nonpBuild
 }
 
 // BuildNonp constructs a feasible non-preemptive schedule with makespan at
 // most 3/2*T from an accepting evaluation (Theorem 9(ii), Algorithm 6).
 func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
+	return p.BuildNonpScratch(ev, nil)
+}
+
+// BuildNonpScratch is BuildNonp drawing its working memory from sc; a nil
+// sc allocates fresh memory (identical output either way).
+func (p *Prep) BuildNonpScratch(ev *NonpEval, sc *NonpScratch) (*sched.Schedule, error) {
 	if !ev.OK {
 		return nil, errInternal("BuildNonp on rejected evaluation (%s)", ev.Reason)
 	}
 	T := ev.T
-	b := &nonpBuild{p: p, T: T, parentIdx: map[int64]int{}}
-
-	type classState struct {
-		candidates []int // machines that may take step-2/3 load of the class
-		restJobs   []int
-		restLens   []int64
-		restFull   []int64
+	if sc == nil {
+		sc = &NonpScratch{}
 	}
-	states := make([]classState, p.C)
+	b := &sc.b
+	b.reset(p, T)
 
-	// Step 1.
+	// Step 1.  The per-class wrap/rest partitions draw from four shared
+	// arenas (every job lands in at most one partition) instead of
+	// thousands of small growing slices.  The sub-slices are read-only
+	// downstream — jobCursor.fill never mutates its inputs and remainder
+	// copies the one column it edits.
 	for i := range p.In.Classes {
 		cls := &p.In.Classes[i]
-		st := &states[i]
+		st := &b.states[i]
+		st.candidates = st.candidates[:0]
 		expensive := 2*cls.Setup > T
-		var wrapJobs []int
-		var wrapLens []int64
+		ws, rs := len(b.wrapJobsA), len(b.restJobsA)
 		for j, t := range cls.Jobs {
 			switch {
 			case expensive || 2*(cls.Setup+t) > T && 2*t <= T:
-				wrapJobs = append(wrapJobs, j)
-				wrapLens = append(wrapLens, t)
+				b.wrapJobsA = append(b.wrapJobsA, j)
+				b.wrapLensA = append(b.wrapLensA, t)
 			case 2*t > T: // big job: own machine
-				_, mi := b.newMachine()
+				mi := b.newMachine()
 				if cls.Setup > 0 {
 					b.put(mi, nonpItem{isSetup: true, class: i, job: -1, length: cls.Setup, parent: -1})
 				}
 				b.put(mi, nonpItem{class: i, job: j, length: t, parent: -1})
 				st.candidates = append(st.candidates, mi)
 			default:
-				st.restJobs = append(st.restJobs, j)
-				st.restLens = append(st.restLens, t)
-				st.restFull = append(st.restFull, t)
+				b.restJobsA = append(b.restJobsA, j)
+				b.restLensA = append(b.restLensA, t)
 			}
 		}
+		wrapJobs := b.wrapJobsA[ws:len(b.wrapJobsA):len(b.wrapJobsA)]
+		wrapLens := b.wrapLensA[ws:len(b.wrapLensA):len(b.wrapLensA)]
+		st.restJobs = b.restJobsA[rs:len(b.restJobsA):len(b.restJobsA)]
+		st.restLens = b.restLensA[rs:len(b.restLensA):len(b.restLensA)]
+		// The full-length column equals the (unmutated) length column at
+		// creation; remainder splits them when a border job is cut.
+		st.restFull = st.restLens
 		if len(wrapJobs) > 0 {
 			jc := newJobCursor(b, i, wrapJobs, wrapLens, wrapLens)
 			last := -1
 			for !jc.done() {
-				_, mi := b.newMachine()
+				mi := b.newMachine()
 				last = mi
 				if cls.Setup > 0 {
 					b.put(mi, nonpItem{isSetup: true, class: i, job: -1, length: cls.Setup, parent: -1})
@@ -286,7 +396,7 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 
 	// Step 2: top up candidate machines with the class's remaining jobs.
 	for i := range p.In.Classes {
-		st := &states[i]
+		st := &b.states[i]
 		if len(st.restJobs) == 0 {
 			continue
 		}
@@ -295,8 +405,8 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 			if jc.done() {
 				break
 			}
-			if m := b.machines[mi]; m.load < T {
-				jc.fill(mi, T-m.load)
+			if load := b.machines[mi].load; load < T {
+				jc.fill(mi, T-load)
 			}
 		}
 		st.restJobs, st.restLens, st.restFull = jc.remainder()
@@ -306,7 +416,6 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 	// when its load reaches the border T; the border item stays for now
 	// and is relocated in step 4b, which also restores missing setups of
 	// batches continuing across machines.
-	var order []int
 	cur, next := -1, 0
 	advance := func() error {
 		for {
@@ -321,13 +430,12 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 				if int64(len(b.machines)) >= p.M {
 					return errInternal("non-preemptive step 3 ran out of machines")
 				}
-				_, mi := b.newMachine()
-				cur = mi
+				cur = b.newMachine()
 				next = len(b.machines)
 			}
-			m := b.machines[cur]
+			m := &b.machines[cur]
 			m.step3Start = len(m.items)
-			order = append(order, cur)
+			b.order = append(b.order, cur)
 			return nil
 		}
 	}
@@ -343,17 +451,16 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 			}
 		}
 		mi := cur
-		m := b.machines[mi]
-		idx := len(m.items)
+		idx := len(b.machines[mi].items)
 		b.put(mi, it)
-		if m.load >= T {
+		if m := &b.machines[mi]; m.load >= T {
 			m.crossing = idx
 			cur = -1
 		}
 		return nil
 	}
 	for i := range p.In.Classes {
-		st := &states[i]
+		st := &b.states[i]
 		if len(st.restJobs) == 0 {
 			continue
 		}
@@ -411,7 +518,7 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 			return nil, errInternal("no machine-last piece for split job (%d,%d)", par.class, par.job)
 		}
 		for k, loc := range par.pieces {
-			m := b.machines[loc.mach]
+			m := &b.machines[loc.mach]
 			it := &m.items[loc.item]
 			if k == host {
 				m.load += par.total - it.length
@@ -425,9 +532,10 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 	}
 
 	// Step 4b: move surviving border items, processing machines in reverse
-	// fill order so insertion indices stay valid.
-	for oi := len(order) - 1; oi >= 0; oi-- {
-		m := b.machines[order[oi]]
+	// fill order so insertion indices stay valid.  The insertion scratch
+	// buffers are shared across iterations.
+	for oi := len(b.order) - 1; oi >= 0; oi-- {
+		m := &b.machines[b.order[oi]]
 		if m.crossing < 0 {
 			continue
 		}
@@ -435,7 +543,7 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 		if it.deleted {
 			continue
 		}
-		if oi+1 >= len(order) {
+		if oi+1 >= len(b.order) {
 			// The border item ends the whole sequence Q, so no
 			// continuation setup needs repair.  But if this machine also
 			// receives the previous machine's move, keeping the item
@@ -443,7 +551,7 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 			// glosses over): relocate the item to the top of the first
 			// step-3 machine, which never receives a move and ends below
 			// T once its own border item departs.
-			if len(order) < 2 {
+			if len(b.order) < 2 {
 				continue // sole machine: load < T plus one item <= 3/2 T
 			}
 			m.items[m.crossing].deleted = true
@@ -451,7 +559,7 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 			if it.isSetup {
 				continue // a trailing setup enables nothing; drop it
 			}
-			first := b.machines[order[0]]
+			first := &b.machines[b.order[0]]
 			if s := p.In.Classes[it.class].Setup; s > 0 {
 				first.items = append(first.items, nonpItem{isSetup: true, class: it.class, job: -1, length: s, parent: -1})
 				first.load += s
@@ -463,40 +571,66 @@ func (p *Prep) BuildNonp(ev *NonpEval) (*sched.Schedule, error) {
 		}
 		m.items[m.crossing].deleted = true
 		m.load -= it.length
-		recv := b.machines[order[oi+1]]
-		var ins []nonpItem
+		recv := &b.machines[b.order[oi+1]]
+		b.insBuf = b.insBuf[:0]
 		if !it.isSetup {
 			if s := p.In.Classes[it.class].Setup; s > 0 {
-				ins = append(ins, nonpItem{isSetup: true, class: it.class, job: -1, length: s, parent: -1})
+				b.insBuf = append(b.insBuf, nonpItem{isSetup: true, class: it.class, job: -1, length: s, parent: -1})
 			}
 		}
-		ins = append(ins, it)
-		tail := append([]nonpItem(nil), recv.items[recv.step3Start:]...)
-		recv.items = append(recv.items[:recv.step3Start], append(ins, tail...)...)
-		for _, x := range ins {
+		b.insBuf = append(b.insBuf, it)
+		b.tailBuf = append(b.tailBuf[:0], recv.items[recv.step3Start:]...)
+		recv.items = append(recv.items[:recv.step3Start], b.insBuf...)
+		recv.items = append(recv.items, b.tailBuf...)
+		for _, x := range b.insBuf {
 			recv.load += x.length
 		}
 	}
 
-	// Emit.
+	// Emit.  Schedule construction is allocation-bound and runs on every
+	// solve — warm session re-solves included, where it dominates once
+	// the search itself is down to a few probes — so all machines' slots
+	// share one arena sized up front (AddMachine aliases, never copies)
+	// and the per-machine scratch is reused.  All times are integral
+	// here, so the running top stays in int64.  The arena is the one
+	// allocation that escapes into the result; it must never come from
+	// the reusable scratch.
 	out := &sched.Schedule{Variant: sched.NonPreemptive, T: sched.R(T)}
-	for _, m := range b.machines {
-		live := make([]nonpItem, 0, len(m.items))
+	total := 0
+	for mi := range b.machines {
+		total += len(b.machines[mi].items)
+	}
+	arena := make([]sched.Slot, 0, total)
+	out.Runs = make([]sched.MachineRun, 0, len(b.machines))
+	for mi := range b.machines {
+		m := &b.machines[mi]
+		b.live = b.live[:0]
 		for _, it := range m.items {
 			if !it.deleted {
-				live = append(live, it)
+				b.live = append(b.live, it)
 			}
 		}
-		live = dropUselessNonpSetups(live)
-		mb := sched.NewMachineBuilder()
+		live := dropUselessNonpSetups(b.live)
+		start := len(arena)
+		var top int64
 		for _, it := range live {
-			if it.isSetup {
-				mb.Place(sched.SlotSetup, it.class, -1, sched.R(it.length))
-			} else {
-				mb.Place(sched.SlotJob, it.class, it.job, sched.R(it.length))
+			if it.length <= 0 {
+				if it.length < 0 {
+					return nil, errInternal("negative slot length %d", it.length)
+				}
+				continue
 			}
+			kind, job := sched.SlotJob, it.job
+			if it.isSetup {
+				kind, job = sched.SlotSetup, -1
+			}
+			arena = append(arena, sched.Slot{
+				Kind: kind, Class: it.class, Job: job,
+				Start: sched.R(top), End: sched.R(top + it.length),
+			})
+			top += it.length
 		}
-		out.AddMachine(mb.Slots())
+		out.AddMachine(arena[start:len(arena):len(arena)])
 	}
 	return out, nil
 }

@@ -26,6 +26,16 @@ type Result struct {
 	// conservative, so Makespan/LowerBound may exceed the search's usual
 	// guarantee.
 	Fallback bool
+	// SeedLo is the final rejected end of the search bracket (every probe
+	// at or below it was rejected, certifying OPT > SeedLo) when HasSeedLo;
+	// searches that accepted the trivial bound outright have none.  A
+	// subsequent solve of a slightly changed instance warm-starts from
+	// (SeedLo, T) via Ctl.Seed.
+	SeedLo    sched.Rat
+	HasSeedLo bool
+	// SeedUsed reports that a Ctl.Seed guess was validated by its probe
+	// and narrowed the bracket (a warm hit).
+	SeedUsed bool
 }
 
 // RatioUpperBound returns Makespan/LowerBound as a float, an upper bound
@@ -53,6 +63,70 @@ type bracket struct {
 	probes int
 	ctl    Ctl
 	err    error
+	// seeded records that a Ctl.Seed hi-guess was confirmed by its probe
+	// (a warm hit); surfaced as Result.SeedUsed.
+	seeded bool
+}
+
+// seedNarrow probes the Ctl's warm-start guesses, narrowing the bracket
+// before the main search phases run.  It must be called after the trivial
+// lower bound was probed and rejected (so br.lo is a certified reject) and
+// before the trivial upper bound is probed.  It reports whether an
+// accepted seed established the bracket's upper end, in which case the
+// caller may skip its trivial-upper-bound probe (acceptance at the larger
+// trivial bound is implied by monotonicity).  Each guess is validated by a
+// real probe and only adopted strictly inside the current bracket, so a
+// wrong seed cannot corrupt the bracket invariant or the final answer.
+func (br *bracket) seedNarrow(test func(sched.Rat) bool) (hiSeeded bool) {
+	sd := br.ctl.Seed
+	if sd == nil {
+		return false
+	}
+	// His in optimism order until one confirms: a rejected hi candidate
+	// still helps (it becomes the new lo).
+	for _, hi := range sd.His {
+		if br.err != nil {
+			return hiSeeded
+		}
+		if !br.lo.Less(hi) || !hi.Less(br.hi) {
+			continue
+		}
+		if br.probe(test, hi) {
+			hiSeeded = true
+			br.seeded = true
+			break
+		}
+	}
+	// Los mirror the His: stop once one rejects (lo established); an
+	// accepted lo candidate became the new hi (the threshold moved below
+	// it), so the next, smaller candidate is still worth probing.
+	for _, lo := range sd.Los {
+		if br.err != nil {
+			return hiSeeded
+		}
+		if !br.lo.Less(lo) || !lo.Less(br.hi) {
+			continue
+		}
+		if !br.probe(test, lo) {
+			break
+		}
+		// The candidate accepted: it is now a certified upper end, which
+		// also makes the trivial-upper-bound probe redundant.
+		hiSeeded = true
+		br.seeded = true
+	}
+	return hiSeeded
+}
+
+// annotate fills a Result's warm-start bookkeeping from the bracket's
+// final state.  loRejected must report whether br.lo is a probed rejected
+// guess (false only on the early trivial-bound accept paths).
+func (br *bracket) annotate(r *Result, loRejected bool) *Result {
+	r.SeedUsed = br.seeded
+	if loRejected {
+		r.SeedLo, r.HasSeedLo = br.lo, true
+	}
+	return r
 }
 
 // begin performs the pre-probe bookkeeping (cancellation check, probe
@@ -511,7 +585,15 @@ func (p *Prep) SolveEps(ctl Ctl, v sched.Variant, eps float64) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: name + "/eps", Probes: br.probes}, nil
+	return br.annotate(&Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: name + "/eps", Probes: br.probes}, true), nil
+}
+
+// buildNonpWith builds through the Ctl's scratch when one is lent.
+func (p *Prep) buildNonpWith(ctl Ctl, ev *NonpEval) (*sched.Schedule, error) {
+	if ctl.Scratch != nil {
+		return p.BuildNonpScratch(ev, &ctl.Scratch.Nonp)
+	}
+	return p.BuildNonp(ev)
 }
 
 // dualFor returns the dual test and builder for a variant.
@@ -556,11 +638,18 @@ func (p *Prep) SolveSplitJump(ctl Ctl) (*Result, error) {
 		}
 		return &Result{Schedule: s, T: tmin, LowerBound: tmin, Algorithm: "split/jump", Probes: br.probes}, nil
 	}
-	if !br.probe(test, sched.R(p.N)) {
-		if br.err != nil {
-			return nil, br.err
+	// Warm start: a confirmed seed hi makes the N probe redundant (N >= hi
+	// is accepted by monotonicity).
+	if !br.seedNarrow(test) {
+		if !br.probe(test, sched.R(p.N)) {
+			if br.err != nil {
+				return nil, br.err
+			}
+			return nil, errInternal("splittable dual rejected N")
 		}
-		return nil, errInternal("splittable dual rejected N")
+	}
+	if br.err != nil {
+		return nil, br.err
 	}
 
 	// Phase A: partition breakpoints 2 s_i.
@@ -646,7 +735,7 @@ func (p *Prep) closeJump(br *bracket, data intervalData, test func(sched.Rat) bo
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Schedule: s, T: T, LowerBound: T, Algorithm: algo, Probes: br.probes}, nil
+		return br.annotate(&Result{Schedule: s, T: T, LowerBound: T, Algorithm: algo, Probes: br.probes}, true), nil
 	}
 	if !data.machinesOK {
 		return ret(br.hi)
@@ -674,7 +763,7 @@ func (p *Prep) closeJump(br *bracket, data intervalData, test func(sched.Rat) bo
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: algo + "/fallback", Probes: br.probes, Fallback: true}, nil
+	return br.annotate(&Result{Schedule: s, T: br.hi, LowerBound: br.lo, Algorithm: algo + "/fallback", Probes: br.probes, Fallback: true}, true), nil
 }
 
 // SolveNonpSearch is the exact 3/2-approximation for the non-preemptive
@@ -703,14 +792,55 @@ func (p *Prep) SolveNonpSearch(ctl Ctl) (*Result, error) {
 		if err := br.checkpoint(); err != nil {
 			return nil, err
 		}
-		s, err := p.BuildNonp(lastEv)
+		s, err := p.buildNonpWith(ctl, lastEv)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Schedule: s, T: sched.R(tmin), LowerBound: sched.R(tmin), Algorithm: "nonp/binsearch", Probes: br.probes}, nil
 	}
+	// Warm start: OPT is integral, so seed guesses are rounded outward
+	// (floor for the reject candidate, ceil for the accept candidate) and
+	// validated by real probes; a confirmed hi seed makes the 2*T_min
+	// probe redundant by monotonicity.  The search still converges to the
+	// unique minimal accepted integer from any correctly narrowed bracket.
 	lo, hi := tmin, 2*tmin
-	if !br.probe(serialTest, sched.R(hi)) {
+	warm := false
+	if sd := br.ctl.Seed; sd != nil {
+		for _, cand := range sd.His {
+			if br.err != nil {
+				break
+			}
+			h := cand.Ceil()
+			if h <= lo || h >= hi {
+				continue
+			}
+			if br.probe(test, sched.R(h)) {
+				hi, warm = h, true
+				br.seeded = true
+				break
+			}
+			lo = h
+		}
+		for _, cand := range sd.Los {
+			if br.err != nil {
+				break
+			}
+			l := cand.Floor()
+			if l <= lo || l >= hi {
+				continue
+			}
+			if !br.probe(test, sched.R(l)) {
+				lo = l
+				break
+			}
+			hi, warm = l, true
+			br.seeded = true
+		}
+		if br.err != nil {
+			return nil, br.err
+		}
+	}
+	if !warm && !br.probe(serialTest, sched.R(2*tmin)) {
 		if br.err != nil {
 			return nil, br.err
 		}
@@ -769,9 +899,10 @@ func (p *Prep) SolveNonpSearch(ctl Ctl) (*Result, error) {
 		return nil, err
 	}
 	// lo rejected => OPT >= lo+1 = hi: the result is a true 3/2-approximation.
-	s, err := p.BuildNonp(p.EvalNonp(sched.R(hi)))
+	s, err := p.buildNonpWith(ctl, p.EvalNonp(sched.R(hi)))
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: s, T: sched.R(hi), LowerBound: sched.R(hi), Algorithm: "nonp/binsearch", Probes: br.probes}, nil
+	return &Result{Schedule: s, T: sched.R(hi), LowerBound: sched.R(hi), Algorithm: "nonp/binsearch", Probes: br.probes,
+		SeedUsed: br.seeded, SeedLo: sched.R(lo), HasSeedLo: true}, nil
 }

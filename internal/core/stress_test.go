@@ -6,8 +6,8 @@ import (
 	"strconv"
 	"testing"
 
-	"setupsched/schedgen"
 	"setupsched/sched"
+	"setupsched/schedgen"
 )
 
 // stressSeed is the single source of randomness for the stress tests.

@@ -23,8 +23,8 @@ import (
 	"setupsched/internal/baseline"
 	"setupsched/internal/core"
 	"setupsched/internal/exact"
-	"setupsched/schedgen"
 	"setupsched/sched"
+	"setupsched/schedgen"
 )
 
 // Algo describes one algorithm under test.

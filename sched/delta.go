@@ -1,0 +1,250 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Delta ops understood by Delta.Apply.
+const (
+	// DeltaAddJobs appends Jobs to class Class.
+	DeltaAddJobs = "add_jobs"
+	// DeltaRemoveJob removes job index Job from class Class.
+	DeltaRemoveJob = "remove_job"
+	// DeltaSetSetup replaces class Class's setup time with Setup.
+	DeltaSetSetup = "set_setup"
+	// DeltaAddClass appends a new class with setup Setup and jobs Jobs.
+	DeltaAddClass = "add_class"
+	// DeltaRemoveClass removes class index Class.
+	DeltaRemoveClass = "remove_class"
+	// DeltaSetMachines replaces the machine count with M.
+	DeltaSetMachines = "set_machines"
+)
+
+// Delta is one edit to an Instance: the unit of change of the streaming
+// workload (stream.Session, the /v1/sessions serve API and schedgen's
+// drift traces all speak this type).  The JSON form is the wire format of
+// delta traces: {"op": "add_jobs", "class": 0, "jobs": [3, 4]}.
+type Delta struct {
+	// Op is one of the Delta* constants.
+	Op string `json:"op"`
+	// Class is the target class index (add_jobs, remove_job, set_setup,
+	// remove_class).
+	Class int `json:"class,omitempty"`
+	// Job is the target job index within the class (remove_job).
+	Job int `json:"job,omitempty"`
+	// Jobs are the processing times to append (add_jobs, add_class).
+	Jobs []int64 `json:"jobs,omitempty"`
+	// Setup is the new setup time (set_setup, add_class).
+	Setup int64 `json:"setup,omitempty"`
+	// M is the new machine count (set_machines).
+	M int64 `json:"m,omitempty"`
+}
+
+// String renders the delta compactly for logs and violation reports.
+func (d Delta) String() string {
+	switch d.Op {
+	case DeltaAddJobs:
+		return fmt.Sprintf("add_jobs(class=%d, jobs=%v)", d.Class, d.Jobs)
+	case DeltaRemoveJob:
+		return fmt.Sprintf("remove_job(class=%d, job=%d)", d.Class, d.Job)
+	case DeltaSetSetup:
+		return fmt.Sprintf("set_setup(class=%d, setup=%d)", d.Class, d.Setup)
+	case DeltaAddClass:
+		return fmt.Sprintf("add_class(setup=%d, jobs=%v)", d.Setup, d.Jobs)
+	case DeltaRemoveClass:
+		return fmt.Sprintf("remove_class(class=%d)", d.Class)
+	case DeltaSetMachines:
+		return fmt.Sprintf("set_machines(m=%d)", d.M)
+	}
+	return fmt.Sprintf("delta(op=%q)", d.Op)
+}
+
+var (
+	errUnknownDeltaOp = errors.New("sched: unknown delta op")
+	errLastJob        = errors.New("sched: cannot remove the last job of a class (remove the class instead)")
+	errLastClass      = errors.New("sched: cannot remove the last class")
+	errNoJobs         = errors.New("sched: delta needs at least one job")
+)
+
+// Apply validates the delta against the instance and applies it in place,
+// returning the instance's new total load N.  The instance must already be
+// valid (Instance.Validate); Apply preserves validity, rejecting any delta
+// that would break a structural or magnitude invariant, and leaves the
+// instance unchanged on error.  Removal ops are order-preserving (later
+// indices shift down by one), so two replicas applying the same delta
+// sequence stay bit-identical.
+//
+// Apply computes the current load with an O(n) pass; callers that track
+// the load themselves (stream.Session does) use ApplyWithLoad.
+func (d Delta) Apply(in *Instance) (int64, error) {
+	return d.ApplyWithLoad(in, in.N())
+}
+
+// ApplyWithLoad is Apply with the instance's current total load n supplied
+// by the caller, making every delta O(|delta|) plus the slice edit instead
+// of O(n).  Passing a wrong n voids the magnitude checks.
+func (d Delta) ApplyWithLoad(in *Instance, n int64) (int64, error) {
+	switch d.Op {
+	case DeltaAddJobs:
+		if err := checkClassIndex(in, d.Class); err != nil {
+			return n, err
+		}
+		add, err := jobsLoad(d.Jobs)
+		if err != nil {
+			return n, err
+		}
+		if err := checkLoad(in.M, n, add); err != nil {
+			return n, err
+		}
+		in.Classes[d.Class].Jobs = append(in.Classes[d.Class].Jobs, d.Jobs...)
+		return n + add, nil
+
+	case DeltaRemoveJob:
+		if err := checkClassIndex(in, d.Class); err != nil {
+			return n, err
+		}
+		cl := &in.Classes[d.Class]
+		if d.Job < 0 || d.Job >= len(cl.Jobs) {
+			return n, fmt.Errorf("sched: job index %d out of range (class %d has %d jobs)", d.Job, d.Class, len(cl.Jobs))
+		}
+		if len(cl.Jobs) == 1 {
+			return n, fmt.Errorf("%w (class %d)", errLastJob, d.Class)
+		}
+		t := cl.Jobs[d.Job]
+		cl.Jobs = append(cl.Jobs[:d.Job], cl.Jobs[d.Job+1:]...)
+		return n - t, nil
+
+	case DeltaSetSetup:
+		if err := checkClassIndex(in, d.Class); err != nil {
+			return n, err
+		}
+		if d.Setup < 0 {
+			return n, fmt.Errorf("%w (class %d)", errBadSetup, d.Class)
+		}
+		old := in.Classes[d.Class].Setup
+		if err := checkLoad(in.M, n-old, d.Setup); err != nil {
+			return n, err
+		}
+		in.Classes[d.Class].Setup = d.Setup
+		return n - old + d.Setup, nil
+
+	case DeltaAddClass:
+		if d.Setup < 0 {
+			return n, errBadSetup
+		}
+		add, err := jobsLoad(d.Jobs)
+		if err != nil {
+			return n, err
+		}
+		if err := checkLoad(in.M, n, add+d.Setup); err != nil {
+			return n, err
+		}
+		in.Classes = append(in.Classes, Class{Setup: d.Setup, Jobs: append([]int64(nil), d.Jobs...)})
+		return n + add + d.Setup, nil
+
+	case DeltaRemoveClass:
+		if err := checkClassIndex(in, d.Class); err != nil {
+			return n, err
+		}
+		if len(in.Classes) == 1 {
+			return n, errLastClass
+		}
+		cl := in.Classes[d.Class]
+		removed := cl.Setup + cl.Work()
+		in.Classes = append(in.Classes[:d.Class], in.Classes[d.Class+1:]...)
+		return n - removed, nil
+
+	case DeltaSetMachines:
+		if d.M < 1 {
+			return n, errNoMachines
+		}
+		if d.M > MaxMachines {
+			return n, errTooManyMach
+		}
+		if err := checkLoad(d.M, n, 0); err != nil {
+			return n, err
+		}
+		in.M = d.M
+		return n, nil
+	}
+	return n, fmt.Errorf("%w %q", errUnknownDeltaOp, d.Op)
+}
+
+// LoadShift returns how the delta moves the instance's total load N when
+// applied to in: added counts new load, removed counts dropped load (both
+// >= 0; a set_setup contributes to exactly one of them).  It does not
+// mutate the instance and reports zeros for deltas Apply would reject.
+// Warm-start bracket seeding shifts the previous certified [reject,
+// accept] pair by exactly these amounts.
+func (d Delta) LoadShift(in *Instance) (added, removed int64) {
+	switch d.Op {
+	case DeltaAddJobs, DeltaAddClass:
+		for _, t := range d.Jobs {
+			if t >= 1 {
+				added += t
+			}
+		}
+		if d.Op == DeltaAddClass && d.Setup > 0 {
+			added += d.Setup
+		}
+	case DeltaRemoveJob:
+		if d.Class >= 0 && d.Class < len(in.Classes) {
+			if cl := &in.Classes[d.Class]; d.Job >= 0 && d.Job < len(cl.Jobs) {
+				removed = cl.Jobs[d.Job]
+			}
+		}
+	case DeltaSetSetup:
+		if d.Class >= 0 && d.Class < len(in.Classes) && d.Setup >= 0 {
+			if diff := d.Setup - in.Classes[d.Class].Setup; diff > 0 {
+				added = diff
+			} else {
+				removed = -diff
+			}
+		}
+	case DeltaRemoveClass:
+		if d.Class >= 0 && d.Class < len(in.Classes) {
+			cl := &in.Classes[d.Class]
+			removed = cl.Setup + cl.Work()
+		}
+	}
+	return added, removed
+}
+
+func checkClassIndex(in *Instance, i int) error {
+	if i < 0 || i >= len(in.Classes) {
+		return fmt.Errorf("sched: class index %d out of range (instance has %d classes)", i, len(in.Classes))
+	}
+	return nil
+}
+
+// jobsLoad validates a job list and returns its total processing time.
+func jobsLoad(jobs []int64) (int64, error) {
+	if len(jobs) == 0 {
+		return 0, errNoJobs
+	}
+	var sum int64
+	for i, t := range jobs {
+		if t < 1 {
+			return 0, fmt.Errorf("%w (job %d)", errBadJob, i)
+		}
+		sum += t
+		if sum > MaxTotalLoad {
+			return 0, errLoadOverflow
+		}
+	}
+	return sum, nil
+}
+
+// checkLoad asserts the magnitude contract for load n+add on m machines:
+// N <= MaxTotalLoad and m*N <= MaxMachineLoadProduct.
+func checkLoad(m, n, add int64) error {
+	n += add
+	if n > MaxTotalLoad {
+		return errLoadOverflow
+	}
+	if m > 0 && n > 0 && n > MaxMachineLoadProduct/m {
+		return errTooLarge
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func deltaTestInstance() *Instance {
+	return &Instance{M: 3, Classes: []Class{
+		{Setup: 4, Jobs: []int64{7, 2, 5}},
+		{Setup: 1, Jobs: []int64{3}},
+	}}
+}
+
+func TestDeltaApplyHappyPaths(t *testing.T) {
+	in := deltaTestInstance()
+	n := in.N()
+
+	apply := func(d Delta) int64 {
+		t.Helper()
+		nn, err := d.Apply(in)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if got := in.N(); got != nn {
+			t.Fatalf("%s: returned N %d, instance N %d", d, nn, got)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s left instance invalid: %v", d, err)
+		}
+		return nn
+	}
+
+	n2 := apply(Delta{Op: DeltaAddJobs, Class: 0, Jobs: []int64{6, 1}})
+	if n2 != n+7 {
+		t.Fatalf("add_jobs: N %d, want %d", n2, n+7)
+	}
+	n3 := apply(Delta{Op: DeltaRemoveJob, Class: 0, Job: 1}) // removes the 2
+	if n3 != n2-2 {
+		t.Fatalf("remove_job: N %d, want %d", n3, n2-2)
+	}
+	// Removal is order-preserving.
+	if got := in.Classes[0].Jobs[1]; got != 5 {
+		t.Fatalf("remove_job shifted wrong: jobs[1] = %d, want 5", got)
+	}
+	n4 := apply(Delta{Op: DeltaSetSetup, Class: 1, Setup: 9})
+	if n4 != n3+8 {
+		t.Fatalf("set_setup: N %d, want %d", n4, n3+8)
+	}
+	n5 := apply(Delta{Op: DeltaAddClass, Setup: 2, Jobs: []int64{4}})
+	if n5 != n4+6 || len(in.Classes) != 3 {
+		t.Fatalf("add_class: N %d (want %d), classes %d", n5, n4+6, len(in.Classes))
+	}
+	n6 := apply(Delta{Op: DeltaRemoveClass, Class: 1})
+	if n6 != n5-(9+3) || len(in.Classes) != 2 {
+		t.Fatalf("remove_class: N %d (want %d), classes %d", n6, n5-12, len(in.Classes))
+	}
+	// The former class 2 slid down to index 1.
+	if in.Classes[1].Setup != 2 {
+		t.Fatalf("remove_class not order-preserving: classes[1].Setup = %d", in.Classes[1].Setup)
+	}
+	if n7 := apply(Delta{Op: DeltaSetMachines, M: 7}); n7 != n6 || in.M != 7 {
+		t.Fatalf("set_machines: N %d (want %d), m %d", n7, n6, in.M)
+	}
+}
+
+func TestDeltaApplyRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Delta
+		want string
+	}{
+		{"unknown op", Delta{Op: "bogus"}, "unknown delta op"},
+		{"class out of range", Delta{Op: DeltaAddJobs, Class: 5, Jobs: []int64{1}}, "out of range"},
+		{"negative class", Delta{Op: DeltaSetSetup, Class: -1, Setup: 0}, "out of range"},
+		{"empty jobs", Delta{Op: DeltaAddJobs, Class: 0}, "at least one job"},
+		{"bad job", Delta{Op: DeltaAddJobs, Class: 0, Jobs: []int64{0}}, "must be >= 1"},
+		{"job out of range", Delta{Op: DeltaRemoveJob, Class: 0, Job: 9}, "out of range"},
+		{"last job", Delta{Op: DeltaRemoveJob, Class: 1, Job: 0}, "last job"},
+		{"negative setup", Delta{Op: DeltaSetSetup, Class: 0, Setup: -1}, "must be >= 0"},
+		{"add_class bad setup", Delta{Op: DeltaAddClass, Setup: -2, Jobs: []int64{1}}, "must be >= 0"},
+		{"zero machines", Delta{Op: DeltaSetMachines, M: 0}, "at least one machine"},
+		{"too many machines", Delta{Op: DeltaSetMachines, M: MaxMachines + 1}, "exceeds supported limit"},
+		{"load overflow", Delta{Op: DeltaAddJobs, Class: 0, Jobs: []int64{MaxTotalLoad}}, "overflows"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := deltaTestInstance()
+			before := in.Clone()
+			n := in.N()
+			nn, err := tc.d.Apply(in)
+			if err == nil {
+				t.Fatalf("%s: accepted, want rejection", tc.d)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%s: error %q, want substring %q", tc.d, err, tc.want)
+			}
+			if nn != n || !in.Equal(before) {
+				t.Fatalf("%s: rejected delta mutated the instance", tc.d)
+			}
+		})
+	}
+
+	t.Run("last class", func(t *testing.T) {
+		in := &Instance{M: 1, Classes: []Class{{Setup: 1, Jobs: []int64{1}}}}
+		if _, err := (Delta{Op: DeltaRemoveClass, Class: 0}).Apply(in); err == nil {
+			t.Fatal("removing the last class was accepted")
+		}
+	})
+
+	t.Run("machine load product", func(t *testing.T) {
+		in := &Instance{M: 1, Classes: []Class{{Setup: 0, Jobs: []int64{MaxTotalLoad / 2}}}}
+		if _, err := (Delta{Op: DeltaSetMachines, M: MaxMachines}).Apply(in); err == nil {
+			t.Fatal("m*N over the product limit was accepted")
+		}
+	})
+}
+
+func TestDeltaLoadShift(t *testing.T) {
+	in := deltaTestInstance()
+	cases := []struct {
+		d                Delta
+		wantAdd, wantRem int64
+	}{
+		{Delta{Op: DeltaAddJobs, Class: 0, Jobs: []int64{6, 1}}, 7, 0},
+		{Delta{Op: DeltaRemoveJob, Class: 0, Job: 0}, 0, 7},
+		{Delta{Op: DeltaSetSetup, Class: 0, Setup: 10}, 6, 0},
+		{Delta{Op: DeltaSetSetup, Class: 0, Setup: 1}, 0, 3},
+		{Delta{Op: DeltaAddClass, Setup: 2, Jobs: []int64{4}}, 6, 0},
+		{Delta{Op: DeltaRemoveClass, Class: 0}, 0, 4 + 14},
+		{Delta{Op: DeltaSetMachines, M: 5}, 0, 0},
+	}
+	for _, tc := range cases {
+		add, rem := tc.d.LoadShift(in)
+		if add != tc.wantAdd || rem != tc.wantRem {
+			t.Errorf("%s: LoadShift = (%d, %d), want (%d, %d)", tc.d, add, rem, tc.wantAdd, tc.wantRem)
+		}
+	}
+}
+
+// TestDeltaLoadShiftMatchesApply asserts the seed-shifting contract: for
+// any accepted delta, added-removed equals the actual change of N.
+func TestDeltaLoadShiftMatchesApply(t *testing.T) {
+	in := deltaTestInstance()
+	deltas := []Delta{
+		{Op: DeltaAddJobs, Class: 1, Jobs: []int64{8}},
+		{Op: DeltaSetSetup, Class: 0, Setup: 11},
+		{Op: DeltaAddClass, Setup: 3, Jobs: []int64{2, 2}},
+		{Op: DeltaRemoveJob, Class: 0, Job: 2},
+		{Op: DeltaSetSetup, Class: 2, Setup: 0},
+		{Op: DeltaRemoveClass, Class: 1},
+	}
+	for _, d := range deltas {
+		add, rem := d.LoadShift(in)
+		before := in.N()
+		after, err := d.Apply(in)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if after-before != add-rem {
+			t.Fatalf("%s: N moved by %d, LoadShift said %d", d, after-before, add-rem)
+		}
+	}
+}

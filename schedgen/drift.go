@@ -1,0 +1,347 @@
+package schedgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"setupsched/sched"
+)
+
+// TraceEvent is one line of a replayable NDJSON delta trace: exactly one
+// of Base (first line: the starting instance), Delta (one instance edit)
+// or Solve (a solve point — replayers solve and cross-check here) is set.
+type TraceEvent struct {
+	Base  *sched.Instance `json:"base,omitempty"`
+	Delta *sched.Delta    `json:"delta,omitempty"`
+	Solve bool            `json:"solve,omitempty"`
+}
+
+// DriftRegime is one named generator of delta traces: a base instance
+// plus a deterministic, seed-reproducible stream of edits with embedded
+// solve points.  Every generated delta is valid at its position (the
+// generator replays its own trace while producing it), so replaying the
+// trace never hits a rejected delta.
+type DriftRegime struct {
+	// Name is the stable identifier used by CLIs and test tables.
+	Name string
+	// Description says which streaming regime the trace stresses.
+	Description string
+	// Make builds a trace of roughly steps deltas; deterministic in
+	// (Params, steps).
+	Make func(p Params, steps int) []TraceEvent
+}
+
+// driftSolveEvery is the delta cadence between generated solve points.
+const driftSolveEvery = 4
+
+// driftTrace drives the shared generation loop: propose deltas with pick,
+// keep the valid ones (retrying a few proposals per step), and interleave
+// solve points.  The mirror instance always reflects the trace applied so
+// far, so pick sees the state its delta will apply to.
+func driftTrace(base *sched.Instance, rng *rand.Rand, steps int,
+	pick func(rng *rand.Rand, mirror *sched.Instance) sched.Delta) []TraceEvent {
+	mirror := base.Clone()
+	events := []TraceEvent{{Base: base}, {Solve: true}}
+	sinceSolve := 0
+	for s := 0; s < steps; s++ {
+		for attempt := 0; attempt < 16; attempt++ {
+			d := pick(rng, mirror)
+			if _, err := d.Apply(mirror); err != nil {
+				continue
+			}
+			dd := d
+			events = append(events, TraceEvent{Delta: &dd})
+			sinceSolve++
+			break
+		}
+		if sinceSolve >= driftSolveEvery {
+			events = append(events, TraceEvent{Solve: true})
+			sinceSolve = 0
+		}
+	}
+	if sinceSolve > 0 {
+		events = append(events, TraceEvent{Solve: true})
+	}
+	return events
+}
+
+// pickAddJobs proposes appending 1..3 jobs to a random class.
+func pickAddJobs(rng *rand.Rand, mirror *sched.Instance, maxJob int64) sched.Delta {
+	nj := 1 + rng.Intn(3)
+	jobs := make([]int64, nj)
+	for i := range jobs {
+		jobs[i] = 1 + rng.Int63n(maxJob)
+	}
+	return sched.Delta{Op: sched.DeltaAddJobs, Class: rng.Intn(len(mirror.Classes)), Jobs: jobs}
+}
+
+// pickRemoveJob proposes removing a random job of a random class.
+func pickRemoveJob(rng *rand.Rand, mirror *sched.Instance) sched.Delta {
+	c := rng.Intn(len(mirror.Classes))
+	j := 0
+	if n := len(mirror.Classes[c].Jobs); n > 0 {
+		j = rng.Intn(n)
+	}
+	return sched.Delta{Op: sched.DeltaRemoveJob, Class: c, Job: j}
+}
+
+// pickAddClass proposes a fresh class with 1..JobsPer jobs.
+func pickAddClass(rng *rand.Rand, p Params) sched.Delta {
+	nj := 1 + rng.Intn(max(p.JobsPer, 1))
+	jobs := make([]int64, nj)
+	for i := range jobs {
+		jobs[i] = 1 + rng.Int63n(p.MaxJob)
+	}
+	return sched.Delta{Op: sched.DeltaAddClass, Setup: rng.Int63n(p.MaxSetup + 1), Jobs: jobs}
+}
+
+// Churn generates job churn over a uniform base: jobs arrive and depart,
+// classes occasionally appear and drain, machines stay fixed — the
+// steady-state online workload (Mäcker et al.).
+func Churn(p Params, steps int) []TraceEvent {
+	rng := rand.New(rand.NewSource(p.Seed))
+	base := Uniform(Params{M: p.M, Classes: p.Classes, JobsPer: p.JobsPer,
+		MaxSetup: p.MaxSetup, MaxJob: p.MaxJob, Seed: p.Seed ^ 0x5eed})
+	return driftTrace(base, rng, steps, func(rng *rand.Rand, mirror *sched.Instance) sched.Delta {
+		switch r := rng.Intn(100); {
+		case r < 45:
+			return pickAddJobs(rng, mirror, p.MaxJob)
+		case r < 80:
+			return pickRemoveJob(rng, mirror)
+		case r < 90:
+			return pickAddClass(rng, p)
+		default:
+			return sched.Delta{Op: sched.DeltaRemoveClass, Class: rng.Intn(len(mirror.Classes))}
+		}
+	})
+}
+
+// SetupDrift random-walks the setup times of a uniform base with light
+// job churn: the regime where batch boundaries (2 s_i breakpoints and the
+// expensive-class partition) move between solves while total load barely
+// changes — the adversarial case for warm-start bracket seeding.
+func SetupDrift(p Params, steps int) []TraceEvent {
+	rng := rand.New(rand.NewSource(p.Seed))
+	base := Uniform(Params{M: p.M, Classes: p.Classes, JobsPer: p.JobsPer,
+		MaxSetup: p.MaxSetup, MaxJob: p.MaxJob, Seed: p.Seed ^ 0x5eed})
+	step := max(p.MaxSetup/8, 1)
+	return driftTrace(base, rng, steps, func(rng *rand.Rand, mirror *sched.Instance) sched.Delta {
+		if rng.Intn(100) < 80 {
+			c := rng.Intn(len(mirror.Classes))
+			s := mirror.Classes[c].Setup + rng.Int63n(2*step+1) - step
+			if s < 0 {
+				s = 0
+			}
+			return sched.Delta{Op: sched.DeltaSetSetup, Class: c, Setup: s}
+		}
+		if rng.Intn(2) == 0 {
+			return pickAddJobs(rng, mirror, p.MaxJob)
+		}
+		return pickRemoveJob(rng, mirror)
+	})
+}
+
+// MachineScale scales the machine count up and down (doublings, halvings
+// and ±25% steps) over light job churn: every scaling step moves the
+// per-machine bound N/m, invalidating warm seeds — the regime that
+// exercises the session's cold-restart path and seed epochs.
+func MachineScale(p Params, steps int) []TraceEvent {
+	rng := rand.New(rand.NewSource(p.Seed))
+	base := Uniform(Params{M: p.M, Classes: p.Classes, JobsPer: p.JobsPer,
+		MaxSetup: p.MaxSetup, MaxJob: p.MaxJob, Seed: p.Seed ^ 0x5eed})
+	return driftTrace(base, rng, steps, func(rng *rand.Rand, mirror *sched.Instance) sched.Delta {
+		if rng.Intn(100) < 30 {
+			m := mirror.M
+			switch rng.Intn(4) {
+			case 0:
+				m *= 2
+			case 1:
+				m /= 2
+			case 2:
+				m += max(m/4, 1)
+			default:
+				m -= max(m/4, 1)
+			}
+			if m < 1 {
+				m = 1
+			}
+			return sched.Delta{Op: sched.DeltaSetMachines, M: m}
+		}
+		if rng.Intn(2) == 0 {
+			return pickAddJobs(rng, mirror, p.MaxJob)
+		}
+		return pickRemoveJob(rng, mirror)
+	})
+}
+
+// Growth generates a monotone arrival stream: jobs and classes only ever
+// arrive (no departures), starting from a small seed instance — the
+// classic online setting (Kawase et al.) where warm upper seeds shift up
+// by exactly the arrived load.
+func Growth(p Params, steps int) []TraceEvent {
+	rng := rand.New(rand.NewSource(p.Seed))
+	small := Params{M: p.M, Classes: max(p.Classes/4, 1), JobsPer: p.JobsPer,
+		MaxSetup: p.MaxSetup, MaxJob: p.MaxJob, Seed: p.Seed ^ 0x5eed}
+	base := Uniform(small)
+	return driftTrace(base, rng, steps, func(rng *rand.Rand, mirror *sched.Instance) sched.Delta {
+		if rng.Intn(100) < 75 {
+			return pickAddJobs(rng, mirror, p.MaxJob)
+		}
+		return pickAddClass(rng, p)
+	})
+}
+
+// Mixed draws every delta op with equal probability — the unbiased
+// control for the drift regimes.
+func Mixed(p Params, steps int) []TraceEvent {
+	rng := rand.New(rand.NewSource(p.Seed))
+	base := Uniform(Params{M: p.M, Classes: p.Classes, JobsPer: p.JobsPer,
+		MaxSetup: p.MaxSetup, MaxJob: p.MaxJob, Seed: p.Seed ^ 0x5eed})
+	return driftTrace(base, rng, steps, func(rng *rand.Rand, mirror *sched.Instance) sched.Delta {
+		switch rng.Intn(6) {
+		case 0:
+			return pickAddJobs(rng, mirror, p.MaxJob)
+		case 1:
+			return pickRemoveJob(rng, mirror)
+		case 2:
+			c := rng.Intn(len(mirror.Classes))
+			return sched.Delta{Op: sched.DeltaSetSetup, Class: c, Setup: rng.Int63n(p.MaxSetup + 1)}
+		case 3:
+			return pickAddClass(rng, p)
+		case 4:
+			return sched.Delta{Op: sched.DeltaRemoveClass, Class: rng.Intn(len(mirror.Classes))}
+		default:
+			return sched.Delta{Op: sched.DeltaSetMachines, M: 1 + rng.Int63n(2*p.M)}
+		}
+	})
+}
+
+// DriftRegimes lists the delta-trace catalog in a stable order.
+var DriftRegimes = []DriftRegime{
+	{"churn", "steady-state job churn: arrivals and departures over a fixed fleet", Churn},
+	{"setupdrift", "setup times random-walk; batch boundaries move while load stays put", SetupDrift},
+	{"scale", "machine count doubles/halves under light churn; warm seeds must re-cold", MachineScale},
+	{"grow", "monotone online arrivals from a small base; upper seeds shift by arrived load", Growth},
+	{"mixed", "every delta op equiprobable; the unbiased control", Mixed},
+}
+
+// DriftByName returns the named drift regime.
+func DriftByName(name string) (DriftRegime, error) {
+	for _, r := range DriftRegimes {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return DriftRegime{}, fmt.Errorf("schedgen: unknown drift regime %q (known: %s)",
+		name, strings.Join(DriftNames(), ", "))
+}
+
+// DriftNames returns the drift catalog's regime names in stable order.
+func DriftNames() []string {
+	out := make([]string, len(DriftRegimes))
+	for i, r := range DriftRegimes {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// SelectDrift resolves a comma-separated regime list; "all" (or "")
+// selects the whole catalog.  Duplicates are removed, order follows the
+// catalog.
+func SelectDrift(spec string) ([]DriftRegime, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "all" {
+		return append([]DriftRegime(nil), DriftRegimes...), nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := DriftByName(name); err != nil {
+			return nil, err
+		}
+		want[name] = true
+	}
+	var out []DriftRegime
+	for _, r := range DriftRegimes {
+		if want[r.Name] {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("schedgen: empty drift regime selection %q", spec)
+	}
+	return out, nil
+}
+
+// EncodeTrace writes a trace as NDJSON, one event per line.
+func EncodeTrace(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeTrace parses an NDJSON trace and checks its shape: the first
+// event must carry the base instance (which must validate), every event
+// must carry exactly one of base/delta/solve, and only the first may be a
+// base.  Delta validity against the evolving instance is the replayer's
+// business (stream.Session rejects invalid deltas at apply time).
+func DecodeTrace(r io.Reader) ([]TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	var events []TraceEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal([]byte(raw), &ev); err != nil {
+			return nil, fmt.Errorf("schedgen: trace line %d: %w", line, err)
+		}
+		set := 0
+		if ev.Base != nil {
+			set++
+		}
+		if ev.Delta != nil {
+			set++
+		}
+		if ev.Solve {
+			set++
+		}
+		if set != 1 {
+			return nil, fmt.Errorf("schedgen: trace line %d: want exactly one of base/delta/solve", line)
+		}
+		if ev.Base != nil {
+			if len(events) != 0 {
+				return nil, fmt.Errorf("schedgen: trace line %d: base instance must be the first event", line)
+			}
+			if err := ev.Base.Validate(); err != nil {
+				return nil, fmt.Errorf("schedgen: trace line %d: invalid base instance: %w", line, err)
+			}
+		} else if len(events) == 0 {
+			return nil, fmt.Errorf("schedgen: trace line %d: trace must start with a base instance", line)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("schedgen: empty trace")
+	}
+	return events, nil
+}

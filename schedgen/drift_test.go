@@ -1,0 +1,142 @@
+package schedgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func driftParams(seed int64) Params {
+	return Params{M: 6, Classes: 12, JobsPer: 4, MaxSetup: 80, MaxJob: 100, Seed: seed}
+}
+
+// TestDriftRegimesReplayable asserts the catalog contract for every
+// regime: the trace starts with a valid base, every delta replays cleanly
+// in order, solve points are present, and the whole thing is
+// deterministic in (Params, steps).
+func TestDriftRegimesReplayable(t *testing.T) {
+	for _, regime := range DriftRegimes {
+		t.Run(regime.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				events := regime.Make(driftParams(seed), 30)
+				if len(events) == 0 || events[0].Base == nil {
+					t.Fatalf("seed %d: trace does not start with a base", seed)
+				}
+				if err := events[0].Base.Validate(); err != nil {
+					t.Fatalf("seed %d: invalid base: %v", seed, err)
+				}
+				mirror := events[0].Base.Clone()
+				deltas, solves := 0, 0
+				for i, ev := range events[1:] {
+					switch {
+					case ev.Base != nil:
+						t.Fatalf("seed %d: second base at event %d", seed, i+1)
+					case ev.Delta != nil:
+						deltas++
+						if _, err := ev.Delta.Apply(mirror); err != nil {
+							t.Fatalf("seed %d event %d: generated delta does not replay: %v", seed, i+1, err)
+						}
+					case ev.Solve:
+						solves++
+					default:
+						t.Fatalf("seed %d: empty event %d", seed, i+1)
+					}
+				}
+				if deltas == 0 {
+					t.Fatalf("seed %d: trace has no deltas", seed)
+				}
+				if solves < 2 {
+					t.Fatalf("seed %d: trace has %d solve points, want >= 2", seed, solves)
+				}
+				if !events[len(events)-1].Solve {
+					t.Fatalf("seed %d: trace does not end on a solve point", seed)
+				}
+				if err := mirror.Validate(); err != nil {
+					t.Fatalf("seed %d: replayed instance invalid: %v", seed, err)
+				}
+
+				// Determinism: a second generation is byte-identical.
+				var a, b bytes.Buffer
+				if err := EncodeTrace(&a, events); err != nil {
+					t.Fatal(err)
+				}
+				if err := EncodeTrace(&b, regime.Make(driftParams(seed), 30)); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a.Bytes(), b.Bytes()) {
+					t.Fatalf("seed %d: regeneration differs (non-deterministic regime)", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestDriftTraceRoundTrip(t *testing.T) {
+	events := Churn(driftParams(3), 20)
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip: %d events, want %d", len(got), len(events))
+	}
+	if !got[0].Base.Equal(events[0].Base) {
+		t.Fatal("round trip changed the base instance")
+	}
+	for i := range events {
+		if (got[i].Delta == nil) != (events[i].Delta == nil) || got[i].Solve != events[i].Solve {
+			t.Fatalf("round trip changed event %d", i)
+		}
+		if got[i].Delta != nil && got[i].Delta.Op != events[i].Delta.Op {
+			t.Fatalf("round trip changed delta op at event %d", i)
+		}
+	}
+}
+
+func TestDecodeTraceRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, ndjson, want string
+	}{
+		{"empty", "", "empty trace"},
+		{"no base first", `{"solve":true}`, "must start with a base"},
+		{"two bases", `{"base":{"m":1,"classes":[{"setup":0,"jobs":[1]}]}}` + "\n" + `{"base":{"m":1,"classes":[{"setup":0,"jobs":[1]}]}}`, "must be the first"},
+		{"both fields", `{"base":{"m":1,"classes":[{"setup":0,"jobs":[1]}]},"solve":true}`, "exactly one"},
+		{"invalid base", `{"base":{"m":0,"classes":[]}}`, "invalid base"},
+		{"garbage", "not json", "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeTrace(strings.NewReader(tc.ndjson))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("DecodeTrace = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDriftCatalogSelectors(t *testing.T) {
+	if len(DriftNames()) != len(DriftRegimes) {
+		t.Fatal("DriftNames length mismatch")
+	}
+	if _, err := DriftByName("churn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DriftByName("nope"); err == nil || !strings.Contains(err.Error(), "churn") {
+		t.Fatalf("unknown regime error %v should list known names", err)
+	}
+	all, err := SelectDrift("all")
+	if err != nil || len(all) != len(DriftRegimes) {
+		t.Fatalf("SelectDrift(all) = %d regimes, err %v", len(all), err)
+	}
+	two, err := SelectDrift("scale, churn")
+	if err != nil || len(two) != 2 || two[0].Name != "churn" {
+		t.Fatalf("SelectDrift order/dedup broken: %v %v", two, err)
+	}
+	if _, err := SelectDrift("bogus"); err == nil {
+		t.Fatal("SelectDrift accepted unknown regime")
+	}
+}

@@ -23,8 +23,8 @@ import (
 	"net/http/httptest"
 	"testing"
 
-	"setupsched/schedgen"
 	"setupsched/sched"
+	"setupsched/schedgen"
 )
 
 func benchServeInstance(n int) *sched.Instance {

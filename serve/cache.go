@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/list"
 	"sync"
 
 	"setupsched"
@@ -20,12 +19,12 @@ type cacheEntry struct {
 }
 
 // resultCache is a mutex-guarded LRU cache keyed by
-// (fingerprint, variant, algorithm, epsilon).
+// (fingerprint, variant, algorithm, epsilon), built on the shared
+// lruIndex mechanics.
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used
-	byKey    map[string]*list.Element
+	idx      lruIndex[string, *cacheEntry]
 
 	hits      uint64
 	misses    uint64
@@ -36,30 +35,22 @@ func newResultCache(capacity int) *resultCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &resultCache{
-		capacity: capacity,
-		ll:       list.New(),
-		byKey:    make(map[string]*list.Element, capacity),
-	}
+	return &resultCache{capacity: capacity, idx: newLRUIndex[string, *cacheEntry](capacity)}
 }
 
 // get returns the entry for key whose canonical instance equals canon,
 // promoting it to most recently used.  A key match with a different
-// canonical instance (a fingerprint collision) counts as a miss.
+// canonical instance (a fingerprint collision) counts as a miss and is
+// not promoted.
 func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
+	e, ok := c.idx.lookup(key)
+	if !ok || !e.canon.Equal(canon) {
 		c.misses++
 		return nil
 	}
-	e := el.Value.(*cacheEntry)
-	if !e.canon.Equal(canon) {
-		c.misses++
-		return nil
-	}
-	c.ll.MoveToFront(el)
+	c.idx.promote(key)
 	c.hits++
 	return e
 }
@@ -69,16 +60,9 @@ func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
 func (c *resultCache) put(e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byKey[e.key]; ok {
-		el.Value = e
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.byKey[e.key] = c.ll.PushFront(e)
-	for c.ll.Len() > c.capacity {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	c.idx.put(e.key, e)
+	for c.idx.len() > c.capacity {
+		c.idx.evictOldest()
 		c.evictions++
 	}
 }
@@ -88,15 +72,12 @@ func (c *resultCache) put(e *cacheEntry) {
 func (c *resultCache) remove(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.ll.Remove(el)
-		delete(c.byKey, key)
-	}
+	c.idx.remove(key)
 }
 
 // snapshot returns current counters for /v1/stats.
 func (c *resultCache) snapshot() (size int, capacity int, hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len(), c.capacity, c.hits, c.misses, c.evictions
+	return c.idx.len(), c.capacity, c.hits, c.misses, c.evictions
 }

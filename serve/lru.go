@@ -1,0 +1,85 @@
+package serve
+
+import "container/list"
+
+// lruIndex is the shared least-recently-used bookkeeping (recency list +
+// key index, front = most recently used) behind the result cache, the
+// prepared-solver cache and the session store.  It is not goroutine-safe
+// and enforces no capacity itself: each owner wraps it in its own mutex
+// and layers its own semantics — hit/miss counters, collision checks,
+// TTL sweeping, eviction policy — on top of these mechanics.
+type lruIndex[K comparable, V any] struct {
+	ll    *list.List
+	byKey map[K]*list.Element
+}
+
+type lruCell[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRUIndex[K comparable, V any](capacityHint int) lruIndex[K, V] {
+	return lruIndex[K, V]{ll: list.New(), byKey: make(map[K]*list.Element, capacityHint)}
+}
+
+func (l *lruIndex[K, V]) len() int { return l.ll.Len() }
+
+// lookup returns the value for k without touching recency (owners decide
+// whether a lookup counts as a use — a fingerprint collision must not
+// promote the colliding entry).
+func (l *lruIndex[K, V]) lookup(k K) (V, bool) {
+	if el, ok := l.byKey[k]; ok {
+		return el.Value.(*lruCell[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// promote marks k as most recently used.
+func (l *lruIndex[K, V]) promote(k K) {
+	if el, ok := l.byKey[k]; ok {
+		l.ll.MoveToFront(el)
+	}
+}
+
+// put inserts or replaces the entry for k and marks it most recently
+// used.
+func (l *lruIndex[K, V]) put(k K, v V) {
+	if el, ok := l.byKey[k]; ok {
+		el.Value.(*lruCell[K, V]).val = v
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.byKey[k] = l.ll.PushFront(&lruCell[K, V]{key: k, val: v})
+}
+
+// remove drops the entry for k, reporting whether it existed.
+func (l *lruIndex[K, V]) remove(k K) bool {
+	el, ok := l.byKey[k]
+	if !ok {
+		return false
+	}
+	l.ll.Remove(el)
+	delete(l.byKey, k)
+	return true
+}
+
+// oldest returns the least recently used entry without touching it.
+func (l *lruIndex[K, V]) oldest() (K, V, bool) {
+	if back := l.ll.Back(); back != nil {
+		c := back.Value.(*lruCell[K, V])
+		return c.key, c.val, true
+	}
+	var zeroK K
+	var zeroV V
+	return zeroK, zeroV, false
+}
+
+// evictOldest removes and returns the least recently used entry.
+func (l *lruIndex[K, V]) evictOldest() (K, V, bool) {
+	k, v, ok := l.oldest()
+	if ok {
+		l.remove(k)
+	}
+	return k, v, ok
+}

@@ -3,11 +3,29 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve        solve one instance (JSON in, JSON out)
-//	POST /v1/solve/batch  solve an NDJSON stream of instances on a bounded
-//	                      worker pool; results stream back in arrival order
-//	GET  /healthz         liveness probe
-//	GET  /v1/stats        request counters, cache hit rate, latency quantiles
+//	POST   /v1/solve               solve one instance (JSON in, JSON out)
+//	POST   /v1/solve/batch         solve an NDJSON stream of instances on a
+//	                               bounded worker pool; results stream back
+//	                               in arrival order (429 + Retry-After when
+//	                               the pool is saturated)
+//	POST   /v1/sessions            open an incremental solve session
+//	GET    /v1/sessions/{id}       session shape and revision
+//	POST   /v1/sessions/{id}/delta apply instance deltas (job churn, setup
+//	                               drift, machine scaling)
+//	POST   /v1/sessions/{id}/solve solve the session's current instance,
+//	                               reusing preparation and warm-start state
+//	DELETE /v1/sessions/{id}       close a session
+//	GET    /healthz                liveness probe
+//	GET    /v1/stats               request counters, cache hit rates,
+//	                               session/warm counters, latency quantiles
+//
+// Sessions wrap stream.Session: the instance lives server-side, deltas
+// patch the solver preparation instead of rebuilding it, and re-solves
+// warm-start from the previous certified bracket while staying
+// bit-identical to a cold solve of the current instance.  Sessions are
+// evicted after SessionTTL idle time or, past SessionCapacity, least
+// recently used first.  A session's solves are serialized by the session
+// itself; different sessions solve concurrently.
 //
 // Repeated traffic is served from an LRU cache keyed by
 // (instance fingerprint, variant, algorithm, epsilon).  The fingerprint is
@@ -71,6 +89,20 @@ type Config struct {
 	// path).  Zero means no server-side limit; requests may still set a
 	// tighter timeout_ms of their own.
 	SolveTimeout time.Duration
+	// MaxConcurrentBatches bounds how many /v1/solve/batch requests may
+	// run at once; a saturated pool answers 429 with Retry-After instead
+	// of queueing unboundedly (each batch request runs its own pool of
+	// Workers goroutines, so the total batch-solve goroutine bound is
+	// Workers * MaxConcurrentBatches).  Default 2*Workers; negative means
+	// unlimited (the pre-429 behavior).
+	MaxConcurrentBatches int
+	// SessionCapacity is how many live incremental solve sessions the
+	// server retains; inserting past it evicts the least recently used.
+	// Default 256; negative disables the session endpoints.
+	SessionCapacity int
+	// SessionTTL evicts sessions idle longer than this (refreshed on
+	// every touch).  Default 15 minutes; negative means no TTL.
+	SessionTTL time.Duration
 	// MaxBodyBytes caps a /v1/solve request body.  Default 32 MiB.
 	MaxBodyBytes int64
 	// MaxLineBytes caps one NDJSON line of /v1/solve/batch.  Default 8 MiB.
@@ -96,17 +128,29 @@ func (c Config) withDefaults() Config {
 	if c.MaxLineBytes <= 0 {
 		c.MaxLineBytes = 8 << 20
 	}
+	if c.MaxConcurrentBatches == 0 {
+		c.MaxConcurrentBatches = 2 * c.Workers
+	}
+	if c.SessionCapacity == 0 {
+		c.SessionCapacity = 256
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
 	return c
 }
 
 // Server is the HTTP solve service.  Create one with New; it is safe for
 // concurrent use by any number of requests.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	cache   *resultCache // nil when result caching is disabled
-	solvers *solverCache // nil when solver reuse is disabled
-	stats   *serverStats
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *resultCache  // nil when result caching is disabled
+	solvers  *solverCache  // nil when solver reuse is disabled
+	sessions *sessionStore // nil when sessions are disabled
+	// batchGate bounds concurrent batch requests; nil means unlimited.
+	batchGate chan struct{}
+	stats     *serverStats
 }
 
 // New returns a Server with the given configuration.
@@ -118,10 +162,21 @@ func New(cfg Config) *Server {
 	}
 	s.cache = newResultCache(s.cfg.CacheSize)
 	s.solvers = newSolverCache(s.cfg.SolverCacheSize)
+	s.sessions = newSessionStore(s.cfg.SessionCapacity, s.cfg.SessionTTL)
+	if s.cfg.MaxConcurrentBatches > 0 {
+		s.batchGate = make(chan struct{}, s.cfg.MaxConcurrentBatches)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	if s.sessions != nil {
+		s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+		s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+		s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+		s.mux.HandleFunc("POST /v1/sessions/{id}/delta", s.handleSessionDelta)
+		s.mux.HandleFunc("POST /v1/sessions/{id}/solve", s.handleSessionSolve)
+	}
 	return s
 }
 
@@ -166,23 +221,30 @@ type SolveRequest struct {
 // SolveResponse is the JSON result of one solve.  Exact rationals are
 // reported as "p" or "p/q" strings alongside float approximations.
 type SolveResponse struct {
-	ID              string        `json:"id,omitempty"`
-	Variant         string        `json:"variant,omitempty"`
-	Algorithm       string        `json:"algorithm,omitempty"`
-	Makespan        string        `json:"makespan,omitempty"`
-	MakespanFloat   float64       `json:"makespan_float,omitempty"`
-	LowerBound      string        `json:"lower_bound,omitempty"`
-	LowerBoundFloat float64       `json:"lower_bound_float,omitempty"`
-	Ratio           float64       `json:"ratio,omitempty"`
-	Probes          int           `json:"probes,omitempty"`
-	Machines        int64         `json:"machines,omitempty"`
-	Setups          int64         `json:"setups,omitempty"`
-	Fingerprint     string        `json:"fingerprint,omitempty"`
-	Cached          bool          `json:"cached"`
-	ElapsedMS       float64       `json:"elapsed_ms"`
-	Schedule        *ScheduleJSON `json:"schedule,omitempty"`
-	Trace           []ProbeJSON   `json:"trace,omitempty"`
-	Error           string        `json:"error,omitempty"`
+	ID              string  `json:"id,omitempty"`
+	Variant         string  `json:"variant,omitempty"`
+	Algorithm       string  `json:"algorithm,omitempty"`
+	Makespan        string  `json:"makespan,omitempty"`
+	MakespanFloat   float64 `json:"makespan_float,omitempty"`
+	LowerBound      string  `json:"lower_bound,omitempty"`
+	LowerBoundFloat float64 `json:"lower_bound_float,omitempty"`
+	Ratio           float64 `json:"ratio,omitempty"`
+	Probes          int     `json:"probes,omitempty"`
+	Machines        int64   `json:"machines,omitempty"`
+	Setups          int64   `json:"setups,omitempty"`
+	Fingerprint     string  `json:"fingerprint,omitempty"`
+	Cached          bool    `json:"cached"`
+	// Warm reports a session solve that reused the previous certified
+	// bracket (bit-identical to a cold solve, just fewer probes); always
+	// false outside the session endpoints.
+	Warm bool `json:"warm,omitempty"`
+	// SessionRev is the session revision the result is valid for; only
+	// set by the session endpoints.
+	SessionRev uint64        `json:"session_rev,omitempty"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	Schedule   *ScheduleJSON `json:"schedule,omitempty"`
+	Trace      []ProbeJSON   `json:"trace,omitempty"`
+	Error      string        `json:"error,omitempty"`
 
 	// status is the HTTP status /v1/solve responds with; zero means OK.
 	// Batch items carry errors in-band, so the field stays internal.
@@ -515,7 +577,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Solve:      s.stats.solveRequests.Load(),
 			Batch:      s.stats.batchRequests.Load(),
 			BatchItems: s.stats.batchItems.Load(),
+			Session:    s.stats.sessionRequests.Load(),
 			Errors:     s.stats.errors.Load(),
+			Rejected:   s.stats.rejected.Load(),
 		},
 		Search: SearchStats{
 			Probes:         s.stats.probes.Load(),
@@ -546,6 +610,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		if hits+misses > 0 {
 			resp.Solvers.HitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	if s.sessions != nil {
+		active, capacity, ttl, created, deleted, evictedLRU, evictedTTL := s.sessions.snapshot()
+		resp.Sessions = SessionStats{
+			Enabled: true, Active: active, Capacity: capacity,
+			TTLSeconds: ttl.Seconds(),
+			Created:    created, Deleted: deleted,
+			EvictedLRU: evictedLRU, EvictedTTL: evictedTTL,
+			Deltas:    s.stats.sessionDeltas.Load(),
+			Solves:    s.stats.sessionSolves.Load(),
+			CacheHits: s.stats.sessionCacheHits.Load(),
+			WarmHits:  s.stats.warmHits.Load(),
 		}
 	}
 	count, p50, p99, max := s.stats.quantiles()
@@ -585,6 +662,22 @@ type batchItem struct {
 // Workers solves proceed concurrently).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.stats.batchRequests.Add(1)
+	// Admission control: a saturated batch pool answers 429 immediately
+	// instead of queueing unboundedly — each admitted request spawns its
+	// own Workers goroutines, so without the gate a burst of batch
+	// requests multiplies the pool without limit.
+	if s.batchGate != nil {
+		select {
+		case s.batchGate <- struct{}{}:
+			defer func() { <-s.batchGate }()
+		default:
+			s.stats.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests,
+				&SolveResponse{Error: "batch worker pool saturated; retry later"})
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Interleaving reads of the request body with response writes needs
 	// explicit opt-in on HTTP/1 (the server otherwise discards the unread

@@ -15,8 +15,8 @@ import (
 	"time"
 
 	"setupsched"
-	"setupsched/schedgen"
 	"setupsched/sched"
+	"setupsched/schedgen"
 )
 
 func testInstance(seed int64) *sched.Instance {

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"setupsched"
+	"setupsched/sched"
+	"setupsched/stream"
+)
+
+// sessionEntry is one live incremental solve session.
+type sessionEntry struct {
+	id       string
+	sess     *stream.Session
+	created  time.Time
+	lastUsed time.Time // guarded by the store mutex
+}
+
+// sessionStore is a mutex-guarded TTL+LRU registry of stream.Sessions,
+// built on the shared lruIndex mechanics.  Eviction is two-pronged:
+// entries idle past the TTL are swept on every store access (the recency
+// order keeps them clustered at the back), and inserting past capacity
+// evicts the least recently used entry.  Each session serializes its own
+// work internally (stream.Session's lock), so the store only guards the
+// registry, never a solve.
+type sessionStore struct {
+	mu       sync.Mutex
+	capacity int
+	ttl      time.Duration
+	idx      lruIndex[string, *sessionEntry]
+
+	created    uint64
+	deleted    uint64
+	evictedLRU uint64
+	evictedTTL uint64
+
+	now func() time.Time // test hook
+}
+
+func newSessionStore(capacity int, ttl time.Duration) *sessionStore {
+	if capacity <= 0 {
+		return nil
+	}
+	return &sessionStore{
+		capacity: capacity,
+		ttl:      ttl,
+		idx:      newLRUIndex[string, *sessionEntry](capacity),
+		now:      time.Now,
+	}
+}
+
+// sweepLocked evicts every entry idle past the TTL.  The recency order
+// is by last use, so expired entries form a suffix.
+func (st *sessionStore) sweepLocked() {
+	if st.ttl <= 0 {
+		return
+	}
+	cutoff := st.now().Add(-st.ttl)
+	for {
+		id, e, ok := st.idx.oldest()
+		if !ok || !e.lastUsed.Before(cutoff) {
+			return
+		}
+		st.idx.remove(id)
+		st.evictedTTL++
+	}
+}
+
+// create registers a session under a fresh random ID.
+func (st *sessionStore) create(sess *stream.Session) *sessionEntry {
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		panic("serve: crypto/rand failed: " + err.Error())
+	}
+	e := &sessionEntry{id: hex.EncodeToString(buf), sess: sess}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	e.created = st.now()
+	e.lastUsed = e.created
+	st.idx.put(e.id, e)
+	st.created++
+	for st.idx.len() > st.capacity {
+		st.idx.evictOldest()
+		st.evictedLRU++
+	}
+	return e
+}
+
+// get returns the live session for id, refreshing its TTL and LRU
+// position; nil when unknown or expired.
+func (st *sessionStore) get(id string) *sessionEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	e, ok := st.idx.lookup(id)
+	if !ok {
+		return nil
+	}
+	e.lastUsed = st.now()
+	st.idx.promote(id)
+	return e
+}
+
+// delete removes the session for id, reporting whether it existed.
+func (st *sessionStore) delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	if !st.idx.remove(id) {
+		return false
+	}
+	st.deleted++
+	return true
+}
+
+// snapshot returns current counters for /v1/stats.
+func (st *sessionStore) snapshot() (active, capacity int, ttl time.Duration, created, deleted, evictedLRU, evictedTTL uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	return st.idx.len(), st.capacity, st.ttl, st.created, st.deleted, st.evictedLRU, st.evictedTTL
+}
+
+// SessionCreateRequest is the JSON body of POST /v1/sessions.
+type SessionCreateRequest struct {
+	// Instance is the starting instance of the session.
+	Instance *sched.Instance `json:"instance"`
+}
+
+// SessionInfo describes a session; returned by the session endpoints.
+type SessionInfo struct {
+	SessionID   string `json:"session_id"`
+	Rev         uint64 `json:"rev"`
+	Machines    int64  `json:"machines"`
+	Classes     int    `json:"classes"`
+	Jobs        int    `json:"jobs"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// SessionDeltaRequest is the JSON body of POST /v1/sessions/{id}/delta:
+// a batch of deltas applied in order.  Application is not atomic — on a
+// rejected delta the earlier ones stay applied and the response reports
+// how many were (Applied) alongside the error.
+type SessionDeltaRequest struct {
+	Deltas []sched.Delta `json:"deltas"`
+}
+
+// SessionDeltaResponse is the JSON result of a delta application.
+type SessionDeltaResponse struct {
+	SessionID string `json:"session_id"`
+	Rev       uint64 `json:"rev"`
+	Applied   int    `json:"applied"`
+	Machines  int64  `json:"machines"`
+	Classes   int    `json:"classes"`
+	Jobs      int    `json:"jobs"`
+	Error     string `json:"error,omitempty"`
+}
+
+// sessionInfo builds the wire description of a session.  The request
+// context bounds the wait for the session lock (a long-running solve on
+// the same session would otherwise pin the handler goroutine even after
+// the client disconnected).
+func sessionInfo(ctx context.Context, e *sessionEntry, fingerprint bool) (*SessionInfo, error) {
+	shape, err := e.sess.Describe(ctx)
+	if err != nil {
+		return nil, err
+	}
+	info := &SessionInfo{
+		SessionID: e.id,
+		Rev:       shape.Rev,
+		Machines:  shape.Machines,
+		Classes:   shape.Classes,
+		Jobs:      shape.Jobs,
+	}
+	if fingerprint {
+		if info.Fingerprint, err = e.sess.Fingerprint(ctx); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+// writeSessionInfo responds with the session description, mapping a lock
+// wait canceled by the client to the solve-error statuses.
+func (s *Server) writeSessionInfo(w http.ResponseWriter, r *http.Request, e *sessionEntry, status int, fingerprint bool) {
+	info, err := sessionInfo(r.Context(), e, fingerprint)
+	if err != nil {
+		s.stats.errors.Add(1)
+		resp := s.solveError(err)
+		writeJSON(w, resp.status, &SessionInfo{SessionID: e.id, Error: resp.Error})
+		return
+	}
+	writeJSON(w, status, info)
+}
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.stats.sessionRequests.Add(1)
+	var req SessionCreateRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: "decoding request: " + err.Error()})
+		return
+	}
+	if req.Instance == nil {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: "missing instance"})
+		return
+	}
+	sess, err := stream.NewSession(req.Instance)
+	if err != nil {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: err.Error()})
+		return
+	}
+	e := s.sessions.create(sess)
+	s.writeSessionInfo(w, r, e, http.StatusCreated, true)
+}
+
+// sessionFor resolves the {id} path value, writing the 404 itself when
+// the session is unknown or expired.
+func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) *sessionEntry {
+	e := s.sessions.get(r.PathValue("id"))
+	if e == nil {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusNotFound, &SessionInfo{Error: "unknown or expired session"})
+	}
+	return e
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	s.stats.sessionRequests.Add(1)
+	if e := s.sessionFor(w, r); e != nil {
+		s.writeSessionInfo(w, r, e, http.StatusOK, r.URL.Query().Get("fingerprint") == "true")
+	}
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.stats.sessionRequests.Add(1)
+	if !s.sessions.delete(r.PathValue("id")) {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusNotFound, &SessionInfo{Error: "unknown or expired session"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
+	s.stats.sessionRequests.Add(1)
+	e := s.sessionFor(w, r)
+	if e == nil {
+		return
+	}
+	var req SessionDeltaRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &SessionDeltaResponse{SessionID: e.id, Error: "decoding request: " + err.Error()})
+		return
+	}
+	if len(req.Deltas) == 0 {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &SessionDeltaResponse{SessionID: e.id, Error: "empty delta list"})
+		return
+	}
+	applied := 0
+	var applyErr error
+	for i := range req.Deltas {
+		if applyErr = e.sess.Apply(r.Context(), req.Deltas[i]); applyErr != nil {
+			applyErr = fmt.Errorf("delta %d (%s): %w", i, req.Deltas[i], applyErr)
+			break
+		}
+		applied++
+	}
+	s.stats.sessionDeltas.Add(uint64(applied))
+	shape, err := e.sess.Describe(r.Context())
+	if err != nil {
+		s.stats.errors.Add(1)
+		resp := s.solveError(err)
+		writeJSON(w, resp.status, &SessionDeltaResponse{SessionID: e.id, Applied: applied, Error: resp.Error})
+		return
+	}
+	resp := &SessionDeltaResponse{
+		SessionID: e.id, Rev: shape.Rev, Applied: applied,
+		Machines: shape.Machines, Classes: shape.Classes, Jobs: shape.Jobs,
+	}
+	status := http.StatusOK
+	if applyErr != nil {
+		s.stats.errors.Add(1)
+		resp.Error = applyErr.Error()
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
+	s.stats.sessionRequests.Add(1)
+	e := s.sessionFor(w, r)
+	if e == nil {
+		return
+	}
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.stats.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, &SolveResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	resp := s.sessionSolve(r, e, &req)
+	status := resp.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+// sessionSolve runs one solve against a session, mirroring Server.Solve's
+// validation, timeout and verification behavior.  The session itself is
+// the cache (unchanged revisions return the previous result), so the
+// global result cache is not consulted.
+func (s *Server) sessionSolve(r *http.Request, e *sessionEntry, req *SolveRequest) *SolveResponse {
+	started := time.Now()
+	resp := s.sessionSolveInner(r, e, req)
+	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	resp.ID = req.ID
+	if resp.Error != "" {
+		s.stats.errors.Add(1)
+	} else {
+		s.stats.observe(time.Since(started))
+	}
+	return resp
+}
+
+func (s *Server) sessionSolveInner(r *http.Request, e *sessionEntry, req *SolveRequest) *SolveResponse {
+	if req.Instance != nil {
+		return errResponse(http.StatusBadRequest,
+			"the instance is fixed by the session; mutate it via the delta endpoint")
+	}
+	v, err := parseVariant(req.Variant)
+	if err != nil {
+		return errResponse(http.StatusBadRequest, err.Error())
+	}
+	algo, err := parseAlgo(req.Algorithm)
+	if err != nil {
+		return errResponse(http.StatusBadRequest, err.Error())
+	}
+	if req.Epsilon != 0 && (req.Epsilon <= 0 || req.Epsilon >= 1) {
+		return errResponse(http.StatusBadRequest,
+			(&setupsched.EpsilonRangeError{Epsilon: req.Epsilon}).Error())
+	}
+	opts := []stream.SolveOption{stream.WithAlgorithm(algo)}
+	if algo == setupsched.EpsilonSearch && req.Epsilon != 0 {
+		opts = append(opts, stream.WithEpsilon(req.Epsilon))
+	}
+	if req.NoCache {
+		opts = append(opts, stream.WithCold())
+	}
+	sctx, cancel := s.solveContext(r.Context(), req)
+	defer cancel()
+	res, err := e.sess.Solve(sctx, v, opts...)
+	if err != nil {
+		return s.solveError(err)
+	}
+	s.stats.sessionSolves.Add(1)
+	switch {
+	case res.Cached:
+		s.stats.sessionCacheHits.Add(1)
+	case res.Warm:
+		s.stats.warmHits.Add(1)
+	}
+	// search.probes counts executed dual tests only (a cache return runs
+	// none, matching the stateless path where the counter is fed by a
+	// probe observer).
+	if !res.Cached {
+		s.stats.probes.Add(uint64(res.Probes))
+	}
+	// Fresh results are re-verified before they cross the trust boundary,
+	// exactly like /v1/solve responses.  Cached results re-serve a result
+	// that passed this check when it was computed; ErrStale means the
+	// client raced its own deltas, in which case the result is still the
+	// verified answer for the revision it reports.
+	if !res.Cached {
+		if err := e.sess.Verify(r.Context(), v, res); err != nil && !errors.Is(err, stream.ErrStale) {
+			return errResponse(http.StatusInternalServerError,
+				"internal error: session produced an invalid schedule: "+err.Error())
+		}
+	}
+	resp := s.respond(req, v, "", res.Result, res.Cached)
+	resp.Warm = res.Warm
+	resp.SessionRev = res.Rev
+	return resp
+}

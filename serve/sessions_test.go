@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"setupsched"
+	"setupsched/sched"
+	"setupsched/schedgen"
+	"setupsched/stream"
+)
+
+// sessionTestInstance needs a real search (trivial bound rejected) so
+// warm starts are observable through the API.
+func sessionTestInstance(seed int64) *sched.Instance {
+	return schedgen.ExpensiveSetups(schedgen.Params{
+		M: 26, Classes: 31, JobsPer: 8, MaxSetup: 500, MaxJob: 60, Seed: seed,
+	})
+}
+
+func postSessionJSON(t *testing.T, client *http.Client, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}))
+	defer srv.Close()
+	client := srv.Client()
+	in := sessionTestInstance(1)
+
+	// Create.
+	var info SessionInfo
+	if code := postSessionJSON(t, client, srv.URL+"/v1/sessions", &SessionCreateRequest{Instance: in}, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d (%s)", code, info.Error)
+	}
+	if info.SessionID == "" || info.Fingerprint == "" || info.Rev != 0 {
+		t.Fatalf("create: bad info %+v", info)
+	}
+	base := srv.URL + "/v1/sessions/" + info.SessionID
+
+	// First solve: cold.
+	var r1 SolveResponse
+	if code := postSessionJSON(t, client, base+"/solve", &SolveRequest{Variant: "nonp"}, &r1); code != http.StatusOK {
+		t.Fatalf("solve: status %d (%s)", code, r1.Error)
+	}
+	if r1.Cached || r1.Warm {
+		t.Fatalf("first solve: cached=%v warm=%v", r1.Cached, r1.Warm)
+	}
+
+	statsProbes := func() uint64 {
+		t.Helper()
+		resp, err := client.Get(srv.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st.Search.Probes
+	}
+	probesAfterCold := statsProbes()
+
+	// Second solve: served from the session cache.
+	var r2 SolveResponse
+	postSessionJSON(t, client, base+"/solve", &SolveRequest{Variant: "nonp"}, &r2)
+	if !r2.Cached || r2.Makespan != r1.Makespan {
+		t.Fatalf("second solve: cached=%v makespan %s (want %s)", r2.Cached, r2.Makespan, r1.Makespan)
+	}
+	// A cache return runs no dual tests; the executed-probe counter must
+	// not move (search.probes is documented as executed probes only).
+	if got := statsProbes(); got != probesAfterCold {
+		t.Fatalf("cached solve moved search.probes from %d to %d", probesAfterCold, got)
+	}
+
+	// Delta, then a warm re-solve that matches a fresh stateless solve.
+	var dr SessionDeltaResponse
+	code := postSessionJSON(t, client, base+"/delta", &SessionDeltaRequest{Deltas: []sched.Delta{
+		{Op: sched.DeltaAddJobs, Class: 0, Jobs: []int64{9, 4}},
+	}}, &dr)
+	if code != http.StatusOK || dr.Rev != 1 || dr.Applied != 1 {
+		t.Fatalf("delta: status %d resp %+v", code, dr)
+	}
+	var r3 SolveResponse
+	postSessionJSON(t, client, base+"/solve", &SolveRequest{Variant: "nonp"}, &r3)
+	if r3.Cached {
+		t.Fatal("post-delta solve served stale cache")
+	}
+	if !r3.Warm {
+		t.Fatal("post-delta solve did not warm-start")
+	}
+	if r3.SessionRev != 1 {
+		t.Fatalf("post-delta solve rev %d, want 1", r3.SessionRev)
+	}
+	// The warm session result must be bit-identical to a fresh
+	// NewSolver solve of the post-delta instance.  (The stateless
+	// /v1/solve endpoint is not the right reference: it solves the
+	// canonical permutation for cache sharing, which may legitimately
+	// land on a different — equally valid — schedule.)
+	mirror := in.Clone()
+	mirror.Classes[0].Jobs = append(mirror.Classes[0].Jobs, 9, 4)
+	solver, err := setupsched.NewSolver(mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := solver.Solve(context.Background(), sched.NonPreemptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Makespan.String() != r3.Makespan || fresh.LowerBound.String() != r3.LowerBound {
+		t.Fatalf("session solve (mk=%s lb=%s) != fresh solve (mk=%s lb=%s)",
+			r3.Makespan, r3.LowerBound, fresh.Makespan, fresh.LowerBound)
+	}
+
+	// Info endpoint reflects the delta.
+	resp, err := client.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SessionInfo
+	json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if got.Rev != 1 || got.Jobs != in.NumJobs()+2 {
+		t.Fatalf("info: %+v", got)
+	}
+
+	// Stats report the session activity.
+	resp, err = client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if !stats.Sessions.Enabled || stats.Sessions.Active != 1 || stats.Sessions.Created != 1 {
+		t.Fatalf("session stats: %+v", stats.Sessions)
+	}
+	if stats.Sessions.Solves != 3 || stats.Sessions.CacheHits != 1 || stats.Sessions.WarmHits != 1 {
+		t.Fatalf("session solve stats: %+v", stats.Sessions)
+	}
+	if stats.Sessions.Deltas != 1 {
+		t.Fatalf("session delta stats: %+v", stats.Sessions)
+	}
+
+	// Delete, then everything 404s.
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	var gone SolveResponse
+	if code := postSessionJSON(t, client, base+"/solve", &SolveRequest{Variant: "nonp"}, &gone); code != http.StatusNotFound {
+		t.Fatalf("solve after delete: status %d", code)
+	}
+}
+
+func TestSessionRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(New(Config{}))
+	defer srv.Close()
+	client := srv.Client()
+
+	var info SessionInfo
+	if code := postSessionJSON(t, client, srv.URL+"/v1/sessions", &SessionCreateRequest{}, &info); code != http.StatusBadRequest {
+		t.Fatalf("create without instance: status %d", code)
+	}
+	if code := postSessionJSON(t, client, srv.URL+"/v1/sessions",
+		&SessionCreateRequest{Instance: &sched.Instance{M: 0}}, &info); code != http.StatusBadRequest {
+		t.Fatalf("create with invalid instance: status %d", code)
+	}
+
+	postSessionJSON(t, client, srv.URL+"/v1/sessions", &SessionCreateRequest{Instance: sessionTestInstance(2)}, &info)
+	base := srv.URL + "/v1/sessions/" + info.SessionID
+
+	// A solve request carrying an instance is rejected: the session owns it.
+	var sr SolveResponse
+	if code := postSessionJSON(t, client, base+"/solve",
+		&SolveRequest{Instance: sessionTestInstance(3), Variant: "nonp"}, &sr); code != http.StatusBadRequest {
+		t.Fatalf("solve with instance: status %d", code)
+	}
+	if code := postSessionJSON(t, client, base+"/solve", &SolveRequest{Variant: "bogus"}, &sr); code != http.StatusBadRequest {
+		t.Fatalf("solve with bad variant: status %d", code)
+	}
+
+	// A failing delta in a batch reports the applied prefix and 400.
+	var dr SessionDeltaResponse
+	code := postSessionJSON(t, client, base+"/delta", &SessionDeltaRequest{Deltas: []sched.Delta{
+		{Op: sched.DeltaAddJobs, Class: 0, Jobs: []int64{5}},
+		{Op: sched.DeltaRemoveClass, Class: 9999},
+	}}, &dr)
+	if code != http.StatusBadRequest || dr.Applied != 1 || dr.Rev != 1 {
+		t.Fatalf("partial delta: status %d resp %+v", code, dr)
+	}
+	if !strings.Contains(dr.Error, "delta 1") {
+		t.Fatalf("partial delta error %q does not name the failing index", dr.Error)
+	}
+
+	// Unknown session IDs 404 on every per-session route.
+	bogus := srv.URL + "/v1/sessions/deadbeef"
+	if code := postSessionJSON(t, client, bogus+"/delta", &SessionDeltaRequest{Deltas: []sched.Delta{{Op: sched.DeltaSetMachines, M: 1}}}, &dr); code != http.StatusNotFound {
+		t.Fatalf("delta on unknown session: status %d", code)
+	}
+}
+
+func TestSessionTTLAndLRUEviction(t *testing.T) {
+	s := New(Config{SessionCapacity: 2, SessionTTL: time.Minute})
+	now := time.Unix(1000, 0)
+	s.sessions.now = func() time.Time { return now }
+
+	mk := func(seed int64) string {
+		t.Helper()
+		sess, err := stream.NewSession(sessionTestInstance(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.sessions.create(sess).id
+	}
+	a, b := mk(1), mk(2)
+	if got := s.sessions.get(a); got == nil {
+		t.Fatal("session a missing")
+	}
+	// Capacity 2: a third session evicts the LRU (b: a was touched last).
+	c := mk(3)
+	if s.sessions.get(b) != nil {
+		t.Fatal("LRU eviction kept the least recently used session")
+	}
+	if s.sessions.get(a) == nil || s.sessions.get(c) == nil {
+		t.Fatal("LRU eviction dropped the wrong session")
+	}
+
+	// TTL: advance past the deadline; both remaining sessions expire.
+	now = now.Add(2 * time.Minute)
+	if s.sessions.get(a) != nil || s.sessions.get(c) != nil {
+		t.Fatal("TTL did not expire idle sessions")
+	}
+	_, _, _, created, _, evictedLRU, evictedTTL := s.sessions.snapshot()
+	if created != 3 || evictedLRU != 1 || evictedTTL != 2 {
+		t.Fatalf("eviction counters: created=%d lru=%d ttl=%d", created, evictedLRU, evictedTTL)
+	}
+}
+
+func TestBatchSaturationReturns429(t *testing.T) {
+	// One worker, one concurrent batch: a second concurrent batch request
+	// must be rejected with 429 + Retry-After, not queued.
+	s := New(Config{Workers: 1, MaxConcurrentBatches: 1, SessionCapacity: -1})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := srv.Client()
+
+	// Occupy the single batch slot with a slow streaming request: the
+	// request body stays open until we release it.
+	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/solve/batch", pr)
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	line, _ := json.Marshal(&SolveRequest{Instance: testInstance(1), Variant: "nonp"})
+	pw.Write(append(line, '\n'))
+
+	// Wait until the first batch holds the gate.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(s.batchGate) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first batch request never acquired the gate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := client.Post(srv.URL+"/v1/solve/batch", "application/x-ndjson",
+		strings.NewReader(string(line)+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated batch: status %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	pw.Close()
+	wg.Wait()
+
+	var stats StatsResponse
+	sr, err := client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(sr.Body).Decode(&stats)
+	sr.Body.Close()
+	if stats.Requests.Rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", stats.Requests.Rejected)
+	}
+	if stats.Sessions.Enabled {
+		t.Fatal("sessions enabled despite negative capacity")
+	}
+}

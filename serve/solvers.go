@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/list"
 	"sync"
 
 	"setupsched"
@@ -18,16 +17,15 @@ type solverEntry struct {
 	solver *setupsched.Solver
 }
 
-// solverCache is a mutex-guarded LRU of prepared Solvers.  Every request
-// for a permutation-equivalent instance reuses the same Solver, so the
-// O(n) preparation pass runs once per distinct instance instead of once
-// per request — the serving layer's answer to the Solver API's "prepare
-// once, solve many" contract.
+// solverCache is a mutex-guarded LRU of prepared Solvers (shared
+// lruIndex mechanics).  Every request for a permutation-equivalent
+// instance reuses the same Solver, so the O(n) preparation pass runs
+// once per distinct instance instead of once per request — the serving
+// layer's answer to the Solver API's "prepare once, solve many" contract.
 type solverCache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used
-	byFP     map[string]*list.Element
+	idx      lruIndex[string, *solverEntry]
 
 	hits      uint64
 	misses    uint64
@@ -38,11 +36,7 @@ func newSolverCache(capacity int) *solverCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &solverCache{
-		capacity: capacity,
-		ll:       list.New(),
-		byFP:     make(map[string]*list.Element, capacity),
-	}
+	return &solverCache{capacity: capacity, idx: newLRUIndex[string, *solverEntry](capacity)}
 }
 
 // getOrCreate returns the cached Solver for the canonical instance,
@@ -51,10 +45,9 @@ func newSolverCache(capacity int) *solverCache {
 // is not cached).
 func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched.Solver, error) {
 	c.mu.Lock()
-	if el, ok := c.byFP[fp]; ok {
-		e := el.Value.(*solverEntry)
+	if e, ok := c.idx.lookup(fp); ok {
 		if e.canon.Equal(canon) {
-			c.ll.MoveToFront(el)
+			c.idx.promote(fp)
 			c.hits++
 			c.mu.Unlock()
 			return e.solver, nil
@@ -75,12 +68,10 @@ func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.byFP[fp]; !ok {
-		c.byFP[fp] = c.ll.PushFront(&solverEntry{fp: fp, canon: canon, solver: solver})
-		for c.ll.Len() > c.capacity {
-			oldest := c.ll.Back()
-			c.ll.Remove(oldest)
-			delete(c.byFP, oldest.Value.(*solverEntry).fp)
+	if _, ok := c.idx.lookup(fp); !ok {
+		c.idx.put(fp, &solverEntry{fp: fp, canon: canon, solver: solver})
+		for c.idx.len() > c.capacity {
+			c.idx.evictOldest()
 			c.evictions++
 		}
 	}
@@ -91,5 +82,5 @@ func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched
 func (c *solverCache) snapshot() (size int, capacity int, hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len(), c.capacity, c.hits, c.misses, c.evictions
+	return c.idx.len(), c.capacity, c.hits, c.misses, c.evictions
 }

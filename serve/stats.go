@@ -16,13 +16,19 @@ const latencyWindow = 4096
 type serverStats struct {
 	start time.Time
 
-	solveRequests  atomic.Uint64
-	batchRequests  atomic.Uint64
-	batchItems     atomic.Uint64
-	errors         atomic.Uint64
-	probes         atomic.Uint64
-	timeouts       atomic.Uint64
-	parallelSolves atomic.Uint64
+	solveRequests    atomic.Uint64
+	batchRequests    atomic.Uint64
+	batchItems       atomic.Uint64
+	errors           atomic.Uint64
+	rejected         atomic.Uint64
+	probes           atomic.Uint64
+	timeouts         atomic.Uint64
+	parallelSolves   atomic.Uint64
+	sessionRequests  atomic.Uint64
+	sessionDeltas    atomic.Uint64
+	sessionSolves    atomic.Uint64
+	sessionCacheHits atomic.Uint64
+	warmHits         atomic.Uint64
 
 	mu        sync.Mutex
 	latencies [latencyWindow]float64 // milliseconds, ring buffer
@@ -82,6 +88,7 @@ type StatsResponse struct {
 	Search        SearchStats  `json:"search"`
 	Cache         CacheStats   `json:"cache"`
 	Solvers       CacheStats   `json:"solvers"`
+	Sessions      SessionStats `json:"sessions"`
 	LatencyMS     LatencyStats `json:"latency_ms"`
 	Runtime       RuntimeStats `json:"runtime"`
 }
@@ -103,7 +110,31 @@ type RequestStats struct {
 	Solve      uint64 `json:"solve"`
 	Batch      uint64 `json:"batch"`
 	BatchItems uint64 `json:"batch_items"`
-	Errors     uint64 `json:"errors"`
+	// Session counts requests to any /v1/sessions endpoint.
+	Session uint64 `json:"session"`
+	Errors  uint64 `json:"errors"`
+	// Rejected counts requests turned away with 429 because the batch
+	// worker pool was saturated.
+	Rejected uint64 `json:"rejected"`
+}
+
+// SessionStats reports the incremental solve session subsystem: store
+// occupancy, eviction pressure, and how the session engine answered its
+// solves (cache return for an unchanged instance, warm-started search,
+// or cold).
+type SessionStats struct {
+	Enabled    bool    `json:"enabled"`
+	Active     int     `json:"active"`
+	Capacity   int     `json:"capacity"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+	Created    uint64  `json:"created"`
+	Deleted    uint64  `json:"deleted"`
+	EvictedLRU uint64  `json:"evicted_lru"`
+	EvictedTTL uint64  `json:"evicted_ttl"`
+	Deltas     uint64  `json:"deltas"`
+	Solves     uint64  `json:"solves"`
+	CacheHits  uint64  `json:"cache_hits"`
+	WarmHits   uint64  `json:"warm_hits"`
 }
 
 // SearchStats reports probe-level search activity: every dual-test

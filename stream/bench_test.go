@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"setupsched"
+	"setupsched/sched"
+	"setupsched/schedgen"
+)
+
+// benchInstance mirrors internal/benchjson.BenchCoreInstance: machine-rich,
+// setup-dominated and value-heavy, so every exact search genuinely pays
+// its Theta(log T) probes.  (Duplicated here because benchjson imports
+// stream — the session datapoints of BENCH_core.json — so this test
+// cannot import it back.)
+func benchInstance(n int) *sched.Instance {
+	classes := n / 8
+	if classes < 1 {
+		classes = 1
+	}
+	return schedgen.ExpensiveSetups(schedgen.Params{
+		M: int64(n/10 + 1), Classes: classes, JobsPer: 8,
+		MaxSetup: 2_000_000_000, MaxJob: 200_000_000, Seed: int64(n),
+	})
+}
+
+// benchDelta alternates one job arriving and departing, so the instance
+// stays bounded while every re-solve sees a real change.
+func benchDelta(i int, jobs0 int) sched.Delta {
+	if i%2 == 0 {
+		return sched.Delta{Op: sched.DeltaAddJobs, Class: 0, Jobs: []int64{17}}
+	}
+	return sched.Delta{Op: sched.DeltaRemoveJob, Class: 0, Job: jobs0}
+}
+
+// BenchmarkSession_WarmResolve measures the session's amortized cost per
+// change: one small delta plus a warm re-solve at n=1e4.  Compare with
+// BenchmarkSession_ColdResolve — the acceptance bar is warm >= 2x faster.
+func BenchmarkSession_WarmResolve(b *testing.B) {
+	in := benchInstance(10000)
+	jobs0 := len(in.Classes[0].Jobs)
+	s, err := NewSession(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx, sched.NonPreemptive); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Apply(ctx, benchDelta(i, jobs0)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Solve(ctx, sched.NonPreemptive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSession_ColdResolve is the stateless baseline the session
+// amortizes: the same delta stream, but every change pays a fresh
+// NewSolver (O(n) preparation) and a cold search.
+func BenchmarkSession_ColdResolve(b *testing.B) {
+	in := benchInstance(10000)
+	jobs0 := len(in.Classes[0].Jobs)
+	work := in.Clone()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchDelta(i, jobs0).Apply(work); err != nil {
+			b.Fatal(err)
+		}
+		solver, err := setupsched.NewSolver(work)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := solver.Solve(ctx, sched.NonPreemptive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSession_CachedResolve measures the unchanged-instance fast
+// path: no deltas between solves, so every call returns the cached
+// result.
+func BenchmarkSession_CachedResolve(b *testing.B) {
+	s, err := NewSession(benchInstance(10000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx, sched.NonPreemptive); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(ctx, sched.NonPreemptive); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSession_DeltaApply isolates the incremental preparation
+// maintenance: one small delta per iteration, no solves.
+func BenchmarkSession_DeltaApply(b *testing.B) {
+	in := benchInstance(10000)
+	jobs0 := len(in.Classes[0].Jobs)
+	s, err := NewSession(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Apply(ctx, benchDelta(i, jobs0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
