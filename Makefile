@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke serve clean
+.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke metrics-smoke serve clean
 
 all: vet build test
 
@@ -61,6 +61,25 @@ stress-smoke:
 stream-smoke:
 	$(GO) test -race ./stream
 	$(GO) run ./cmd/schedstress -drift -seeds 10
+
+# End-to-end observability smoke: start schedserve, run one solve, scrape
+# GET /metrics, and validate the exposition syntax with the obs package's
+# own parser (TestValidateExpositionFile reads the scrape file).
+METRICS_ADDR ?= 127.0.0.1:19131
+metrics-smoke:
+	$(GO) build -o .metrics-smoke-serve ./cmd/schedserve
+	@set -e; \
+	./.metrics-smoke-serve -addr $(METRICS_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -f .metrics-smoke-serve .metrics-smoke-scrape' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://$(METRICS_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.1; \
+	done; \
+	curl -sf http://$(METRICS_ADDR)/v1/solve -d '{"instance":{"m":3,"classes":[{"setup":4,"jobs":[7,2,5]},{"setup":1,"jobs":[3,3]}]}}' >/dev/null; \
+	curl -sf http://$(METRICS_ADDR)/metrics > .metrics-smoke-scrape; \
+	grep -q '^sched_requests_total{kind="solve"} 1' .metrics-smoke-scrape; \
+	grep -q '^sched_solve_duration_seconds_count 1' .metrics-smoke-scrape; \
+	SCHED_METRICS_FILE=$$PWD/.metrics-smoke-scrape $(GO) test -count=1 -run TestValidateExpositionFile ./obs; \
+	echo "metrics-smoke: ok"
 
 serve:
 	$(GO) run ./cmd/schedserve

@@ -19,8 +19,8 @@ import (
 
 	"setupsched/internal/core"
 	"setupsched/internal/expt"
-	"setupsched/schedgen"
 	"setupsched/sched"
+	"setupsched/schedgen"
 )
 
 func benchInstance(n int) *Instance {

@@ -4,7 +4,8 @@
 //
 //	schedserve [-addr :8080] [-workers N] [-cache 4096] [-solvers 1024] \
 //	           [-timeout 0] [-max-parallelism GOMAXPROCS] [-max-batches 2*N] \
-//	           [-max-sessions 256] [-session-ttl 15m]
+//	           [-max-sessions 256] [-session-ttl 15m] \
+//	           [-pprof] [-slow-solve 0]
 //
 // Endpoints (see package setupsched/serve for the wire formats):
 //
@@ -19,6 +20,13 @@
 //	GET    /healthz                liveness probe
 //	GET    /v1/stats               counters, cache/session hit rates,
 //	                               latency quantiles
+//	GET    /metrics                Prometheus text exposition over the
+//	                               same registry as /v1/stats
+//	GET    /debug/pprof/...        runtime profiles (only with -pprof)
+//
+// With -slow-solve DURATION every solve slower than the threshold emits
+// one structured log line (fingerprint, algorithm, probe count, and the
+// prepare/search/build phase breakdown from the solve's span tree).
 //
 // Example (stateless solve, then a session with a delta):
 //
@@ -43,6 +51,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -62,13 +71,15 @@ func main() {
 	maxBatches := flag.Int("max-batches", 0, "concurrent batch requests before 429 (0 = 2*workers, negative = unlimited)")
 	maxSessions := flag.Int("max-sessions", 256, "live incremental solve sessions retained, LRU-evicted past this (negative disables sessions)")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session eviction deadline (negative disables the TTL)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	slowSolve := flag.Duration("slow-solve", 0, "log a structured slow-solve line for solves slower than this (0 disables)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "schedserve: unexpected arguments:", flag.Args())
 		os.Exit(2)
 	}
 
-	handler := serve.New(serve.Config{
+	var handler http.Handler = serve.New(serve.Config{
 		Workers:              *workers,
 		CacheSize:            *cacheSize,
 		SolverCacheSize:      *solverCache,
@@ -77,7 +88,20 @@ func main() {
 		MaxConcurrentBatches: *maxBatches,
 		SessionCapacity:      *maxSessions,
 		SessionTTL:           *sessionTTL,
+		SlowSolveThreshold:   *slowSolve,
 	})
+	if *pprofFlag {
+		// The serve mux knows nothing about pprof; wrap it so the debug
+		// endpoints stay strictly opt-in.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -3,13 +3,18 @@
 // Usage:
 //
 //	schedsolve [-variant split|pmtn|nonp] [-algo auto|2approx|eps|exact] \
-//	           [-eps 1e-4] [-timeout 0] [-gantt] [-trace] [instance.json]
+//	           [-eps 1e-4] [-timeout 0] [-gantt] [-trace] [-spans] \
+//	           [instance.json]
 //
 // The instance format is
 //
 //	{"m": 3, "classes": [{"setup": 4, "jobs": [7, 2, 5]}, ...]}
 //
 // With no file argument the instance is read from standard input.
+//
+// With -spans the solve is traced and its span tree — prepare (the O(n)
+// preprocessing), search (one child per dual-approximation probe) and
+// build (schedule construction) — is printed as JSON after the summary.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"setupsched"
 	"setupsched/internal/render"
+	"setupsched/obs"
 	"setupsched/sched"
 )
 
@@ -32,6 +38,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the solve after this long (0 = no limit)")
 	gantt := flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
 	trace := flag.Bool("trace", false, "print the search's probe trace")
+	spans := flag.Bool("spans", false, "print the solve's span tree (phase timings) as JSON")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -56,7 +63,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	solver, err := setupsched.NewSolver(&in)
+	var rec *obs.SpanRecorder
+	if *spans {
+		rec = obs.NewSpanRecorder()
+	}
+	var solver *setupsched.Solver
+	{
+		var stop func()
+		if rec != nil {
+			stop = rec.StartPhase("prepare")
+		}
+		solver, err = setupsched.NewSolver(&in)
+		if stop != nil {
+			stop()
+		}
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -69,6 +90,9 @@ func main() {
 	opts := []setupsched.Option{setupsched.WithAlgorithm(a)}
 	if a == setupsched.EpsilonSearch {
 		opts = append(opts, setupsched.WithEpsilon(*eps))
+	}
+	if rec != nil {
+		opts = append(opts, setupsched.WithObserver(rec))
 	}
 	res, err := solver.Solve(ctx, v, opts...)
 	if err != nil {
@@ -94,6 +118,13 @@ func main() {
 			}
 			fmt.Printf("  probe %2d: T=%-12s %s\n", i+1, pr.T, verdict)
 		}
+	}
+	if *spans {
+		buf, err := json.MarshalIndent(rec.Root(), "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("spans:\n%s\n", buf)
 	}
 	if *gantt {
 		fmt.Println()

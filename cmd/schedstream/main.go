@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"setupsched"
+	"setupsched/obs"
 	"setupsched/sched"
 	"setupsched/schedgen"
 	"setupsched/stream"
@@ -94,6 +95,7 @@ func run() int {
 	ctx := context.Background()
 	var sessionNs, freshNs int64
 	solvePoints, mismatches := 0, 0
+	hist := obs.NewHistogram(obs.DefaultLatencyBuckets()...)
 	start := time.Now()
 	for i, ev := range events[1:] {
 		switch {
@@ -112,7 +114,9 @@ func run() int {
 			solvePoints++
 			t0 := time.Now()
 			res, err := sess.Solve(ctx, v, opts...)
-			sessionNs += time.Since(t0).Nanoseconds()
+			d := time.Since(t0)
+			sessionNs += d.Nanoseconds()
+			hist.ObserveDuration(d)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "schedstream: solve point %d: %v\n", solvePoints, err)
 				return 1
@@ -166,6 +170,9 @@ func run() int {
 	if solvePoints > 0 {
 		fmt.Printf("  session solve time: %.3fms total, %.3fms/solve\n",
 			float64(sessionNs)/1e6, float64(sessionNs)/1e6/float64(solvePoints))
+		p50, p90, p99 := hist.P50P90P99()
+		fmt.Printf("  session solve latency: p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms\n",
+			p50*1e3, p90*1e3, p99*1e3, hist.Max()*1e3)
 	}
 	if *check {
 		if solvePoints > 0 {

@@ -10,7 +10,7 @@
 //
 //	schedstress [-families all] [-profiles all] [-seeds 20] [-seedbase 0]
 //	            [-workers NumCPU] [-parallelism 1] [-crosscheck 0]
-//	            [-duration 0] [-eps 1e-3] [-maxviol 20] [-v]
+//	            [-duration 0] [-eps 1e-3] [-maxviol 20] [-progress 10s] [-v]
 //	schedstress -drift [-regimes all] [-steps 24] ...
 //
 //	schedstress -families all -seeds 50          # one full verified sweep
@@ -23,6 +23,11 @@
 // traces (job churn, setup drift, machine scaling) are replayed through
 // stream.Sessions and every solve point is checked bit-for-bit against a
 // fresh cold solve (see internal/diff.CheckSessionTrace).
+//
+// During a stateless soak a one-line progress report (instances, solves,
+// violations, and p50/p99 per-instance check latency from a shared
+// histogram) is printed to stderr every -progress interval, and the final
+// report includes the latency quantiles over the whole run.
 //
 // Every violation is printed with the (family-or-regime, profile, seed)
 // triple that regenerates the offending instance or trace.  Exit status:
@@ -37,9 +42,11 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"setupsched/internal/diff"
+	"setupsched/obs"
 	"setupsched/schedgen"
 )
 
@@ -61,6 +68,7 @@ func run() int {
 	drift := flag.Bool("drift", false, "soak the streaming session layer on drift traces instead of stateless instances")
 	regimes := flag.String("regimes", "all", "with -drift: comma-separated drift regimes, or 'all'")
 	steps := flag.Int("steps", 24, "with -drift: deltas per generated trace")
+	progressEvery := flag.Duration("progress", 10*time.Second, "periodic one-line progress report interval, stateless soak only (0 disables)")
 	verbose := flag.Bool("v", false, "per-round progress output")
 	flag.Parse()
 
@@ -98,12 +106,48 @@ func run() int {
 	total := &diff.Summary{MaxRatioVsLB: map[string]float64{}}
 	start := time.Now()
 	rounds := 0
+
+	// Shared across all rounds: the per-instance check-latency histogram
+	// and the running totals the progress reporter reads.
+	hist := obs.NewHistogram(obs.DefaultLatencyBuckets()...)
+	var liveInstances, liveSolves, liveViolations atomic.Int64
+	if *progressEvery > 0 {
+		ticker := time.NewTicker(*progressEvery)
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+					p50, _, p99 := hist.P50P90P99()
+					fmt.Fprintf(os.Stderr,
+						"schedstress: progress: %d instances, %d solves, %d violations, check p50 %.1fms p99 %.1fms (%.0fs elapsed)\n",
+						liveInstances.Load(), liveSolves.Load(), liveViolations.Load(),
+						p50*1e3, p99*1e3, time.Since(start).Seconds())
+				}
+			}
+		}()
+	}
+
 	for {
+		// The Progress hook reports per-round totals; offset by what the
+		// earlier rounds accumulated so the live counters never reset.
+		baseInstances, baseSolves := total.Instances, total.Solves
+		baseViolations := int64(len(total.Violations))
 		cfg := diff.Config{
 			Families: fams, Profiles: profs,
 			Seeds: *seeds, SeedBase: *seedBase + int64(rounds)*(*seeds),
 			Epsilon: *eps, Workers: *workers, MaxViolations: *maxViol,
 			Parallelism: *parallelism, CrossCheckParallel: *crossCheck,
+			Observe: hist.ObserveDuration,
+			Progress: func(instances, solves int64, violations int) {
+				liveInstances.Store(baseInstances + instances)
+				liveSolves.Store(baseSolves + solves)
+				liveViolations.Store(baseViolations + int64(violations))
+			},
 		}
 		sum, err := diff.Run(ctx, cfg)
 		merge(total, sum)
@@ -131,6 +175,11 @@ func run() int {
 	}
 
 	report(total, rounds, time.Since(start))
+	if n := hist.Count(); n > 0 {
+		p50, p90, p99 := hist.P50P90P99()
+		fmt.Printf("  instance check latency: p50 %.1fms p90 %.1fms p99 %.1fms max %.1fms (%d checks)\n",
+			p50*1e3, p90*1e3, p99*1e3, hist.Max()*1e3, n)
+	}
 	if len(total.Violations) > 0 {
 		return 1
 	}

@@ -105,6 +105,20 @@
 // and internal/diff cross-checks the parallel engine's bit-identity
 // against the serial path over the full schedgen catalog.
 //
+// # Observability
+//
+// Package setupsched/obs builds on the Observer seam: an obs.ProbeCounter
+// feeds probe events into an atomic counter with zero allocations per
+// probe, and an obs.SpanRecorder assembles a solve-lifecycle span tree —
+// prepare (the shared O(n) preprocessing), search (one child per dual
+// test, recording the guess T and its accept/reject outcome) and build
+// (schedule construction) — mirroring the phase structure of the paper's
+// algorithms.  Both satisfy Observer directly; neither changes answers.
+// The same package provides the metrics core (counters, gauges,
+// fixed-bucket histograms) and the Prometheus text exposition behind
+// serve's GET /metrics.  See the README's "Observability" section and
+// ALGORITHMS.md for the span-name-to-paper-phase map.
+//
 // See ALGORITHMS.md for the paper-to-code map of all nine algorithms and
 // the search machinery the parallel engine plugs into.
 //

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"setupsched"
+	"setupsched/obs"
 	"setupsched/sched"
 	"setupsched/schedgen"
 	"setupsched/stream"
@@ -48,6 +49,15 @@ type BenchResult struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Probes is the dual-test count of one solve (0 where not applicable).
 	Probes int `json:"probes"`
+	// PrepareNs/SearchNs/BuildNs attribute the row to the paper's
+	// algorithm phases — the O(n) preprocessing, the dual-approximation
+	// threshold search, and the schedule build — measured by one
+	// span-instrumented solve of the same path (serial single-solve rows
+	// only; omitted on fan-out, parallel and session rows).  PrepareNs is
+	// the instance's one-time NewSolver cost, shared by the size's rows.
+	PrepareNs float64 `json:"prepare_ns,omitempty"`
+	SearchNs  float64 `json:"search_ns,omitempty"`
+	BuildNs   float64 `json:"build_ns,omitempty"`
 }
 
 // modePeer maps each mode to the counterpart it is compared against.
@@ -98,7 +108,11 @@ func MergeRun(rep *BenchReport, run BenchRun) {
 // benchSpec is one measured solve path.
 type benchSpec struct {
 	name string
-	run  func(s *setupsched.Solver, parallelism int) (probes int, err error)
+	// single marks paths that are one Solver.Solve call, which a span
+	// recorder can attribute to phases (the fan-out interleaves nine
+	// searches' probe events, so its spans would misattribute).
+	single bool
+	run    func(s *setupsched.Solver, parallelism int, extra ...setupsched.Option) (probes int, err error)
 }
 
 func benchSpecs() []benchSpec {
@@ -122,11 +136,12 @@ func benchSpecs() []benchSpec {
 		} else {
 			name += "exact32"
 		}
-		out = append(out, benchSpec{name: name, run: func(s *setupsched.Solver, parallelism int) (int, error) {
+		out = append(out, benchSpec{name: name, single: true, run: func(s *setupsched.Solver, parallelism int, extra ...setupsched.Option) (int, error) {
 			opts := []setupsched.Option{setupsched.WithAlgorithm(r.Algorithm)}
 			if parallelism > 1 {
 				opts = append(opts, setupsched.WithParallelism(parallelism))
 			}
+			opts = append(opts, extra...)
 			res, err := s.Solve(context.Background(), r.Variant, opts...)
 			if err != nil {
 				return 0, err
@@ -134,7 +149,7 @@ func benchSpecs() []benchSpec {
 			return res.Probes, nil
 		}})
 	}
-	out = append(out, benchSpec{name: "solveall/paper", run: func(s *setupsched.Solver, parallelism int) (int, error) {
+	out = append(out, benchSpec{name: "solveall/paper", run: func(s *setupsched.Solver, parallelism int, _ ...setupsched.Option) (int, error) {
 		var opts []setupsched.Option
 		if parallelism > 1 {
 			opts = append(opts, setupsched.WithParallelism(parallelism))
@@ -310,7 +325,9 @@ func BenchCore(sizes []int, reps, parallelism int) (*BenchRun, error) {
 	}
 	for _, n := range sizes {
 		in := BenchCoreInstance(n)
+		prepStart := time.Now()
 		solver, err := setupsched.NewSolver(in)
+		prepareNs := float64(time.Since(prepStart).Nanoseconds())
 		if err != nil {
 			return nil, err
 		}
@@ -332,11 +349,25 @@ func BenchCore(sizes []int, reps, parallelism int) (*BenchRun, error) {
 					}
 				}
 				el := time.Since(start)
-				run.Results = append(run.Results, BenchResult{
+				result := BenchResult{
 					Name: spec.name, N: nj, Mode: mode.name, Parallelism: mode.par,
 					NsPerOp: float64(el.Nanoseconds()) / float64(reps),
 					Probes:  probes,
-				})
+				}
+				// One extra instrumented solve attributes the serial row
+				// to the paper's phases (search vs. build; prepare is the
+				// instance's one-time NewSolver cost).
+				if mode.name == "serial" && spec.single {
+					rec := obs.NewSpanRecorder()
+					if _, err := spec.run(solver, 1, setupsched.WithObserver(rec)); err != nil {
+						return nil, fmt.Errorf("%s n=%d spans: %w", spec.name, n, err)
+					}
+					phases := obs.PhaseDurations(rec.Root())
+					result.PrepareNs = prepareNs
+					result.SearchNs = float64(phases["search"].Nanoseconds())
+					result.BuildNs = float64(phases["build"].Nanoseconds())
+				}
+				run.Results = append(run.Results, result)
 			}
 		}
 		for _, v := range sched.Variants {

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"setupsched"
 	"setupsched/internal/baseline"
@@ -467,6 +468,15 @@ type Config struct {
 	// MaxViolations stops early once this many violations are collected
 	// (0 = unlimited).
 	MaxViolations int
+	// Observe, when non-nil, receives the wall-clock duration of every
+	// completed per-instance check (all of the instance's solves).  It is
+	// called concurrently from the worker goroutines, so the sink must be
+	// safe for concurrent use — an obs.Histogram is the intended consumer.
+	Observe func(d time.Duration)
+	// Progress, when non-nil, is called after every checked instance with
+	// the sweep's running totals.  It runs under the summary lock: keep it
+	// cheap (bump shared counters for a reporter goroutine to read).
+	Progress func(instances, solves int64, violations int)
 }
 
 // Summary aggregates a Run sweep.
@@ -525,11 +535,15 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 				p := it.profile.Params
 				p.Seed = it.seed
 				in := it.fam.Make(p)
+				t0 := time.Now()
 				rep, err := CheckInstanceParallel(ctx, in, cfg.Epsilon, cfg.Parallelism)
 				if err == nil && cfg.CrossCheckParallel > 1 {
 					var msgs []string
 					msgs, err = CheckEngineParallel(ctx, in, cfg.Epsilon, cfg.CrossCheckParallel)
 					rep.Violations = append(rep.Violations, msgs...)
+				}
+				if cfg.Observe != nil {
+					cfg.Observe(time.Since(t0))
 				}
 				mu.Lock()
 				record := func() {
@@ -570,6 +584,9 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 					}
 				}
 				record()
+				if cfg.Progress != nil {
+					cfg.Progress(sum.Instances, sum.Solves, len(sum.Violations))
+				}
 				mu.Unlock()
 			}
 		}()

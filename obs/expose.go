@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): one `# HELP` / `# TYPE` header per
+// family followed by its series, histograms as cumulative `_bucket{le=}`
+// series plus `_sum` and `_count`.  When runtime metrics are enabled a
+// Go runtime block (goroutines, heap, GC) is appended from a single
+// runtime.ReadMemStats call per scrape.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.families() {
+		head := fam[0]
+		if head.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", head.family, escapeHelp(head.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", head.family, typeName(head.kind))
+		for _, m := range fam {
+			switch m.kind {
+			case kindCounter:
+				writeSample(bw, m.family, m.labels, float64(m.c.Load()))
+			case kindGauge:
+				writeSample(bw, m.family, m.labels, float64(m.g.Load()))
+			case kindGaugeFunc:
+				writeSample(bw, m.family, m.labels, m.f())
+			case kindHistogram:
+				buckets, count, sum := m.h.Snapshot()
+				for _, b := range buckets {
+					le := "+Inf"
+					if !math.IsInf(b.UpperBound, 1) {
+						le = formatFloat(b.UpperBound)
+					}
+					writeSample(bw, m.family+"_bucket", mergeLabels(m.labels, `le="`+le+`"`), float64(b.Cumulative))
+				}
+				writeSample(bw, m.family+"_sum", m.labels, sum)
+				writeSample(bw, m.family+"_count", m.labels, float64(count))
+			}
+		}
+	}
+	r.mu.Lock()
+	rt := r.runtime
+	r.mu.Unlock()
+	if rt {
+		writeRuntime(bw)
+	}
+	return bw.Flush()
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatFloat(v))
+}
+
+func mergeLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeRuntime emits the Go runtime block: goroutine and GOMAXPROCS
+// gauges, heap and GC counters from one ReadMemStats snapshot.
+func writeRuntime(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\ngo_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# TYPE go_gomaxprocs gauge\ngo_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "# TYPE go_memstats_heap_alloc_bytes gauge\ngo_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# TYPE go_memstats_heap_objects gauge\ngo_memstats_heap_objects %d\n", ms.HeapObjects)
+	fmt.Fprintf(w, "# TYPE go_memstats_alloc_bytes_total counter\ngo_memstats_alloc_bytes_total %d\n", ms.TotalAlloc)
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\ngo_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\ngo_gc_pause_seconds_total %s\n",
+		formatFloat(float64(ms.PauseTotalNs)/1e9))
+}
+
+// Handler returns an http.Handler serving the exposition at GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ParseExposition parses Prometheus text exposition into a map from full
+// series name (including any label block, normalized to the exact text
+// between `{` and `}`) to value.  It validates the syntax the way the
+// tests and the metrics-smoke target need: every sample line must be
+// `name[{labels}] value`, every family referenced by a sample must have
+// a preceding `# TYPE` line, and histogram families must expose
+// consistent `_bucket`/`_sum`/`_count` series.
+func ParseExposition(data []byte) (map[string]float64, error) {
+	out := map[string]float64{}
+	types := map[string]string{}
+	lineno := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineno++
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineno, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value in %q: %w", lineno, line, err)
+		}
+		family, _, err := splitSeriesName(name)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		if _, ok := types[family]; !ok {
+			base := family
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(family, suf) {
+					base = strings.TrimSuffix(family, suf)
+					break
+				}
+			}
+			if _, ok := types[base]; !ok {
+				return nil, fmt.Errorf("line %d: sample %s has no # TYPE line", lineno, family)
+			}
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineno, name)
+		}
+		out[name] = v
+	}
+	if err := checkHistograms(out, types); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// splitSample splits a sample line into series name (with label block)
+// and the remainder holding the value.
+func splitSample(line string) (name, rest string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", fmt.Errorf("unbalanced label block in %q", line)
+		}
+		return line[:j+1], line[j+1:], nil
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return "", "", fmt.Errorf("sample without value: %q", line)
+	}
+	return line[:i], line[i:], nil
+}
+
+// checkHistograms asserts each declared histogram family has a _count
+// and _sum per label set and that its bucket counts are cumulative
+// (non-decreasing in le, with the +Inf bucket equal to _count).
+func checkHistograms(samples map[string]float64, types map[string]string) error {
+	for family, t := range types {
+		if t != "histogram" {
+			continue
+		}
+		// Collect buckets grouped by the label set minus le.
+		type bucket struct {
+			le float64
+			v  float64
+		}
+		groups := map[string][]bucket{}
+		for name, v := range samples {
+			fam, labels, err := splitSeriesName(name)
+			if err != nil || fam != family+"_bucket" {
+				continue
+			}
+			le, rest, err := extractLE(labels)
+			if err != nil {
+				return fmt.Errorf("series %s: %w", name, err)
+			}
+			groups[rest] = append(groups[rest], bucket{le: le, v: v})
+		}
+		if len(groups) == 0 {
+			return fmt.Errorf("histogram %s has no _bucket series", family)
+		}
+		for rest, bs := range groups {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			last := bs[len(bs)-1]
+			if !math.IsInf(last.le, 1) {
+				return fmt.Errorf("histogram %s{%s} lacks le=\"+Inf\" bucket", family, rest)
+			}
+			for i := 1; i < len(bs); i++ {
+				if bs[i].v < bs[i-1].v {
+					return fmt.Errorf("histogram %s{%s} buckets not cumulative", family, rest)
+				}
+			}
+			countName := family + "_count"
+			if rest != "" {
+				countName += "{" + rest + "}"
+			}
+			count, ok := samples[countName]
+			if !ok {
+				return fmt.Errorf("histogram %s{%s} lacks _count", family, rest)
+			}
+			if last.v != count {
+				return fmt.Errorf("histogram %s{%s}: +Inf bucket %g != count %g", family, rest, last.v, count)
+			}
+			sumName := family + "_sum"
+			if rest != "" {
+				sumName += "{" + rest + "}"
+			}
+			if _, ok := samples[sumName]; !ok {
+				return fmt.Errorf("histogram %s{%s} lacks _sum", family, rest)
+			}
+		}
+	}
+	return nil
+}
+
+// extractLE pulls the le label out of a label block, returning its value
+// and the remaining labels in original order.
+func extractLE(labels string) (le float64, rest string, err error) {
+	var kept []string
+	found := false
+	for _, part := range splitLabels(labels) {
+		if strings.HasPrefix(part, `le="`) && strings.HasSuffix(part, `"`) {
+			raw := part[len(`le="`) : len(part)-1]
+			if raw == "+Inf" {
+				le, found = math.Inf(1), true
+				continue
+			}
+			v, perr := strconv.ParseFloat(raw, 64)
+			if perr != nil {
+				return 0, "", fmt.Errorf("bad le value %q", raw)
+			}
+			le, found = v, true
+			continue
+		}
+		kept = append(kept, part)
+	}
+	if !found {
+		return 0, "", fmt.Errorf("bucket series lacks le label in {%s}", labels)
+	}
+	return le, strings.Join(kept, ","), nil
+}
+
+// splitLabels splits a label block on commas outside quoted values.
+func splitLabels(labels string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '"':
+			if i == 0 || labels[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, labels[start:])
+	}
+	return out
+}
+
+// ValidateExposition reports whether data is well-formed Prometheus text
+// exposition by the same rules as ParseExposition.
+func ValidateExposition(data []byte) error {
+	_, err := ParseExposition(data)
+	return err
+}

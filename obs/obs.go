@@ -1,0 +1,58 @@
+// Package obs is the observability substrate of the setupsched stack: a
+// zero-allocation metrics core (atomic counters, gauges and fixed-bucket
+// latency histograms), a dependency-free Prometheus text-format
+// exposition, solve-lifecycle span tracing built on the solver's
+// Observer seam, and structured slow-solve diagnostics.
+//
+// # Metrics core
+//
+// Counter, Gauge and Histogram are standalone atomic types whose zero
+// values are NOT ready for use only in the Histogram case (use
+// NewHistogram); Counter and Gauge work as plain struct fields.  All
+// recording operations (Add, Set, Observe) are lock-free and perform no
+// heap allocations, so they are safe on the innermost probe loop of a
+// solve.  A Registry names metrics and renders them; the same Counter
+// can feed a Registry and any ad-hoc reader at once.
+//
+//	reg := obs.NewRegistry()
+//	solves := reg.Counter("sched_solves_total", "Completed solves.")
+//	lat := reg.Histogram("sched_solve_duration_seconds",
+//	    "Solve wall-clock latency.", obs.DefaultLatencyBuckets()...)
+//	...
+//	solves.Add(1)
+//	lat.Observe(elapsed.Seconds())
+//	reg.WritePrometheus(w) // or http.Handle("/metrics", reg.Handler())
+//
+// # Span tracing
+//
+// A SpanRecorder implements the solver's probe-level Observer interface
+// and assembles a hierarchical trace of one solve — the three phases of
+// the Deppert–Jansen near-linear algorithms: prepare (the O(n) pass),
+// search (the dual-approximation probe sequence, one child span per
+// probe) and build (schedule construction after the final accepted
+// guess).  See SpanRecorder for the JSON shape and NewSpanRecorder for
+// wiring.
+//
+// # Diagnostics
+//
+// LogSlowSolve emits one structured log/slog line for a solve that
+// exceeded a latency threshold, with the phase breakdown attributed from
+// a recorded span tree; serve wires it behind Config.SlowSolveThreshold.
+package obs
+
+import "sync"
+
+// defaultRegistry is the process-global registry returned by Default.
+var (
+	defaultOnce     sync.Once
+	defaultRegistry *Registry
+)
+
+// Default returns the process-global Registry.  Long-running binaries
+// that embed several subsystems can share it; the serve.Server keeps its
+// own per-server Registry instead so two servers in one process never
+// collide.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultRegistry = NewRegistry() })
+	return defaultRegistry
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecordingAndScrape hammers counters and a histogram from
+// many goroutines while the registry is scraped concurrently, asserting
+// (under -race) that recording is data-race free, that scraped counter
+// values only ever increase, and that every scrape is well-formed
+// exposition.
+func TestConcurrentRecordingAndScrape(t *testing.T) {
+	r := NewRegistry()
+	r.EnableRuntimeMetrics()
+	c := r.Counter("hammer_total", "Hammered counter.")
+	g := r.Gauge("hammer_gauge", "Hammered gauge.")
+	h := r.Histogram("hammer_seconds", "Hammered histogram.", DefaultLatencyBuckets()...)
+
+	const (
+		writers = 8
+		perG    = 5000
+		scrapes = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) / 1e4)
+			}
+		}(w)
+	}
+
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		lastCounter, lastHist := 0.0, 0.0
+		for i := 0; i < scrapes; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+			samples, err := ParseExposition(buf.Bytes())
+			if err != nil {
+				t.Errorf("scrape %d: malformed exposition: %v\n%s", i, err, buf.String())
+				return
+			}
+			if v := samples["hammer_total"]; v < lastCounter {
+				t.Errorf("scrape %d: counter went backwards: %g < %g", i, v, lastCounter)
+				return
+			} else {
+				lastCounter = v
+			}
+			if v := samples["hammer_seconds_count"]; v < lastHist {
+				t.Errorf("scrape %d: histogram count went backwards: %g < %g", i, v, lastHist)
+				return
+			} else {
+				lastHist = v
+			}
+		}
+	}()
+
+	wg.Wait()
+	scrapeWG.Wait()
+
+	if got := c.Load(); got != writers*perG {
+		t.Fatalf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := h.Count(); got != writers*perG {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perG)
+	}
+	if got := g.Load(); got != writers*perG {
+		t.Fatalf("gauge = %d, want %d", got, writers*perG)
+	}
+	// The histogram sum is CAS-accumulated: after quiescence it must
+	// equal the serial sum exactly (each value added exactly once).
+	want := 0.0
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perG; i++ {
+			want += float64(i%100) / 1e4
+		}
+	}
+	if diff := h.Sum() - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+// TestConcurrentRegistration exercises get-or-create registration from
+// many goroutines: all must get the same counter.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	counters := make([]*Counter, 16)
+	for i := range counters {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counters[i] = r.Counter("shared_total", "Shared.")
+			counters[i].Inc()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(counters); i++ {
+		if counters[i] != counters[0] {
+			t.Fatal("concurrent registration returned distinct counters")
+		}
+	}
+	if got := counters[0].Load(); got != 16 {
+		t.Fatalf("shared counter = %d, want 16", got)
+	}
+}

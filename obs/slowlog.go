@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// LogSlowSolve emits one structured warning line for a solve that
+// exceeded its latency threshold, with the phase breakdown attributed
+// from the recorded span tree (zeros when root is nil — e.g. the solve
+// never reached the instrumented path).
+//
+// The line's shape, stable for log scrapers:
+//
+//	level=WARN msg="slow solve" fingerprint=<hex> variant=<s|p|n>
+//	  algorithm=<name> elapsed_ms=<float> probes=<int>
+//	  prepare_ms=<float> search_ms=<float> build_ms=<float>
+func LogSlowSolve(lg *slog.Logger, elapsed time.Duration, fingerprint, variant, algorithm string, probes int, root *Span) {
+	if lg == nil {
+		lg = slog.Default()
+	}
+	phases := PhaseDurations(root)
+	lg.Warn("slow solve",
+		"fingerprint", fingerprint,
+		"variant", variant,
+		"algorithm", algorithm,
+		"elapsed_ms", float64(elapsed.Microseconds())/1e3,
+		"probes", probes,
+		"prepare_ms", float64(phases["prepare"].Microseconds())/1e3,
+		"search_ms", float64(phases["search"].Microseconds())/1e3,
+		"build_ms", float64(phases["build"].Microseconds())/1e3,
+	)
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestValidateExpositionFile validates a scrape written to the file named
+// by SCHED_METRICS_FILE.  The Makefile's metrics-smoke target uses it to
+// check a live schedserve scrape with the package's own parser instead of
+// external tooling; without the variable the test is skipped.
+func TestValidateExpositionFile(t *testing.T) {
+	path := os.Getenv("SCHED_METRICS_FILE")
+	if path == "" {
+		t.Skip("SCHED_METRICS_FILE not set (used by `make metrics-smoke`)")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty scrape")
+	}
+	if err := ValidateExposition(data); err != nil {
+		t.Fatalf("invalid Prometheus exposition: %v", err)
+	}
+}

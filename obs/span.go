@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"setupsched/sched"
+)
+
+// Span is one node of a solve trace.  Timestamps are microseconds since
+// the recorder's start (monotonic clock), so a span tree is self-
+// contained and serializes to compact JSON.
+//
+// Span names map onto the phases of the Deppert–Jansen near-linear
+// algorithms: "solve" is the root, "prepare" the O(n) preprocessing pass
+// (class work sums, maxima, trivial bounds), "search" the dual-
+// approximation threshold search with one "probe" child per dual-test
+// evaluation, and "build" the schedule construction after the final
+// accepted guess.
+type Span struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	// T is the makespan guess of a "probe" span.
+	T string `json:"t,omitempty"`
+	// Outcome is "accept" or "reject" on a "probe" span.
+	Outcome string `json:"outcome,omitempty"`
+	// Algorithm names the search on the root span (e.g. "split-jump").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Probes is the total dual-test count, set on the "search" span.
+	Probes   int     `json:"probes,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+}
+
+// Duration returns the span's duration.
+func (s *Span) Duration() time.Duration { return time.Duration(s.DurUS) * time.Microsecond }
+
+// Child returns the first direct child with the given name, or nil.
+func (s *Span) Child(name string) *Span {
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// PhaseDurations extracts the prepare/search/build phase durations from
+// a recorded root span — the breakdown the slow-solve log and schedbench
+// phase columns report.
+func PhaseDurations(root *Span) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	if root == nil {
+		return out
+	}
+	for _, c := range root.Children {
+		out[c.Name] += c.Duration()
+	}
+	return out
+}
+
+// SpanRecorder assembles the span tree of ONE solve.  It implements the
+// solver's probe-level Observer seam: attach it with
+// setupsched.WithObserver (or stream.WithObserver) and read the finished
+// tree with Root after the solve returns.  Phases outside the solver's
+// event stream — the O(n) preparation in NewSolver — are bracketed
+// explicitly with StartPhase.
+//
+// A recorder is single-use: one solve, then Root.  It is internally
+// locked, so the solver's sequential event contract plus any concurrent
+// StartPhase caller is safe, but events from two interleaved solves
+// would produce a nonsense tree.
+type SpanRecorder struct {
+	mu   sync.Mutex
+	t0   time.Time
+	root *Span
+	// search is created lazily at the first probe.
+	search *Span
+	// open holds started-but-unfinished probe spans in start order; the
+	// solver reports speculative batches as k starts then k finishes in
+	// the same ascending-T order, so FIFO matching is exact (a guess-
+	// comparison scan backs it up).
+	open         []*Span
+	lastProbeEnd int64 // µs; end of the most recent probe
+	closed       bool
+}
+
+// NewSpanRecorder starts a recorder; the root "solve" span opens now.
+func NewSpanRecorder() *SpanRecorder {
+	return &SpanRecorder{t0: time.Now(), root: &Span{Name: "solve"}}
+}
+
+func (r *SpanRecorder) now() int64 { return time.Since(r.t0).Microseconds() }
+
+// StartPhase opens a named child span of the root (e.g. "prepare") and
+// returns the function that closes it.
+func (r *SpanRecorder) StartPhase(name string) func() {
+	r.mu.Lock()
+	sp := &Span{Name: name, StartUS: r.now()}
+	r.root.Children = append(r.root.Children, sp)
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		sp.DurUS = r.now() - sp.StartUS
+		r.mu.Unlock()
+	}
+}
+
+// ProbeStarted implements the Observer seam: it opens the "search" span
+// on the first probe and a "probe" child per guess.
+func (r *SpanRecorder) ProbeStarted(T sched.Rat) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	if r.search == nil {
+		r.search = &Span{Name: "search", StartUS: now}
+		r.root.Children = append(r.root.Children, r.search)
+	}
+	sp := &Span{Name: "probe", StartUS: now, T: T.String()}
+	r.search.Children = append(r.search.Children, sp)
+	r.open = append(r.open, sp)
+}
+
+// ProbeFinished closes the matching open probe span.
+func (r *SpanRecorder) ProbeFinished(T sched.Rat, accepted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	r.lastProbeEnd = now
+	key := T.String()
+	idx := -1
+	for i, sp := range r.open {
+		if sp.T == key {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		if len(r.open) == 0 {
+			return // unmatched finish; drop rather than corrupt the tree
+		}
+		idx = 0
+	}
+	sp := r.open[idx]
+	r.open = append(r.open[:idx], r.open[idx+1:]...)
+	sp.DurUS = now - sp.StartUS
+	if accepted {
+		sp.Outcome = "accept"
+	} else {
+		sp.Outcome = "reject"
+	}
+}
+
+// SearchFinished closes the search span at the last probe's end, books
+// the remainder (schedule construction) as the "build" span, and closes
+// the root.  The solver emits it once after a successful solve.
+func (r *SpanRecorder) SearchFinished(algorithm string, probes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	buildStart := r.lastProbeEnd
+	if r.search != nil {
+		r.search.DurUS = r.lastProbeEnd - r.search.StartUS
+		r.search.Probes = probes
+	} else {
+		buildStart = now
+	}
+	if buildStart < now {
+		r.root.Children = append(r.root.Children, &Span{
+			Name: "build", StartUS: buildStart, DurUS: now - buildStart,
+		})
+	}
+	r.root.Algorithm = algorithm
+	r.root.DurUS = now
+	r.closed = true
+}
+
+// Root finalizes and returns the recorded tree.  If the solve never
+// reported SearchFinished (error, cancellation), the root and any open
+// spans are closed at the current time so the tree is still well-formed.
+func (r *SpanRecorder) Root() *Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.closed {
+		now := r.now()
+		for _, sp := range r.open {
+			sp.DurUS = now - sp.StartUS
+		}
+		r.open = r.open[:0]
+		if r.search != nil && r.search.DurUS == 0 {
+			r.search.DurUS = now - r.search.StartUS
+		}
+		r.root.DurUS = now
+		r.closed = true
+	}
+	return r.root
+}
+
+// ProbeCounter is a zero-allocation Observer that counts finished dual
+// tests into a Counter.  One ProbeCounter (boxed into the Observer
+// interface once, at construction) can be shared by every solve of a
+// server, so attaching metrics costs no per-request allocation.
+type ProbeCounter struct {
+	// C receives one Inc per finished probe.
+	C *Counter
+	// Searches, when non-nil, receives one Inc per completed search.
+	Searches *Counter
+}
+
+func (p *ProbeCounter) ProbeStarted(sched.Rat) {}
+
+func (p *ProbeCounter) ProbeFinished(sched.Rat, bool) { p.C.Inc() }
+
+func (p *ProbeCounter) SearchFinished(string, int) {
+	if p.Searches != nil {
+		p.Searches.Inc()
+	}
+}

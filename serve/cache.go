@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"setupsched"
+	"setupsched/obs"
 	"setupsched/sched"
 )
 
@@ -20,22 +21,27 @@ type cacheEntry struct {
 
 // resultCache is a mutex-guarded LRU cache keyed by
 // (fingerprint, variant, algorithm, epsilon), built on the shared
-// lruIndex mechanics.
+// lruIndex mechanics.  Hit/miss/eviction counters live in the server's
+// obs registry (injected at construction), so /metrics and /v1/stats
+// read the same numbers this cache records.
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
 	idx      lruIndex[string, *cacheEntry]
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, hits, misses, evictions *obs.Counter) *resultCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &resultCache{capacity: capacity, idx: newLRUIndex[string, *cacheEntry](capacity)}
+	return &resultCache{
+		capacity: capacity, idx: newLRUIndex[string, *cacheEntry](capacity),
+		hits: hits, misses: misses, evictions: evictions,
+	}
 }
 
 // get returns the entry for key whose canonical instance equals canon,
@@ -47,11 +53,11 @@ func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
 	defer c.mu.Unlock()
 	e, ok := c.idx.lookup(key)
 	if !ok || !e.canon.Equal(canon) {
-		c.misses++
+		c.misses.Inc()
 		return nil
 	}
 	c.idx.promote(key)
-	c.hits++
+	c.hits.Inc()
 	return e
 }
 
@@ -63,7 +69,7 @@ func (c *resultCache) put(e *cacheEntry) {
 	c.idx.put(e.key, e)
 	for c.idx.len() > c.capacity {
 		c.idx.evictOldest()
-		c.evictions++
+		c.evictions.Inc()
 	}
 }
 
@@ -75,9 +81,9 @@ func (c *resultCache) remove(key string) {
 	c.idx.remove(key)
 }
 
-// snapshot returns current counters for /v1/stats.
-func (c *resultCache) snapshot() (size int, capacity int, hits, misses, evictions uint64) {
+// size returns current occupancy for /v1/stats and the size gauge.
+func (c *resultCache) size() (size int, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.idx.len(), c.capacity, c.hits, c.misses, c.evictions
+	return c.idx.len(), c.capacity
 }

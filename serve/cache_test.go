@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"setupsched"
+	"setupsched/obs"
 	"setupsched/sched"
 )
 
@@ -13,8 +14,14 @@ func entry(key string, m int64) *cacheEntry {
 	return &cacheEntry{key: key, canon: in, result: &setupsched.Result{}}
 }
 
+// testResultCache builds a cache with fresh standalone counters, as New
+// does with registry-backed ones.
+func testResultCache(capacity int) *resultCache {
+	return newResultCache(capacity, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
+}
+
 func TestCacheLRUEviction(t *testing.T) {
-	c := newResultCache(3)
+	c := testResultCache(3)
 	for i := 0; i < 4; i++ {
 		c.put(entry(fmt.Sprintf("k%d", i), int64(i+1)))
 	}
@@ -22,7 +29,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	if got := c.get("k0", entry("k0", 1).canon); got != nil {
 		t.Fatal("expected k0 to be evicted")
 	}
-	size, capacity, hits, misses, evictions := c.snapshot()
+	size, capacity := c.size()
+	hits, misses, evictions := c.hits.Load(), c.misses.Load(), c.evictions.Load()
 	if size != 3 || capacity != 3 || evictions != 1 || hits != 0 || misses != 1 {
 		t.Fatalf("snapshot = size %d cap %d hits %d misses %d evictions %d",
 			size, capacity, hits, misses, evictions)
@@ -42,7 +50,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestCacheCollisionDefense(t *testing.T) {
-	c := newResultCache(2)
+	c := testResultCache(2)
 	c.put(entry("k", 1))
 	// Same key, different canonical instance: must miss, never return the
 	// other instance's result.
@@ -52,10 +60,10 @@ func TestCacheCollisionDefense(t *testing.T) {
 }
 
 func TestCacheReplaceAndRemove(t *testing.T) {
-	c := newResultCache(2)
+	c := testResultCache(2)
 	c.put(entry("k", 1))
 	c.put(entry("k", 2)) // replace in place
-	if size, _, _, _, _ := c.snapshot(); size != 1 {
+	if size, _ := c.size(); size != 1 {
 		t.Fatalf("size after replace = %d, want 1", size)
 	}
 	if got := c.get("k", entry("k", 2).canon); got == nil {
@@ -63,13 +71,13 @@ func TestCacheReplaceAndRemove(t *testing.T) {
 	}
 	c.remove("k")
 	c.remove("absent") // no-op
-	if size, _, _, _, _ := c.snapshot(); size != 0 {
+	if size, _ := c.size(); size != 0 {
 		t.Fatal("entry still present after remove")
 	}
 }
 
 func TestCacheDisabled(t *testing.T) {
-	if newResultCache(0) != nil || newResultCache(-1) != nil {
+	if testResultCache(0) != nil || testResultCache(-1) != nil {
 		t.Fatal("non-positive capacity must disable the cache")
 	}
 }

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"time"
+
+	"setupsched/obs"
+)
+
+// serverMetrics is the Server's observability core: every counter the
+// server records lives in one per-Server obs.Registry, which backs both
+// the Prometheus exposition at GET /metrics and the /v1/stats JSON view
+// (see stats.go).  Two servers in one process never collide because the
+// registry is per-Server, not process-global.
+//
+// Metric catalog (all prefixed sched_):
+//
+//	sched_requests_total{kind}        solve | batch | session requests
+//	sched_batch_items_total           NDJSON lines dispatched to the pool
+//	sched_request_errors_total        responses carrying an error
+//	sched_batch_rejected_total        429s from the saturated batch gate
+//	sched_probes_total                dual-test evaluations run
+//	sched_solve_timeouts_total        solves aborted by timeout/cancel
+//	sched_parallel_solves_total       solves with speculative probing
+//	sched_solve_duration_seconds      latency histogram (success only)
+//	sched_cache_*_total{cache}        hit/miss/eviction, results | solvers
+//	sched_cache_size{cache}           current LRU occupancy
+//	sched_sessions_active             live incremental sessions
+//	sched_sessions_created_total      session churn …
+//	sched_sessions_deleted_total
+//	sched_sessions_evicted_total{reason}  lru | ttl
+//	sched_session_deltas_total        applied deltas
+//	sched_session_solves_total        session solves answered
+//	sched_session_cache_hits_total    … from the unchanged-revision cache
+//	sched_session_warm_hits_total     … via a validated warm start
+//	sched_uptime_seconds              process uptime of this Server
+//	go_*                              runtime block (goroutines, heap, GC)
+type serverMetrics struct {
+	start time.Time
+	reg   *obs.Registry
+
+	solveRequests   *obs.Counter
+	batchRequests   *obs.Counter
+	sessionRequests *obs.Counter
+	batchItems      *obs.Counter
+	errors          *obs.Counter
+	rejected        *obs.Counter
+
+	probes         *obs.Counter
+	timeouts       *obs.Counter
+	parallelSolves *obs.Counter
+
+	latency *obs.Histogram
+
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	cacheEvictions  *obs.Counter
+	solverHits      *obs.Counter
+	solverMisses    *obs.Counter
+	solverEvictions *obs.Counter
+
+	sessionsCreated    *obs.Counter
+	sessionsDeleted    *obs.Counter
+	sessionsEvictedLRU *obs.Counter
+	sessionsEvictedTTL *obs.Counter
+	sessionDeltas      *obs.Counter
+	sessionSolves      *obs.Counter
+	sessionCacheHits   *obs.Counter
+	sessionWarmHits    *obs.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		start: time.Now(),
+		reg:   reg,
+
+		solveRequests:   reg.Counter(`sched_requests_total{kind="solve"}`, "Requests by kind."),
+		batchRequests:   reg.Counter(`sched_requests_total{kind="batch"}`, "Requests by kind."),
+		sessionRequests: reg.Counter(`sched_requests_total{kind="session"}`, "Requests by kind."),
+		batchItems:      reg.Counter("sched_batch_items_total", "NDJSON batch lines dispatched to the worker pool."),
+		errors:          reg.Counter("sched_request_errors_total", "Responses that carried an error."),
+		rejected:        reg.Counter("sched_batch_rejected_total", "Batch requests rejected with 429 (pool saturated)."),
+
+		probes:         reg.Counter("sched_probes_total", "Dual-test probe evaluations run by the searches."),
+		timeouts:       reg.Counter("sched_solve_timeouts_total", "Solves aborted by timeout or client cancellation."),
+		parallelSolves: reg.Counter("sched_parallel_solves_total", "Solves that ran with speculative probing (parallelism > 1)."),
+
+		latency: reg.Histogram("sched_solve_duration_seconds",
+			"Wall-clock latency of successful solves (stateless and session).",
+			obs.DefaultLatencyBuckets()...),
+
+		cacheHits:       reg.Counter(`sched_cache_hits_total{cache="results"}`, "Cache hits by cache."),
+		cacheMisses:     reg.Counter(`sched_cache_misses_total{cache="results"}`, "Cache misses by cache."),
+		cacheEvictions:  reg.Counter(`sched_cache_evictions_total{cache="results"}`, "Cache evictions by cache."),
+		solverHits:      reg.Counter(`sched_cache_hits_total{cache="solvers"}`, "Cache hits by cache."),
+		solverMisses:    reg.Counter(`sched_cache_misses_total{cache="solvers"}`, "Cache misses by cache."),
+		solverEvictions: reg.Counter(`sched_cache_evictions_total{cache="solvers"}`, "Cache evictions by cache."),
+
+		sessionsCreated:    reg.Counter("sched_sessions_created_total", "Incremental sessions created."),
+		sessionsDeleted:    reg.Counter("sched_sessions_deleted_total", "Incremental sessions deleted by clients."),
+		sessionsEvictedLRU: reg.Counter(`sched_sessions_evicted_total{reason="lru"}`, "Sessions evicted, by reason."),
+		sessionsEvictedTTL: reg.Counter(`sched_sessions_evicted_total{reason="ttl"}`, "Sessions evicted, by reason."),
+		sessionDeltas:      reg.Counter("sched_session_deltas_total", "Deltas applied to sessions."),
+		sessionSolves:      reg.Counter("sched_session_solves_total", "Session solves answered."),
+		sessionCacheHits:   reg.Counter("sched_session_cache_hits_total", "Session solves answered from the unchanged-revision cache."),
+		sessionWarmHits:    reg.Counter("sched_session_warm_hits_total", "Session solves that validated a warm-start seed."),
+	}
+	reg.GaugeFunc("sched_uptime_seconds", "Uptime of this Server.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.EnableRuntimeMetrics()
+	return m
+}
+
+// registerDerived adds the gauge-func series that read live state off
+// the server's subsystems; called once the caches and session store
+// exist.
+func (m *serverMetrics) registerDerived(s *Server) {
+	if s.cache != nil {
+		m.reg.GaugeFunc(`sched_cache_size{cache="results"}`, "Current LRU occupancy by cache.",
+			func() float64 { size, _ := s.cache.size(); return float64(size) })
+	}
+	if s.solvers != nil {
+		m.reg.GaugeFunc(`sched_cache_size{cache="solvers"}`, "Current LRU occupancy by cache.",
+			func() float64 { size, _ := s.solvers.size(); return float64(size) })
+	}
+	if s.sessions != nil {
+		m.reg.GaugeFunc("sched_sessions_active", "Live incremental solve sessions.",
+			func() float64 { active, _, _ := s.sessions.size(); return float64(active) })
+	}
+}
+
+// observe records one successful solve's latency.
+func (m *serverMetrics) observe(d time.Duration) { m.latency.ObserveDuration(d) }
+
+// Registry exposes the server's metric registry, so embedders can mount
+// additional series next to the built-in catalog or scrape it directly
+// without going through HTTP.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }

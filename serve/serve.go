@@ -58,13 +58,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"setupsched"
+	"setupsched/obs"
 	"setupsched/sched"
 )
 
@@ -107,6 +108,13 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxLineBytes caps one NDJSON line of /v1/solve/batch.  Default 8 MiB.
 	MaxLineBytes int
+	// SlowSolveThreshold, when positive, makes every solve record a span
+	// tree and emits one structured log line (obs.LogSlowSolve: phase
+	// breakdown, fingerprint, probe count) for solves slower than this.
+	// Zero disables slow-solve logging.
+	SlowSolveThreshold time.Duration
+	// Logger receives the slow-solve lines; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -150,24 +158,39 @@ type Server struct {
 	sessions *sessionStore // nil when sessions are disabled
 	// batchGate bounds concurrent batch requests; nil means unlimited.
 	batchGate chan struct{}
-	stats     *serverStats
+	metrics   *serverMetrics
+	// probeObs is the one shared probe-counting observer attached to
+	// every solve.  Boxing it into the Observer interface once here —
+	// instead of per request — keeps the hot path allocation-neutral
+	// (see the alloc regression test in the root package).
+	probeObs setupsched.Observer
+	logger   *slog.Logger
 }
 
 // New returns a Server with the given configuration.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg.withDefaults(),
-		mux:   http.NewServeMux(),
-		stats: newServerStats(),
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		metrics: newServerMetrics(),
 	}
-	s.cache = newResultCache(s.cfg.CacheSize)
-	s.solvers = newSolverCache(s.cfg.SolverCacheSize)
-	s.sessions = newSessionStore(s.cfg.SessionCapacity, s.cfg.SessionTTL)
+	s.probeObs = &obs.ProbeCounter{C: s.metrics.probes}
+	s.logger = s.cfg.Logger
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	m := s.metrics
+	s.cache = newResultCache(s.cfg.CacheSize, m.cacheHits, m.cacheMisses, m.cacheEvictions)
+	s.solvers = newSolverCache(s.cfg.SolverCacheSize, m.solverHits, m.solverMisses, m.solverEvictions)
+	s.sessions = newSessionStore(s.cfg.SessionCapacity, s.cfg.SessionTTL,
+		m.sessionsCreated, m.sessionsDeleted, m.sessionsEvictedLRU, m.sessionsEvictedTTL)
+	m.registerDerived(s)
 	if s.cfg.MaxConcurrentBatches > 0 {
 		s.batchGate = make(chan struct{}, s.cfg.MaxConcurrentBatches)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
 	if s.sessions != nil {
@@ -214,6 +237,11 @@ type SolveRequest struct {
 	IncludeSchedule bool `json:"include_schedule,omitempty"`
 	// IncludeTrace adds the search's probe trace to the response.
 	IncludeTrace bool `json:"include_trace,omitempty"`
+	// IncludeSpans adds the solve's span tree to the response: phase-
+	// attributed timings (prepare/search/build) with one probe span per
+	// dual test.  A cache hit runs no search, so its tree holds only the
+	// (near-zero) prepare span.
+	IncludeSpans bool `json:"include_spans,omitempty"`
 	// NoCache bypasses the result cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
 }
@@ -244,11 +272,17 @@ type SolveResponse struct {
 	ElapsedMS  float64       `json:"elapsed_ms"`
 	Schedule   *ScheduleJSON `json:"schedule,omitempty"`
 	Trace      []ProbeJSON   `json:"trace,omitempty"`
-	Error      string        `json:"error,omitempty"`
+	// Spans is the solve's span tree (request include_spans): phase-
+	// attributed timings in microseconds since the solve began.
+	Spans *obs.Span `json:"spans,omitempty"`
+	Error string    `json:"error,omitempty"`
 
 	// status is the HTTP status /v1/solve responds with; zero means OK.
 	// Batch items carry errors in-band, so the field stays internal.
 	status int
+	// spanRoot retains the recorded tree even when the client did not ask
+	// for spans, so the slow-solve log can attribute phases.
+	spanRoot *obs.Span
 }
 
 // ProbeJSON is one dual-test evaluation of the search (wire form of
@@ -388,18 +422,52 @@ func (s *Server) solveContext(ctx context.Context, req *SolveRequest) (context.C
 // (Error field) so batch streams can carry per-item failures.
 func (s *Server) Solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 	started := time.Now()
-	resp := s.solve(ctx, req)
-	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	rec := s.spanRecorder(req)
+	resp := s.solve(ctx, req, rec)
+	elapsed := time.Since(started)
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	resp.ID = req.ID
+	if rec != nil {
+		resp.spanRoot = rec.Root()
+		if req.IncludeSpans {
+			resp.Spans = resp.spanRoot
+		}
+	}
 	if resp.Error != "" {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 	} else {
-		s.stats.observe(time.Since(started))
+		s.metrics.observe(elapsed)
+		s.maybeLogSlow(elapsed, resp, "")
 	}
 	return resp
 }
 
-func (s *Server) solve(ctx context.Context, req *SolveRequest) *SolveResponse {
+// spanRecorder returns a fresh recorder when this request needs one:
+// the client asked for spans, or slow-solve logging needs the phase
+// breakdown of every solve.  Nil otherwise — the hot path then carries
+// only the shared allocation-free probe counter.
+func (s *Server) spanRecorder(req *SolveRequest) *obs.SpanRecorder {
+	if req.IncludeSpans || s.cfg.SlowSolveThreshold > 0 {
+		return obs.NewSpanRecorder()
+	}
+	return nil
+}
+
+// maybeLogSlow emits the structured slow-solve line when the configured
+// threshold is exceeded.  fallbackFP labels solves that carry no
+// fingerprint in the response (session solves pass their session ID).
+func (s *Server) maybeLogSlow(elapsed time.Duration, resp *SolveResponse, fallbackFP string) {
+	if s.cfg.SlowSolveThreshold <= 0 || elapsed < s.cfg.SlowSolveThreshold {
+		return
+	}
+	fp := resp.Fingerprint
+	if fp == "" {
+		fp = fallbackFP
+	}
+	obs.LogSlowSolve(s.logger, elapsed, fp, resp.Variant, resp.Algorithm, resp.Probes, resp.spanRoot)
+}
+
+func (s *Server) solve(ctx context.Context, req *SolveRequest, rec *obs.SpanRecorder) *SolveResponse {
 	v, err := parseVariant(req.Variant)
 	if err != nil {
 		return errResponse(http.StatusBadRequest, err.Error())
@@ -448,13 +516,25 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 	// Solve the canonical form on the shared per-fingerprint Solver, so
 	// permutation-equivalent traffic reuses one O(n) preparation.  The
 	// schedule is translated back into the request's indexing below.
+	// The prepare span brackets the lookup: a solver-cache hit books a
+	// near-zero prepare, a miss books the real O(n) pass.
+	var stopPrepare func()
+	if rec != nil {
+		stopPrepare = rec.StartPhase("prepare")
+	}
 	solver, err := s.solverFor(fp, canon.Instance)
+	if stopPrepare != nil {
+		stopPrepare()
+	}
 	if err != nil {
 		return errResponse(http.StatusInternalServerError, "internal error: preparing solver: "+err.Error())
 	}
 	opts := []setupsched.Option{
 		setupsched.WithAlgorithm(algo),
-		setupsched.WithObserver(probeCounter{n: &s.stats.probes}),
+		setupsched.WithObserver(s.probeObs),
+	}
+	if rec != nil {
+		opts = append(opts, setupsched.WithObserver(rec))
 	}
 	// Epsilon only configures the eps-search; other algorithms ignored it
 	// before the Solver API and must keep doing so.
@@ -466,7 +546,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 	// oblivious to the knob.
 	if par := s.clampParallelism(req.Parallelism); par > 1 {
 		opts = append(opts, setupsched.WithParallelism(par))
-		s.stats.parallelSolves.Add(1)
+		s.metrics.parallelSolves.Inc()
 	}
 	sctx, cancel := s.solveContext(ctx, req)
 	defer cancel()
@@ -522,7 +602,7 @@ func (s *Server) solveError(err error) *SolveResponse {
 	var eErr *setupsched.EpsilonRangeError
 	switch {
 	case errors.Is(err, setupsched.ErrCanceled):
-		s.stats.timeouts.Add(1)
+		s.metrics.timeouts.Inc()
 		return errResponse(http.StatusRequestTimeout, err.Error())
 	case errors.As(err, &eErr), errors.As(err, &vErr), errors.Is(err, setupsched.ErrNilInstance):
 		return errResponse(http.StatusBadRequest, err.Error())
@@ -530,14 +610,6 @@ func (s *Server) solveError(err error) *SolveResponse {
 		return errResponse(http.StatusInternalServerError, "internal error: "+err.Error())
 	}
 }
-
-// probeCounter feeds the searches' probe events into the server-wide
-// counter reported by /v1/stats.
-type probeCounter struct{ n *atomic.Uint64 }
-
-func (p probeCounter) ProbeStarted(setupsched.Rat)        {}
-func (p probeCounter) ProbeFinished(setupsched.Rat, bool) { p.n.Add(1) }
-func (p probeCounter) SearchFinished(string, int)         {}
 
 func (s *Server) respond(req *SolveRequest, v sched.Variant, fp string, res *setupsched.Result, cached bool) *SolveResponse {
 	resp := &SolveResponse{
@@ -566,76 +638,20 @@ func (s *Server) respond(req *SolveRequest, v sched.Variant, fp string, res *set
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"uptime_seconds": time.Since(s.stats.start).Seconds(),
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	resp := StatsResponse{
-		UptimeSeconds: time.Since(s.stats.start).Seconds(),
-		Requests: RequestStats{
-			Solve:      s.stats.solveRequests.Load(),
-			Batch:      s.stats.batchRequests.Load(),
-			BatchItems: s.stats.batchItems.Load(),
-			Session:    s.stats.sessionRequests.Load(),
-			Errors:     s.stats.errors.Load(),
-			Rejected:   s.stats.rejected.Load(),
-		},
-		Search: SearchStats{
-			Probes:         s.stats.probes.Load(),
-			Timeouts:       s.stats.timeouts.Load(),
-			ParallelSolves: s.stats.parallelSolves.Load(),
-		},
-		Runtime: RuntimeStats{
-			Goroutines:     runtime.NumGoroutine(),
-			MaxProcs:       runtime.GOMAXPROCS(0),
-			MaxParallelism: s.cfg.MaxParallelism,
-		},
-	}
-	if s.cache != nil {
-		size, capacity, hits, misses, evictions := s.cache.snapshot()
-		resp.Cache = CacheStats{
-			Enabled: true, Size: size, Capacity: capacity,
-			Hits: hits, Misses: misses, Evictions: evictions,
-		}
-		if hits+misses > 0 {
-			resp.Cache.HitRate = float64(hits) / float64(hits+misses)
-		}
-	}
-	if s.solvers != nil {
-		size, capacity, hits, misses, evictions := s.solvers.snapshot()
-		resp.Solvers = CacheStats{
-			Enabled: true, Size: size, Capacity: capacity,
-			Hits: hits, Misses: misses, Evictions: evictions,
-		}
-		if hits+misses > 0 {
-			resp.Solvers.HitRate = float64(hits) / float64(hits+misses)
-		}
-	}
-	if s.sessions != nil {
-		active, capacity, ttl, created, deleted, evictedLRU, evictedTTL := s.sessions.snapshot()
-		resp.Sessions = SessionStats{
-			Enabled: true, Active: active, Capacity: capacity,
-			TTLSeconds: ttl.Seconds(),
-			Created:    created, Deleted: deleted,
-			EvictedLRU: evictedLRU, EvictedTTL: evictedTTL,
-			Deltas:    s.stats.sessionDeltas.Load(),
-			Solves:    s.stats.sessionSolves.Load(),
-			CacheHits: s.stats.sessionCacheHits.Load(),
-			WarmHits:  s.stats.warmHits.Load(),
-		}
-	}
-	count, p50, p99, max := s.stats.quantiles()
-	resp.LatencyMS = LatencyStats{Count: count, P50: p50, P99: p99, Max: max}
-	writeJSON(w, http.StatusOK, &resp)
+	writeJSON(w, http.StatusOK, s.buildStats())
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	s.stats.solveRequests.Add(1)
+	s.metrics.solveRequests.Inc()
 	var req SolveRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, &SolveResponse{Error: "decoding request: " + err.Error()})
 		return
 	}
@@ -661,7 +677,7 @@ type batchItem struct {
 // drains responses in exactly the order lines arrived, while up to
 // Workers solves proceed concurrently).
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.stats.batchRequests.Add(1)
+	s.metrics.batchRequests.Inc()
 	// Admission control: a saturated batch pool answers 429 immediately
 	// instead of queueing unboundedly — each admitted request spawns its
 	// own Workers goroutines, so without the gate a burst of batch
@@ -671,7 +687,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		case s.batchGate <- struct{}{}:
 			defer func() { <-s.batchGate }()
 		default:
-			s.stats.rejected.Add(1)
+			s.metrics.rejected.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests,
 				&SolveResponse{Error: "batch worker pool saturated; retry later"})
@@ -692,7 +708,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			for it := range jobs {
 				var req SolveRequest
 				if err := json.Unmarshal(it.line, &req); err != nil {
-					s.stats.errors.Add(1)
+					s.metrics.errors.Inc()
 					it.out <- &SolveResponse{Error: "decoding request: " + err.Error()}
 					continue
 				}
@@ -713,13 +729,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if len(bytes.TrimSpace(line)) == 0 {
 				continue
 			}
-			s.stats.batchItems.Add(1)
+			s.metrics.batchItems.Inc()
 			it := batchItem{line: append([]byte(nil), line...), out: make(chan *SolveResponse, 1)}
 			order <- it.out
 			jobs <- it
 		}
 		if err := sc.Err(); err != nil {
-			s.stats.errors.Add(1)
+			s.metrics.errors.Inc()
 			ch := make(chan *SolveResponse, 1)
 			ch <- &SolveResponse{Error: "reading batch: " + err.Error()}
 			order <- ch

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"setupsched"
+	"setupsched/obs"
 	"setupsched/sched"
 	"setupsched/stream"
 )
@@ -37,23 +38,29 @@ type sessionStore struct {
 	ttl      time.Duration
 	idx      lruIndex[string, *sessionEntry]
 
-	created    uint64
-	deleted    uint64
-	evictedLRU uint64
-	evictedTTL uint64
+	// Churn counters live in the server's obs registry (injected at
+	// construction), shared by /metrics and /v1/stats.
+	created    *obs.Counter
+	deleted    *obs.Counter
+	evictedLRU *obs.Counter
+	evictedTTL *obs.Counter
 
 	now func() time.Time // test hook
 }
 
-func newSessionStore(capacity int, ttl time.Duration) *sessionStore {
+func newSessionStore(capacity int, ttl time.Duration, created, deleted, evictedLRU, evictedTTL *obs.Counter) *sessionStore {
 	if capacity <= 0 {
 		return nil
 	}
 	return &sessionStore{
-		capacity: capacity,
-		ttl:      ttl,
-		idx:      newLRUIndex[string, *sessionEntry](capacity),
-		now:      time.Now,
+		capacity:   capacity,
+		ttl:        ttl,
+		idx:        newLRUIndex[string, *sessionEntry](capacity),
+		created:    created,
+		deleted:    deleted,
+		evictedLRU: evictedLRU,
+		evictedTTL: evictedTTL,
+		now:        time.Now,
 	}
 }
 
@@ -70,7 +77,7 @@ func (st *sessionStore) sweepLocked() {
 			return
 		}
 		st.idx.remove(id)
-		st.evictedTTL++
+		st.evictedTTL.Inc()
 	}
 }
 
@@ -87,10 +94,10 @@ func (st *sessionStore) create(sess *stream.Session) *sessionEntry {
 	e.created = st.now()
 	e.lastUsed = e.created
 	st.idx.put(e.id, e)
-	st.created++
+	st.created.Inc()
 	for st.idx.len() > st.capacity {
 		st.idx.evictOldest()
-		st.evictedLRU++
+		st.evictedLRU.Inc()
 	}
 	return e
 }
@@ -118,16 +125,17 @@ func (st *sessionStore) delete(id string) bool {
 	if !st.idx.remove(id) {
 		return false
 	}
-	st.deleted++
+	st.deleted.Inc()
 	return true
 }
 
-// snapshot returns current counters for /v1/stats.
-func (st *sessionStore) snapshot() (active, capacity int, ttl time.Duration, created, deleted, evictedLRU, evictedTTL uint64) {
+// size returns current occupancy for /v1/stats and the sessions gauge
+// (sweeping expired entries first, so the numbers reflect live state).
+func (st *sessionStore) size() (active, capacity int, ttl time.Duration) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
-	return st.idx.len(), st.capacity, st.ttl, st.created, st.deleted, st.evictedLRU, st.evictedTTL
+	return st.idx.len(), st.capacity, st.ttl
 }
 
 // SessionCreateRequest is the JSON body of POST /v1/sessions.
@@ -195,7 +203,7 @@ func sessionInfo(ctx context.Context, e *sessionEntry, fingerprint bool) (*Sessi
 func (s *Server) writeSessionInfo(w http.ResponseWriter, r *http.Request, e *sessionEntry, status int, fingerprint bool) {
 	info, err := sessionInfo(r.Context(), e, fingerprint)
 	if err != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		resp := s.solveError(err)
 		writeJSON(w, resp.status, &SessionInfo{SessionID: e.id, Error: resp.Error})
 		return
@@ -204,22 +212,22 @@ func (s *Server) writeSessionInfo(w http.ResponseWriter, r *http.Request, e *ses
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	s.stats.sessionRequests.Add(1)
+	s.metrics.sessionRequests.Inc()
 	var req SessionCreateRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: "decoding request: " + err.Error()})
 		return
 	}
 	if req.Instance == nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: "missing instance"})
 		return
 	}
 	sess, err := stream.NewSession(req.Instance)
 	if err != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: err.Error()})
 		return
 	}
@@ -232,23 +240,23 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) *sessionEntry {
 	e := s.sessions.get(r.PathValue("id"))
 	if e == nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusNotFound, &SessionInfo{Error: "unknown or expired session"})
 	}
 	return e
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
-	s.stats.sessionRequests.Add(1)
+	s.metrics.sessionRequests.Inc()
 	if e := s.sessionFor(w, r); e != nil {
 		s.writeSessionInfo(w, r, e, http.StatusOK, r.URL.Query().Get("fingerprint") == "true")
 	}
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	s.stats.sessionRequests.Add(1)
+	s.metrics.sessionRequests.Inc()
 	if !s.sessions.delete(r.PathValue("id")) {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusNotFound, &SessionInfo{Error: "unknown or expired session"})
 		return
 	}
@@ -256,7 +264,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
-	s.stats.sessionRequests.Add(1)
+	s.metrics.sessionRequests.Inc()
 	e := s.sessionFor(w, r)
 	if e == nil {
 		return
@@ -264,12 +272,12 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	var req SessionDeltaRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, &SessionDeltaResponse{SessionID: e.id, Error: "decoding request: " + err.Error()})
 		return
 	}
 	if len(req.Deltas) == 0 {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, &SessionDeltaResponse{SessionID: e.id, Error: "empty delta list"})
 		return
 	}
@@ -282,10 +290,10 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		}
 		applied++
 	}
-	s.stats.sessionDeltas.Add(uint64(applied))
+	s.metrics.sessionDeltas.Add(uint64(applied))
 	shape, err := e.sess.Describe(r.Context())
 	if err != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		resp := s.solveError(err)
 		writeJSON(w, resp.status, &SessionDeltaResponse{SessionID: e.id, Applied: applied, Error: resp.Error})
 		return
@@ -296,7 +304,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	status := http.StatusOK
 	if applyErr != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		resp.Error = applyErr.Error()
 		status = http.StatusBadRequest
 	}
@@ -304,7 +312,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
-	s.stats.sessionRequests.Add(1)
+	s.metrics.sessionRequests.Inc()
 	e := s.sessionFor(w, r)
 	if e == nil {
 		return
@@ -312,7 +320,7 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 		writeJSON(w, http.StatusBadRequest, &SolveResponse{Error: "decoding request: " + err.Error()})
 		return
 	}
@@ -330,18 +338,27 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 // global result cache is not consulted.
 func (s *Server) sessionSolve(r *http.Request, e *sessionEntry, req *SolveRequest) *SolveResponse {
 	started := time.Now()
-	resp := s.sessionSolveInner(r, e, req)
-	resp.ElapsedMS = float64(time.Since(started)) / float64(time.Millisecond)
+	rec := s.spanRecorder(req)
+	resp := s.sessionSolveInner(r, e, req, rec)
+	elapsed := time.Since(started)
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	resp.ID = req.ID
+	if rec != nil {
+		resp.spanRoot = rec.Root()
+		if req.IncludeSpans {
+			resp.Spans = resp.spanRoot
+		}
+	}
 	if resp.Error != "" {
-		s.stats.errors.Add(1)
+		s.metrics.errors.Inc()
 	} else {
-		s.stats.observe(time.Since(started))
+		s.metrics.observe(elapsed)
+		s.maybeLogSlow(elapsed, resp, e.id)
 	}
 	return resp
 }
 
-func (s *Server) sessionSolveInner(r *http.Request, e *sessionEntry, req *SolveRequest) *SolveResponse {
+func (s *Server) sessionSolveInner(r *http.Request, e *sessionEntry, req *SolveRequest, rec *obs.SpanRecorder) *SolveResponse {
 	if req.Instance != nil {
 		return errResponse(http.StatusBadRequest,
 			"the instance is fixed by the session; mutate it via the delta endpoint")
@@ -358,7 +375,13 @@ func (s *Server) sessionSolveInner(r *http.Request, e *sessionEntry, req *SolveR
 		return errResponse(http.StatusBadRequest,
 			(&setupsched.EpsilonRangeError{Epsilon: req.Epsilon}).Error())
 	}
-	opts := []stream.SolveOption{stream.WithAlgorithm(algo)}
+	opts := []stream.SolveOption{
+		stream.WithAlgorithm(algo),
+		stream.WithObserver(s.probeObs),
+	}
+	if rec != nil {
+		opts = append(opts, stream.WithObserver(rec))
+	}
 	if algo == setupsched.EpsilonSearch && req.Epsilon != 0 {
 		opts = append(opts, stream.WithEpsilon(req.Epsilon))
 	}
@@ -371,19 +394,16 @@ func (s *Server) sessionSolveInner(r *http.Request, e *sessionEntry, req *SolveR
 	if err != nil {
 		return s.solveError(err)
 	}
-	s.stats.sessionSolves.Add(1)
+	s.metrics.sessionSolves.Inc()
 	switch {
 	case res.Cached:
-		s.stats.sessionCacheHits.Add(1)
+		s.metrics.sessionCacheHits.Inc()
 	case res.Warm:
-		s.stats.warmHits.Add(1)
+		s.metrics.sessionWarmHits.Inc()
 	}
-	// search.probes counts executed dual tests only (a cache return runs
-	// none, matching the stateless path where the counter is fed by a
-	// probe observer).
-	if !res.Cached {
-		s.stats.probes.Add(uint64(res.Probes))
-	}
+	// search.probes counts executed dual tests only: the live probe
+	// observer attached above sees every executed probe, and a cache
+	// return emits no observer events — matching the stateless path.
 	// Fresh results are re-verified before they cross the trust boundary,
 	// exactly like /v1/solve responses.  Cached results re-serve a result
 	// that passed this check when it was computed; ErrStale means the

@@ -261,7 +261,9 @@ func TestSessionTTLAndLRUEviction(t *testing.T) {
 	if s.sessions.get(a) != nil || s.sessions.get(c) != nil {
 		t.Fatal("TTL did not expire idle sessions")
 	}
-	_, _, _, created, _, evictedLRU, evictedTTL := s.sessions.snapshot()
+	created := s.metrics.sessionsCreated.Load()
+	evictedLRU := s.metrics.sessionsEvictedLRU.Load()
+	evictedTTL := s.metrics.sessionsEvictedTTL.Load()
 	if created != 3 || evictedLRU != 1 || evictedTTL != 2 {
 		t.Fatalf("eviction counters: created=%d lru=%d ttl=%d", created, evictedLRU, evictedTTL)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"setupsched"
+	"setupsched/obs"
 	"setupsched/sched"
 )
 
@@ -27,16 +28,19 @@ type solverCache struct {
 	capacity int
 	idx      lruIndex[string, *solverEntry]
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
 }
 
-func newSolverCache(capacity int) *solverCache {
+func newSolverCache(capacity int, hits, misses, evictions *obs.Counter) *solverCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &solverCache{capacity: capacity, idx: newLRUIndex[string, *solverEntry](capacity)}
+	return &solverCache{
+		capacity: capacity, idx: newLRUIndex[string, *solverEntry](capacity),
+		hits: hits, misses: misses, evictions: evictions,
+	}
 }
 
 // getOrCreate returns the cached Solver for the canonical instance,
@@ -48,16 +52,16 @@ func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched
 	if e, ok := c.idx.lookup(fp); ok {
 		if e.canon.Equal(canon) {
 			c.idx.promote(fp)
-			c.hits++
 			c.mu.Unlock()
+			c.hits.Inc()
 			return e.solver, nil
 		}
-		c.misses++
 		c.mu.Unlock()
+		c.misses.Inc()
 		return setupsched.NewSolver(canon)
 	}
-	c.misses++
 	c.mu.Unlock()
+	c.misses.Inc()
 
 	// Prepare outside the lock: preparation is O(n) and must not
 	// serialize unrelated requests.
@@ -72,15 +76,15 @@ func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched
 		c.idx.put(fp, &solverEntry{fp: fp, canon: canon, solver: solver})
 		for c.idx.len() > c.capacity {
 			c.idx.evictOldest()
-			c.evictions++
+			c.evictions.Inc()
 		}
 	}
 	return solver, nil
 }
 
-// snapshot returns current counters for /v1/stats.
-func (c *solverCache) snapshot() (size int, capacity int, hits, misses, evictions uint64) {
+// size returns current occupancy for /v1/stats and the size gauge.
+func (c *solverCache) size() (size int, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.idx.len(), c.capacity, c.hits, c.misses, c.evictions
+	return c.idx.len(), c.capacity
 }

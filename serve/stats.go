@@ -1,85 +1,17 @@
 package serve
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
+	"runtime"
 	"time"
+
+	"setupsched/obs"
 )
 
-// latencyWindow bounds the number of recent solve latencies kept for the
-// p50/p99 estimates reported by /v1/stats.
-const latencyWindow = 4096
-
-// serverStats aggregates request counters and a sliding window of solve
-// latencies.  Counters are atomics; the latency ring is mutex-guarded.
-type serverStats struct {
-	start time.Time
-
-	solveRequests    atomic.Uint64
-	batchRequests    atomic.Uint64
-	batchItems       atomic.Uint64
-	errors           atomic.Uint64
-	rejected         atomic.Uint64
-	probes           atomic.Uint64
-	timeouts         atomic.Uint64
-	parallelSolves   atomic.Uint64
-	sessionRequests  atomic.Uint64
-	sessionDeltas    atomic.Uint64
-	sessionSolves    atomic.Uint64
-	sessionCacheHits atomic.Uint64
-	warmHits         atomic.Uint64
-
-	mu        sync.Mutex
-	latencies [latencyWindow]float64 // milliseconds, ring buffer
-	next      int
-	filled    int
-}
-
-func newServerStats() *serverStats {
-	return &serverStats{start: time.Now()}
-}
-
-// observe records one solve latency (cache hits and cold solves alike).
-func (s *serverStats) observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	s.mu.Lock()
-	s.latencies[s.next] = ms
-	s.next = (s.next + 1) % latencyWindow
-	if s.filled < latencyWindow {
-		s.filled++
-	}
-	s.mu.Unlock()
-}
-
-// quantiles returns the count, p50, p99 and max of the retained window.
-func (s *serverStats) quantiles() (count int, p50, p99, max float64) {
-	s.mu.Lock()
-	buf := make([]float64, s.filled)
-	copy(buf, s.latencies[:s.filled])
-	s.mu.Unlock()
-	if len(buf) == 0 {
-		return 0, 0, 0, 0
-	}
-	sort.Float64s(buf)
-	return len(buf), quantile(buf, 0.50), quantile(buf, 0.99), buf[len(buf)-1]
-}
-
-// quantile reads the q-th quantile from an ascending-sorted slice using
-// the nearest-rank method.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q*float64(len(sorted)) + 0.5)
-	if i < 1 {
-		i = 1
-	}
-	if i > len(sorted) {
-		i = len(sorted)
-	}
-	return sorted[i-1]
-}
+// This file defines the /v1/stats JSON view.  Since the obs rework the
+// server keeps no separate stats bookkeeping: every number below is a
+// snapshot over the serverMetrics registry (metrics.go), so /v1/stats
+// and GET /metrics can never disagree.  The JSON shape predates the
+// registry and is kept backward-compatible (see the golden schema test).
 
 // StatsResponse is the JSON body of GET /v1/stats.
 type StatsResponse struct {
@@ -158,10 +90,83 @@ type CacheStats struct {
 	HitRate   float64 `json:"hit_rate"`
 }
 
-// LatencyStats summarizes the sliding window of solve latencies.
+// LatencyStats summarizes solve latencies.  Quantiles are extracted from
+// the sched_solve_duration_seconds histogram (fixed buckets, linear
+// interpolation), converted to milliseconds.
 type LatencyStats struct {
 	Count int     `json:"count"`
 	P50   float64 `json:"p50"`
 	P99   float64 `json:"p99"`
 	Max   float64 `json:"max"`
+}
+
+// buildStats assembles the /v1/stats response from the metrics registry
+// and the subsystems' live occupancy.
+func (s *Server) buildStats() *StatsResponse {
+	m := s.metrics
+	resp := &StatsResponse{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests: RequestStats{
+			Solve:      m.solveRequests.Load(),
+			Batch:      m.batchRequests.Load(),
+			BatchItems: m.batchItems.Load(),
+			Session:    m.sessionRequests.Load(),
+			Errors:     m.errors.Load(),
+			Rejected:   m.rejected.Load(),
+		},
+		Search: SearchStats{
+			Probes:         m.probes.Load(),
+			Timeouts:       m.timeouts.Load(),
+			ParallelSolves: m.parallelSolves.Load(),
+		},
+		Runtime: RuntimeStats{
+			Goroutines:     runtime.NumGoroutine(),
+			MaxProcs:       runtime.GOMAXPROCS(0),
+			MaxParallelism: s.cfg.MaxParallelism,
+		},
+	}
+	if s.cache != nil {
+		size, capacity := s.cache.size()
+		resp.Cache = cacheStats(size, capacity, m.cacheHits, m.cacheMisses, m.cacheEvictions)
+	}
+	if s.solvers != nil {
+		size, capacity := s.solvers.size()
+		resp.Solvers = cacheStats(size, capacity, m.solverHits, m.solverMisses, m.solverEvictions)
+	}
+	if s.sessions != nil {
+		active, capacity, ttl := s.sessions.size()
+		resp.Sessions = SessionStats{
+			Enabled: true, Active: active, Capacity: capacity,
+			TTLSeconds: ttl.Seconds(),
+			Created:    m.sessionsCreated.Load(),
+			Deleted:    m.sessionsDeleted.Load(),
+			EvictedLRU: m.sessionsEvictedLRU.Load(),
+			EvictedTTL: m.sessionsEvictedTTL.Load(),
+			Deltas:     m.sessionDeltas.Load(),
+			Solves:     m.sessionSolves.Load(),
+			CacheHits:  m.sessionCacheHits.Load(),
+			WarmHits:   m.sessionWarmHits.Load(),
+		}
+	}
+	p50 := m.latency.Quantile(0.50)
+	p99 := m.latency.Quantile(0.99)
+	resp.LatencyMS = LatencyStats{
+		Count: int(m.latency.Count()),
+		P50:   p50 * 1e3,
+		P99:   p99 * 1e3,
+		Max:   m.latency.Max() * 1e3,
+	}
+	return resp
+}
+
+func cacheStats(size, capacity int, hits, misses, evictions *obs.Counter) CacheStats {
+	h, mi := hits.Load(), misses.Load()
+	cs := CacheStats{
+		Enabled: true, Size: size, Capacity: capacity,
+		Hits: h, Misses: mi, Evictions: evictions.Load(),
+	}
+	if h+mi > 0 {
+		cs.HitRate = float64(h) / float64(h+mi)
+	}
+	return cs
 }

@@ -75,6 +75,12 @@ func (s *Solver) LowerBound(v Variant) Rat { return s.prep.TMin(v) }
 type Option func(*solveConfig) error
 
 // solveConfig is the resolved option set of one call.
+//
+// The two inline arrays keep observer wiring allocation-neutral: the
+// observers slice appends into obsBuf and solveRun fans out through
+// fanBuf, so attaching up to three observers adds zero heap allocations
+// beyond the config itself — a solve with live metrics costs exactly as
+// many allocations as a bare one (asserted by a regression test).
 type solveConfig struct {
 	algorithm   Algorithm
 	epsilon     float64
@@ -82,6 +88,9 @@ type solveConfig struct {
 	probeLimit  int
 	parallelism int
 	runs        []Run
+
+	obsBuf [3]Observer // backing array for observers
+	fanBuf [4]Observer // backing array for solveRun's fan-out (trace + obsBuf)
 }
 
 // WithAlgorithm selects the approximation algorithm (default Auto, the
@@ -189,6 +198,7 @@ func WithProbeLimit(n int) Option {
 
 func resolveOptions(opts []Option) (*solveConfig, error) {
 	cfg := &solveConfig{algorithm: Auto, epsilon: DefaultEpsilon, parallelism: 1}
+	cfg.observers = cfg.obsBuf[:0]
 	for _, o := range opts {
 		if o == nil {
 			continue
@@ -260,14 +270,19 @@ func (s *Solver) Solve(ctx context.Context, v Variant, opts ...Option) (*Result,
 	if cfg.runs != nil {
 		return nil, errors.New("setupsched: WithRuns only applies to SolveAll")
 	}
-	return s.solveRun(ctx, v, cfg.algorithm, cfg, cfg.parallelism)
+	return s.solveRun(ctx, v, cfg.algorithm, cfg, cfg.parallelism, cfg.fanBuf[:0])
 }
 
 // solveRun executes one (variant, algorithm) solve under the resolved
-// configuration; parallelism is the speculative probing width.
-func (s *Solver) solveRun(ctx context.Context, v Variant, algorithm Algorithm, cfg *solveConfig, parallelism int) (*Result, error) {
+// configuration; parallelism is the speculative probing width.  fan is
+// the backing storage for the observer fan-out: Solve passes the
+// config's inline buffer (zero extra allocations); SolveAll passes nil
+// because its concurrent runs must not share one buffer.
+func (s *Solver) solveRun(ctx context.Context, v Variant, algorithm Algorithm, cfg *solveConfig, parallelism int, fan []Observer) (*Result, error) {
 	tr := &traceObserver{}
-	obs := multiObserver(append([]Observer{tr}, cfg.observers...))
+	fan = append(fan, tr)
+	fan = append(fan, cfg.observers...)
+	obs := multiObserver(fan)
 	ctl := core.Ctl{Ctx: ctx, Obs: obs, ProbeLimit: cfg.probeLimit, Parallelism: parallelism}
 
 	var r *core.Result
@@ -371,7 +386,7 @@ func (s *Solver) SolveAll(ctx context.Context, opts ...Option) ([]RunResult, err
 			defer wg.Done()
 			for i := range next {
 				r := runs[i]
-				res, err := s.solveRun(ctx, r.Variant, r.Algorithm, cfg, 1)
+				res, err := s.solveRun(ctx, r.Variant, r.Algorithm, cfg, 1, nil)
 				out[i] = RunResult{Run: r, Result: res, Err: err}
 			}
 		}()

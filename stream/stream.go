@@ -346,6 +346,7 @@ type solveCfg struct {
 	algorithm setupsched.Algorithm
 	epsilon   float64
 	cold      bool
+	observers []setupsched.Observer
 }
 
 // WithAlgorithm selects the approximation algorithm (default Auto, the
@@ -370,6 +371,24 @@ func WithEpsilon(eps float64) SolveOption {
 			return &setupsched.EpsilonRangeError{Epsilon: eps}
 		}
 		c.epsilon = eps
+		return nil
+	}
+}
+
+// WithObserver attaches a probe-level Observer to this call: it sees
+// every dual-test evaluation of the executed search exactly as a
+// Solver-attached observer would (see setupsched.Observer), followed by
+// one SearchFinished with the final algorithm name and probe count.  A
+// solve answered from the session's unchanged-revision cache executes no
+// search and emits no events.  Warm-started solves emit only the probes
+// they actually run — fewer than a cold search; that is the point.
+// Multiple observers may be attached; nil observers are ignored.  This
+// is the hook obs.SpanRecorder plugs into for session solve traces.
+func WithObserver(o setupsched.Observer) SolveOption {
+	return func(c *solveCfg) error {
+		if o != nil {
+			c.observers = append(c.observers, o)
+		}
 		return nil
 	}
 }
@@ -412,7 +431,7 @@ func (s *Session) Solve(ctx context.Context, v sched.Variant, opts ...SolveOptio
 		return nil, err
 	}
 	defer s.mu.unlock()
-	return s.solveLocked(ctx, v, cfg.algorithm, cfg.epsilon, cfg.cold)
+	return s.solveLocked(ctx, v, cfg.algorithm, cfg.epsilon, cfg.cold, cfg.observer())
 }
 
 // RunResult is the outcome of one run of SolveAll; exactly one of Result
@@ -443,12 +462,49 @@ func (s *Session) SolveAll(ctx context.Context, runs []setupsched.Run, opts ...S
 		return nil, err
 	}
 	defer s.mu.unlock()
+	obs := cfg.observer()
 	out := make([]RunResult, len(runs))
 	for i, r := range runs {
-		res, err := s.solveLocked(ctx, r.Variant, r.Algorithm, cfg.epsilon, cfg.cold)
+		res, err := s.solveLocked(ctx, r.Variant, r.Algorithm, cfg.epsilon, cfg.cold, obs)
 		out[i] = RunResult{Run: r, Result: res, Err: err}
 	}
 	return out, nil
+}
+
+// observer collapses the attached observers into one core.Observer (nil
+// when none).  setupsched.Observer and core.Observer have identical
+// method sets (Rat is an alias), so a single observer passes through
+// without wrapping.
+func (c *solveCfg) observer() core.Observer {
+	switch len(c.observers) {
+	case 0:
+		return nil
+	case 1:
+		return c.observers[0]
+	default:
+		return fanObserver(c.observers)
+	}
+}
+
+// fanObserver fans events out to several observers in order.
+type fanObserver []setupsched.Observer
+
+func (f fanObserver) ProbeStarted(T sched.Rat) {
+	for _, o := range f {
+		o.ProbeStarted(T)
+	}
+}
+
+func (f fanObserver) ProbeFinished(T sched.Rat, accepted bool) {
+	for _, o := range f {
+		o.ProbeFinished(T, accepted)
+	}
+}
+
+func (f fanObserver) SearchFinished(algorithm string, probes int) {
+	for _, o := range f {
+		o.SearchFinished(algorithm, probes)
+	}
 }
 
 // warmable reports whether the algorithm's exact search supports bracket
@@ -468,7 +524,7 @@ func normKey(v sched.Variant, a setupsched.Algorithm, eps float64) solveKey {
 	return k
 }
 
-func (s *Session) solveLocked(ctx context.Context, v sched.Variant, algo setupsched.Algorithm, eps float64, cold bool) (*Result, error) {
+func (s *Session) solveLocked(ctx context.Context, v sched.Variant, algo setupsched.Algorithm, eps float64, cold bool, obs core.Observer) (*Result, error) {
 	key := normKey(v, algo, eps)
 	ent := s.entries[key]
 	if ent != nil && ent.rev == s.rev && !cold {
@@ -501,7 +557,7 @@ func (s *Session) solveLocked(ctx context.Context, v sched.Variant, algo setupsc
 		}
 	}
 
-	r, err := s.runCore(ctx, v, key.algo, eps, seed)
+	r, err := s.runCore(ctx, v, key.algo, eps, seed, obs)
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -509,13 +565,17 @@ func (s *Session) solveLocked(ctx context.Context, v sched.Variant, algo setupsc
 		// The bounded-round fallback's certified bound depends on the
 		// search trajectory, which a warm bracket changes; discard and
 		// re-run cold so the session answer matches a fresh solve exactly.
-		if r, err = s.runCore(ctx, v, key.algo, eps, nil); err != nil {
+		// The observer sees both searches' probes — they all ran.
+		if r, err = s.runCore(ctx, v, key.algo, eps, nil, obs); err != nil {
 			return nil, wrapErr(err)
 		}
 	}
 	s.solves++
 	if r.SeedUsed {
 		s.warmHits++
+	}
+	if obs != nil {
+		obs.SearchFinished(r.Algorithm, r.Probes)
 	}
 
 	res := &setupsched.Result{
@@ -545,8 +605,8 @@ func (s *Session) solveLocked(ctx context.Context, v sched.Variant, algo setupsc
 // serializes them, which is exactly the soundness condition Ctl.Scratch
 // demands — so steady-state re-solves stop paying the schedule builder's
 // allocations.
-func (s *Session) runCore(ctx context.Context, v sched.Variant, algo setupsched.Algorithm, eps float64, seed *core.BracketSeed) (*core.Result, error) {
-	ctl := core.Ctl{Ctx: ctx, Seed: seed, Scratch: &s.scratch}
+func (s *Session) runCore(ctx context.Context, v sched.Variant, algo setupsched.Algorithm, eps float64, seed *core.BracketSeed, obs core.Observer) (*core.Result, error) {
+	ctl := core.Ctl{Ctx: ctx, Obs: obs, Seed: seed, Scratch: &s.scratch}
 	p := s.inc.Prep()
 	switch algo {
 	case setupsched.TwoApprox:
