@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke metrics-smoke serve clean
+.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke metrics-smoke loadtest-smoke serve clean
 
 all: vet build test
 
@@ -80,6 +80,24 @@ metrics-smoke:
 	grep -q '^sched_solve_duration_seconds_count 1' .metrics-smoke-scrape; \
 	SCHED_METRICS_FILE=$$PWD/.metrics-smoke-scrape $(GO) test -count=1 -run TestValidateExpositionFile ./obs; \
 	echo "metrics-smoke: ok"
+
+# Distributed-serving smoke: build the real schedserve and schedlb
+# binaries, launch a 3-shard fleet (plus a 1-shard baseline) behind the
+# proxy, drive a short mixed solve/session workload, and fail on any
+# routing error (schedload exits nonzero and refuses to write a report
+# that records one).  Also validates the committed BENCH_serve.json.
+LOADTEST_DURATION ?= 5s
+LOADTEST_RPS ?= 40
+loadtest-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/schedserve ./cmd/schedserve
+	$(GO) build -o bin/schedlb ./cmd/schedlb
+	$(GO) run ./cmd/schedload -shards 1,3 -duration $(LOADTEST_DURATION) \
+		-rps $(LOADTEST_RPS) -serve-bin bin/schedserve -lb-bin bin/schedlb \
+		-out /tmp/bench_serve.json
+	$(GO) run ./cmd/schedload -validate /tmp/bench_serve.json
+	$(GO) run ./cmd/schedload -validate BENCH_serve.json
+	@echo "loadtest-smoke: ok"
 
 serve:
 	$(GO) run ./cmd/schedserve

@@ -1,0 +1,108 @@
+// Command schedlb runs the stateless consistent-hash front tier of a
+// sharded schedserve deployment.
+//
+// Usage:
+//
+//	schedlb -addr :8090 -shard a=http://127.0.0.1:8081 -shard b=http://127.0.0.1:8082 \
+//	        [-replicas 1024] [-timeout 60s]
+//
+// Each -shard flag names one backend as id=url; the id must equal that
+// backend's schedserve -shard-id so the X-Sched-Shard response echo can
+// verify every routing decision.  All schedlb processes fronting the
+// same shard set route identically as long as their -shard sets and
+// -replicas agree — the ring is a pure function of the topology, so the
+// front tier scales horizontally with no coordination.
+//
+// Endpoints: the same /v1 surface as a single schedserve (solve, batch,
+// sessions), plus the proxy's own aggregated GET /healthz (200 iff all
+// shards healthy) and GET /metrics (schedlb_* series: per-route request
+// counts, retries, per-shard up gauges, and the misroute counter that
+// must stay at zero).  See package setupsched/internal/lb for routing
+// semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"setupsched/internal/lb"
+)
+
+// shardFlags collects repeated -shard id=url flags.
+type shardFlags []lb.Shard
+
+func (f *shardFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, s := range *f {
+		parts[i] = s.ID + "=" + s.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *shardFlags) Set(v string) error {
+	id, url, ok := strings.Cut(v, "=")
+	if !ok || id == "" || url == "" {
+		return fmt.Errorf("want id=url, got %q", v)
+	}
+	*f = append(*f, lb.Shard{ID: id, URL: strings.TrimRight(url, "/")})
+	return nil
+}
+
+func main() {
+	var shards shardFlags
+	addr := flag.String("addr", ":8090", "listen address")
+	replicas := flag.Int("replicas", 0, "consistent-hash virtual nodes per shard (0 = library default)")
+	timeout := flag.Duration("timeout", 60*time.Second, "backend request timeout")
+	flag.Var(&shards, "shard", "backend shard as id=url (repeatable, at least one)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "schedlb: unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	proxy, err := lb.New(lb.Config{
+		Shards:   shards,
+		Replicas: *replicas,
+		Client:   &http.Client{Timeout: *timeout},
+	})
+	if err != nil {
+		log.Fatalf("schedlb: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           proxy,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("schedlb: listening on %s fronting %d shards (%s)", *addr, len(shards), shards.String())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("schedlb: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("schedlb: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("schedlb: shutdown: %v", err)
+		}
+	}
+}

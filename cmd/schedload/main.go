@@ -1,0 +1,163 @@
+// Command schedload is the multi-process load-test harness for the
+// sharded schedserve deployment.  One invocation spawns a fleet per
+// requested shard count — k schedserve processes behind one schedlb —
+// drives a mixed solve/session workload through the proxy at a target
+// request rate, verifies every response's X-Sched-Shard echo against
+// the consistent-hash ring (zero tolerance), and merges the measured
+// latency trajectory into BENCH_serve.json.
+//
+// Usage:
+//
+//	schedload [-shards 1,3] [-duration 5s] [-rps 50] [-workers 8] \
+//	          [-session-frac 0.25] [-instances 64] [-seed 1] \
+//	          [-serve-bin path] [-lb-bin path] \
+//	          [-out BENCH_serve.json] [-validate file]
+//
+// With -serve-bin/-lb-bin the fleet runs those real binaries (CI builds
+// them first); without, schedload re-execs itself in child mode, so
+// `go run ./cmd/schedload` needs nothing prebuilt.  -validate checks an
+// existing report's structural invariants and exits.
+//
+// The report keeps one run per environment (go version / OS / arch /
+// GOMAXPROCS), each holding solve and session rows for every measured
+// shard count — always at least two counts, so the file answers "what
+// did scaling out change" (see internal/loadtest for the schema).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"setupsched/internal/loadtest"
+)
+
+func main() {
+	loadtest.MaybeRunChild()
+
+	shardsFlag := flag.String("shards", "1,3", "comma-separated shard counts to measure (each spawns its own fleet)")
+	duration := flag.Duration("duration", 5*time.Second, "workload duration per shard count")
+	rps := flag.Int("rps", 50, "target request rate for the mixed workload")
+	workers := flag.Int("workers", 8, "concurrent request workers")
+	sessionFrac := flag.Float64("session-frac", 0.25, "fraction of operations that run a session lifecycle")
+	instances := flag.Int("instances", 64, "instance pool size")
+	seed := flag.Int64("seed", 1, "workload op-sequence seed")
+	serveBin := flag.String("serve-bin", "", "path to a real schedserve binary (default: re-exec self)")
+	lbBin := flag.String("lb-bin", "", "path to a real schedlb binary (default: re-exec self)")
+	out := flag.String("out", "", "merge results into this BENCH_serve.json (empty: print to stdout only)")
+	validate := flag.String("validate", "", "validate this BENCH_serve.json and exit")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "schedload: unexpected arguments:", flag.Args())
+		os.Exit(2)
+	}
+
+	if *validate != "" {
+		rep, err := readReport(*validate)
+		if err != nil {
+			log.Fatalf("schedload: %v", err)
+		}
+		if err := loadtest.ValidateServeReport(rep); err != nil {
+			log.Fatalf("schedload: %s: %v", *validate, err)
+		}
+		fmt.Printf("schedload: %s ok (%d runs)\n", *validate, len(rep.Runs))
+		return
+	}
+
+	var counts []int
+	for _, part := range strings.Split(*shardsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			log.Fatalf("schedload: bad -shards entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+
+	ctx := context.Background()
+	run := loadtest.NewServeRun(*duration, *workers)
+	totalRouting := 0
+	for _, k := range counts {
+		res, err := measure(ctx, loadtest.ClusterConfig{
+			Shards: k, ServeBin: *serveBin, LBBin: *lbBin, Logf: log.Printf,
+		}, loadtest.WorkloadConfig{
+			Duration: *duration, RPS: *rps, Workers: *workers,
+			SessionFraction: *sessionFrac, Instances: *instances, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("schedload: %d shards: %v", k, err)
+		}
+		log.Printf("shards=%d: %.1f req/s achieved (target %d), solve p50=%.2fms p99=%.2fms, session p50=%.2fms p99=%.2fms, routing errors=%d, spread=%v",
+			k, res.AchievedRPS, *rps, res.Solve.P50Ms, res.Solve.P99Ms,
+			res.Session.P50Ms, res.Session.P99Ms, res.RoutingErrors, res.ShardHits)
+		totalRouting += res.RoutingErrors
+		run.AppendWorkload(res)
+	}
+	if totalRouting > 0 {
+		log.Fatalf("schedload: %d routing errors (want zero) — ring and fleet disagree", totalRouting)
+	}
+
+	if *out != "" {
+		rep, err := readReport(*out)
+		if err != nil && !os.IsNotExist(err) {
+			log.Fatalf("schedload: %v", err)
+		}
+		if rep == nil {
+			rep = &loadtest.ServeReport{}
+		}
+		loadtest.MergeServeRun(rep, run)
+		if err := loadtest.ValidateServeReport(rep); err != nil {
+			log.Fatalf("schedload: refusing to write invalid report: %v", err)
+		}
+		if err := writeReport(*out, rep); err != nil {
+			log.Fatalf("schedload: %v", err)
+		}
+		log.Printf("schedload: merged run into %s", *out)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	rep := &loadtest.ServeReport{}
+	loadtest.MergeServeRun(rep, run)
+	enc.Encode(rep)
+}
+
+func measure(ctx context.Context, cc loadtest.ClusterConfig, wc loadtest.WorkloadConfig) (*loadtest.WorkloadResult, error) {
+	cluster, err := loadtest.StartCluster(ctx, cc)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+	return loadtest.RunWorkload(ctx, cluster.LBURL, cluster.Shards, wc)
+}
+
+func readReport(path string) (*loadtest.ServeReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep loadtest.ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// writeReport writes atomically (tmp + rename) so a crashed run never
+// truncates the committed trajectory.
+func writeReport(path string, rep *loadtest.ServeReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

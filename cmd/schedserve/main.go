@@ -5,6 +5,7 @@
 //	schedserve [-addr :8080] [-workers N] [-cache 4096] [-solvers 1024] \
 //	           [-timeout 0] [-max-parallelism GOMAXPROCS] [-max-batches 2*N] \
 //	           [-max-sessions 256] [-session-ttl 15m] \
+//	           [-shard-id ID] [-session-snapshot FILE] \
 //	           [-pprof] [-slow-solve 0]
 //
 // Endpoints (see package setupsched/serve for the wire formats):
@@ -17,7 +18,12 @@
 //	POST   /v1/sessions/{id}/delta apply instance deltas
 //	POST   /v1/sessions/{id}/solve warm re-solve of the session instance
 //	DELETE /v1/sessions/{id}       close a session
-//	GET    /healthz                liveness probe
+//	POST   /v1/admin/drain         flip into draining mode and stream a
+//	                               session snapshot export (NDJSON)
+//	POST   /v1/admin/sessions/import
+//	                               bulk re-create sessions from a
+//	                               snapshot stream
+//	GET    /healthz                liveness probe (503 while draining)
 //	GET    /v1/stats               counters, cache/session hit rates,
 //	                               latency quantiles
 //	GET    /metrics                Prometheus text exposition over the
@@ -27,6 +33,14 @@
 // With -slow-solve DURATION every solve slower than the threshold emits
 // one structured log line (fingerprint, algorithm, probe count, and the
 // prepare/search/build phase breakdown from the solve's span tree).
+//
+// In a sharded deployment (see cmd/schedlb) set -shard-id so responses
+// carry the X-Sched-Shard identity echo the front tier verifies routing
+// against.  -session-snapshot FILE makes shard restarts lossless for
+// session state: on SIGTERM the process drains in-flight requests, then
+// exports every live session to FILE (atomic tmp+rename); on start, if
+// FILE exists, its sessions are imported under their original ids and
+// revisions and the file is removed.
 //
 // Example (stateless solve, then a session with a delta):
 //
@@ -71,6 +85,8 @@ func main() {
 	maxBatches := flag.Int("max-batches", 0, "concurrent batch requests before 429 (0 = 2*workers, negative = unlimited)")
 	maxSessions := flag.Int("max-sessions", 256, "live incremental solve sessions retained, LRU-evicted past this (negative disables sessions)")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle session eviction deadline (negative disables the TTL)")
+	shardID := flag.String("shard-id", "", "shard identity echoed in X-Sched-Shard responses (sharded deployments)")
+	snapshotFile := flag.String("session-snapshot", "", "session snapshot file: import+remove on start, export on shutdown")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	slowSolve := flag.Duration("slow-solve", 0, "log a structured slow-solve line for solves slower than this (0 disables)")
 	flag.Parse()
@@ -79,7 +95,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var handler http.Handler = serve.New(serve.Config{
+	server := serve.New(serve.Config{
 		Workers:              *workers,
 		CacheSize:            *cacheSize,
 		SolverCacheSize:      *solverCache,
@@ -89,7 +105,14 @@ func main() {
 		SessionCapacity:      *maxSessions,
 		SessionTTL:           *sessionTTL,
 		SlowSolveThreshold:   *slowSolve,
+		ShardID:              *shardID,
 	})
+	if *snapshotFile != "" {
+		if err := importSnapshot(server, *snapshotFile); err != nil {
+			log.Fatalf("schedserve: session snapshot import: %v", err)
+		}
+	}
+	var handler http.Handler = server
 	if *pprofFlag {
 		// The serve mux knows nothing about pprof; wrap it so the debug
 		// endpoints stay strictly opt-in.
@@ -130,5 +153,59 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("schedserve: shutdown: %v", err)
 		}
+		// In-flight requests have drained; the session registry is
+		// quiescent, so export after Shutdown, not before.
+		if *snapshotFile != "" {
+			if err := exportSnapshot(server, *snapshotFile); err != nil {
+				log.Printf("schedserve: session snapshot export: %v", err)
+			}
+		}
 	}
+}
+
+// importSnapshot restores sessions from a previous run's export and
+// removes the file so a crash before the next export can't resurrect
+// stale sessions twice.
+func importSnapshot(server *serve.Server, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	n, impErr := server.ImportSessions(context.Background(), f)
+	f.Close()
+	if impErr != nil {
+		return impErr
+	}
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	log.Printf("schedserve: imported %d sessions from %s", n, path)
+	return nil
+}
+
+// exportSnapshot writes the live sessions atomically (tmp + rename) so
+// a crash mid-export never leaves a truncated snapshot for the next
+// start to trip over.
+func exportSnapshot(server *serve.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, expErr := server.ExportSessions(context.Background(), f)
+	if err := f.Close(); expErr == nil {
+		expErr = err
+	}
+	if expErr != nil {
+		os.Remove(tmp)
+		return expErr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	log.Printf("schedserve: exported %d sessions to %s", n, path)
+	return nil
 }

@@ -170,6 +170,25 @@
 // LRU eviction; a saturated batch worker pool answers 429 with
 // Retry-After instead of queueing unboundedly.
 //
+// # Scaling out
+//
+// One serve process is the unit of deployment; package setupsched/shard
+// and cmd/schedlb compose k of them into one horizontally scaled
+// service.  shard provides the pluggable Store interface behind serve's
+// result, solver and session state (in-memory today, external
+// tomorrow) and a consistent-hash Ring (1024 virtual nodes per shard)
+// that routes stateless solves by canonical instance fingerprint and
+// session traffic by session id.  schedlb is the stateless front tier:
+// it pins session ids at create time, fans /v1/solve/batch lines
+// across owning shards merging responses in arrival order, retries
+// idempotent requests once on connection failure, and verifies every
+// response's X-Sched-Shard echo against its own ring (misroutes are
+// counted; the contract is zero).  Topology changes migrate sessions
+// by drain + snapshot import with solves bit-identical to fresh solves
+// of the moved instances.  cmd/schedload is the multi-process
+// load-test harness proving the contract and recording the latency/RPS
+// trajectory in BENCH_serve.json.
+//
 // # Testing
 //
 // Package setupsched/schedgen generates deterministic, seed-reproducible

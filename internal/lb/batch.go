@@ -1,0 +1,131 @@
+package lb
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Batch fan-out.  A /v1/solve/batch NDJSON stream is split by routing
+// key: each shard receives one sub-batch request carrying only the
+// items it owns, all sub-batches run concurrently, and the response
+// lines are merged back in the order the items arrived.
+//
+// The merge uses one single-slot channel per input item.  Each shard
+// goroutine walks its items in sub-batch order — schedserve's batch
+// endpoint guarantees response order matches request order — and
+// deposits each response line into the item's slot; the writer drains
+// the slots in input order.  Items the proxy cannot route (malformed
+// JSON, missing instance) short-circuit with a local error line in the
+// same position, matching schedserve's per-line error convention.
+
+// batchItem is one routed NDJSON line.
+type batchItem struct {
+	line []byte // raw request line
+	slot chan []byte
+}
+
+func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
+	p.metrics.batches.Inc()
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
+	sc.Buffer(make([]byte, 0, 64<<10), int(p.cfg.MaxBodyBytes))
+
+	var items []*batchItem
+	perShard := make(map[string][]*batchItem)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		it := &batchItem{line: append([]byte(nil), raw...), slot: make(chan []byte, 1)}
+		items = append(items, it)
+		p.metrics.items.Inc()
+		key, err := routeInstance(it.line)
+		if err != nil {
+			it.slot <- errorLine(fmt.Sprintf("item %d: %v", len(items)-1, err))
+			continue
+		}
+		owner := p.Owner(key)
+		perShard[owner.ID] = append(perShard[owner.ID], it)
+	}
+	if err := sc.Err(); err != nil {
+		p.metrics.errors.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading batch body: %v", err))
+		return
+	}
+
+	for id, batch := range perShard {
+		go p.runSubBatch(r, p.shards[id], batch)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	for _, it := range items {
+		select {
+		case line := <-it.slot:
+			w.Write(line)
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// runSubBatch sends one shard its items and distributes the response
+// lines back to their slots.  Any failure — transport error, non-200
+// status (e.g. a saturated pool's 429), or a short response stream —
+// resolves every still-pending slot with an error line, so the merge
+// loop never deadlocks on a broken shard.
+func (p *Proxy) runSubBatch(r *http.Request, owner Shard, batch []*batchItem) {
+	var body bytes.Buffer
+	for _, it := range batch {
+		body.Write(it.line)
+		body.WriteByte('\n')
+	}
+	next := 0
+	fail := func(msg string) {
+		p.metrics.errors.Inc()
+		for ; next < len(batch); next++ {
+			batch[next].slot <- errorLine(fmt.Sprintf("shard %s: %s", owner.ID, msg))
+		}
+	}
+	resp, err := p.send(r.Context(), owner, http.MethodPost, "/v1/solve/batch",
+		"application/x-ndjson", body.Bytes(), true)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	p.checkEcho(owner, resp)
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Sprintf("status %d", resp.StatusCode))
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), int(p.cfg.MaxBodyBytes))
+	for next < len(batch) && sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		batch[next].slot <- append([]byte(nil), sc.Bytes()...)
+		next++
+	}
+	if err := sc.Err(); err != nil {
+		fail(err.Error())
+		return
+	}
+	if next < len(batch) {
+		fail("response stream ended early")
+	}
+}
+
+func errorLine(msg string) []byte {
+	line, _ := json.Marshal(map[string]string{"error": msg})
+	return line
+}

@@ -1,0 +1,331 @@
+package lb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"setupsched/sched"
+	"setupsched/schedgen"
+	"setupsched/serve"
+)
+
+func lbInstance(seed int64) *sched.Instance {
+	return schedgen.Uniform(schedgen.Params{
+		M: 3, Classes: 4, JobsPer: 3, MaxSetup: 15, MaxJob: 25, Seed: seed,
+	})
+}
+
+// newCluster spins n in-process schedserve shards and a Proxy fronting
+// them.
+func newCluster(t *testing.T, n int) (*Proxy, []*httptest.Server, []*serve.Server) {
+	t.Helper()
+	shards := make([]Shard, n)
+	backends := make([]*httptest.Server, n)
+	servers := make([]*serve.Server, n)
+	for i := range shards {
+		id := fmt.Sprintf("s%d", i)
+		servers[i] = serve.New(serve.Config{ShardID: id})
+		backends[i] = httptest.NewServer(servers[i])
+		t.Cleanup(backends[i].Close)
+		shards[i] = Shard{ID: id, URL: backends[i].URL}
+	}
+	p, err := New(Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, backends, servers
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if raw, ok := body.([]byte); ok {
+		rd = bytes.NewReader(raw)
+	} else {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	out := map[string]any{}
+	if rec.Body.Len() > 0 && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("decoding %s %s response: %v", method, path, err)
+		}
+	}
+	return rec, out
+}
+
+// TestSolveRouting proves the end-to-end routing contract: the shard
+// that answers is always the ring owner of the instance fingerprint
+// (shard echo == prediction, misroutes == 0), permutations of an
+// instance land on the same shard, and the spread covers every shard.
+func TestSolveRouting(t *testing.T) {
+	p, _, _ := newCluster(t, 3)
+	hit := map[string]int{}
+	for i := int64(0); i < 24; i++ {
+		in := lbInstance(i)
+		rec, out := doJSON(t, p, http.MethodPost, "/v1/solve", &serve.SolveRequest{Instance: in})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("solve %d: status %d body %s", i, rec.Code, rec.Body.String())
+		}
+		if errMsg, _ := out["error"].(string); errMsg != "" {
+			t.Fatalf("solve %d: %s", i, errMsg)
+		}
+		want := p.Owner(in.Fingerprint()).ID
+		got := rec.Header().Get("X-Sched-Shard")
+		if got != want {
+			t.Fatalf("solve %d answered by %q, ring owner is %q", i, got, want)
+		}
+		hit[got]++
+	}
+	if len(hit) != 3 {
+		t.Errorf("24 distinct instances hit only %d/3 shards: %v", len(hit), hit)
+	}
+	if n := p.metrics.misroutes.Load(); n != 0 {
+		t.Errorf("misroutes = %d, want 0", n)
+	}
+
+	// Permutation invariance: a shuffled clone routes identically, so
+	// shard result caches stay fingerprint-affine.
+	in := lbInstance(3)
+	perm := in.Clone()
+	perm.Classes[0], perm.Classes[len(perm.Classes)-1] = perm.Classes[len(perm.Classes)-1], perm.Classes[0]
+	rec1, _ := doJSON(t, p, http.MethodPost, "/v1/solve", &serve.SolveRequest{Instance: in})
+	rec2, _ := doJSON(t, p, http.MethodPost, "/v1/solve", &serve.SolveRequest{Instance: perm})
+	if a, b := rec1.Header().Get("X-Sched-Shard"), rec2.Header().Get("X-Sched-Shard"); a != b {
+		t.Errorf("permuted instance routed to %q, original to %q", b, a)
+	}
+}
+
+// TestSessionRouting drives a session lifecycle through the proxy: the
+// create is pinned to an lb-generated id, and every follow-up lands on
+// the id's owner.
+func TestSessionRouting(t *testing.T) {
+	p, _, _ := newCluster(t, 3)
+	rec, out := doJSON(t, p, http.MethodPost, "/v1/sessions",
+		&serve.SessionCreateRequest{Instance: lbInstance(1)})
+	if rec.Code != http.StatusOK && rec.Code != http.StatusCreated {
+		t.Fatalf("create: status %d body %s", rec.Code, rec.Body.String())
+	}
+	id, _ := out["session_id"].(string)
+	if id == "" {
+		t.Fatalf("create response carries no session_id: %v", out)
+	}
+	owner := p.Owner(id).ID
+	if got := rec.Header().Get("X-Sched-Shard"); got != owner {
+		t.Fatalf("create answered by %q, id owner is %q", got, owner)
+	}
+
+	for _, step := range []struct {
+		method, path string
+		body         any
+	}{
+		{http.MethodPost, "/v1/sessions/" + id + "/delta",
+			&serve.SessionDeltaRequest{Deltas: []sched.Delta{{Op: sched.DeltaSetMachines, M: 5}}}},
+		{http.MethodPost, "/v1/sessions/" + id + "/solve", &serve.SolveRequest{}},
+		{http.MethodGet, "/v1/sessions/" + id, nil},
+		{http.MethodDelete, "/v1/sessions/" + id, nil},
+	} {
+		rec, out := doJSON(t, p, step.method, step.path, step.body)
+		if rec.Code/100 != 2 {
+			t.Fatalf("%s %s: status %d body %s", step.method, step.path, rec.Code, rec.Body.String())
+		}
+		if errMsg, _ := out["error"].(string); errMsg != "" {
+			t.Fatalf("%s %s: %s", step.method, step.path, errMsg)
+		}
+		if got := rec.Header().Get("X-Sched-Shard"); got != owner {
+			t.Fatalf("%s %s answered by %q, want %q", step.method, step.path, got, owner)
+		}
+	}
+	// Client-pinned ids route by the client's id, too.
+	rec, _ = doJSON(t, p, http.MethodPost, "/v1/sessions",
+		&serve.SessionCreateRequest{Instance: lbInstance(2), SessionID: "pinned-id-1"})
+	if rec.Code != http.StatusOK && rec.Code != http.StatusCreated {
+		t.Fatalf("pinned create: status %d", rec.Code)
+	}
+	if got, want := rec.Header().Get("X-Sched-Shard"), p.Owner("pinned-id-1").ID; got != want {
+		t.Fatalf("pinned create answered by %q, want %q", got, want)
+	}
+	if n := p.metrics.misroutes.Load(); n != 0 {
+		t.Errorf("misroutes = %d, want 0", n)
+	}
+}
+
+// TestBatchFanOut checks the merge contract: response lines come back
+// in input order with ids intact even though items fan out to different
+// shards, and an unroutable line yields an error line in its position.
+func TestBatchFanOut(t *testing.T) {
+	p, _, _ := newCluster(t, 3)
+	var body bytes.Buffer
+	const n = 12
+	bad := 5 // line index that cannot be routed
+	for i := 0; i < n; i++ {
+		if i == bad {
+			body.WriteString("{\"instance\": null}\n")
+			continue
+		}
+		line, _ := json.Marshal(&serve.SolveRequest{
+			ID: fmt.Sprintf("item-%d", i), Instance: lbInstance(int64(i)),
+		})
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve/batch", &body)
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d", rec.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != n {
+		t.Fatalf("batch returned %d lines, want %d", len(lines), n)
+	}
+	shardsSeen := map[string]bool{}
+	for i, line := range lines {
+		var out struct {
+			ID       string `json:"id"`
+			Makespan string `json:"makespan"`
+			Error    string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &out); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if i == bad {
+			if out.Error == "" {
+				t.Errorf("line %d: want a routing error, got %q", i, line)
+			}
+			continue
+		}
+		if out.Error != "" {
+			t.Errorf("line %d: %s", i, out.Error)
+		}
+		if want := fmt.Sprintf("item-%d", i); out.ID != want {
+			t.Errorf("line %d: id %q, want %q (order not preserved)", i, out.ID, want)
+		}
+		in := lbInstance(int64(i))
+		shardsSeen[p.Owner(in.Fingerprint()).ID] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("batch items all owned by one shard; widen the item set")
+	}
+	if n := p.metrics.misroutes.Load(); n != 0 {
+		t.Errorf("misroutes = %d, want 0", n)
+	}
+	if got := p.metrics.items.Load(); got != n {
+		t.Errorf("batch items counter = %d, want %d", got, n)
+	}
+}
+
+// TestRetryOnTransportFailure fronts a shard with a TCP proxy that
+// kills the first connection mid-request: the proxy must retry the
+// idempotent solve once and succeed.
+func TestRetryOnTransportFailure(t *testing.T) {
+	backend := httptest.NewServer(serve.New(serve.Config{ShardID: "s0"}))
+	defer backend.Close()
+
+	// flaky listener: closes the first accepted connection immediately,
+	// forwards the rest to the backend.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var once sync.Once
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			killed := false
+			once.Do(func() { conn.Close(); killed = true })
+			if killed {
+				continue
+			}
+			up, err := net.Dial("tcp", strings.TrimPrefix(backend.URL, "http://"))
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() { defer up.Close(); io.Copy(up, conn) }()
+			go func() { defer conn.Close(); io.Copy(conn, up) }()
+		}
+	}()
+
+	p, err := New(Config{Shards: []Shard{{ID: "s0", URL: "http://" + ln.Addr().String()}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, out := doJSON(t, p, http.MethodPost, "/v1/solve", &serve.SolveRequest{Instance: lbInstance(9)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve through flaky conn: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if errMsg, _ := out["error"].(string); errMsg != "" {
+		t.Fatalf("solve through flaky conn: %s", errMsg)
+	}
+	if got := p.metrics.retries.Load(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+}
+
+// TestHealthAggregation: all-up is 200; one draining shard degrades the
+// fleet to 503 and flips its up gauge.
+func TestHealthAggregation(t *testing.T) {
+	p, _, servers := newCluster(t, 3)
+	rec, out := doJSON(t, p, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz with all shards up: status %d", rec.Code)
+	}
+	if status, _ := out["status"].(string); status != "ok" {
+		t.Fatalf("healthz status = %q, want ok", status)
+	}
+
+	servers[1].StartDraining()
+	rec, out = doJSON(t, p, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with a draining shard: status %d, want 503", rec.Code)
+	}
+	shards, _ := out["shards"].(map[string]any)
+	s1, _ := shards["s1"].(map[string]any)
+	if st, _ := s1["status"].(string); st != "draining" {
+		t.Errorf("shard s1 health = %q, want draining (full: %v)", st, out)
+	}
+	if up := p.metrics.up["s1"].Load(); up != 0 {
+		t.Errorf("s1 up gauge = %v, want 0", up)
+	}
+	if up := p.metrics.up["s0"].Load(); up != 1 {
+		t.Errorf("s0 up gauge = %v, want 1", up)
+	}
+}
+
+// TestMisrouteDetection misconfigures the topology on purpose (ids
+// swapped between backends) and asserts the echo check catches it.
+func TestMisrouteDetection(t *testing.T) {
+	a := httptest.NewServer(serve.New(serve.Config{ShardID: "real-a"}))
+	defer a.Close()
+	p, err := New(Config{Shards: []Shard{{ID: "wrong-id", URL: a.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := doJSON(t, p, http.MethodPost, "/v1/solve", &serve.SolveRequest{Instance: lbInstance(4)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve: status %d", rec.Code)
+	}
+	if got := p.metrics.misroutes.Load(); got != 1 {
+		t.Errorf("misroutes = %d, want 1", got)
+	}
+}

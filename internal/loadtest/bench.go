@@ -1,0 +1,182 @@
+package loadtest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// BenchServeSchema versions the BENCH_serve.json wire format.  Like
+// BENCH_core's v2 (internal/benchjson), the file holds runs keyed by
+// environment so measurements from different boxes never get compared;
+// within one run, results pair up by shard count — the point of the
+// file is the 1-shard vs k-shard serving trajectory.
+const BenchServeSchema = "setupsched/bench_serve/v1"
+
+// ServeResult is one datapoint: one operation class driven against one
+// topology.
+type ServeResult struct {
+	// Name is the operation class: "solve" (stateless, routed by
+	// fingerprint) or "session" (lifecycle legs, routed by session id).
+	Name string `json:"name"`
+	// Shards is the topology size the workload ran against.
+	Shards int `json:"shards"`
+	// TargetRPS and AchievedRPS describe the drive's pacing: the target
+	// paces mixed-workload operations, achieved counts completed
+	// requests per second (shared by the run's result rows; a session
+	// operation is a four-request lifecycle, so achieved legitimately
+	// exceeds the target when sessions are in the mix).
+	TargetRPS   int     `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Requests/Errors count this class's operations.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// RoutingErrors counts responses whose shard echo contradicted the
+	// ring.  The acceptance contract is zero; Validate enforces it.
+	RoutingErrors int `json:"routing_errors"`
+	// Exact latency percentiles in milliseconds (nearest rank over every
+	// request, no sketching).
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// ServeRun is one environment's worth of datapoints.
+type ServeRun struct {
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	NumCPU        int           `json:"num_cpu"`
+	GeneratedUnix int64         `json:"generated_unix"`
+	DurationSec   float64       `json:"duration_sec"`
+	Workers       int           `json:"workers"`
+	Results       []ServeResult `json:"results"`
+}
+
+// EnvKey identifies the measuring environment; regenerations replace
+// the matching run rather than mixing boxes.
+func (r *ServeRun) EnvKey() string {
+	return fmt.Sprintf("%s/%s/%s/gomaxprocs=%d", r.GoVersion, r.GOOS, r.GOARCH, r.GoMaxProcs)
+}
+
+// ServeReport is the schema of BENCH_serve.json.
+type ServeReport struct {
+	Schema string     `json:"schema"`
+	Runs   []ServeRun `json:"runs"`
+}
+
+// NewServeRun stamps the current environment.
+func NewServeRun(duration time.Duration, workers int) ServeRun {
+	return ServeRun{
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GeneratedUnix: time.Now().Unix(),
+		DurationSec:   duration.Seconds(),
+		Workers:       workers,
+	}
+}
+
+// AppendWorkload converts one drive's outcome into the run's result
+// rows.
+func (r *ServeRun) AppendWorkload(w *WorkloadResult) {
+	for _, row := range []struct {
+		name string
+		st   OpStats
+	}{{"solve", w.Solve}, {"session", w.Session}} {
+		r.Results = append(r.Results, ServeResult{
+			Name: row.name, Shards: w.Shards,
+			TargetRPS: w.TargetRPS, AchievedRPS: w.AchievedRPS,
+			Requests: row.st.Requests, Errors: row.st.Errors,
+			RoutingErrors: w.RoutingErrors,
+			P50Ms:         row.st.P50Ms, P99Ms: row.st.P99Ms, MaxMs: row.st.MaxMs,
+		})
+	}
+}
+
+// MergeServeRun inserts the run into the report, replacing an existing
+// run with the same environment key.
+func MergeServeRun(rep *ServeReport, run ServeRun) {
+	rep.Schema = BenchServeSchema
+	for i := range rep.Runs {
+		if rep.Runs[i].EnvKey() == run.EnvKey() {
+			rep.Runs[i] = run
+			return
+		}
+	}
+	rep.Runs = append(rep.Runs, run)
+}
+
+// ValidateServeReport checks the structural invariants of a BENCH_serve
+// report: schema tag, environment fields, unique environment keys,
+// well-formed results, zero routing errors everywhere, and — the
+// trajectory discipline — at least two distinct shard counts per
+// operation class in every run, so the file always answers "what did
+// scaling out change".
+func ValidateServeReport(rep *ServeReport) error {
+	if rep == nil {
+		return errors.New("loadtest: nil serve report")
+	}
+	if rep.Schema != BenchServeSchema {
+		return fmt.Errorf("loadtest: schema %q, want %q (regenerate with schedload)", rep.Schema, BenchServeSchema)
+	}
+	if len(rep.Runs) == 0 {
+		return errors.New("loadtest: serve report has no runs")
+	}
+	envs := map[string]bool{}
+	for i := range rep.Runs {
+		run := &rep.Runs[i]
+		if err := validateServeRun(run); err != nil {
+			return fmt.Errorf("loadtest: run %s: %w", run.EnvKey(), err)
+		}
+		if envs[run.EnvKey()] {
+			return fmt.Errorf("loadtest: duplicate environment %s", run.EnvKey())
+		}
+		envs[run.EnvKey()] = true
+	}
+	return nil
+}
+
+func validateServeRun(run *ServeRun) error {
+	if run.GoVersion == "" || run.GOOS == "" || run.GOARCH == "" || run.GoMaxProcs < 1 || run.NumCPU < 1 {
+		return errors.New("missing environment fields")
+	}
+	if run.GeneratedUnix <= 0 || run.DurationSec <= 0 || run.Workers < 1 {
+		return errors.New("missing run parameters")
+	}
+	if len(run.Results) == 0 {
+		return errors.New("no results")
+	}
+	shardCounts := map[string]map[int]bool{}
+	for _, r := range run.Results {
+		if r.Name != "solve" && r.Name != "session" {
+			return fmt.Errorf("result has unknown name %q", r.Name)
+		}
+		if r.Shards < 1 || r.TargetRPS < 1 || r.Requests < 1 {
+			return fmt.Errorf("malformed result %+v", r)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.MaxMs < r.P99Ms {
+			return fmt.Errorf("result %s shards=%d has inconsistent latencies %+v", r.Name, r.Shards, r)
+		}
+		if r.RoutingErrors != 0 {
+			return fmt.Errorf("result %s shards=%d recorded %d routing errors (contract is zero)", r.Name, r.Shards, r.RoutingErrors)
+		}
+		if shardCounts[r.Name] == nil {
+			shardCounts[r.Name] = map[int]bool{}
+		}
+		if shardCounts[r.Name][r.Shards] {
+			return fmt.Errorf("duplicate result %s shards=%d within one run", r.Name, r.Shards)
+		}
+		shardCounts[r.Name][r.Shards] = true
+	}
+	for name, counts := range shardCounts {
+		if len(counts) < 2 {
+			return fmt.Errorf("result %s was measured at only one shard count; the report must compare topologies", name)
+		}
+	}
+	return nil
+}

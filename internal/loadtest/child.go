@@ -1,0 +1,79 @@
+package loadtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"setupsched/internal/lb"
+	"setupsched/serve"
+)
+
+// MaybeRunChild is the harness's child-mode entry point.  When the
+// SCHEDLOAD_CHILD environment variable is set the process is a cluster
+// child spawned by StartCluster: it runs the designated role (a
+// schedserve shard or the schedlb front tier) until SIGTERM/SIGINT and
+// never returns.  Call it first thing in main (and in TestMain of any
+// test binary that uses StartCluster without real binaries), before any
+// flag parsing.
+func MaybeRunChild() {
+	role := os.Getenv("SCHEDLOAD_CHILD")
+	if role == "" {
+		return
+	}
+	addr := os.Getenv("SCHEDLOAD_ADDR")
+	var handler http.Handler
+	var err error
+	switch role {
+	case "shard":
+		handler = serve.New(serve.Config{ShardID: os.Getenv("SCHEDLOAD_SHARD_ID")})
+	case "lb":
+		handler, err = newChildLB()
+	default:
+		err = fmt.Errorf("unknown SCHEDLOAD_CHILD role %q", role)
+	}
+	if err != nil {
+		log.Fatalf("loadtest child: %v", err)
+	}
+	runChild(addr, handler)
+	os.Exit(0)
+}
+
+func newChildLB() (http.Handler, error) {
+	var shards []lb.Shard
+	for _, spec := range strings.Split(os.Getenv("SCHEDLOAD_LB_SHARDS"), ",") {
+		id, url, ok := strings.Cut(spec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad shard spec %q", spec)
+		}
+		shards = append(shards, lb.Shard{ID: id, URL: url})
+	}
+	replicas, _ := strconv.Atoi(os.Getenv("SCHEDLOAD_REPLICAS"))
+	return lb.New(lb.Config{Shards: shards, Replicas: replicas})
+}
+
+func runChild(addr string, handler http.Handler) {
+	srv := &http.Server{Addr: addr, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("loadtest child: %v", err)
+		}
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"setupsched"
 	"setupsched/obs"
 	"setupsched/sched"
+	"setupsched/shard"
 )
 
 // cacheEntry is one cached solve outcome.  The schedule inside Result is
@@ -19,27 +20,29 @@ type cacheEntry struct {
 	result *setupsched.Result // schedule in canonical index space
 }
 
-// resultCache is a mutex-guarded LRU cache keyed by
-// (fingerprint, variant, algorithm, epsilon), built on the shared
-// lruIndex mechanics.  Hit/miss/eviction counters live in the server's
-// obs registry (injected at construction), so /metrics and /v1/stats
-// read the same numbers this cache records.
+// resultCache is the result LRU keyed by
+// (fingerprint, variant, algorithm, epsilon).  Since the shard rework
+// the entries live behind the pluggable shard.Store seam (in-memory per
+// shard today, external store tomorrow); this type owns the policy on
+// top of the store's recency mechanics: capacity eviction, collision
+// checks, and the hit/miss counters shared by /metrics and /v1/stats.
+// The mutex serializes store access, which is the Store contract.
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int
-	idx      lruIndex[string, *cacheEntry]
+	st       shard.Store
 
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
 }
 
-func newResultCache(capacity int, hits, misses, evictions *obs.Counter) *resultCache {
+func newResultCache(st shard.Store, capacity int, hits, misses, evictions *obs.Counter) *resultCache {
 	if capacity <= 0 {
 		return nil
 	}
 	return &resultCache{
-		capacity: capacity, idx: newLRUIndex[string, *cacheEntry](capacity),
+		capacity: capacity, st: st,
 		hits: hits, misses: misses, evictions: evictions,
 	}
 }
@@ -51,12 +54,17 @@ func newResultCache(capacity int, hits, misses, evictions *obs.Counter) *resultC
 func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.idx.lookup(key)
-	if !ok || !e.canon.Equal(canon) {
+	v, ok := c.st.Get(key)
+	if !ok {
 		c.misses.Inc()
 		return nil
 	}
-	c.idx.promote(key)
+	e := v.(*cacheEntry)
+	if !e.canon.Equal(canon) {
+		c.misses.Inc()
+		return nil
+	}
+	c.st.Touch(key)
 	c.hits.Inc()
 	return e
 }
@@ -66,9 +74,11 @@ func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
 func (c *resultCache) put(e *cacheEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.idx.put(e.key, e)
-	for c.idx.len() > c.capacity {
-		c.idx.evictOldest()
+	c.st.Put(e.key, e)
+	for c.st.Len() > c.capacity {
+		if k, _, ok := c.st.Oldest(); ok {
+			c.st.Delete(k)
+		}
 		c.evictions.Inc()
 	}
 }
@@ -78,12 +88,12 @@ func (c *resultCache) put(e *cacheEntry) {
 func (c *resultCache) remove(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.idx.remove(key)
+	c.st.Delete(key)
 }
 
 // size returns current occupancy for /v1/stats and the size gauge.
 func (c *resultCache) size() (size int, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.idx.len(), c.capacity
+	return c.st.Len(), c.capacity
 }

@@ -7,6 +7,7 @@ import (
 	"setupsched"
 	"setupsched/obs"
 	"setupsched/sched"
+	"setupsched/shard"
 )
 
 func entry(key string, m int64) *cacheEntry {
@@ -17,7 +18,7 @@ func entry(key string, m int64) *cacheEntry {
 // testResultCache builds a cache with fresh standalone counters, as New
 // does with registry-backed ones.
 func testResultCache(capacity int) *resultCache {
-	return newResultCache(capacity, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
+	return newResultCache(shard.NewMem(capacity), capacity, &obs.Counter{}, &obs.Counter{}, &obs.Counter{})
 }
 
 func TestCacheLRUEviction(t *testing.T) {

@@ -32,6 +32,10 @@ import (
 //	sched_session_solves_total        session solves answered
 //	sched_session_cache_hits_total    … from the unchanged-revision cache
 //	sched_session_warm_hits_total     … via a validated warm start
+//	sched_sessions_exported_total     snapshots exported (drain/flush)
+//	sched_sessions_imported_total     snapshots imported (migration/restore)
+//	sched_shard_info{shard}           constant 1, shard identity label
+//	sched_draining                    1 while draining for migration
 //	sched_uptime_seconds              process uptime of this Server
 //	go_*                              runtime block (goroutines, heap, GC)
 type serverMetrics struct {
@@ -66,6 +70,8 @@ type serverMetrics struct {
 	sessionSolves      *obs.Counter
 	sessionCacheHits   *obs.Counter
 	sessionWarmHits    *obs.Counter
+	sessionsExported   *obs.Counter
+	sessionsImported   *obs.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -104,6 +110,8 @@ func newServerMetrics() *serverMetrics {
 		sessionSolves:      reg.Counter("sched_session_solves_total", "Session solves answered."),
 		sessionCacheHits:   reg.Counter("sched_session_cache_hits_total", "Session solves answered from the unchanged-revision cache."),
 		sessionWarmHits:    reg.Counter("sched_session_warm_hits_total", "Session solves that validated a warm-start seed."),
+		sessionsExported:   reg.Counter("sched_sessions_exported_total", "Session snapshots exported by drain/shutdown flush."),
+		sessionsImported:   reg.Counter("sched_sessions_imported_total", "Session snapshots imported (migration or restart restore)."),
 	}
 	reg.GaugeFunc("sched_uptime_seconds", "Uptime of this Server.",
 		func() float64 { return time.Since(m.start).Seconds() })
@@ -127,6 +135,20 @@ func (m *serverMetrics) registerDerived(s *Server) {
 		m.reg.GaugeFunc("sched_sessions_active", "Live incremental solve sessions.",
 			func() float64 { active, _, _ := s.sessions.size(); return float64(active) })
 	}
+	if s.cfg.ShardID != "" {
+		// Constant info series: the shard's identity as a label, so fleet
+		// dashboards can join per-shard scrapes without relabeling.
+		m.reg.GaugeFunc(`sched_shard_info{shard="`+s.cfg.ShardID+`"}`,
+			"Shard identity of this process (constant 1).",
+			func() float64 { return 1 })
+	}
+	m.reg.GaugeFunc("sched_draining", "1 while this shard is draining for migration, else 0.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
 }
 
 // observe records one successful solve's latency.

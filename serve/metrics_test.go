@@ -151,12 +151,12 @@ func TestStatsGoldenSchema(t *testing.T) {
 	}
 
 	golden := map[string][]string{
-		"":           {"uptime_seconds", "requests", "search", "cache", "solvers", "sessions", "latency_ms", "runtime"},
+		"":           {"uptime_seconds", "draining", "requests", "search", "cache", "solvers", "sessions", "latency_ms", "runtime"},
 		"requests":   {"solve", "batch", "batch_items", "session", "errors", "rejected"},
 		"search":     {"probes", "timeouts", "parallel_solves"},
 		"cache":      {"enabled", "size", "capacity", "hits", "misses", "evictions", "hit_rate"},
 		"solvers":    {"enabled", "size", "capacity", "hits", "misses", "evictions", "hit_rate"},
-		"sessions":   {"enabled", "active", "capacity", "ttl_seconds", "created", "deleted", "evicted_lru", "evicted_ttl", "deltas", "solves", "cache_hits", "warm_hits"},
+		"sessions":   {"enabled", "active", "capacity", "ttl_seconds", "created", "deleted", "evicted_lru", "evicted_ttl", "deltas", "solves", "cache_hits", "warm_hits", "exported", "imported"},
 		"latency_ms": {"count", "p50", "p99", "max"},
 		"runtime":    {"goroutines", "gomaxprocs", "max_parallelism"},
 	}

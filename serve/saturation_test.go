@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatchSaturationConcurrent saturates the batch gate and then slams
+// it from many goroutines at once: every rejection must carry
+// Retry-After, a parseable error body, and bump requests.rejected
+// exactly once.  Run under -race this doubles as the data-race check on
+// the admission path (gate channel + rejection counter + per-request
+// response writers all touched concurrently).
+func TestBatchSaturationConcurrent(t *testing.T) {
+	const gateSlots = 2
+	s := New(Config{Workers: 1, MaxConcurrentBatches: gateSlots, SessionCapacity: -1})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	client := srv.Client()
+
+	line, _ := json.Marshal(&SolveRequest{Instance: testInstance(1), Variant: "nonp"})
+
+	// Occupy every gate slot with a slow streaming batch whose body stays
+	// open until we release it, so the fleet of goroutines below races
+	// only for rejections, deterministically.
+	var holders sync.WaitGroup
+	var pipes []*io.PipeWriter
+	for i := 0; i < gateSlots; i++ {
+		pr, pw := io.Pipe()
+		pipes = append(pipes, pw)
+		holders.Add(1)
+		go func() {
+			defer holders.Done()
+			req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/solve/batch", pr)
+			resp, err := client.Do(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		pw.Write(append(line, '\n'))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.batchGate) < gateSlots {
+		if time.Now().After(deadline) {
+			t.Fatal("holders never filled the batch gate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The concurrent burst: every request must be rejected because the
+	// holders own all slots for the duration.
+	const burst = 32
+	var (
+		wg          sync.WaitGroup
+		rejections  atomic.Int64
+		badStatus   atomic.Int64
+		noRetry     atomic.Int64
+		badBody     atomic.Int64
+		transportEr atomic.Int64
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(srv.URL+"/v1/solve/batch", "application/x-ndjson",
+				strings.NewReader(string(line)+"\n"))
+			if err != nil {
+				transportEr.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusTooManyRequests {
+				badStatus.Add(1)
+				return
+			}
+			rejections.Add(1)
+			if resp.Header.Get("Retry-After") == "" {
+				noRetry.Add(1)
+			}
+			var out SolveResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.Error == "" {
+				badBody.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := transportEr.Load(); n != 0 {
+		t.Fatalf("%d burst requests failed at the transport", n)
+	}
+	if n := badStatus.Load(); n != 0 {
+		t.Fatalf("%d burst requests were not rejected with 429", n)
+	}
+	if n := noRetry.Load(); n != 0 {
+		t.Errorf("%d rejections missing Retry-After", n)
+	}
+	if n := badBody.Load(); n != 0 {
+		t.Errorf("%d rejections without a parseable error body", n)
+	}
+	if got, want := rejections.Load(), int64(burst); got != want {
+		t.Fatalf("rejections = %d, want %d", got, want)
+	}
+
+	// Exactly once per rejection: the counter must equal the number of
+	// 429s observed, no double counting under concurrency.
+	if got := s.metrics.rejected.Load(); got != uint64(burst) {
+		t.Fatalf("requests.rejected = %d, want %d", got, burst)
+	}
+
+	// Release the holders; their in-flight batches finish normally and
+	// must NOT have been counted as rejections.
+	for _, pw := range pipes {
+		pw.Close()
+	}
+	holders.Wait()
+	if got := s.metrics.rejected.Load(); got != uint64(burst) {
+		t.Fatalf("requests.rejected moved to %d after drain, want %d", got, burst)
+	}
+
+	// The gate is free again: a fresh batch goes through.
+	resp, err := client.Post(srv.URL+"/v1/solve/batch", "application/x-ndjson",
+		strings.NewReader(string(line)+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain batch: status %d, body %s", resp.StatusCode, body)
+	}
+}

@@ -15,9 +15,22 @@
 //	POST   /v1/sessions/{id}/solve solve the session's current instance,
 //	                               reusing preparation and warm-start state
 //	DELETE /v1/sessions/{id}       close a session
-//	GET    /healthz                liveness probe
+//	GET    /healthz                liveness probe (503 while draining)
 //	GET    /v1/stats               request counters, cache hit rates,
 //	                               session/warm counters, latency quantiles
+//	POST   /v1/admin/drain         flip into draining mode and stream a
+//	                               session snapshot export (migration)
+//	POST   /v1/admin/sessions/import  bulk re-create sessions from a
+//	                               snapshot stream
+//
+// A Server can run standalone (the single-box configuration) or as one
+// shard of a distributed deployment behind the schedlb front tier: set
+// Config.ShardID so responses carry the X-Sched-Shard routing proof, and
+// point Config.StoreFactory at an alternative shard.Store backend if the
+// state tier should live outside the process.  Consistent-hash routing,
+// topology and migration live in package setupsched/shard and the
+// schedlb/schedload commands; the admin endpoints above are this
+// server's side of the migration protocol (see admin.go).
 //
 // Sessions wrap stream.Session: the instance lives server-side, deltas
 // patch the solver preparation instead of rebuilding it, and re-solves
@@ -62,11 +75,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"setupsched"
 	"setupsched/obs"
 	"setupsched/sched"
+	"setupsched/shard"
 )
 
 // Config configures a Server.  The zero value is usable: every field
@@ -108,6 +123,19 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxLineBytes caps one NDJSON line of /v1/solve/batch.  Default 8 MiB.
 	MaxLineBytes int
+	// ShardID names this process in a distributed deployment.  When set,
+	// every response carries it in the X-Sched-Shard header (the routing
+	// proof the schedlb front tier and the load-test harness check),
+	// /healthz and /v1/stats report it, and the metrics registry gains a
+	// sched_shard_info{shard="..."} series.  Empty means single-box mode
+	// with none of the above.
+	ShardID string
+	// StoreFactory builds the state-tier stores (result cache, prepared
+	// solvers, session registry) behind the shard.Store seam.  Nil uses
+	// shard.DefaultFactory, the in-process store.  Capacity knobs above
+	// keep their meaning regardless of the backing store: eviction policy
+	// stays with the server.
+	StoreFactory shard.Factory
 	// SlowSolveThreshold, when positive, makes every solve record a span
 	// tree and emits one structured log line (obs.LogSlowSolve: phase
 	// breakdown, fingerprint, probe count) for solves slower than this.
@@ -165,6 +193,10 @@ type Server struct {
 	// (see the alloc regression test in the root package).
 	probeObs setupsched.Observer
 	logger   *slog.Logger
+	// draining flips one-way when the shard is told to leave the
+	// topology: health turns 503 and session creates are refused (see
+	// admin.go for the migration protocol).
+	draining atomic.Bool
 }
 
 // New returns a Server with the given configuration.
@@ -180,10 +212,25 @@ func New(cfg Config) *Server {
 		s.logger = slog.Default()
 	}
 	m := s.metrics
-	s.cache = newResultCache(s.cfg.CacheSize, m.cacheHits, m.cacheMisses, m.cacheEvictions)
-	s.solvers = newSolverCache(s.cfg.SolverCacheSize, m.solverHits, m.solverMisses, m.solverEvictions)
-	s.sessions = newSessionStore(s.cfg.SessionCapacity, s.cfg.SessionTTL,
-		m.sessionsCreated, m.sessionsDeleted, m.sessionsEvictedLRU, m.sessionsEvictedTTL)
+	// State tier: each store kind is built by the pluggable factory (the
+	// in-process shard.Mem by default) and owned by its policy wrapper.
+	factory := s.cfg.StoreFactory
+	if factory == nil {
+		factory = shard.DefaultFactory
+	}
+	if s.cfg.CacheSize > 0 {
+		s.cache = newResultCache(factory(shard.Results, s.cfg.CacheSize),
+			s.cfg.CacheSize, m.cacheHits, m.cacheMisses, m.cacheEvictions)
+	}
+	if s.cfg.SolverCacheSize > 0 {
+		s.solvers = newSolverCache(factory(shard.Solvers, s.cfg.SolverCacheSize),
+			s.cfg.SolverCacheSize, m.solverHits, m.solverMisses, m.solverEvictions)
+	}
+	if s.cfg.SessionCapacity > 0 {
+		s.sessions = newSessionStore(factory(shard.Sessions, s.cfg.SessionCapacity),
+			s.cfg.SessionCapacity, s.cfg.SessionTTL,
+			m.sessionsCreated, m.sessionsDeleted, m.sessionsEvictedLRU, m.sessionsEvictedTTL)
+	}
 	m.registerDerived(s)
 	if s.cfg.MaxConcurrentBatches > 0 {
 		s.batchGate = make(chan struct{}, s.cfg.MaxConcurrentBatches)
@@ -199,14 +246,25 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 		s.mux.HandleFunc("POST /v1/sessions/{id}/delta", s.handleSessionDelta)
 		s.mux.HandleFunc("POST /v1/sessions/{id}/solve", s.handleSessionSolve)
+		s.mux.HandleFunc("POST /v1/admin/sessions/import", s.handleImport)
 	}
+	s.mux.HandleFunc("POST /v1/admin/drain", s.handleDrain)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ShardID != "" {
+		// The shard identity rides every response so the front tier and
+		// the load-test harness can prove routing correctness end to end.
+		w.Header().Set(ShardHeader, s.cfg.ShardID)
+	}
 	s.mux.ServeHTTP(w, r)
 }
+
+// ShardHeader is the response header carrying the answering shard's id
+// (Config.ShardID) in distributed deployments.
+const ShardHeader = "X-Sched-Shard"
 
 // SolveRequest is the JSON body of POST /v1/solve and of each NDJSON line
 // of POST /v1/solve/batch.
@@ -636,10 +694,21 @@ func (s *Server) respond(req *SolveRequest, v sched.Variant, fp string, res *set
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
-	})
+	}
+	if s.cfg.ShardID != "" {
+		body["shard_id"] = s.cfg.ShardID
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		// 503 takes the shard out of front-tier health aggregation while
+		// it migrates its sessions away; see admin.go.
+		body["status"] = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

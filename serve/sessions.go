@@ -14,6 +14,7 @@ import (
 	"setupsched"
 	"setupsched/obs"
 	"setupsched/sched"
+	"setupsched/shard"
 	"setupsched/stream"
 )
 
@@ -25,18 +26,19 @@ type sessionEntry struct {
 	lastUsed time.Time // guarded by the store mutex
 }
 
-// sessionStore is a mutex-guarded TTL+LRU registry of stream.Sessions,
-// built on the shared lruIndex mechanics.  Eviction is two-pronged:
-// entries idle past the TTL are swept on every store access (the recency
-// order keeps them clustered at the back), and inserting past capacity
-// evicts the least recently used entry.  Each session serializes its own
-// work internally (stream.Session's lock), so the store only guards the
-// registry, never a solve.
+// sessionStore is a TTL+LRU registry of stream.Sessions behind the
+// pluggable shard.Store seam.  Eviction is two-pronged: entries idle
+// past the TTL are swept on every store access (the recency order keeps
+// them clustered at the back), and inserting past capacity evicts the
+// least recently used entry.  Each session serializes its own work
+// internally (stream.Session's lock), so the store only guards the
+// registry, never a solve; the mutex also serializes Store access per
+// the shard.Store contract.
 type sessionStore struct {
 	mu       sync.Mutex
 	capacity int
 	ttl      time.Duration
-	idx      lruIndex[string, *sessionEntry]
+	st       shard.Store
 
 	// Churn counters live in the server's obs registry (injected at
 	// construction), shared by /metrics and /v1/stats.
@@ -48,14 +50,14 @@ type sessionStore struct {
 	now func() time.Time // test hook
 }
 
-func newSessionStore(capacity int, ttl time.Duration, created, deleted, evictedLRU, evictedTTL *obs.Counter) *sessionStore {
+func newSessionStore(st shard.Store, capacity int, ttl time.Duration, created, deleted, evictedLRU, evictedTTL *obs.Counter) *sessionStore {
 	if capacity <= 0 {
 		return nil
 	}
 	return &sessionStore{
 		capacity:   capacity,
 		ttl:        ttl,
-		idx:        newLRUIndex[string, *sessionEntry](capacity),
+		st:         st,
 		created:    created,
 		deleted:    deleted,
 		evictedLRU: evictedLRU,
@@ -72,34 +74,52 @@ func (st *sessionStore) sweepLocked() {
 	}
 	cutoff := st.now().Add(-st.ttl)
 	for {
-		id, e, ok := st.idx.oldest()
-		if !ok || !e.lastUsed.Before(cutoff) {
+		id, v, ok := st.st.Oldest()
+		if !ok || !v.(*sessionEntry).lastUsed.Before(cutoff) {
 			return
 		}
-		st.idx.remove(id)
+		st.st.Delete(id)
 		st.evictedTTL.Inc()
 	}
 }
 
-// create registers a session under a fresh random ID.
-func (st *sessionStore) create(sess *stream.Session) *sessionEntry {
+// newSessionID returns a fresh random 128-bit hex id.
+func newSessionID() string {
 	buf := make([]byte, 16)
 	if _, err := rand.Read(buf); err != nil {
 		panic("serve: crypto/rand failed: " + err.Error())
 	}
-	e := &sessionEntry{id: hex.EncodeToString(buf), sess: sess}
+	return hex.EncodeToString(buf)
+}
+
+// errSessionExists reports a create with an already-registered id.
+var errSessionExists = errors.New("session id already exists")
+
+// create registers a session under id (a fresh random id when empty —
+// the front tier and migration tooling supply explicit ids so routing
+// keys stay stable across shards).
+func (st *sessionStore) create(id string, sess *stream.Session) (*sessionEntry, error) {
+	if id == "" {
+		id = newSessionID()
+	}
+	e := &sessionEntry{id: id, sess: sess}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
+	if _, ok := st.st.Get(id); ok {
+		return nil, errSessionExists
+	}
 	e.created = st.now()
 	e.lastUsed = e.created
-	st.idx.put(e.id, e)
+	st.st.Put(e.id, e)
 	st.created.Inc()
-	for st.idx.len() > st.capacity {
-		st.idx.evictOldest()
+	for st.st.Len() > st.capacity {
+		if k, _, ok := st.st.Oldest(); ok {
+			st.st.Delete(k)
+		}
 		st.evictedLRU.Inc()
 	}
-	return e
+	return e, nil
 }
 
 // get returns the live session for id, refreshing its TTL and LRU
@@ -108,12 +128,13 @@ func (st *sessionStore) get(id string) *sessionEntry {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
-	e, ok := st.idx.lookup(id)
+	v, ok := st.st.Get(id)
 	if !ok {
 		return nil
 	}
+	e := v.(*sessionEntry)
 	e.lastUsed = st.now()
-	st.idx.promote(id)
+	st.st.Touch(id)
 	return e
 }
 
@@ -122,11 +143,27 @@ func (st *sessionStore) delete(id string) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
-	if !st.idx.remove(id) {
+	if !st.st.Delete(id) {
 		return false
 	}
 	st.deleted.Inc()
 	return true
+}
+
+// entries snapshots the live session entries (most recently used first)
+// without touching recency; the drain/export path iterates the result
+// outside the store lock so a long-running solve on one session cannot
+// stall the registry.
+func (st *sessionStore) entries() []*sessionEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	out := make([]*sessionEntry, 0, st.st.Len())
+	st.st.Range(func(_ string, v any) bool {
+		out = append(out, v.(*sessionEntry))
+		return true
+	})
+	return out
 }
 
 // size returns current occupancy for /v1/stats and the sessions gauge
@@ -135,13 +172,23 @@ func (st *sessionStore) size() (active, capacity int, ttl time.Duration) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.sweepLocked()
-	return st.idx.len(), st.capacity, st.ttl
+	return st.st.Len(), st.capacity, st.ttl
 }
 
 // SessionCreateRequest is the JSON body of POST /v1/sessions.
 type SessionCreateRequest struct {
 	// Instance is the starting instance of the session.
 	Instance *sched.Instance `json:"instance"`
+	// SessionID, when set, pins the new session's id instead of letting
+	// the shard generate one.  The schedlb front tier supplies it so the
+	// id's ring owner is the shard it routes to, and migration re-creates
+	// drained sessions under their original ids.  Ids are limited to 128
+	// characters of [0-9a-zA-Z._-]; a duplicate id answers 409.
+	SessionID string `json:"session_id,omitempty"`
+	// Rev, when nonzero, fast-forwards the new session's revision —
+	// migration uses it so a moved session keeps its revision history
+	// monotone for clients that track session_rev across the move.
+	Rev uint64 `json:"rev,omitempty"`
 }
 
 // SessionInfo describes a session; returned by the session endpoints.
@@ -211,8 +258,33 @@ func (s *Server) writeSessionInfo(w http.ResponseWriter, r *http.Request, e *ses
 	writeJSON(w, status, info)
 }
 
+// validSessionID enforces the id alphabet for client-supplied ids so
+// they stay safe in URLs, logs and metric labels.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.sessionRequests.Inc()
+	if s.Draining() {
+		// A draining shard is about to leave the topology; new sessions
+		// must land on their post-rebalance owner instead.
+		s.metrics.errors.Inc()
+		writeJSON(w, http.StatusServiceUnavailable, &SessionInfo{Error: "shard is draining; create the session on its new owner"})
+		return
+	}
 	var req SessionCreateRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -225,14 +297,40 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: "missing instance"})
 		return
 	}
-	sess, err := stream.NewSession(req.Instance)
-	if err != nil {
+	if req.SessionID != "" && !validSessionID(req.SessionID) {
 		s.metrics.errors.Inc()
-		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, &SessionInfo{Error: "invalid session_id (want 1-128 chars of [0-9a-zA-Z._-])"})
 		return
 	}
-	e := s.sessions.create(sess)
-	s.writeSessionInfo(w, r, e, http.StatusCreated, true)
+	info, status := s.createSession(r.Context(), &req)
+	if info.Error != "" {
+		s.metrics.errors.Inc()
+	}
+	writeJSON(w, status, info)
+}
+
+// createSession builds and registers one session; shared by the create
+// endpoint and snapshot import.
+func (s *Server) createSession(ctx context.Context, req *SessionCreateRequest) (*SessionInfo, int) {
+	sess, err := stream.NewSession(req.Instance)
+	if err != nil {
+		return &SessionInfo{Error: err.Error()}, http.StatusBadRequest
+	}
+	if req.Rev > 0 {
+		if err := sess.AdvanceTo(ctx, req.Rev); err != nil {
+			return &SessionInfo{Error: err.Error()}, http.StatusBadRequest
+		}
+	}
+	e, err := s.sessions.create(req.SessionID, sess)
+	if err != nil {
+		return &SessionInfo{SessionID: req.SessionID, Error: err.Error()}, http.StatusConflict
+	}
+	info, err := sessionInfo(ctx, e, true)
+	if err != nil {
+		resp := s.solveError(err)
+		return &SessionInfo{SessionID: e.id, Error: resp.Error}, resp.status
+	}
+	return info, http.StatusCreated
 }
 
 // sessionFor resolves the {id} path value, writing the 404 itself when

@@ -241,7 +241,11 @@ func TestSessionTTLAndLRUEviction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.sessions.create(sess).id
+		e, err := s.sessions.create("", sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.id
 	}
 	a, b := mk(1), mk(2)
 	if got := s.sessions.get(a); got == nil {

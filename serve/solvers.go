@@ -6,6 +6,7 @@ import (
 	"setupsched"
 	"setupsched/obs"
 	"setupsched/sched"
+	"setupsched/shard"
 )
 
 // solverEntry is one prepared setupsched.Solver, keyed by the fingerprint
@@ -18,27 +19,29 @@ type solverEntry struct {
 	solver *setupsched.Solver
 }
 
-// solverCache is a mutex-guarded LRU of prepared Solvers (shared
-// lruIndex mechanics).  Every request for a permutation-equivalent
-// instance reuses the same Solver, so the O(n) preparation pass runs
-// once per distinct instance instead of once per request — the serving
-// layer's answer to the Solver API's "prepare once, solve many" contract.
+// solverCache is an LRU of prepared Solvers behind the pluggable
+// shard.Store seam.  Every request for a permutation-equivalent instance
+// reuses the same Solver, so the O(n) preparation pass runs once per
+// distinct instance instead of once per request — the serving layer's
+// answer to the Solver API's "prepare once, solve many" contract.  The
+// mutex serializes store access (the Store contract); preparation runs
+// outside it.
 type solverCache struct {
 	mu       sync.Mutex
 	capacity int
-	idx      lruIndex[string, *solverEntry]
+	st       shard.Store
 
 	hits      *obs.Counter
 	misses    *obs.Counter
 	evictions *obs.Counter
 }
 
-func newSolverCache(capacity int, hits, misses, evictions *obs.Counter) *solverCache {
+func newSolverCache(st shard.Store, capacity int, hits, misses, evictions *obs.Counter) *solverCache {
 	if capacity <= 0 {
 		return nil
 	}
 	return &solverCache{
-		capacity: capacity, idx: newLRUIndex[string, *solverEntry](capacity),
+		capacity: capacity, st: st,
 		hits: hits, misses: misses, evictions: evictions,
 	}
 }
@@ -49,9 +52,10 @@ func newSolverCache(capacity int, hits, misses, evictions *obs.Counter) *solverC
 // is not cached).
 func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched.Solver, error) {
 	c.mu.Lock()
-	if e, ok := c.idx.lookup(fp); ok {
+	if v, ok := c.st.Get(fp); ok {
+		e := v.(*solverEntry)
 		if e.canon.Equal(canon) {
-			c.idx.promote(fp)
+			c.st.Touch(fp)
 			c.mu.Unlock()
 			c.hits.Inc()
 			return e.solver, nil
@@ -72,10 +76,12 @@ func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.idx.lookup(fp); !ok {
-		c.idx.put(fp, &solverEntry{fp: fp, canon: canon, solver: solver})
-		for c.idx.len() > c.capacity {
-			c.idx.evictOldest()
+	if _, ok := c.st.Get(fp); !ok {
+		c.st.Put(fp, &solverEntry{fp: fp, canon: canon, solver: solver})
+		for c.st.Len() > c.capacity {
+			if k, _, ok := c.st.Oldest(); ok {
+				c.st.Delete(k)
+			}
 			c.evictions.Inc()
 		}
 	}
@@ -86,5 +92,5 @@ func (c *solverCache) getOrCreate(fp string, canon *sched.Instance) (*setupsched
 func (c *solverCache) size() (size int, capacity int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.idx.len(), c.capacity
+	return c.st.Len(), c.capacity
 }

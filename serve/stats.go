@@ -15,14 +15,20 @@ import (
 
 // StatsResponse is the JSON body of GET /v1/stats.
 type StatsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Requests      RequestStats `json:"requests"`
-	Search        SearchStats  `json:"search"`
-	Cache         CacheStats   `json:"cache"`
-	Solvers       CacheStats   `json:"solvers"`
-	Sessions      SessionStats `json:"sessions"`
-	LatencyMS     LatencyStats `json:"latency_ms"`
-	Runtime       RuntimeStats `json:"runtime"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// ShardID is this process's identity in a distributed deployment
+	// (Config.ShardID); omitted in single-box mode.
+	ShardID string `json:"shard_id,omitempty"`
+	// Draining reports the shard is migrating its sessions away and
+	// refusing new ones (see the drain endpoint).
+	Draining  bool         `json:"draining"`
+	Requests  RequestStats `json:"requests"`
+	Search    SearchStats  `json:"search"`
+	Cache     CacheStats   `json:"cache"`
+	Solvers   CacheStats   `json:"solvers"`
+	Sessions  SessionStats `json:"sessions"`
+	LatencyMS LatencyStats `json:"latency_ms"`
+	Runtime   RuntimeStats `json:"runtime"`
 }
 
 // RuntimeStats reports the server process's goroutine posture, for sizing
@@ -67,6 +73,10 @@ type SessionStats struct {
 	Solves     uint64  `json:"solves"`
 	CacheHits  uint64  `json:"cache_hits"`
 	WarmHits   uint64  `json:"warm_hits"`
+	// Exported/Imported count session snapshots moved by the migration
+	// machinery (drain endpoint, shutdown flush, restart restore).
+	Exported uint64 `json:"exported"`
+	Imported uint64 `json:"imported"`
 }
 
 // SearchStats reports probe-level search activity: every dual-test
@@ -106,6 +116,8 @@ func (s *Server) buildStats() *StatsResponse {
 	m := s.metrics
 	resp := &StatsResponse{
 		UptimeSeconds: time.Since(m.start).Seconds(),
+		ShardID:       s.cfg.ShardID,
+		Draining:      s.Draining(),
 		Requests: RequestStats{
 			Solve:      m.solveRequests.Load(),
 			Batch:      m.batchRequests.Load(),
@@ -146,6 +158,8 @@ func (s *Server) buildStats() *StatsResponse {
 			Solves:     m.sessionSolves.Load(),
 			CacheHits:  m.sessionCacheHits.Load(),
 			WarmHits:   m.sessionWarmHits.Load(),
+			Exported:   m.sessionsExported.Load(),
+			Imported:   m.sessionsImported.Load(),
 		}
 	}
 	p50 := m.latency.Quantile(0.50)

@@ -1,0 +1,84 @@
+package shard
+
+import "container/list"
+
+// Mem is the in-process Store: the recency list + key index mechanics
+// (front = most recently used) that previously lived inside serve as its
+// private LRU.  It carries no lock and no policy of its own — see the
+// Store contract in the package comment.
+type Mem struct {
+	ll    *list.List
+	byKey map[string]*list.Element
+}
+
+type memCell struct {
+	key string
+	val any
+}
+
+// NewMem returns an empty in-process store; capacityHint pre-sizes the
+// key index.
+func NewMem(capacityHint int) *Mem {
+	if capacityHint < 0 {
+		capacityHint = 0
+	}
+	return &Mem{ll: list.New(), byKey: make(map[string]*list.Element, capacityHint)}
+}
+
+// Len implements Store.
+func (m *Mem) Len() int { return m.ll.Len() }
+
+// Get implements Store: lookup without recency side effects.
+func (m *Mem) Get(key string) (any, bool) {
+	if el, ok := m.byKey[key]; ok {
+		return el.Value.(*memCell).val, true
+	}
+	return nil, false
+}
+
+// Touch implements Store: mark key most recently used.
+func (m *Mem) Touch(key string) {
+	if el, ok := m.byKey[key]; ok {
+		m.ll.MoveToFront(el)
+	}
+}
+
+// Put implements Store: insert or replace, marking most recently used.
+func (m *Mem) Put(key string, v any) {
+	if el, ok := m.byKey[key]; ok {
+		el.Value.(*memCell).val = v
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.byKey[key] = m.ll.PushFront(&memCell{key: key, val: v})
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(key string) bool {
+	el, ok := m.byKey[key]
+	if !ok {
+		return false
+	}
+	m.ll.Remove(el)
+	delete(m.byKey, key)
+	return true
+}
+
+// Oldest implements Store.
+func (m *Mem) Oldest() (string, any, bool) {
+	if back := m.ll.Back(); back != nil {
+		c := back.Value.(*memCell)
+		return c.key, c.val, true
+	}
+	return "", nil, false
+}
+
+// Range implements Store: most to least recently used.
+func (m *Mem) Range(fn func(key string, v any) bool) {
+	for el := m.ll.Front(); el != nil; el = el.Next() {
+		c := el.Value.(*memCell)
+		if !fn(c.key, c.val) {
+			return
+		}
+	}
+}

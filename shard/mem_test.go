@@ -1,0 +1,77 @@
+package shard
+
+import "testing"
+
+// TestMemRecencyMechanics exercises the Store contract on Mem: recency
+// order, Get without promotion, Touch/Put promotion, Oldest and Range.
+func TestMemRecencyMechanics(t *testing.T) {
+	m := NewMem(4)
+	if _, _, ok := m.Oldest(); ok {
+		t.Fatal("empty store reports an oldest entry")
+	}
+	m.Put("a", 1)
+	m.Put("b", 2)
+	m.Put("c", 3)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+
+	// Get must not promote: a stays oldest.
+	if v, ok := m.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if k, _, _ := m.Oldest(); k != "a" {
+		t.Fatalf("after Get, oldest = %q, want a (Get must not promote)", k)
+	}
+
+	// Touch promotes: a becomes newest, b oldest.
+	m.Touch("a")
+	if k, _, _ := m.Oldest(); k != "b" {
+		t.Fatalf("after Touch(a), oldest = %q, want b", k)
+	}
+
+	// Put replaces in place and promotes.
+	m.Put("b", 20)
+	if v, _ := m.Get("b"); v.(int) != 20 {
+		t.Fatalf("Put did not replace: %v", v)
+	}
+	if k, _, _ := m.Oldest(); k != "c" {
+		t.Fatalf("after Put(b), oldest = %q, want c", k)
+	}
+
+	// Range walks MRU -> LRU.
+	var order []string
+	m.Range(func(k string, _ any) bool { order = append(order, k); return true })
+	if len(order) != 3 || order[0] != "b" || order[2] != "c" {
+		t.Fatalf("Range order = %v, want [b a c]", order)
+	}
+
+	// Early stop.
+	n := 0
+	m.Range(func(string, any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored early stop, visited %d", n)
+	}
+
+	if !m.Delete("a") || m.Delete("a") {
+		t.Fatal("Delete should report existence exactly once")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len after delete = %d, want 2", m.Len())
+	}
+	m.Touch("nope") // unknown keys are a no-op
+}
+
+// TestDefaultFactory pins that every kind gets a working Mem store.
+func TestDefaultFactory(t *testing.T) {
+	for _, k := range []Kind{Results, Solvers, Sessions} {
+		st := DefaultFactory(k, 8)
+		st.Put("x", k.String())
+		if v, ok := st.Get("x"); !ok || v.(string) != k.String() {
+			t.Fatalf("kind %v: store round trip failed", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unexpected Kind.String for invalid kind")
+	}
+}

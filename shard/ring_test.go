@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n deterministic fingerprint-shaped keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("fp-%08x-%d", i*2654435761, i)
+	}
+	return keys
+}
+
+// TestRingDeterministic pins the property everything rests on: two rings
+// built from the same topology (in any order) route every key
+// identically, and routing is stable across calls.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(128, "s0", "s1", "s2")
+	b := NewRing(128, "s2", "s0", "s1", "s0")
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings from the same topology disagree on %q: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+		if a.Owner(k) != a.Owner(k) {
+			t.Fatalf("unstable ownership for %q", k)
+		}
+	}
+}
+
+// TestRingBalance asserts the distribution guarantee: across 8 shards
+// with >= 128 virtual nodes each, the max and min key shares stay within
+// 15% of each other.  The hash is fixed, so this is a deterministic
+// property of the implementation, not a flaky statistic.
+func TestRingBalance(t *testing.T) {
+	for _, replicas := range []int{128, DefaultReplicas} {
+		shards := make([]string, 8)
+		for i := range shards {
+			shards[i] = fmt.Sprintf("shard-%d", i)
+		}
+		r := NewRing(replicas, shards...)
+		counts := make(map[string]int, len(shards))
+		keys := ringKeys(100000)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		min, max := len(keys), 0
+		for _, id := range shards {
+			c := counts[id]
+			if c == 0 {
+				t.Fatalf("replicas=%d: shard %s owns no keys", replicas, id)
+			}
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if ratio := float64(max) / float64(min); ratio > 1.15 {
+			t.Errorf("replicas=%d: key share imbalance max/min = %d/%d = %.3f, want <= 1.15 (counts %v)",
+				replicas, max, min, ratio, counts)
+		}
+	}
+}
+
+// TestRingRemapOnGrowth asserts minimal disruption: adding one shard to
+// k moves at most ~1/k of the keys (with slack for vnode-boundary
+// variance), every move lands on the new shard, and removing it again
+// restores the exact original assignment.
+func TestRingRemapOnGrowth(t *testing.T) {
+	keys := ringKeys(50000)
+	for _, k := range []int{3, 8} {
+		shards := make([]string, k)
+		for i := range shards {
+			shards[i] = fmt.Sprintf("s%d", i)
+		}
+		old := NewRing(DefaultReplicas, shards...)
+		grown := old.With("s-new")
+		moves := Rebalance(old, grown, keys)
+		// Ideal fraction is 1/(k+1); allow 30% relative slack for the
+		// vnode-boundary variance of the fixed hash.
+		limit := int(float64(len(keys)) / float64(k+1) * 1.3)
+		if len(moves) > limit {
+			t.Errorf("k=%d: adding one shard moved %d of %d keys, want <= %d (~1/%d plus slack)",
+				k, len(moves), len(keys), limit, k+1)
+		}
+		if len(moves) == 0 {
+			t.Fatalf("k=%d: adding a shard moved no keys", k)
+		}
+		for _, mv := range moves {
+			if mv.To != "s-new" {
+				t.Fatalf("k=%d: growth moved %q from %q to %q, not onto the new shard", k, mv.Key, mv.From, mv.To)
+			}
+		}
+		// Shrinking back is the exact inverse: no third-party churn.
+		back := grown.Without("s-new")
+		if mvs := Rebalance(old, back, keys); len(mvs) != 0 {
+			t.Errorf("k=%d: removing the added shard did not restore the original assignment (%d stray moves)", k, len(mvs))
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate topologies the front tier can
+// pass through while shards restart.
+func TestRingEdgeCases(t *testing.T) {
+	if got := NewRing(16).Owner("anything"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	one := NewRing(16, "only")
+	for _, k := range ringKeys(100) {
+		if one.Owner(k) != "only" {
+			t.Fatalf("single-shard ring misrouted %q", k)
+		}
+	}
+	if got := NewRing(0, "a").Replicas(); got != DefaultReplicas {
+		t.Errorf("replicas <= 0 should default to %d, got %d", DefaultReplicas, got)
+	}
+}

@@ -1,0 +1,114 @@
+// Package shard is the distributed state tier of the serving stack: a
+// pluggable Store seam behind serve's per-process state (result cache,
+// prepared solvers, incremental sessions) and a deterministic
+// consistent-hash Ring that assigns every routing key — instance
+// fingerprints for solves, session ids for sessions — to exactly one
+// shard process.
+//
+// The split follows the paper's economics: Deppert & Jansen's
+// near-linear solvers (SPAA 2019) make one solve so cheap that a single
+// process stops being compute-bound; the ceiling is its in-memory state.
+// Because the serving layer keys all of that state by the instance's
+// canonical fingerprint (the batch-affinity structure of Mäcker et al.,
+// arXiv:1504.07066: permutation-equivalent workloads hit the same
+// entry), routing a key to a fixed owner keeps every cache exactly as
+// effective as it was on one box — shard-by-fingerprint is not just
+// load-spreading, it is cache-affinity-preserving.
+//
+// # The Store seam
+//
+// Store is deliberately minimal: a keyed recency store (the mechanics of
+// an LRU without its policy).  The owning subsystem layers semantics on
+// top — capacity eviction, TTL sweeps, hit/miss counters, fingerprint
+// collision checks — so those behaviors stay identical whatever the
+// backing implementation.  Mem is the first implementation (the
+// in-process store every schedserve shard runs today); an external store
+// speaking the same interface slots in without touching serve.
+//
+// Store implementations must be safe under the owning subsystem's
+// serialization: serve guards each store with its own mutex and never
+// issues concurrent calls to one Store, so Mem carries no lock of its
+// own.  An inherently concurrent backend is free to be internally
+// synchronized as well — the contract is only that the serialized call
+// sequence behaves like a single-threaded recency store.
+//
+// # The Ring
+//
+// Ring is a classic consistent-hash ring with virtual nodes.  It is a
+// pure function of (replicas, shard set): every process that builds a
+// ring from the same topology — the schedlb front tier, a load-test
+// driver predicting owners, an operator's migration script — computes
+// identical ownership, with no coordination channel.  Topology changes
+// are deterministic rebalances: adding one shard to k moves roughly a
+// 1/(k+1) fraction of keys (only onto the new shard), removing one moves
+// only the removed shard's keys.  Rebalance enumerates exactly which
+// keys move, which is what session draining/migration executes (see
+// serve's drain endpoint and the README's "Scaling out" section).
+package shard
+
+// Kind identifies which serving-tier state a Store holds.  A Factory
+// receives it so one backend can make per-kind choices (serialization
+// format, namespace, capacity policy) without serve knowing.
+type Kind int
+
+const (
+	// Results is the solved-result cache, keyed by
+	// (fingerprint, variant, algorithm, epsilon).
+	Results Kind = iota
+	// Solvers is the prepared-solver cache, keyed by fingerprint.
+	Solvers
+	// Sessions is the incremental solve session registry, keyed by
+	// session id.
+	Sessions
+)
+
+// String names the kind for diagnostics and metric labels.
+func (k Kind) String() string {
+	switch k {
+	case Results:
+		return "results"
+	case Solvers:
+		return "solvers"
+	case Sessions:
+		return "sessions"
+	}
+	return "unknown"
+}
+
+// Store is a keyed store with recency bookkeeping — the pluggable seam
+// between the serving layer and wherever its state lives.  See the
+// package comment for the concurrency contract; values are opaque to the
+// store (the owner knows their type).
+type Store interface {
+	// Len reports the number of stored entries.
+	Len() int
+	// Get returns the value for key without touching recency: owners
+	// decide whether a lookup counts as a use (a fingerprint collision,
+	// for instance, must not promote the colliding entry).
+	Get(key string) (any, bool)
+	// Touch marks key most recently used; unknown keys are a no-op.
+	Touch(key string)
+	// Put inserts or replaces the value for key and marks it most
+	// recently used.
+	Put(key string, v any)
+	// Delete drops the entry for key, reporting whether it existed.
+	Delete(key string) bool
+	// Oldest returns the least recently used entry without touching it;
+	// ok is false on an empty store.  TTL sweeps and capacity eviction
+	// are built on it.
+	Oldest() (key string, v any, ok bool)
+	// Range calls fn for each entry from most to least recently used,
+	// stopping early when fn returns false.  The store must not be
+	// mutated from inside fn; session draining snapshots through it.
+	Range(fn func(key string, v any) bool)
+}
+
+// Factory builds the Store behind one state kind.  serve calls it once
+// per kind at server construction with the configured capacity as a
+// sizing hint (capacity *enforcement* stays with serve, which evicts via
+// Oldest; a remote store may use the hint or ignore it).
+type Factory func(kind Kind, capacityHint int) Store
+
+// DefaultFactory returns the in-process Mem store for every kind — the
+// single-box configuration every shard runs.
+func DefaultFactory(_ Kind, capacityHint int) Store { return NewMem(capacityHint) }

@@ -192,6 +192,39 @@ func (s *Session) Rev() uint64 {
 	return s.rev
 }
 
+// Snapshot returns a deep copy of the current instance together with the
+// revision it is at, taken under one lock so the pair is consistent.
+// The snapshot is everything another process needs to re-create a
+// bit-identical session (see AdvanceTo): warm seeds and cached results
+// are optimizations a new session rebuilds, never correctness inputs.
+// The context cancels the wait for the session lock behind a
+// long-running solve.
+func (s *Session) Snapshot(ctx context.Context) (*sched.Instance, uint64, error) {
+	if err := s.mu.lockCtx(ctx); err != nil {
+		return nil, 0, err
+	}
+	defer s.mu.unlock()
+	return s.in.Clone(), s.rev, nil
+}
+
+// AdvanceTo fast-forwards the session revision to rev without applying
+// deltas.  It exists for migration: a session re-created from a
+// Snapshot's instance starts at rev 0, and AdvanceTo restores the
+// original revision so clients holding Result.Rev or If-Match-style
+// revision checks keep working across the move.  Revisions at or below
+// the current one are a no-op (idempotent re-import).  The context
+// cancels the wait for the session lock.
+func (s *Session) AdvanceTo(ctx context.Context, rev uint64) error {
+	if err := s.mu.lockCtx(ctx); err != nil {
+		return err
+	}
+	defer s.mu.unlock()
+	if rev > s.rev {
+		s.rev = rev
+	}
+	return nil
+}
+
 // Shape describes the session's current instance.
 type Shape struct {
 	// Rev is the session revision the shape was read at.
