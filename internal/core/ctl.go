@@ -92,10 +92,15 @@ type Ctl struct {
 	Scratch *BuildScratch
 }
 
-// BuildScratch aggregates the builders' reusable working memory (see
-// Ctl.Scratch).  The zero value is ready for use.
+// BuildScratch aggregates the builders' and dual tests' reusable working
+// memory (see Ctl.Scratch).  The zero value is ready for use.
 type BuildScratch struct {
 	Nonp NonpScratch
+	// Eval backs the non-preemptive dual test's per-probe arrays, so a
+	// warm re-solve's serial probes allocate nothing (the searches route
+	// speculative batches through EvalNonpBatch, which keeps the serial
+	// test single-threaded and the shared scratch sound).
+	Eval NonpEvalScratch
 }
 
 // width returns the effective speculation width (>= 1).

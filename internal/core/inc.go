@@ -12,8 +12,8 @@ import (
 const incStalenessBase = 64
 
 // Inc maintains a Prep incrementally under instance deltas, so a stream
-// of small edits pays O(|delta| + log c) (plus the slice edit) per change
-// instead of the O(n) cold Prepare pass.
+// of small edits pays O(|C_i| log |C_i|) for a job edit of class i (plus
+// the slice edit) per change instead of the O(n) cold Prepare pass.
 //
 // The maintained state is exactly what Prepare computes:
 //
@@ -21,9 +21,13 @@ const incStalenessBase = 64
 //     patched by the delta's exact integer contribution;
 //   - the per-class Setups and TMaxC slices are patched in place (removals
 //     are order-preserving, matching sched.Delta.Apply);
-//   - the maxima SMax and SPT, which a removal can decrease, are read off
-//     two sorted orders (ascending multisets of the per-class setup and
-//     setup+t_max values) maintained by binary-search insert/delete.
+//   - the SoA eval layout (Sorted/Pref) is refreshed only for the touched
+//     class — re-sorting one class is O(|C_i| log |C_i|), not O(n);
+//   - SMax, which a removal can decrease, is read off an ascending
+//     multiset of the per-class setups maintained by binary-search
+//     insert/delete; SPT is the bound of the last SptOrder entry, and
+//     SptOrder itself is maintained by (setup+t_max, index) pair
+//     insert/delete (class removals renumber the surviving indices).
 //
 // All patches are exact int64 arithmetic on values a fresh Prepare would
 // recompute, so the maintained Prep is field-for-field identical to
@@ -38,10 +42,10 @@ const incStalenessBase = 64
 // both), because solvers rely on the Prep being immutable while running.
 type Inc struct {
 	p *Prep
-	// setupsSorted and sptSorted are ascending multisets of the per-class
-	// setup resp. setup+t_max values; the last element is SMax resp. SPT.
+	// setupsSorted is the ascending multiset of the per-class setup
+	// values; the last element is SMax.  (SPT needs no twin multiset:
+	// p.SptOrder already orders the classes by setup+t_max.)
 	setupsSorted []int64
-	sptSorted    []int64
 	patched      int // deltas absorbed since the last full (re)build
 	rebuilds     int
 }
@@ -72,11 +76,6 @@ func (inc *Inc) rebuildSorted() {
 	p := inc.p
 	inc.setupsSorted = append(inc.setupsSorted[:0], p.Setups...)
 	slices.Sort(inc.setupsSorted)
-	inc.sptSorted = inc.sptSorted[:0]
-	for i := range p.Setups {
-		inc.sptSorted = append(inc.sptSorted, p.Setups[i]+p.TMaxC[i])
-	}
-	slices.Sort(inc.sptSorted)
 }
 
 // Rebuild discards the patched state and re-runs the O(n) Prepare pass.
@@ -134,9 +133,11 @@ func (inc *Inc) Apply(d sched.Delta) error {
 		p.P[i] += sum
 		p.PJ += sum
 		p.NJob += len(d.Jobs)
+		p.Sorted[i], p.Pref[i] = classSoA(in.Classes[i].Jobs)
 		if mx != p.TMaxC[i] {
-			inc.replaceSPT(p.Setups[i]+p.TMaxC[i], p.Setups[i]+mx)
+			inc.sptRemove(i)
 			p.TMaxC[i] = mx
+			inc.sptInsert(i)
 		}
 
 	case sched.DeltaRemoveJob:
@@ -144,17 +145,18 @@ func (inc *Inc) Apply(d sched.Delta) error {
 		p.P[i] -= oldJob
 		p.PJ -= oldJob
 		p.NJob--
+		p.Sorted[i], p.Pref[i] = classSoA(in.Classes[i].Jobs)
 		if oldJob == p.TMaxC[i] {
-			// The removed job may have been the class maximum; rescan.
+			// The removed job may have been the class maximum; the new
+			// maximum is the last sorted entry.
 			var mx int64
-			for _, t := range in.Classes[i].Jobs {
-				if t > mx {
-					mx = t
-				}
+			if n := len(p.Sorted[i]); n > 0 {
+				mx = p.Sorted[i][n-1]
 			}
 			if mx != p.TMaxC[i] {
-				inc.replaceSPT(p.Setups[i]+p.TMaxC[i], p.Setups[i]+mx)
+				inc.sptRemove(i)
 				p.TMaxC[i] = mx
+				inc.sptInsert(i)
 			}
 		}
 
@@ -162,8 +164,9 @@ func (inc *Inc) Apply(d sched.Delta) error {
 		i := d.Class
 		p.SumS += d.Setup - oldSetup
 		inc.replaceSetup(oldSetup, d.Setup)
-		inc.replaceSPT(oldSetup+p.TMaxC[i], d.Setup+p.TMaxC[i])
+		inc.sptRemove(i)
 		p.Setups[i] = d.Setup
+		inc.sptInsert(i)
 
 	case sched.DeltaAddClass:
 		cl := &in.Classes[len(in.Classes)-1]
@@ -171,12 +174,15 @@ func (inc *Inc) Apply(d sched.Delta) error {
 		p.P = append(p.P, w)
 		p.TMaxC = append(p.TMaxC, mx)
 		p.Setups = append(p.Setups, cl.Setup)
+		srt, pref := classSoA(cl.Jobs)
+		p.Sorted = append(p.Sorted, srt)
+		p.Pref = append(p.Pref, pref)
 		p.PJ += w
 		p.SumS += cl.Setup
 		p.NJob += len(cl.Jobs)
 		p.C++
 		inc.setupsSorted = insertSorted(inc.setupsSorted, cl.Setup)
-		inc.sptSorted = insertSorted(inc.sptSorted, cl.Setup+mx)
+		inc.sptInsert(p.C - 1)
 
 	case sched.DeltaRemoveClass:
 		i := d.Class
@@ -185,10 +191,20 @@ func (inc *Inc) Apply(d sched.Delta) error {
 		p.NJob -= oldClassJobs
 		p.C--
 		inc.setupsSorted = inc.removeSorted(inc.setupsSorted, p.Setups[i])
-		inc.sptSorted = inc.removeSorted(inc.sptSorted, p.Setups[i]+p.TMaxC[i])
+		inc.sptRemove(i)
+		// Surviving classes above i shift down by one (the instance-side
+		// removal is order-preserving); renumbering by -1 keeps SptOrder
+		// sorted, since equal-bound runs stay in ascending index order.
+		for k, j := range p.SptOrder {
+			if int(j) > i {
+				p.SptOrder[k] = j - 1
+			}
+		}
 		p.P = append(p.P[:i], p.P[i+1:]...)
 		p.TMaxC = append(p.TMaxC[:i], p.TMaxC[i+1:]...)
 		p.Setups = append(p.Setups[:i], p.Setups[i+1:]...)
+		p.Sorted = append(p.Sorted[:i], p.Sorted[i+1:]...)
+		p.Pref = append(p.Pref[:i], p.Pref[i+1:]...)
 
 	case sched.DeltaSetMachines:
 		p.M = in.M
@@ -197,7 +213,10 @@ func (inc *Inc) Apply(d sched.Delta) error {
 	p.N = newN
 	if len(inc.setupsSorted) > 0 {
 		p.SMax = inc.setupsSorted[len(inc.setupsSorted)-1]
-		p.SPT = inc.sptSorted[len(inc.sptSorted)-1]
+	}
+	if n := len(p.SptOrder); n > 0 {
+		j := p.SptOrder[n-1]
+		p.SPT = p.Setups[j] + p.TMaxC[j]
 	}
 
 	if threshold := max(incStalenessBase, p.C); inc.patched >= threshold {
@@ -214,12 +233,44 @@ func (inc *Inc) replaceSetup(old, new int64) {
 	inc.setupsSorted = insertSorted(inc.setupsSorted, new)
 }
 
-func (inc *Inc) replaceSPT(old, new int64) {
-	if old == new {
+// sptFind returns the SptOrder position at or before which class i's
+// (setup+t_max, index) key sorts, reading the bounds off the current
+// Setups/TMaxC entries — so removals must run before a class's entries
+// are patched and insertions after.
+func (inc *Inc) sptFind(i int) int {
+	p := inc.p
+	b := p.Setups[i] + p.TMaxC[i]
+	lo, hi := 0, len(p.SptOrder)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		j := p.SptOrder[mid]
+		bj := p.Setups[j] + p.TMaxC[j]
+		if bj < b || (bj == b && int(j) < i) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// sptInsert inserts class i into SptOrder; i's Setups/TMaxC entries must
+// already hold the values it sorts under.
+func (inc *Inc) sptInsert(i int) {
+	inc.p.SptOrder = slices.Insert(inc.p.SptOrder, inc.sptFind(i), int32(i))
+}
+
+// sptRemove deletes class i from SptOrder; i's Setups/TMaxC entries must
+// still hold the values it was inserted under.  A missing entry means the
+// order drifted from the instance — a bug; rather than corrupt SPT
+// silently, force the staleness rebuild (as removeSorted does).
+func (inc *Inc) sptRemove(i int) {
+	p := inc.p
+	if pos := inc.sptFind(i); pos < len(p.SptOrder) && p.SptOrder[pos] == int32(i) {
+		p.SptOrder = slices.Delete(p.SptOrder, pos, pos+1)
 		return
 	}
-	inc.sptSorted = inc.removeSorted(inc.sptSorted, old)
-	inc.sptSorted = insertSorted(inc.sptSorted, new)
+	inc.patched = 1 << 30
 }
 
 func insertSorted(s []int64, v int64) []int64 {
@@ -240,8 +291,9 @@ func (inc *Inc) removeSorted(s []int64, v int64) []int64 {
 }
 
 // Check verifies the maintained Prep against a fresh Prepare of the same
-// instance, field for field.  It backs the session self-checks and the
-// delta fuzz target; any difference is an Inc bug.
+// instance, field for field — including the SoA eval layout, which the
+// dual tests read on every probe.  It backs the session self-checks and
+// the delta fuzz target; any difference is an Inc bug.
 func (inc *Inc) Check() error {
 	got, want := inc.p, Prepare(inc.p.In)
 	switch {
@@ -267,10 +319,19 @@ func (inc *Inc) Check() error {
 		return fmt.Errorf("core: Inc drift: per-class max jobs differ")
 	case !slices.Equal(got.Setups, want.Setups):
 		return fmt.Errorf("core: Inc drift: per-class setups differ")
+	case !slices.Equal(got.SptOrder, want.SptOrder):
+		return fmt.Errorf("core: Inc drift: spt class order differs")
 	}
-	if !slices.IsSorted(inc.setupsSorted) || !slices.IsSorted(inc.sptSorted) ||
-		len(inc.setupsSorted) != got.C || len(inc.sptSorted) != got.C {
-		return fmt.Errorf("core: Inc drift: sorted orders corrupt")
+	for i := range want.Sorted {
+		if !slices.Equal(got.Sorted[i], want.Sorted[i]) {
+			return fmt.Errorf("core: Inc drift: sorted jobs of class %d differ", i)
+		}
+		if !slices.Equal(got.Pref[i], want.Pref[i]) {
+			return fmt.Errorf("core: Inc drift: prefix sums of class %d differ", i)
+		}
+	}
+	if !slices.IsSorted(inc.setupsSorted) || len(inc.setupsSorted) != got.C {
+		return fmt.Errorf("core: Inc drift: sorted setup order corrupt")
 	}
 	return nil
 }

@@ -28,9 +28,221 @@ type NonpEval struct {
 	L      int64
 }
 
-// EvalNonp runs the non-preemptive dual test in O(n).  Non-integral T is
-// floored first, which is sound and lossless because OPT is integral.
+// EvalNonp runs the non-preemptive dual test in O(c log(max_i |C_i|)),
+// reading the Prep's SoA layout: with class i's jobs sorted ascending,
+// jobs with 2t > T are exactly those t >= T/2+1 (both parities of T) and
+// the K set is the band [T/2+1-s_i, T/2+1), so the big-job count and the
+// K work are two binary searches plus one prefix-sum difference instead
+// of a walk over C_i.  Non-integral T is floored first, which is sound
+// and lossless because OPT is integral.  Outcomes are bit-identical to
+// EvalNonpRef, the original O(n) walk.
 func (p *Prep) EvalNonp(TR sched.Rat) *NonpEval {
+	T := TR.Floor()
+	ev := &NonpEval{T: T}
+	if T < p.SPT {
+		ev.Reason = "T < max_i(s_i + t_max) <= OPT"
+		return ev
+	}
+	ev.Mi = make([]int64, p.C)
+	ev.XiPos = make([]bool, p.C)
+	p.evalNonpCore(ev)
+	return ev
+}
+
+// NonpEvalScratch holds the per-probe arrays of the non-preemptive dual
+// test so repeated probes in one bracket are allocation-free (the eval
+// mirror of NonpScratch).  Zero value is ready; not safe for concurrent
+// use.
+type NonpEvalScratch struct {
+	mi    []int64
+	xiPos []bool
+	exp   []int
+	ev    NonpEval
+}
+
+func (sc *NonpEvalScratch) ensure(c int) {
+	if cap(sc.mi) < c {
+		sc.mi = make([]int64, c)
+		sc.xiPos = make([]bool, c)
+		sc.exp = make([]int, 0, c)
+	}
+}
+
+// EvalNonpScratch is EvalNonp writing into sc's reusable buffers.  The
+// returned eval and its slices are owned by sc: they are valid only until
+// the next call with the same scratch, and only one goroutine may use a
+// scratch at a time.
+func (p *Prep) EvalNonpScratch(TR sched.Rat, sc *NonpEvalScratch) *NonpEval {
+	T := TR.Floor()
+	ev := &sc.ev
+	*ev = NonpEval{T: T}
+	if T < p.SPT {
+		ev.Reason = "T < max_i(s_i + t_max) <= OPT"
+		return ev
+	}
+	sc.ensure(p.C)
+	ev.Mi = sc.mi[:p.C]
+	ev.XiPos = sc.xiPos[:p.C]
+	ev.Exp = sc.exp[:0]
+	p.evalNonpCore(ev)
+	sc.exp = ev.Exp[:0]
+	return ev
+}
+
+// NonpBatchScratch holds the per-guess accumulators of EvalNonpBatch so
+// repeated speculative batches in one search are allocation-free.  Zero
+// value is ready; not safe for concurrent use.
+type NonpBatchScratch struct {
+	t      []int64
+	mprime []int64
+	l      []int64
+	dead   []bool
+	ok     []bool
+}
+
+func (sc *NonpBatchScratch) ensure(k int) {
+	if cap(sc.t) < k {
+		sc.t = make([]int64, k)
+		sc.mprime = make([]int64, k)
+		sc.l = make([]int64, k)
+		sc.dead = make([]bool, k)
+		sc.ok = make([]bool, k)
+	}
+	sc.t = sc.t[:k]
+	sc.mprime = sc.mprime[:k]
+	sc.l = sc.l[:k]
+	sc.dead = sc.dead[:k]
+	sc.ok = sc.ok[:k]
+}
+
+// EvalNonpBatch decides the non-preemptive dual test for every guess in
+// one shared sweep over the classes: each class's setup, maximum and
+// sorted segment are loaded once and reused for all k guesses, instead
+// of k independent passes re-walking the whole layout.  The per-guess
+// accept/reject outcomes are bit-identical to k EvalNonp calls — the
+// machine-demand and load accumulations are fused into a single pass,
+// which is sound because every per-class term of L depends only on that
+// class's own m_i.  The returned slice is owned by sc and valid until
+// the next call.
+func (p *Prep) EvalNonpBatch(Ts []sched.Rat, sc *NonpBatchScratch) []bool {
+	k := len(Ts)
+	sc.ensure(k)
+	alive := 0
+	for j, TR := range Ts {
+		T := TR.Floor()
+		sc.t[j] = T
+		sc.mprime[j] = 0
+		sc.l[j] = p.PJ
+		sc.dead[j] = T < p.SPT
+		if !sc.dead[j] {
+			alive++
+		}
+	}
+	for i := 0; i < p.C && alive > 0; i++ {
+		s := p.Setups[i]
+		tm := p.TMaxC[i]
+		for j := 0; j < k; j++ {
+			if sc.dead[j] {
+				continue
+			}
+			T := sc.t[j]
+			var mi int64
+			switch {
+			case 2*s > T:
+				mi = ceilDiv64(p.P[i], T-s)
+			case 2*(s+tm) <= T:
+				// mi = 0: no machine demand; the x_i load term below
+				// still applies (a non-empty class needs one setup).
+			default:
+				jobs := p.Sorted[i]
+				bigThr := T/2 + 1
+				bigIdx := lowerBound64(jobs, bigThr)
+				kIdx := lowerBound64(jobs[:bigIdx], bigThr-s)
+				kWork := p.Pref[i][bigIdx] - p.Pref[i][kIdx]
+				mi = int64(len(jobs)-bigIdx) + ceilDiv64(kWork, T-s)
+			}
+			sc.mprime[j] += mi
+			if sc.mprime[j] > p.M {
+				sc.dead[j] = true // m < m'
+				alive--
+				continue
+			}
+			sc.l[j] += mi * s
+			if p.P[i] > mi*(T-s) { // x_i > 0
+				sc.l[j] += s
+			}
+		}
+	}
+	for j := range sc.ok {
+		sc.ok[j] = !sc.dead[j] && p.M*sc.t[j] >= sc.l[j]
+	}
+	return sc.ok
+}
+
+// evalNonpCore runs both passes of the dual test on ev, which must carry
+// T >= SPT, Mi and XiPos of length C with arbitrary contents (they are
+// fully overwritten), and an empty Exp.
+func (p *Prep) evalNonpCore(ev *NonpEval) {
+	T := ev.T
+	c := p.C
+	bigThr := T/2 + 1 // 2t > T  <=>  t >= floor(T/2)+1, either parity
+	// Pass 1: machine demands.
+	for i := 0; i < c; i++ {
+		s := p.Setups[i]
+		ev.XiPos[i] = false
+		switch {
+		case 2*s > T:
+			ev.Exp = append(ev.Exp, i)
+			ev.Mi[i] = ceilDiv64(p.P[i], T-s) // T-s >= t_max^(i) >= 1
+		case 2*(s+p.TMaxC[i]) <= T:
+			// Even the longest job clears neither threshold: the class
+			// demands no machines at T.  This skip is what makes warm
+			// probes near a seeded threshold o(n): only classes in the
+			// active suffix of SptOrder pay the binary searches.
+			ev.Mi[i] = 0
+		default:
+			jobs := p.Sorted[i]
+			bigIdx := lowerBound64(jobs, bigThr)
+			// K = jobs with 2(s+t) > T but 2t <= T, i.e. t in
+			// [bigThr-s, bigThr); s >= 0 keeps the band below bigIdx.
+			kIdx := lowerBound64(jobs[:bigIdx], bigThr-s)
+			kWork := p.Pref[i][bigIdx] - p.Pref[i][kIdx]
+			ev.Mi[i] = int64(len(jobs)-bigIdx) + ceilDiv64(kWork, T-s)
+		}
+		ev.MPrime += ev.Mi[i]
+		if ev.MPrime > p.M {
+			ev.Reason = "m < m' (classes need too many machines)"
+			// Scratch reuse: the walk never reached [i+1:c), so those
+			// entries must read as untouched.
+			clear(ev.Mi[i+1:])
+			clear(ev.XiPos[i+1:])
+			return
+		}
+	}
+	// Pass 2: L_nonp.  sum m_i s_i <= m*s_max fits in int64 by the
+	// instance magnitude limits.
+	ev.L = p.PJ
+	for i := 0; i < c; i++ {
+		s := p.Setups[i]
+		ev.L += ev.Mi[i] * s
+		// x_i > 0  <=>  P_i > m_i (T - s_i)
+		if p.P[i] > ev.Mi[i]*(T-s) {
+			ev.XiPos[i] = true
+			ev.L += s
+		}
+	}
+	if p.M*T < ev.L {
+		ev.Reason = "m*T < L_nonp (load exceeds capacity)"
+		return
+	}
+	ev.OK = true
+}
+
+// EvalNonpRef is the original O(n) dual test, classifying every job by a
+// direct walk over the class slices.  It is retained as the differential
+// oracle for the SoA eval (see internal/diff and the layout fuzz target);
+// EvalNonp must agree with it bit for bit on every field.
+func (p *Prep) EvalNonpRef(TR sched.Rat) *NonpEval {
 	T := TR.Floor()
 	ev := &NonpEval{T: T}
 	if T < p.SPT {

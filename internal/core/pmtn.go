@@ -162,18 +162,29 @@ func (p *Prep) EvalPmtn(T sched.Rat, hi *sched.Rat) *PmtnEval {
 	den := ev.RefDen
 	tn := ev.RefNum
 	for _, i := range ev.ChpMinus {
-		cls := &p.In.Classes[i]
-		var cnt, work int64
-		for _, t := range cls.Jobs {
-			if q.above(2 * (cls.Setup + t)) {
-				cnt++
-				work += t
+		s := p.Setups[i]
+		// above is monotone in its argument, so the big jobs of the class
+		// (s + t_j > T/2) are a suffix of the sorted layout: one binary
+		// search replaces the per-job walk, and the suffix work is a
+		// prefix-sum difference.  The maximum-job check skips classes with
+		// no big jobs outright.
+		if !q.above(2 * (s + p.TMaxC[i])) {
+			continue
+		}
+		jobs := p.Sorted[i]
+		lo, up := 0, len(jobs)
+		for lo < up {
+			mid := int(uint(lo+up) >> 1)
+			if q.above(2 * (s + jobs[mid])) {
+				up = mid
+			} else {
+				lo = mid + 1
 			}
 		}
-		if cnt > 0 {
+		if cnt := int64(len(jobs) - lo); cnt > 0 {
 			ev.Star = append(ev.Star, i)
 			ev.BigCnt = append(ev.BigCnt, cnt)
-			ev.BigWork = append(ev.BigWork, work)
+			ev.BigWork = append(ev.BigWork, p.P[i]-p.Pref[i][lo])
 		}
 	}
 

@@ -17,7 +17,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"setupsched/internal/num128"
 	"setupsched/sched"
@@ -52,9 +54,34 @@ type Prep struct {
 	SumS   int64 // sum of all setups
 	N      int64 // PJ + SumS
 	SPT    int64 // max_i (s_i + tmax_i)
+
+	// SoA eval layout.  The dual tests classify a class's jobs by monotone
+	// thresholds on t (big jobs, the K set, the preemptive C*), so with the
+	// jobs sorted ascending every classification is a binary search and
+	// every classified work sum is one prefix-sum difference — the per-probe
+	// cost drops from O(n) to O(c log(max_i |C_i|)).
+	//
+	// Sorted[i] holds class i's processing times ascending; Pref[i] has
+	// length len(Sorted[i])+1 with Pref[i][k] = Sorted[i][0] + ... +
+	// Sorted[i][k-1] (so Pref[i][len] = P[i]).  Both are carved from flat
+	// arenas by the cold Prepare; Inc replaces only a touched class's
+	// segments.  Job sums are exact int64 and addition is commutative, so
+	// every quantity read off this layout is bit-identical to the
+	// original-order walk it replaces.
+	Sorted [][]int64
+	Pref   [][]int64
+	// SptOrder lists the class indices ordered by ascending
+	// (Setups[i]+TMaxC[i], i).  Classes form a suffix of this order exactly
+	// when they can demand machines at a guess T (2*(s_i+tmax_i) > T), so
+	// the warm-probe fast path walks only that suffix; the last entry also
+	// yields SPT, which is how Inc maintains the maximum under removals.
+	SptOrder []int32
 }
 
-// Prepare computes the shared per-instance data in O(n).
+// Prepare computes the shared per-instance data in O(n log(max_i |C_i|))
+// — one pass for the sums plus the per-class job sort of the SoA eval
+// layout.  The sort is paid once per instance; it buys O(c log) dual-test
+// probes, which dominate every search.
 func Prepare(in *sched.Instance) *Prep {
 	p := &Prep{
 		In:     in,
@@ -80,7 +107,78 @@ func Prepare(in *sched.Instance) *Prep {
 		p.NJob += len(c.Jobs)
 	}
 	p.N = p.PJ + p.SumS
+	p.buildSoA()
 	return p
+}
+
+// buildSoA constructs the sorted-jobs/prefix-sum arrays and the spt class
+// order from the instance.  The per-class slices are carved out of two
+// flat arenas so the whole layout is three allocations plus the slice
+// headers.
+func (p *Prep) buildSoA() {
+	in := p.In
+	sortedArena := make([]int64, p.NJob)
+	prefArena := make([]int64, p.NJob+p.C)
+	p.Sorted = make([][]int64, p.C)
+	p.Pref = make([][]int64, p.C)
+	so, po := 0, 0
+	for i := range in.Classes {
+		jobs := in.Classes[i].Jobs
+		seg := sortedArena[so : so+len(jobs) : so+len(jobs)]
+		copy(seg, jobs)
+		slices.Sort(seg)
+		pseg := prefArena[po : po+len(jobs)+1 : po+len(jobs)+1]
+		fillPrefix(pseg, seg)
+		p.Sorted[i] = seg
+		p.Pref[i] = pseg
+		so += len(jobs)
+		po += len(jobs) + 1
+	}
+	p.SptOrder = make([]int32, p.C)
+	for i := range p.SptOrder {
+		p.SptOrder[i] = int32(i)
+	}
+	slices.SortFunc(p.SptOrder, func(a, b int32) int {
+		ba, bb := p.Setups[a]+p.TMaxC[a], p.Setups[b]+p.TMaxC[b]
+		if ba != bb {
+			return cmp.Compare(ba, bb)
+		}
+		return cmp.Compare(a, b)
+	})
+}
+
+// classSoA (re)computes one class's sorted segment and prefix sums into
+// fresh slices; Inc uses it to replace a touched class's layout.
+func classSoA(jobs []int64) (sorted, pref []int64) {
+	sorted = make([]int64, len(jobs))
+	copy(sorted, jobs)
+	slices.Sort(sorted)
+	pref = make([]int64, len(jobs)+1)
+	fillPrefix(pref, sorted)
+	return sorted, pref
+}
+
+func fillPrefix(pref, sorted []int64) {
+	var sum int64
+	pref[0] = 0
+	for k, t := range sorted {
+		sum += t
+		pref[k+1] = sum
+	}
+}
+
+// lowerBound64 returns the first index with a[idx] >= v (len(a) if none).
+func lowerBound64(a []int64, v int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // TMin returns the variant-specific trivial lower bound on OPT.

@@ -66,6 +66,12 @@ type bracket struct {
 	// seeded records that a Ctl.Seed hi-guess was confirmed by its probe
 	// (a warm hit); surfaced as Result.SeedUsed.
 	seeded bool
+	// batch, when set, decides a whole speculative batch in one call —
+	// one shared sweep over the classes instead of per-guess goroutine
+	// fan-out.  probeBatch then never runs the serial test function
+	// concurrently, which is what lets that function use a per-solve
+	// eval scratch.  Outcomes must be bit-identical to per-guess tests.
+	batch func([]sched.Rat) []bool
 }
 
 // seedNarrow probes the Ctl's warm-start guesses, narrowing the bracket
@@ -213,6 +219,19 @@ func (br *bracket) probeBatch(test func(sched.Rat) bool, Ts []sched.Rat) []specP
 	case 1:
 		out[0].ok = test(out[0].T)
 		br.end(out[0].T, out[0].ok)
+		return out
+	}
+	if br.batch != nil {
+		Ts2 := make([]sched.Rat, len(out))
+		for i := range out {
+			Ts2[i] = out[i].T
+		}
+		for i, ok := range br.batch(Ts2) {
+			out[i].ok = ok
+		}
+		for _, pr := range out {
+			br.end(pr.T, pr.ok)
+		}
 		return out
 	}
 	workers := br.ctl.width()
@@ -508,6 +527,18 @@ func (p *Prep) SolveEps(ctl Ctl, v sched.Variant, eps float64) (*Result, error) 
 	test, build, name := p.dualFor(v)
 	tmin := p.TMin(v)
 	br := &bracket{lo: tmin, hi: sched.R(p.N), ctl: ctl}
+	if v != sched.Splittable && v != sched.Preemptive {
+		// Non-preemptive probes route through the reusable eval scratch;
+		// speculative batches go through the shared class sweep, which
+		// keeps the scratch-using serial test single-threaded.
+		sc := p.evalScratchFor(ctl)
+		test = func(T sched.Rat) bool { return p.EvalNonpScratch(T, sc).OK }
+		build = func(T sched.Rat) (*sched.Schedule, error) {
+			return p.buildNonpWith(ctl, p.EvalNonpScratch(T, sc))
+		}
+		var bsc NonpBatchScratch
+		br.batch = func(Ts []sched.Rat) []bool { return p.EvalNonpBatch(Ts, &bsc) }
+	}
 	if br.probe(test, tmin) {
 		if err := br.checkpoint(); err != nil {
 			return nil, err
@@ -594,6 +625,18 @@ func (p *Prep) buildNonpWith(ctl Ctl, ev *NonpEval) (*sched.Schedule, error) {
 		return p.BuildNonpScratch(ev, &ctl.Scratch.Nonp)
 	}
 	return p.BuildNonp(ev)
+}
+
+// evalScratchFor returns the Ctl's lent eval scratch, or a fresh
+// per-solve one.  Either way the scratch is only ever used from the
+// solve's coordinating goroutine (speculative batches run through
+// bracket.batch, not the serial test), so a lent scratch needs the same
+// caller-side serialization as the build scratch it rides in.
+func (p *Prep) evalScratchFor(ctl Ctl) *NonpEvalScratch {
+	if ctl.Scratch != nil {
+		return &ctl.Scratch.Eval
+	}
+	return &NonpEvalScratch{}
 }
 
 // dualFor returns the dual test and builder for a variant.
@@ -778,16 +821,22 @@ func (p *Prep) SolveNonpSearch(ctl Ctl) (*Result, error) {
 		s := p.oneJobPerMachine(sched.NonPreemptive)
 		return &Result{Schedule: s, T: s.T, LowerBound: s.T, Algorithm: "nonp/binsearch"}, nil
 	}
-	// The probe closure must stay free of shared mutable state: under
-	// speculation (Ctl.Parallelism > 1) it runs concurrently from several
-	// goroutines.  lastEv is therefore confined to the two serial preamble
-	// probes below, which the fast path builds from and the unsound-
-	// rejection error reports on.
+	// Every serial probe runs through the reusable eval scratch, so a
+	// warm re-solve's probes allocate nothing.  This is race-free even
+	// under speculation (Ctl.Parallelism > 1): batches route through
+	// bracket.batch — one shared sweep over the classes with its own
+	// accumulators — so the scratch-using test only ever runs from the
+	// solve's coordinating goroutine.  lastEv aliases the scratch's
+	// current eval; it is consumed (built from, or reported on) before
+	// the next probe overwrites it.
+	sc := p.evalScratchFor(ctl)
 	var lastEv *NonpEval
-	serialTest := func(T sched.Rat) bool { lastEv = p.EvalNonp(T); return lastEv.OK }
-	test := func(T sched.Rat) bool { return p.EvalNonp(T).OK }
+	serialTest := func(T sched.Rat) bool { lastEv = p.EvalNonpScratch(T, sc); return lastEv.OK }
+	test := func(T sched.Rat) bool { return p.EvalNonpScratch(T, sc).OK }
 	tmin := p.TMin(sched.NonPreemptive).Num()
 	br := &bracket{lo: sched.R(tmin), hi: sched.R(2 * tmin), ctl: ctl}
+	var bsc NonpBatchScratch
+	br.batch = func(Ts []sched.Rat) []bool { return p.EvalNonpBatch(Ts, &bsc) }
 	if br.probe(serialTest, sched.R(tmin)) {
 		if err := br.checkpoint(); err != nil {
 			return nil, err
@@ -899,7 +948,7 @@ func (p *Prep) SolveNonpSearch(ctl Ctl) (*Result, error) {
 		return nil, err
 	}
 	// lo rejected => OPT >= lo+1 = hi: the result is a true 3/2-approximation.
-	s, err := p.buildNonpWith(ctl, p.EvalNonp(sched.R(hi)))
+	s, err := p.buildNonpWith(ctl, p.EvalNonpScratch(sched.R(hi), sc))
 	if err != nil {
 		return nil, err
 	}

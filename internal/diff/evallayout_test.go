@@ -1,0 +1,32 @@
+package diff
+
+import (
+	"testing"
+
+	"setupsched/schedgen"
+)
+
+// TestCatalogEvalLayoutIdentity runs the serial-walk-vs-SoA bit-identity
+// check over the full adversarial family catalog at several sizes.  The
+// drift regimes are covered by TestDriftRegimesSessionIdentity, which
+// runs CheckEvalLayout at every solve point of every replayed trace.
+func TestCatalogEvalLayoutIdentity(t *testing.T) {
+	shapes := []schedgen.Params{
+		{M: 1, Classes: 1, JobsPer: 1, MaxSetup: 5, MaxJob: 9},
+		{M: 3, Classes: 9, JobsPer: 4, MaxSetup: 30, MaxJob: 50},
+		{M: 16, Classes: 40, JobsPer: 7, MaxSetup: 500, MaxJob: 200},
+	}
+	for _, fam := range schedgen.Families {
+		t.Run(fam.Name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				for _, shape := range shapes {
+					shape.Seed = seed
+					in := fam.Make(shape)
+					for _, msg := range CheckEvalLayout(in, seed) {
+						t.Errorf("seed %d shape %+v: %s", seed, shape, msg)
+					}
+				}
+			}
+		})
+	}
+}

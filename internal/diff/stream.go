@@ -92,6 +92,12 @@ func checkSolvePoint(ctx context.Context, sess *stream.Session, mirror *sched.In
 		violations = append(violations, fmt.Sprintf(
 			"solve point %d: incremental preparation drifted: %v", point, err))
 	}
+	// The SoA eval layout must track the reference walk on the drifted
+	// instance too — delta maintenance rebuilds the sorted/prefix arrays
+	// per touched class, and this is where a stale rebuild would surface.
+	for _, msg := range CheckEvalLayout(mirror, int64(point)) {
+		violations = append(violations, fmt.Sprintf("solve point %d: %s", point, msg))
+	}
 	fresh, err := setupsched.NewSolver(mirror)
 	if err != nil {
 		return violations, err

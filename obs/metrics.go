@@ -50,15 +50,22 @@ type Histogram struct {
 
 // NewHistogram builds a histogram over the given ascending bucket upper
 // bounds.  An implicit +Inf overflow bucket is always appended.  It
-// panics on an empty or non-ascending bound list — histogram shapes are
-// static configuration, not runtime input.
+// panics on an empty, non-finite or non-ascending bound list — histogram
+// shapes are static configuration, not runtime input.  Non-finite bounds
+// are rejected explicitly: an explicit +Inf bound would duplicate the
+// implicit overflow bucket's le="+Inf" exposition series, and a NaN
+// bound would slip through a pure ascending check (every NaN comparison
+// is false) and then swallow all observations routed to it.
 func NewHistogram(bounds ...float64) *Histogram {
 	if len(bounds) == 0 {
 		panic("obs: histogram needs at least one bucket bound")
 	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %g <= %g", i, bounds[i], bounds[i-1]))
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram bound %d is %g; bounds must be finite (the +Inf overflow bucket is implicit)", i, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %g <= %g", i, b, bounds[i-1]))
 		}
 	}
 	return &Histogram{
@@ -130,6 +137,9 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
+	if q > 1 || math.IsNaN(q) {
+		q = 1
+	}
 	target := q * float64(total)
 	if target < 1 {
 		target = 1
@@ -152,7 +162,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 			upper := h.bounds[i]
 			frac := (target - cum) / n
 			est := lower + (upper-lower)*frac
-			if m := h.Max(); m > 0 && est > m {
+			// Clamp to the tracked maximum unconditionally: with total>0
+			// a max of 0 means every sample was <= 0, and the bucket
+			// interpolation would overshoot the true quantile.
+			if m := h.Max(); est > m {
 				return m
 			}
 			return est

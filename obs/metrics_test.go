@@ -66,6 +66,55 @@ func TestHistogramOverflowBucketUsesMax(t *testing.T) {
 	}
 }
 
+// TestHistogramAllSamplesAboveFiniteBuckets pins the overflow-bucket
+// clamp: when every sample lands past the last finite bound, every
+// quantile — not just the tail — reports the tracked maximum instead of
+// interpolating into an unbounded bucket.
+func TestHistogramAllSamplesAboveFiniteBuckets(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	for _, v := range []float64{3, 7, 12, 25} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 25 {
+			t.Fatalf("Quantile(%g) = %g, want tracked max 25", q, got)
+		}
+	}
+}
+
+// TestHistogramAllZeroSamples pins the unconditional max clamp: a stream
+// of zero-valued observations must not report a quantile interpolated
+// above the largest sample.
+func TestHistogramAllZeroSamples(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets()...)
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramRejectsNonFiniteBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{1, 2, math.Inf(1)}, // would duplicate the implicit le="+Inf" series
+		{math.Inf(-1), 1},
+		{1, math.NaN(), 3}, // NaN defeats a pure ascending check
+		{},
+		{1, 1},
+		{2, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
 func TestHistogramEmptyQuantile(t *testing.T) {
 	h := NewHistogram(DefaultLatencyBuckets()...)
 	if got := h.Quantile(0.5); got != 0 {

@@ -158,16 +158,15 @@ func (r *SpanRecorder) SearchFinished(algorithm string, probes int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	now := r.now()
-	buildStart := r.lastProbeEnd
 	if r.search != nil {
 		r.search.DurUS = r.lastProbeEnd - r.search.StartUS
 		r.search.Probes = probes
-	} else {
-		buildStart = now
-	}
-	if buildStart < now {
+		// Book the build phase unconditionally: schedule construction
+		// after the accepted guess can fit inside one microsecond tick,
+		// and dropping the span then would lose the phase from
+		// PhaseDurations and the slow-solve breakdown.
 		r.root.Children = append(r.root.Children, &Span{
-			Name: "build", StartUS: buildStart, DurUS: now - buildStart,
+			Name: "build", StartUS: r.lastProbeEnd, DurUS: now - r.lastProbeEnd,
 		})
 	}
 	r.root.Algorithm = algorithm

@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"sort"
 )
 
 // Canonical is the canonical form of an instance: jobs sorted within each
@@ -31,73 +30,13 @@ type Canonical struct {
 }
 
 // Canonicalize computes the canonical form of the instance in
-// O(n log n) time.  The receiver is left untouched.
+// O(n log n) time.  The receiver is left untouched.  The canonical
+// order itself is defined by CanonicalView.Bind (the single comparator);
+// this entry point materializes the deep copy and the permutations.
 func (in *Instance) Canonicalize() *Canonical {
-	c := len(in.Classes)
-	jobOf := make([][]int, c)        // original class -> canonical job order
-	sortedJobs := make([][]int64, c) // original class -> ascending job sizes
-	for i := range in.Classes {
-		jobs := in.Classes[i].Jobs
-		idx := make([]int, len(jobs))
-		for j := range idx {
-			idx[j] = j
-		}
-		sort.SliceStable(idx, func(a, b int) bool { return jobs[idx[a]] < jobs[idx[b]] })
-		sj := make([]int64, len(jobs))
-		for pos, oj := range idx {
-			sj[pos] = jobs[oj]
-		}
-		jobOf[i] = idx
-		sortedJobs[i] = sj
-	}
-
-	ord := make([]int, c)
-	for i := range ord {
-		ord[i] = i
-	}
-	sort.SliceStable(ord, func(a, b int) bool {
-		ca, cb := &in.Classes[ord[a]], &in.Classes[ord[b]]
-		if ca.Setup != cb.Setup {
-			return ca.Setup < cb.Setup
-		}
-		ja, jb := sortedJobs[ord[a]], sortedJobs[ord[b]]
-		if len(ja) != len(jb) {
-			return len(ja) < len(jb)
-		}
-		for k := range ja {
-			if ja[k] != jb[k] {
-				return ja[k] < jb[k]
-			}
-		}
-		return false
-	})
-
-	ci := &Instance{M: in.M, Classes: make([]Class, c)}
-	jobOfCanon := make([][]int, c)
-	for k, oi := range ord {
-		ci.Classes[k] = Class{Setup: in.Classes[oi].Setup, Jobs: sortedJobs[oi]}
-		jobOfCanon[k] = jobOf[oi]
-	}
-
-	classInv := make([]int, c)
-	for k, oi := range ord {
-		classInv[oi] = k
-	}
-	jobInv := make([][]int, c)
-	for k := range jobOfCanon {
-		inv := make([]int, len(jobOfCanon[k]))
-		for pos, oj := range jobOfCanon[k] {
-			inv[oj] = pos
-		}
-		jobInv[k] = inv
-	}
-	return &Canonical{
-		Instance: ci,
-		ClassOf:  ord,
-		JobOf:    jobOfCanon,
-		classInv: classInv,
-		jobInv:   jobInv,
-	}
+	var v CanonicalView
+	v.Bind(in)
+	return v.Materialize()
 }
 
 // Fingerprint returns the hex SHA-256 of the canonical instance encoding.
@@ -124,9 +63,12 @@ func (c *Canonical) Fingerprint() string {
 // Fingerprint returns a canonical-form hash of the instance: invariant
 // under any permutation of the classes and of the jobs within a class,
 // and sensitive to the machine count, every setup time, and every job
-// processing time.
+// processing time.  It hashes through a CanonicalView, so no canonical
+// deep copy is materialized.
 func (in *Instance) Fingerprint() string {
-	return in.Canonicalize().Fingerprint()
+	var v CanonicalView
+	v.Bind(in)
+	return v.Fingerprint()
 }
 
 // Equal reports whether the two instances are identical (same machine

@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"cmp"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"slices"
+)
+
+// CanonicalView is a reusable, allocation-frugal view of an instance's
+// canonical form: the class order and per-class job sort permutations,
+// computed into buffers that later Bind calls reuse.  It answers the
+// questions the serving hot path asks on every request — the canonical
+// fingerprint, canonical-form equality against a cached instance, and
+// schedule remapping — without materializing the canonical deep copy
+// that Canonicalize builds (Materialize still produces one on demand,
+// and Canonicalize itself is implemented on top of it so there is a
+// single canonical-order comparator).
+//
+// A view is bound to one instance at a time and borrows that instance's
+// memory; the instance must not be mutated while the view is in use.
+// Not safe for concurrent use.
+type CanonicalView struct {
+	in  *Instance
+	ord []int // canonical class index -> original class index
+
+	sortedJobs [][]int64 // per original class: job sizes ascending
+	jobOf      [][]int   // per original class: canonical pos -> original job index
+
+	jobsArena []int64
+	idxArena  []int
+	buf       []byte // canonical encoding, reused by Fingerprint
+}
+
+// Bind computes the canonical view of in, reusing the view's buffers.
+// It runs the same stable sorts as Canonicalize, so every downstream
+// answer (fingerprint, materialized canonical form, remapping) is
+// identical to the deep-copy path's.
+func (v *CanonicalView) Bind(in *Instance) {
+	v.in = in
+	c := len(in.Classes)
+	njob := 0
+	for i := range in.Classes {
+		njob += len(in.Classes[i].Jobs)
+	}
+	if cap(v.ord) < c {
+		v.ord = make([]int, c)
+		v.sortedJobs = make([][]int64, c)
+		v.jobOf = make([][]int, c)
+	}
+	v.ord = v.ord[:c]
+	v.sortedJobs = v.sortedJobs[:c]
+	v.jobOf = v.jobOf[:c]
+	if cap(v.jobsArena) < njob {
+		v.jobsArena = make([]int64, njob)
+		v.idxArena = make([]int, njob)
+	}
+	off := 0
+	for i := range in.Classes {
+		jobs := in.Classes[i].Jobs
+		idx := v.idxArena[off : off+len(jobs) : off+len(jobs)]
+		for j := range idx {
+			idx[j] = j
+		}
+		slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(jobs[a], jobs[b]) })
+		sj := v.jobsArena[off : off+len(jobs) : off+len(jobs)]
+		for pos, oj := range idx {
+			sj[pos] = jobs[oj]
+		}
+		v.jobOf[i] = idx
+		v.sortedJobs[i] = sj
+		off += len(jobs)
+	}
+	for i := range v.ord {
+		v.ord[i] = i
+	}
+	slices.SortStableFunc(v.ord, func(a, b int) int {
+		ca, cb := &in.Classes[a], &in.Classes[b]
+		if ca.Setup != cb.Setup {
+			return cmp.Compare(ca.Setup, cb.Setup)
+		}
+		ja, jb := v.sortedJobs[a], v.sortedJobs[b]
+		if len(ja) != len(jb) {
+			return cmp.Compare(len(ja), len(jb))
+		}
+		return slices.Compare(ja, jb)
+	})
+}
+
+// Fingerprint returns the canonical fingerprint of the bound instance —
+// byte-identical to Canonicalize().Fingerprint(), computed over the
+// view's reusable encoding buffer.
+func (v *CanonicalView) Fingerprint() string {
+	in := v.in
+	need := 8 * (2 + len(in.Classes))
+	for i := range in.Classes {
+		need += 8 * (1 + len(in.Classes[i].Jobs))
+	}
+	if cap(v.buf) < need {
+		v.buf = make([]byte, need)
+	}
+	b := v.buf[:0]
+	b = binary.LittleEndian.AppendUint64(b, uint64(in.M))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(in.Classes)))
+	for _, oi := range v.ord {
+		b = binary.LittleEndian.AppendUint64(b, uint64(in.Classes[oi].Setup))
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(v.sortedJobs[oi])))
+		for _, t := range v.sortedJobs[oi] {
+			b = binary.LittleEndian.AppendUint64(b, uint64(t))
+		}
+	}
+	v.buf = b[:0]
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// MatchesCanonical reports whether the bound instance's canonical form
+// equals ci, which must itself be a canonical instance (as stored by a
+// result cache).  Equivalent to Materialize().Instance.Equal(ci) without
+// building the copy.
+func (v *CanonicalView) MatchesCanonical(ci *Instance) bool {
+	in := v.in
+	if ci == nil || in.M != ci.M || len(in.Classes) != len(ci.Classes) {
+		return false
+	}
+	for k, oi := range v.ord {
+		cl := &ci.Classes[k]
+		if in.Classes[oi].Setup != cl.Setup || !slices.Equal(v.sortedJobs[oi], cl.Jobs) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromCanonical translates a schedule over the canonical instance into
+// an equivalent schedule over the bound original instance, like
+// Canonical.FromCanonical.  The input is not modified; the output shares
+// nothing with the view's buffers.
+func (v *CanonicalView) FromCanonical(s *Schedule) *Schedule {
+	return remapSchedule(s, func(class, job int) (int, int) {
+		oc := v.ord[class]
+		if job < 0 {
+			return oc, job
+		}
+		return oc, v.jobOf[oc][job]
+	})
+}
+
+// CanonicalInstance builds just the canonical deep copy of the bound
+// instance — Materialize without the permutation tables.  Enough for
+// callers that only need the canonical form itself (solver preparation,
+// cache storage) and remap through the view directly.
+func (v *CanonicalView) CanonicalInstance() *Instance {
+	in := v.in
+	ci := &Instance{M: in.M, Classes: make([]Class, len(in.Classes))}
+	for k, oi := range v.ord {
+		ci.Classes[k] = Class{
+			Setup: in.Classes[oi].Setup,
+			Jobs:  slices.Clone(v.sortedJobs[oi]),
+		}
+	}
+	return ci
+}
+
+// Unbind drops the view's reference to the bound instance (the reusable
+// buffers are kept), so a pooled view does not pin the last instance it
+// served.  The view must be Bound again before use.
+func (v *CanonicalView) Unbind() { v.in = nil }
+
+// Materialize builds the full Canonical of the bound instance: the deep
+// canonical copy plus both permutation directions.  Nothing in the
+// result aliases the view's buffers, so the view may be rebound (or the
+// result retained) freely.
+func (v *CanonicalView) Materialize() *Canonical {
+	in := v.in
+	c := len(in.Classes)
+	ci := &Instance{M: in.M, Classes: make([]Class, c)}
+	jobOfCanon := make([][]int, c)
+	classInv := make([]int, c)
+	jobInv := make([][]int, c)
+	for k, oi := range v.ord {
+		ci.Classes[k] = Class{
+			Setup: in.Classes[oi].Setup,
+			Jobs:  slices.Clone(v.sortedJobs[oi]),
+		}
+		jobOfCanon[k] = slices.Clone(v.jobOf[oi])
+		classInv[oi] = k
+		inv := make([]int, len(jobOfCanon[k]))
+		for pos, oj := range jobOfCanon[k] {
+			inv[oj] = pos
+		}
+		jobInv[k] = inv
+	}
+	return &Canonical{
+		Instance: ci,
+		ClassOf:  slices.Clone(v.ord),
+		JobOf:    jobOfCanon,
+		classInv: classInv,
+		jobInv:   jobInv,
+	}
+}

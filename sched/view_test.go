@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCanonicalViewAgreesWithCanonicalize pins every view answer to the
+// deep-copy path: same fingerprint, same canonical instance, and a
+// collision check that accepts exactly the canonical forms Equal accepts.
+func TestCanonicalViewAgreesWithCanonicalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var v CanonicalView
+	for trial := 0; trial < 8; trial++ {
+		in := permute(fpTestInstance(), rng)
+		canon := in.Canonicalize()
+		v.Bind(in)
+		if got, want := v.Fingerprint(), canon.Fingerprint(); got != want {
+			t.Fatalf("view fingerprint %s != canonical %s", got, want)
+		}
+		if ci := v.CanonicalInstance(); !ci.Equal(canon.Instance) {
+			t.Fatalf("CanonicalInstance differs from Canonicalize().Instance:\n%+v\n%+v",
+				ci, canon.Instance)
+		}
+		if !v.MatchesCanonical(canon.Instance) {
+			t.Fatal("view rejects its own canonical instance")
+		}
+		other := canon.Instance.Clone()
+		other.Classes[0].Jobs[0]++
+		if v.MatchesCanonical(other) {
+			t.Fatal("view accepts a perturbed canonical instance")
+		}
+		if v.MatchesCanonical(nil) {
+			t.Fatal("view accepts nil")
+		}
+	}
+}
+
+// TestCanonicalViewRemapAgreesWithCanonical pins the view's schedule
+// remap to Canonical.FromCanonical slot for slot.
+func TestCanonicalViewRemapAgreesWithCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in := permute(fpTestInstance(), rng)
+	canon := in.Canonicalize()
+	var v CanonicalView
+	v.Bind(in)
+
+	s := &Schedule{Variant: NonPreemptive, T: R(40), Runs: make([]MachineRun, 2)}
+	for i := range canon.Instance.Classes {
+		m := i % 2
+		s.Runs[m].Count++
+		s.Runs[m].Slots = append(s.Runs[m].Slots, Slot{Kind: SlotSetup, Class: i, Job: -1, Start: R(0), End: R(1)})
+		for j := range canon.Instance.Classes[i].Jobs {
+			tl := canon.Instance.Classes[i].Jobs[j]
+			s.Runs[m].Slots = append(s.Runs[m].Slots,
+				Slot{Kind: SlotJob, Class: i, Job: j, Start: R(1), End: R(1 + tl)})
+		}
+	}
+	got, want := v.FromCanonical(s), canon.FromCanonical(s)
+	for m := range want.Runs {
+		if got.Runs[m].Count != want.Runs[m].Count ||
+			len(got.Runs[m].Slots) != len(want.Runs[m].Slots) {
+			t.Fatalf("run %d shape differs", m)
+		}
+		for k, sl := range want.Runs[m].Slots {
+			if got.Runs[m].Slots[k] != sl {
+				t.Fatalf("run %d slot %d: got %+v want %+v", m, k, got.Runs[m].Slots[k], sl)
+			}
+		}
+	}
+}
+
+// TestCanonicalViewReuseAllocs pins the serving-hot-path contract: a
+// reused view re-binds and fingerprints with nothing allocated beyond
+// the hex digest itself, independent of instance size.
+func TestCanonicalViewReuseAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := &Instance{M: 9}
+	for i := 0; i < 400; i++ {
+		cl := Class{Setup: rng.Int63n(50)}
+		for j := 0; j < 12; j++ {
+			cl.Jobs = append(cl.Jobs, 1+rng.Int63n(99))
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	var v CanonicalView
+	v.Bind(in) // warm the buffers
+	if n := testing.AllocsPerRun(50, func() { v.Bind(in) }); n != 0 {
+		t.Fatalf("warm Bind allocates %v per run, want 0", n)
+	}
+	// Fingerprint's only allocations are the fixed-size hex digest
+	// conversion (independent of the 4800-job instance).
+	if n := testing.AllocsPerRun(50, func() {
+		v.Bind(in)
+		_ = v.Fingerprint()
+	}); n > 3 {
+		t.Fatalf("warm Bind+Fingerprint allocates %v per run, want <= 3", n)
+	}
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"setupsched/sched"
+	"setupsched/schedgen"
+)
+
+// TestCacheHitAllocsDoNotScaleWithClasses pins the fingerprint bugfix: a
+// cache hit fingerprints and collision-checks through the pooled
+// canonical view instead of materializing the canonical deep copy, so
+// hit-path allocations must not grow with the class count (the deep copy
+// costs one Jobs clone per class — thousands of allocations on the big
+// instance below).
+func TestCacheHitAllocsDoNotScaleWithClasses(t *testing.T) {
+	s := New(Config{})
+	mk := func(classes int) *sched.Instance {
+		return schedgen.Uniform(schedgen.Params{
+			M: 4, Classes: classes, JobsPer: 3, MaxSetup: 20, MaxJob: 30, Seed: 5,
+		})
+	}
+	hitAllocs := func(in *sched.Instance) float64 {
+		req := &SolveRequest{Instance: in, Variant: "nonp"}
+		if resp := s.solve(context.Background(), req, nil); resp.Error != "" {
+			t.Fatalf("cold solve: %s", resp.Error)
+		}
+		var resp *SolveResponse
+		n := testing.AllocsPerRun(20, func() {
+			resp = s.solve(context.Background(), req, nil)
+		})
+		if resp == nil || resp.Error != "" || !resp.Cached {
+			t.Fatalf("warm solve was not a clean cache hit: %+v", resp)
+		}
+		return n
+	}
+	small, big := hitAllocs(mk(64)), hitAllocs(mk(2048))
+	if big > small+256 {
+		t.Fatalf("cache-hit allocations scale with classes: %v at 64 classes, %v at 2048",
+			small, big)
+	}
+}

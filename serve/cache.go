@@ -47,11 +47,13 @@ func newResultCache(st shard.Store, capacity int, hits, misses, evictions *obs.C
 	}
 }
 
-// get returns the entry for key whose canonical instance equals canon,
-// promoting it to most recently used.  A key match with a different
-// canonical instance (a fingerprint collision) counts as a miss and is
-// not promoted.
-func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
+// get returns the entry for key whose stored canonical instance
+// satisfies matches, promoting it to most recently used.  The predicate
+// is the fingerprint-collision defense: callers pass an exact
+// canonical-form comparison (sched.CanonicalView.MatchesCanonical, so no
+// canonical copy is materialized on the hit path); a key match that
+// fails it counts as a miss and is not promoted.
+func (c *resultCache) get(key string, matches func(*sched.Instance) bool) *cacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.st.Get(key)
@@ -60,7 +62,7 @@ func (c *resultCache) get(key string, canon *sched.Instance) *cacheEntry {
 		return nil
 	}
 	e := v.(*cacheEntry)
-	if !e.canon.Equal(canon) {
+	if !matches(e.canon) {
 		c.misses.Inc()
 		return nil
 	}

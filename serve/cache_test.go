@@ -15,6 +15,12 @@ func entry(key string, m int64) *cacheEntry {
 	return &cacheEntry{key: key, canon: in, result: &setupsched.Result{}}
 }
 
+// matching adapts an expected canonical instance to the collision-check
+// predicate get takes (the server passes CanonicalView.MatchesCanonical).
+func matching(want *sched.Instance) func(*sched.Instance) bool {
+	return want.Equal
+}
+
 // testResultCache builds a cache with fresh standalone counters, as New
 // does with registry-backed ones.
 func testResultCache(capacity int) *resultCache {
@@ -27,7 +33,7 @@ func TestCacheLRUEviction(t *testing.T) {
 		c.put(entry(fmt.Sprintf("k%d", i), int64(i+1)))
 	}
 	// k0 is the oldest and must have been evicted.
-	if got := c.get("k0", entry("k0", 1).canon); got != nil {
+	if got := c.get("k0", matching(entry("k0", 1).canon)); got != nil {
 		t.Fatal("expected k0 to be evicted")
 	}
 	size, capacity := c.size()
@@ -38,14 +44,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 
 	// Touching k1 promotes it; the next eviction must take k2 instead.
-	if got := c.get("k1", entry("k1", 2).canon); got == nil {
+	if got := c.get("k1", matching(entry("k1", 2).canon)); got == nil {
 		t.Fatal("expected k1 hit")
 	}
 	c.put(entry("k4", 5))
-	if got := c.get("k1", entry("k1", 2).canon); got == nil {
+	if got := c.get("k1", matching(entry("k1", 2).canon)); got == nil {
 		t.Fatal("k1 evicted despite recent use")
 	}
-	if got := c.get("k2", entry("k2", 3).canon); got != nil {
+	if got := c.get("k2", matching(entry("k2", 3).canon)); got != nil {
 		t.Fatal("expected k2 to be evicted")
 	}
 }
@@ -55,7 +61,7 @@ func TestCacheCollisionDefense(t *testing.T) {
 	c.put(entry("k", 1))
 	// Same key, different canonical instance: must miss, never return the
 	// other instance's result.
-	if got := c.get("k", entry("k", 2).canon); got != nil {
+	if got := c.get("k", matching(entry("k", 2).canon)); got != nil {
 		t.Fatal("cache returned an entry for a mismatched canonical instance")
 	}
 }
@@ -67,7 +73,7 @@ func TestCacheReplaceAndRemove(t *testing.T) {
 	if size, _ := c.size(); size != 1 {
 		t.Fatalf("size after replace = %d, want 1", size)
 	}
-	if got := c.get("k", entry("k", 2).canon); got == nil {
+	if got := c.get("k", matching(entry("k", 2).canon)); got == nil {
 		t.Fatal("expected replaced entry to match new canonical instance")
 	}
 	c.remove("k")

@@ -75,6 +75,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -525,6 +526,12 @@ func (s *Server) maybeLogSlow(elapsed time.Duration, resp *SolveResponse, fallba
 	obs.LogSlowSolve(s.logger, elapsed, fp, resp.Variant, resp.Algorithm, resp.Probes, resp.spanRoot)
 }
 
+// viewPool recycles canonical views across requests: a view's sort
+// permutations, arenas and encoding buffer are reused, so fingerprinting
+// a steady-state request stream allocates nothing proportional to the
+// instance.  Views are borrowed for the duration of one solve only.
+var viewPool = sync.Pool{New: func() any { return new(sched.CanonicalView) }}
+
 func (s *Server) solve(ctx context.Context, req *SolveRequest, rec *obs.SpanRecorder) *SolveResponse {
 	v, err := parseVariant(req.Variant)
 	if err != nil {
@@ -553,15 +560,21 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, rec *obs.SpanReco
 		return errResponse(http.StatusBadRequest, err.Error())
 	}
 
-	canon := req.Instance.Canonicalize()
-	fp := canon.Fingerprint()
+	// Fingerprint through a pooled canonical view: the hot path (and in
+	// particular every cache hit) never materializes the canonical deep
+	// copy that Canonicalize builds — the view answers the fingerprint,
+	// the collision check and the schedule remap out of reusable buffers.
+	view := viewPool.Get().(*sched.CanonicalView)
+	defer func() { view.Unbind(); viewPool.Put(view) }()
+	view.Bind(req.Instance)
+	fp := view.Fingerprint()
 	key := cacheKey(fp, v, algo, req.Epsilon)
 	useCache := s.cache != nil && !req.NoCache
 
 	if useCache {
-		if e := s.cache.get(key, canon.Instance); e != nil {
+		if e := s.cache.get(key, view.MatchesCanonical); e != nil {
 			res := *e.result
-			res.Schedule = canon.FromCanonical(e.result.Schedule)
+			res.Schedule = view.FromCanonical(e.result.Schedule)
 			if err := setupsched.Verify(req.Instance, v, &res); err == nil {
 				return s.respond(req, v, fp, &res, true)
 			}
@@ -570,6 +583,11 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, rec *obs.SpanReco
 			s.cache.remove(key)
 		}
 	}
+
+	// A miss pays for the canonical deep copy after all: the solver cache
+	// and the result cache both store the canonical instance beyond this
+	// request's lifetime, which the borrowed view cannot provide.
+	canonIn := view.CanonicalInstance()
 
 	// Solve the canonical form on the shared per-fingerprint Solver, so
 	// permutation-equivalent traffic reuses one O(n) preparation.  The
@@ -580,7 +598,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, rec *obs.SpanReco
 	if rec != nil {
 		stopPrepare = rec.StartPhase("prepare")
 	}
-	solver, err := s.solverFor(fp, canon.Instance)
+	solver, err := s.solverFor(fp, canonIn)
 	if stopPrepare != nil {
 		stopPrepare()
 	}
@@ -613,7 +631,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, rec *obs.SpanReco
 		return s.solveError(err)
 	}
 	res := *canonRes
-	res.Schedule = canon.FromCanonical(canonRes.Schedule)
+	res.Schedule = view.FromCanonical(canonRes.Schedule)
 	if err := setupsched.Verify(req.Instance, v, &res); err != nil {
 		return errResponse(http.StatusInternalServerError,
 			"internal error: solver produced an invalid schedule: "+err.Error())
@@ -625,7 +643,7 @@ func (s *Server) solve(ctx context.Context, req *SolveRequest, rec *obs.SpanReco
 		// response serves.
 		cached := *canonRes
 		cached.Trace = nil
-		s.cache.put(&cacheEntry{key: key, canon: canon.Instance, result: &cached})
+		s.cache.put(&cacheEntry{key: key, canon: canonIn, result: &cached})
 	}
 	return s.respond(req, v, fp, &res, false)
 }
@@ -733,11 +751,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // batchItem carries one NDJSON line through the worker pool together with
-// the channel its response must be delivered on.
+// the channel its response must be delivered on.  The line buffer is
+// borrowed from lineBufPool; the worker that decodes it returns it.
 type batchItem struct {
-	line []byte
+	line *[]byte
 	out  chan *SolveResponse
 }
+
+// lineBufPool recycles the per-line copy a batch reader must take before
+// the scanner overwrites its window: steady-state batch decoding reuses
+// a small set of buffers instead of allocating one per item.
+var lineBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // handleBatch streams solves: it reads NDJSON SolveRequests, dispatches
 // them to a pool of cfg.Workers goroutines, and writes NDJSON
@@ -776,7 +800,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			for it := range jobs {
 				var req SolveRequest
-				if err := json.Unmarshal(it.line, &req); err != nil {
+				err := json.Unmarshal(*it.line, &req)
+				lineBufPool.Put(it.line)
+				if err != nil {
 					s.metrics.errors.Inc()
 					it.out <- &SolveResponse{Error: "decoding request: " + err.Error()}
 					continue
@@ -799,7 +825,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			s.metrics.batchItems.Inc()
-			it := batchItem{line: append([]byte(nil), line...), out: make(chan *SolveResponse, 1)}
+			buf := lineBufPool.Get().(*[]byte)
+			*buf = append((*buf)[:0], line...)
+			it := batchItem{line: buf, out: make(chan *SolveResponse, 1)}
 			order <- it.out
 			jobs <- it
 		}

@@ -461,9 +461,14 @@ func TestBatchPreservesOrderUnderConcurrency(t *testing.T) {
 // heavyInstance is shaped so a single preemptive dual test costs several
 // milliseconds (n = 5e5): a 1ms timeout has expired by the time the first
 // probe finishes, so the pre-build checkpoint reliably aborts the solve.
+// heavyInstance is shaped so a single dual-test probe takes milliseconds:
+// the per-probe cost is Ω(classes) regardless of the eval data layout, so
+// many tiny classes (rather than few large ones, which the SoA eval now
+// probes in microseconds) keep the timeout paths reliably triggerable.
+// The class count is capped by what fits one NDJSON batch line (8 MiB).
 func heavyInstance() *sched.Instance {
 	return schedgen.ExpensiveSetups(schedgen.Params{
-		M: 512, Classes: 2000, JobsPer: 500, MaxSetup: 100000, MaxJob: 1000, Seed: 7,
+		M: 512, Classes: 150000, JobsPer: 2, MaxSetup: 100000, MaxJob: 1000, Seed: 7,
 	})
 }
 

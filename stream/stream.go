@@ -118,7 +118,8 @@ type Session struct {
 	mu      chanMutex
 	in      *sched.Instance // owned private copy
 	inc     *core.Inc
-	scratch core.BuildScratch // reusable builder memory (guarded by mu)
+	scratch core.BuildScratch   // reusable builder memory (guarded by mu)
+	fpView  sched.CanonicalView // reusable fingerprint view (guarded by mu)
 
 	rev        uint64
 	machEpoch  uint64
@@ -175,14 +176,19 @@ func (s *Session) Instance() *sched.Instance {
 }
 
 // Fingerprint returns the canonical-form fingerprint of the current
-// instance (an O(n) pass; see sched.Instance.Fingerprint).  The context
-// cancels the wait for the session lock behind a long-running solve.
+// instance (an O(n log n) pass through the session's reusable canonical
+// view, so repeated calls allocate nothing beyond the hex digest).  The
+// context cancels the wait for the session lock behind a long-running
+// solve.
 func (s *Session) Fingerprint(ctx context.Context) (string, error) {
 	if err := s.mu.lockCtx(ctx); err != nil {
 		return "", err
 	}
 	defer s.mu.unlock()
-	return s.in.Fingerprint(), nil
+	s.fpView.Bind(s.in)
+	fp := s.fpView.Fingerprint()
+	s.fpView.Unbind()
+	return fp, nil
 }
 
 // Rev returns the session revision: the number of applied deltas.
