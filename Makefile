@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke metrics-smoke loadtest-smoke serve clean
+.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke metrics-smoke loadtest-smoke quality-smoke quality-json serve clean
 
 all: vet build test
 
@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFingerprintCanonicalRoundTrip -fuzztime=$(FUZZTIME) ./sched
 	$(GO) test -run='^$$' -fuzz=FuzzVerifySchedule -fuzztime=$(FUZZTIME) .
 	$(GO) test -run='^$$' -fuzz=FuzzSessionDeltas -fuzztime=$(FUZZTIME) ./stream
+	$(GO) test -run='^$$' -fuzz=FuzzExactSandwich -fuzztime=$(FUZZTIME) ./internal/exact
 
 # A short differential soak: every schedgen family through all nine
 # algorithms with guarantee checking (see cmd/schedstress).
@@ -99,6 +100,23 @@ loadtest-smoke:
 	$(GO) run ./cmd/schedload -validate /tmp/bench_serve.json
 	$(GO) run ./cmd/schedload -validate BENCH_serve.json
 	@echo "loadtest-smoke: ok"
+
+# Approximation-quality smoke: validate the committed BENCH_quality.json
+# (schema + every recorded worst ratio within its paper guarantee, exact
+# rational compare), then re-sweep a seed subset with the current binary
+# and fail if any family's worst measured ratio regressed against the
+# committed baseline (see cmd/schedquality).
+QUALITY_SEEDS ?= 4
+quality-smoke:
+	$(GO) run ./cmd/schedquality -validate BENCH_quality.json
+	$(GO) run ./cmd/schedquality -gate -baseline BENCH_quality.json -seeds $(QUALITY_SEEDS)
+	@echo "quality-smoke: ok"
+
+# Regenerate the committed approximation-quality baseline (full seed
+# sweep; see README "Approximation quality").
+quality-json:
+	$(GO) run ./cmd/schedquality -seeds 12 -workers 8 -o BENCH_quality.json
+	$(GO) run ./cmd/schedquality -validate BENCH_quality.json
 
 serve:
 	$(GO) run ./cmd/schedserve

@@ -64,6 +64,7 @@ func run() int {
 	crossCheck := flag.Int("crosscheck", 0, "if > 1, also verify the parallel engine (fan-out + speculative probing at this width) is bit-identical to the serial path")
 	duration := flag.Duration("duration", 0, "keep sweeping fresh seeds until this much time has passed (0 = one sweep)")
 	eps := flag.Float64("eps", diff.DefaultEpsilon, "accuracy of the eps-search specs")
+	exactBudget := flag.Int64("exactbudget", 0, "if > 0, run the branch-and-bound exact reference per instance with this node budget (true-ratio checks where it converges, certified OPT brackets where it does not)")
 	maxViol := flag.Int("maxviol", 20, "stop after this many violations (0 = unlimited)")
 	drift := flag.Bool("drift", false, "soak the streaming session layer on drift traces instead of stateless instances")
 	regimes := flag.String("regimes", "all", "with -drift: comma-separated drift regimes, or 'all'")
@@ -140,7 +141,8 @@ func run() int {
 		cfg := diff.Config{
 			Families: fams, Profiles: profs,
 			Seeds: *seeds, SeedBase: *seedBase + int64(rounds)*(*seeds),
-			Epsilon: *eps, Workers: *workers, MaxViolations: *maxViol,
+			Epsilon: *eps, ExactNodeBudget: *exactBudget,
+			Workers: *workers, MaxViolations: *maxViol,
 			Parallelism: *parallelism, CrossCheckParallel: *crossCheck,
 			Observe: hist.ObserveDuration,
 			Progress: func(instances, solves int64, violations int) {
@@ -255,6 +257,7 @@ func merge(dst, src *diff.Summary) {
 	dst.Solves += src.Solves
 	dst.ExactNonp += src.ExactNonp
 	dst.ExactSplit += src.ExactSplit
+	dst.BBBrackets += src.BBBrackets
 	dst.Fallbacks += src.Fallbacks
 	for name, r := range src.MaxRatioVsLB {
 		if r > dst.MaxRatioVsLB[name] {
@@ -267,8 +270,8 @@ func merge(dst, src *diff.Summary) {
 func report(sum *diff.Summary, rounds int, elapsed time.Duration) {
 	fmt.Printf("schedstress: %d instances, %d solves in %d round(s), %.1fs\n",
 		sum.Instances, sum.Solves, rounds, elapsed.Seconds())
-	fmt.Printf("  exact references: %d non-preemptive, %d splittable; %d fallback runs\n",
-		sum.ExactNonp, sum.ExactSplit, sum.Fallbacks)
+	fmt.Printf("  exact references: %d non-preemptive, %d splittable, %d B&B brackets; %d fallback runs\n",
+		sum.ExactNonp, sum.ExactSplit, sum.BBBrackets, sum.Fallbacks)
 
 	names := make([]string, 0, len(sum.MaxRatioVsLB))
 	for name := range sum.MaxRatioVsLB {

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	. "setupsched/internal/core"
+	"setupsched/internal/exact"
+	"setupsched/sched"
+)
+
+// TestBoundaryInstances places values exactly on the partition thresholds
+// (s = T/2, s = T/4, s+t = T/2, s+P = 3/4T, t = T/2) and sweeps guesses.
+func TestBoundaryInstances(t *testing.T) {
+	const T = 40
+	in := &sched.Instance{M: 4, Classes: []sched.Class{
+		{Setup: T / 2, Jobs: []int64{T / 2}},        // s = T/2 exactly, s+t = T
+		{Setup: T / 4, Jobs: []int64{T / 4}},        // s = T/4 exactly, s+t = T/2
+		{Setup: T/4 - 1, Jobs: []int64{T/4 + 1, 3}}, // s+t = T/2 exactly
+		{Setup: T/2 + 1, Jobs: []int64{T/4 - 1, 4}}, // expensive, s+P = 3/4T - ish
+	}}
+	p := Prepare(in)
+	optN, errN := exact.NonPreemptive(in)
+	for guess := int64(1); guess <= 2*T; guess++ {
+		TR := sched.R(guess)
+		for _, run := range []struct {
+			name string
+			eval func() (bool, func() (*sched.Schedule, error))
+		}{
+			{"split", func() (bool, func() (*sched.Schedule, error)) {
+				ev := p.EvalSplit(TR, nil)
+				return ev.OK, func() (*sched.Schedule, error) { return p.BuildSplit(ev) }
+			}},
+			{"pmtn", func() (bool, func() (*sched.Schedule, error)) {
+				ev := p.EvalPmtn(TR, nil)
+				return ev.OK, func() (*sched.Schedule, error) { return p.BuildPmtn(ev) }
+			}},
+			{"nonp", func() (bool, func() (*sched.Schedule, error)) {
+				ev := p.EvalNonp(TR)
+				return ev.OK, func() (*sched.Schedule, error) { return p.BuildNonp(ev) }
+			}},
+		} {
+			ok, build := run.eval()
+			if !ok {
+				if run.name == "nonp" && errN == nil && guess >= optN {
+					t.Fatalf("%s rejected T=%d >= OPT=%d", run.name, guess, optN)
+				}
+				continue
+			}
+			s, err := build()
+			if err != nil {
+				t.Fatalf("%s at T=%d: %v", run.name, guess, err)
+			}
+			if err := s.Validate(in); err != nil {
+				t.Fatalf("%s at T=%d: %v", run.name, guess, err)
+			}
+			if err := s.CheckMakespanAtMost(TR.MulInt(3).Half()); err != nil {
+				t.Fatalf("%s at T=%d: %v", run.name, guess, err)
+			}
+		}
+	}
+}

@@ -1,10 +1,11 @@
-package core
+package core_test
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
 
+	. "setupsched/internal/core"
 	"setupsched/internal/exact"
 	"setupsched/sched"
 	"setupsched/schedgen"

@@ -1,11 +1,25 @@
-package core
+package core_test
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
+	. "setupsched/internal/core"
 	"setupsched/sched"
 )
+
+// sortRats mirrors the unexported core helper: sort ascending, dedupe.
+func sortRats(rs []sched.Rat) []sched.Rat {
+	sort.Slice(rs, func(a, b int) bool { return rs[a].Less(rs[b]) })
+	out := rs[:0]
+	for i, r := range rs {
+		if i == 0 || !r.Equal(out[len(out)-1]) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
 
 // TestSplitIntervalEvalConsistency verifies the foundation of the Class
 // Jumping closing step: on an open interval between adjacent breakpoints

@@ -504,6 +504,12 @@ func (p *Prep) SolveNonp2(ctl Ctl, v sched.Variant) (*Result, error) {
 	return &Result{Schedule: s, T: s.T, LowerBound: p.TMin(v), Algorithm: v.Short() + "/2approx"}, nil
 }
 
+// EpsRat exposes the rational tolerance SolveEps actually searches with
+// for a float eps: the guarantee the eps-search certifies is
+// (3/2)(1 + EpsRat(eps)), so exact guarantee checks must compare against
+// this value, not against the float the caller passed.
+func EpsRat(eps float64) sched.Rat { return epsToRat(eps) }
+
 // epsToRat converts a float tolerance to a rational (rounded up slightly).
 func epsToRat(eps float64) sched.Rat {
 	if eps <= 0 {

@@ -1,8 +1,10 @@
 // Package diff is the differential guarantee-checking harness: it runs
 // every paper algorithm on generated instances through the public Solver
-// API and cross-checks the results against each other, against exhaustive
-// optima (internal/exact, when the instance is small enough), and against
-// the classical baselines (internal/baseline).
+// API and cross-checks the results against each other, against exact
+// references (the exhaustive search on tiny instances and, with a node
+// budget configured, the branch-and-bound backend — which contributes a
+// true optimum when it converges and a certified OPT bracket when it
+// does not), and against the classical baselines (internal/baseline).
 //
 // For every instance it asserts, per algorithm:
 //
@@ -43,6 +45,7 @@ import (
 
 	"setupsched"
 	"setupsched/internal/baseline"
+	"setupsched/internal/core"
 	"setupsched/internal/exact"
 	"setupsched/sched"
 	"setupsched/schedgen"
@@ -61,8 +64,8 @@ type Spec struct {
 	Epsilon float64
 	// GuarNum/GuarDen is the paper guarantee as an exact rational (2/1 or
 	// 3/2).  For EpsilonSearch the effective bound is
-	// (GuarNum/GuarDen)*(1+Epsilon), compared in floats with relative
-	// slack 1e-9; the exact rationals are compared exactly.
+	// (GuarNum/GuarDen)*(1+core.EpsRat(Epsilon)); every guarantee check
+	// compares exact rationals, never floats.
 	GuarNum, GuarDen int64
 }
 
@@ -138,9 +141,18 @@ type Report struct {
 	Jobs        int
 	Classes     int
 	Machines    int64
-	// OptNonp is the exhaustive non-preemptive optimum, or -1 when the
-	// instance exceeds the exact-search budget.
+	// OptNonp is the exact non-preemptive optimum — from the exhaustive
+	// search on tiny instances, from the branch-and-bound reference when a
+	// node budget is configured and it converges — or -1 when neither
+	// applies.
 	OptNonp int64
+	// NonpLo/NonpHi is the certified bracket NonpLo <= OPT_nonp <= NonpHi
+	// the branch-and-bound reference reached (equal to OptNonp when it
+	// converged, a strict bracket when its node budget ran out, 0 when the
+	// reference did not run).  The bracket powers the same soundness
+	// checks as an exact optimum, just one-sided: lower bounds must not
+	// exceed NonpHi, makespans must not undercut NonpLo.
+	NonpLo, NonpHi int64
 	// OptSplit is the exhaustive splittable optimum when HasOptSplit.
 	OptSplit    sched.Rat
 	HasOptSplit bool
@@ -164,6 +176,14 @@ func wantExactSplit(in *sched.Instance) bool {
 	return in.M <= 4 && len(in.Classes) <= 4
 }
 
+// wantExactBB gates the branch-and-bound reference during a sweep: the
+// backend's own gate is memory-only, so a job cap keeps the per-instance
+// soak cost bounded (an exhausted node budget still yields a usable
+// certified bracket, it just burns the whole budget first).
+func wantExactBB(in *sched.Instance) bool {
+	return in.NumJobs() <= 512
+}
+
 // CheckInstance runs every spec on the instance and cross-checks the
 // results.  Violations are reported in the Report, not as an error; the
 // error return is reserved for infrastructure failures (context
@@ -177,6 +197,18 @@ func CheckInstance(ctx context.Context, in *sched.Instance, eps float64) (*Repor
 // (<= 1 is fully serial).  The fan-out path returns bit-identical results
 // to the serial loop, so the checks are width-independent.
 func CheckInstanceParallel(ctx context.Context, in *sched.Instance, eps float64, parallelism int) (*Report, error) {
+	return CheckInstanceBudget(ctx, in, eps, parallelism, 0)
+}
+
+// CheckInstanceBudget is CheckInstanceParallel with a branch-and-bound
+// node budget: when nodeBudget > 0, instances beyond the exhaustive gate
+// (up to the wantExactBB job cap) also get an exact reference from the
+// RefExact backend.  When it converges, its optimum feeds the same
+// differential checks as the exhaustive one — and is pinned against the
+// exhaustive optimum where both apply; when the budget runs out, the
+// certified bracket it returns still bounds every certified lower bound
+// from above and every schedule makespan from below.
+func CheckInstanceBudget(ctx context.Context, in *sched.Instance, eps float64, parallelism int, nodeBudget int64) (*Report, error) {
 	solver, err := setupsched.NewSolver(in)
 	if err != nil {
 		return nil, err
@@ -203,6 +235,26 @@ func CheckInstanceParallel(ctx context.Context, in *sched.Instance, eps float64,
 		case err == nil:
 			rep.OptSplit, rep.HasOptSplit = opt, true
 		case !errors.Is(err, exact.ErrTooLarge):
+			return nil, err
+		}
+	}
+	// Branch-and-bound reference, when a node budget allows it.
+	if nodeBudget > 0 && wantExactBB(in) {
+		switch res, err := exact.BranchBound(ctx, in, nodeBudget); {
+		case err == nil:
+			if rep.OptNonp >= 0 && rep.OptNonp != res.Opt {
+				rep.violate("branch-and-bound optimum %d disagrees with exhaustive optimum %d", res.Opt, rep.OptNonp)
+			}
+			rep.OptNonp = res.Opt
+			rep.NonpLo, rep.NonpHi = res.Opt, res.Opt
+		case errors.Is(err, exact.ErrBudget):
+			var be *exact.BudgetError
+			if errors.As(err, &be) {
+				rep.NonpLo, rep.NonpHi = be.Lo, be.Hi
+			}
+		case errors.Is(err, exact.ErrTooLarge):
+			// Beyond the backend's memory gate: no reference for this one.
+		default:
 			return nil, err
 		}
 	}
@@ -284,6 +336,11 @@ func checkRun(rep *Report, in *sched.Instance, run AlgoRun, res *setupsched.Resu
 		if rep.OptNonp >= 0 {
 			o := sched.R(rep.OptNonp)
 			optLo, optHi, haveLo, haveHi = o, o, true, true
+		} else if rep.NonpLo >= 1 {
+			// The branch-and-bound bracket is one-sided but sound in both
+			// directions: Lo <= OPT (for the beats-optimum check) and
+			// OPT <= Hi (for the unsound-certificate check).
+			optLo, optHi, haveLo, haveHi = sched.R(rep.NonpLo), sched.R(rep.NonpHi), true, true
 		}
 	case sched.Preemptive:
 		if rep.HasOptSplit {
@@ -291,6 +348,8 @@ func checkRun(rep *Report, in *sched.Instance, run AlgoRun, res *setupsched.Resu
 		}
 		if rep.OptNonp >= 0 {
 			optHi, haveHi = sched.R(rep.OptNonp), true
+		} else if rep.NonpHi >= 1 {
+			optHi, haveHi = sched.R(rep.NonpHi), true
 		}
 	}
 	if haveHi && optHi.Less(run.Lower) {
@@ -307,14 +366,18 @@ func checkRun(rep *Report, in *sched.Instance, run AlgoRun, res *setupsched.Resu
 	}
 }
 
-// withinGuarantee reports mk <= guarantee * ref — exactly in rationals for
-// the 2 and 3/2 bounds, in floats with 1e-9 relative slack for the
-// eps-inflated bound.
+// withinGuarantee reports mk <= guarantee * ref with an exact rational
+// comparison for every algorithm.  The eps-inflated bound multiplies in
+// (1 + core.EpsRat(eps)) — the rational tolerance the eps-search really
+// certifies — instead of comparing floats with slack, so a true ratio
+// regression a hair above the guarantee can no longer hide inside float
+// rounding.
 func withinGuarantee(spec Spec, mk, ref sched.Rat) bool {
+	bound := ref.MulInt(spec.GuarNum).DivInt(spec.GuarDen)
 	if spec.Algorithm == setupsched.EpsilonSearch {
-		return mk.Float64() <= spec.Guarantee()*ref.Float64()*(1+1e-9)
+		bound = bound.Mul(core.EpsRat(spec.Epsilon).AddInt(1))
 	}
-	return mk.Leq(ref.MulInt(spec.GuarNum).DivInt(spec.GuarDen))
+	return mk.Leq(bound)
 }
 
 // checkRelaxationChain asserts OPT_split <= OPT_pmtn <= OPT_nonp through
@@ -363,6 +426,8 @@ func checkBaselines(rep *Report, in *sched.Instance) {
 		mk := s.Makespan()
 		if rep.OptNonp >= 0 && mk.Less(sched.R(rep.OptNonp)) {
 			rep.violate("%s: makespan %s beats the exact non-preemptive optimum %d", b.name, mk, rep.OptNonp)
+		} else if rep.NonpLo >= 1 && mk.Less(sched.R(rep.NonpLo)) {
+			rep.violate("%s: makespan %s beats the certified optimum bracket lower end %d", b.name, mk, rep.NonpLo)
 		}
 		for _, run := range rep.Runs {
 			if run.Spec.Variant == sched.NonPreemptive && mk.Less(run.Lower) {
@@ -453,6 +518,12 @@ type Config struct {
 	SeedBase int64
 	// Epsilon is the eps-search accuracy (default DefaultEpsilon).
 	Epsilon float64
+	// ExactNodeBudget > 0 runs the branch-and-bound exact reference on
+	// every instance within the wantExactBB gate, spending at most this
+	// many search nodes per instance: converged instances gain true-ratio
+	// differential checks, budget-exhausted ones a certified OPT bracket.
+	// Zero keeps the sweep to the tiny exhaustive references only.
+	ExactNodeBudget int64
 	// Workers bounds check parallelism; <= 0 means 1.
 	Workers int
 	// Parallelism fans each instance's nine algorithm runs out through
@@ -483,8 +554,9 @@ type Config struct {
 type Summary struct {
 	Instances  int64
 	Solves     int64
-	ExactNonp  int64 // instances with an exhaustive non-preemptive optimum
+	ExactNonp  int64 // instances with an exact non-preemptive optimum (exhaustive or B&B)
 	ExactSplit int64 // instances with an exhaustive splittable optimum
+	BBBrackets int64 // instances where the B&B reference certified only a bracket
 	Fallbacks  int64
 	// MaxRatioVsLB is the worst measured makespan/certified-bound ratio
 	// per spec name, over non-fallback runs.
@@ -536,7 +608,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 				p.Seed = it.seed
 				in := it.fam.Make(p)
 				t0 := time.Now()
-				rep, err := CheckInstanceParallel(ctx, in, cfg.Epsilon, cfg.Parallelism)
+				rep, err := CheckInstanceBudget(ctx, in, cfg.Epsilon, cfg.Parallelism, cfg.ExactNodeBudget)
 				if err == nil && cfg.CrossCheckParallel > 1 {
 					var msgs []string
 					msgs, err = CheckEngineParallel(ctx, in, cfg.Epsilon, cfg.CrossCheckParallel)
@@ -577,6 +649,9 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 				}
 				if rep.HasOptSplit {
 					sum.ExactSplit++
+				}
+				if rep.OptNonp < 0 && rep.NonpLo >= 1 {
+					sum.BBBrackets++
 				}
 				for _, run := range rep.Runs {
 					if !run.Fallback && run.RatioVsLB > sum.MaxRatioVsLB[run.Spec.Name] {

@@ -72,6 +72,64 @@ func TestTinyProfileHasExactReferences(t *testing.T) {
 	}
 }
 
+// TestBudgetedExactReferences pins the branch-and-bound reference path:
+// with a node budget configured, instances beyond the exhaustive gate
+// gain either a true optimum or a certified bracket, the resulting extra
+// checks hold, and on tiny instances the B&B optimum is cross-pinned
+// against the exhaustive one inside the harness itself.
+func TestBudgetedExactReferences(t *testing.T) {
+	t.Parallel()
+	const budget = 400_000
+	// Tiny: both references compute; the harness pins them equal.
+	tiny := DefaultProfiles()[0].Params
+	tiny.Seed = 2
+	rep, err := CheckInstanceBudget(context.Background(), schedgen.Uniform(tiny), 0, 1, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OptNonp < 0 {
+		t.Fatal("tiny instance got no exact reference")
+	}
+	if rep.NonpLo != rep.OptNonp || rep.NonpHi != rep.OptNonp {
+		t.Errorf("converged B&B bracket [%d, %d] != optimum %d", rep.NonpLo, rep.NonpHi, rep.OptNonp)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("tiny: %s", v)
+	}
+
+	// Small profile: beyond the exhaustive gate, so any exact reference can
+	// only come from the branch-and-bound backend.
+	small := DefaultProfiles()[1].Params
+	refs, brackets := 0, 0
+	for seed := int64(0); seed < 6; seed++ {
+		p := small
+		p.Seed = seed
+		in := schedgen.Uniform(p)
+		rep, err := CheckInstanceBudget(context.Background(), in, 0, 1, budget)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d (fp %.12s): %s", seed, rep.Fingerprint, v)
+		}
+		switch {
+		case rep.OptNonp >= 0:
+			refs++
+		case rep.NonpLo >= 1:
+			brackets++
+			if rep.NonpLo > rep.NonpHi {
+				t.Errorf("seed %d: inverted bracket [%d, %d]", seed, rep.NonpLo, rep.NonpHi)
+			}
+		}
+	}
+	if refs+brackets < 4 {
+		t.Fatalf("only %d/6 small instances got a B&B reference or bracket", refs+brackets)
+	}
+	if refs == 0 {
+		t.Error("no small instance converged to a true optimum within the budget")
+	}
+}
+
 // TestHarnessDetectsGuaranteeViolation feeds checkRun an impossible
 // guarantee to prove the harness can actually fail (it is not vacuously
 // green).

@@ -1,0 +1,175 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"setupsched/sched"
+	"setupsched/schedgen"
+)
+
+// TestBranchBoundMatchesExhaustive pins the branch-and-bound backend
+// bit-identical (same optimum value) to the exhaustive NonPreemptive
+// search on every catalog instance small enough for both.
+func TestBranchBoundMatchesExhaustive(t *testing.T) {
+	t.Parallel()
+	checked := 0
+	for _, fam := range schedgen.Families {
+		for seed := int64(0); seed < 6; seed++ {
+			in := fam.Make(schedgen.Params{
+				M: 3, Classes: 3, JobsPer: 2, MaxSetup: 12, MaxJob: 16, Seed: seed,
+			})
+			want, err := NonPreemptive(in)
+			if errors.Is(err, ErrTooLarge) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s seed %d: exhaustive: %v", fam.Name, seed, err)
+			}
+			got, err := BranchBound(context.Background(), in, 0)
+			if err != nil {
+				t.Fatalf("%s seed %d: branch-and-bound: %v", fam.Name, seed, err)
+			}
+			if got.Opt != want {
+				t.Errorf("%s seed %d: branch-and-bound optimum %d != exhaustive %d",
+					fam.Name, seed, got.Opt, want)
+			}
+			if err := got.Schedule.Validate(in); err != nil {
+				t.Errorf("%s seed %d: witness schedule invalid: %v", fam.Name, seed, err)
+			}
+			if mk := got.Schedule.Makespan(); mk.CmpInt(got.Opt) != 0 {
+				t.Errorf("%s seed %d: witness makespan %s != optimum %d", fam.Name, seed, mk, got.Opt)
+			}
+			checked++
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d instances were small enough for both backends; the pin lost its teeth", checked)
+	}
+}
+
+// TestBranchBoundHundredsOfJobs is the acceptance gate for the reference
+// backend on catalog instances with n in the hundreds: a meaningful
+// subset must converge to the exact optimum within the default node
+// budget (including instances with n >= 300), and every instance that
+// exhausts the budget must still certify a tight OPT bracket — that
+// bracket is what the quality harness uses for ratio bounds when the
+// backend does not converge.
+func TestBranchBoundHundredsOfJobs(t *testing.T) {
+	t.Parallel()
+	solved, jobsMax := 0, 0
+	for _, fam := range schedgen.Families {
+		for seed := int64(0); seed < 2; seed++ {
+			in := fam.Make(schedgen.Params{
+				M: 16, Classes: 80, JobsPer: 5, MaxSetup: 200, MaxJob: 300, Seed: seed,
+			})
+			n := in.NumJobs()
+			res, err := BranchBound(context.Background(), in, 0)
+			if errors.Is(err, ErrBudget) {
+				var be *BudgetError
+				if !errors.As(err, &be) {
+					t.Fatalf("%s seed %d: budget error lacks the typed bracket: %v", fam.Name, seed, err)
+				}
+				// Certified bracket must be sane and tight: within 5% even
+				// on the families whose relaxations are weakest.
+				if be.Lo < 1 || be.Lo > be.Hi {
+					t.Errorf("%s seed %d: insane bracket [%d, %d]", fam.Name, seed, be.Lo, be.Hi)
+				}
+				if be.Hi*100 > be.Lo*105 {
+					t.Errorf("%s seed %d: bracket [%d, %d] wider than 5%%", fam.Name, seed, be.Lo, be.Hi)
+				}
+				t.Logf("%s seed %d (n=%d): budget exhausted: %v", fam.Name, seed, n, err)
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s seed %d (n=%d): %v", fam.Name, seed, n, err)
+			}
+			lb := in.LowerBound(sched.NonPreemptive)
+			if lb.CmpInt(res.Opt) > 0 {
+				t.Errorf("%s seed %d: optimum %d below trivial bound %s", fam.Name, seed, res.Opt, lb)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				t.Errorf("%s seed %d: witness invalid: %v", fam.Name, seed, err)
+			}
+			solved++
+			if n > jobsMax {
+				jobsMax = n
+			}
+		}
+	}
+	if solved < 8 {
+		t.Fatalf("only %d medium catalog instances solved within the default budget", solved)
+	}
+	if jobsMax < 300 {
+		t.Fatalf("largest solved instance has only %d jobs; want hundreds", jobsMax)
+	}
+	t.Logf("solved %d medium instances, largest n=%d", solved, jobsMax)
+}
+
+// TestBranchBoundBudget pins the typed budget error: a one-node budget
+// must fail with a *BudgetError matching ErrBudget and a sane bracket.
+func TestBranchBoundBudget(t *testing.T) {
+	t.Parallel()
+	// An instance whose optimum sits strictly above the trivial bound, so
+	// at least one infeasible probe needs real search.
+	in := schedgen.BigJobs(schedgen.Params{M: 4, Classes: 8, JobsPer: 4, MaxSetup: 50, MaxJob: 80, Seed: 3})
+	_, err := BranchBound(context.Background(), in, 1)
+	if err == nil {
+		t.Skip("instance solved greedily at every probe; budget never consulted")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("error %v does not match ErrBudget", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BudgetError", err)
+	}
+	if be.Budget != 1 || be.Nodes < be.Budget {
+		t.Errorf("budget error %+v: want Budget=1 and Nodes >= Budget", be)
+	}
+	if be.Lo > be.Hi || be.Lo < 1 {
+		t.Errorf("budget error bracket [%d, %d] is not a sane OPT bracket", be.Lo, be.Hi)
+	}
+}
+
+// TestBranchBoundCancel pins prompt context cancellation.
+func TestBranchBoundCancel(t *testing.T) {
+	t.Parallel()
+	in := schedgen.Uniform(schedgen.Params{M: 8, Classes: 40, JobsPer: 5, MaxSetup: 100, MaxJob: 200, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BranchBound(ctx, in, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled solve returned %v, want context.Canceled", err)
+	}
+}
+
+// TestBranchBoundDeterministic pins that repeated solves expand identical
+// trees: same optimum, same node and probe counts.
+func TestBranchBoundDeterministic(t *testing.T) {
+	t.Parallel()
+	in := schedgen.Zipf(schedgen.Params{M: 6, Classes: 20, JobsPer: 4, MaxSetup: 60, MaxJob: 90, Seed: 7})
+	a, err := BranchBound(context.Background(), in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BranchBound(context.Background(), in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Opt != b.Opt || a.Nodes != b.Nodes || a.Probes != b.Probes {
+		t.Fatalf("non-deterministic search: %+v vs %+v", a, b)
+	}
+}
+
+// TestBranchBoundTooLarge pins the memory gate.
+func TestBranchBoundTooLarge(t *testing.T) {
+	t.Parallel()
+	in := &sched.Instance{M: 2, Classes: []sched.Class{{Setup: 1}}}
+	for j := 0; j <= MaxBranchBoundJobs; j++ {
+		in.Classes[0].Jobs = append(in.Classes[0].Jobs, 1)
+	}
+	if _, err := BranchBound(context.Background(), in, 0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized instance returned %v, want ErrTooLarge", err)
+	}
+}

@@ -1,0 +1,128 @@
+package exact_test
+
+import (
+	"context"
+	"testing"
+
+	"setupsched"
+	"setupsched/internal/exact"
+	"setupsched/sched"
+)
+
+// fuzzTinyInstance decodes any byte stream into a valid instance small
+// enough for every exhaustive reference (n <= 12, m <= 4, c <= 4), so
+// the fuzzer explores structure rather than gate rejections.
+func fuzzTinyInstance(m int64, data []byte) *sched.Instance {
+	next := func() int64 {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return int64(b)
+	}
+	abs := m
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs < 0 { // math.MinInt64
+		abs = 0
+	}
+	in := &sched.Instance{M: 1 + abs%4}
+	classes := 1 + int(next())%4
+	for c := 0; c < classes; c++ {
+		cl := sched.Class{Setup: next() % 24}
+		jobs := 1 + int(next())%3
+		for j := 0; j < jobs; j++ {
+			cl.Jobs = append(cl.Jobs, 1+next()%32)
+		}
+		in.Classes = append(in.Classes, cl)
+	}
+	return in
+}
+
+// FuzzExactSandwich asserts the relaxation sandwich
+// OPT_split <= OPT_pmtn <= OPT_nonp and the solver bracket
+// lower-bound <= exact optimum <= heuristic makespan on arbitrary tiny
+// instances.  The preemptive optimum has no exhaustive reference, so it
+// enters through its certified bracket: the pmtn solve's lower bound and
+// makespan sandwich OPT_pmtn, which chains both inequalities through it.
+func FuzzExactSandwich(f *testing.F) {
+	f.Add(int64(2), []byte{2, 3, 2, 7, 9})
+	f.Add(int64(3), []byte{1, 0, 1, 16})
+	f.Add(int64(1), []byte{4, 4, 2, 2, 2, 8, 1, 1})
+	f.Add(int64(4), []byte{3, 23, 1, 31, 0, 2, 30, 30, 12, 1, 5})
+	f.Fuzz(func(t *testing.T, m int64, data []byte) {
+		in := fuzzTinyInstance(m, data)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid instance: %v", err)
+		}
+		ctx := context.Background()
+
+		optSplit, err := exact.Splittable(in)
+		if err != nil {
+			t.Fatalf("exhaustive splittable: %v", err)
+		}
+		optNonp, err := exact.NonPreemptive(in)
+		if err != nil {
+			t.Fatalf("exhaustive non-preemptive: %v", err)
+		}
+		bb, err := exact.BranchBound(ctx, in, 0)
+		if err != nil {
+			t.Fatalf("branch-and-bound: %v", err)
+		}
+		if bb.Opt != optNonp {
+			t.Fatalf("branch-and-bound optimum %d != exhaustive %d", bb.Opt, optNonp)
+		}
+
+		// OPT_split <= OPT_nonp, the outer sandwich directly.
+		if sched.R(optNonp).Less(optSplit) {
+			t.Fatalf("sandwich inverted: OPT_split %s > OPT_nonp %d", optSplit, optNonp)
+		}
+
+		solver, err := setupsched.NewSolver(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// OPT_pmtn enters via its certified bracket lbPmtn <= OPT_pmtn <= mkPmtn.
+		pmtn, err := solver.Solve(ctx, setupsched.Preemptive)
+		if err != nil {
+			t.Fatalf("pmtn solve: %v", err)
+		}
+		if pmtn.Makespan.Less(optSplit) {
+			t.Fatalf("OPT_split %s > pmtn makespan %s (so OPT_split > OPT_pmtn)", optSplit, pmtn.Makespan)
+		}
+		if sched.R(optNonp).Less(pmtn.LowerBound) {
+			t.Fatalf("pmtn certified bound %s > OPT_nonp %d (so OPT_pmtn > OPT_nonp)", pmtn.LowerBound, optNonp)
+		}
+
+		// lower-bound <= exact <= heuristic, for both the trivial bound and
+		// the 3/2-search's certified bracket.
+		if in.LowerBound(sched.NonPreemptive).CmpInt(optNonp) > 0 {
+			t.Fatalf("trivial bound %s exceeds exact optimum %d", in.LowerBound(sched.NonPreemptive), optNonp)
+		}
+		heur, err := solver.Solve(ctx, setupsched.NonPreemptive)
+		if err != nil {
+			t.Fatalf("nonp solve: %v", err)
+		}
+		if sched.R(optNonp).Less(heur.LowerBound) {
+			t.Fatalf("heuristic certified bound %s exceeds exact optimum %d", heur.LowerBound, optNonp)
+		}
+		if heur.Makespan.CmpInt(optNonp) < 0 {
+			t.Fatalf("heuristic makespan %s beats exact optimum %d", heur.Makespan, optNonp)
+		}
+
+		// The splittable exhaustive optimum must dominate its own solver's
+		// certified bound too.
+		split, err := solver.Solve(ctx, setupsched.Splittable)
+		if err != nil {
+			t.Fatalf("split solve: %v", err)
+		}
+		if optSplit.Less(split.LowerBound) {
+			t.Fatalf("split certified bound %s exceeds exact OPT_split %s", split.LowerBound, optSplit)
+		}
+		if split.Makespan.Less(optSplit) {
+			t.Fatalf("split makespan %s beats exact OPT_split %s", split.Makespan, optSplit)
+		}
+	})
+}

@@ -434,8 +434,10 @@ func parseAlgo(s string) (setupsched.Algorithm, error) {
 		return setupsched.EpsilonSearch, nil
 	case "exact", "exact32":
 		return setupsched.Exact32, nil
+	case "refexact":
+		return setupsched.RefExact, nil
 	}
-	return 0, fmt.Errorf("unknown algorithm %q (want auto, 2approx, eps or exact)", s)
+	return 0, fmt.Errorf("unknown algorithm %q (want auto, 2approx, eps, exact or refexact)", s)
 }
 
 // cacheKey builds the LRU key.  Epsilon only differentiates entries for
@@ -672,7 +674,8 @@ func (s *Server) solverFor(fp string, canon *sched.Instance) (*setupsched.Solver
 
 // solveError maps a Solver error to a response with the right HTTP
 // status: 400 for anything wrong with the request, 408 for a timeout or
-// client cancellation, 500 for internal faults.
+// client cancellation, 422 for an exhausted exact node budget, 500 for
+// internal faults.
 func (s *Server) solveError(err error) *SolveResponse {
 	var vErr *setupsched.ValidationError
 	var eErr *setupsched.EpsilonRangeError
@@ -680,8 +683,14 @@ func (s *Server) solveError(err error) *SolveResponse {
 	case errors.Is(err, setupsched.ErrCanceled):
 		s.metrics.timeouts.Inc()
 		return errResponse(http.StatusRequestTimeout, err.Error())
-	case errors.As(err, &eErr), errors.As(err, &vErr), errors.Is(err, setupsched.ErrNilInstance):
+	case errors.As(err, &eErr), errors.As(err, &vErr), errors.Is(err, setupsched.ErrNilInstance),
+		errors.Is(err, setupsched.ErrExactUnsupported), errors.Is(err, setupsched.ErrExactTooLarge):
 		return errResponse(http.StatusBadRequest, err.Error())
+	case errors.Is(err, setupsched.ErrExactBudget):
+		// A valid request the reference backend could not finish within its
+		// node budget: the client's instance is too adversarial, not the
+		// server's fault.
+		return errResponse(http.StatusUnprocessableEntity, err.Error())
 	default:
 		return errResponse(http.StatusInternalServerError, "internal error: "+err.Error())
 	}

@@ -46,6 +46,14 @@ const (
 	EpsilonSearch
 	// Exact32 is the exact 3/2-approximation (Theorems 3, 6 and 8).
 	Exact32
+	// RefExact is the exact reference backend: a branch-and-bound over
+	// the threshold/batch structure that computes the true optimum (ratio
+	// exactly 1) for the non-preemptive variant, bounded by a node budget
+	// (WithNodeBudget).  It exists to measure the approximation quality of
+	// the paper's algorithms, not to replace them: budget exhaustion is a
+	// normal outcome on adversarial instances and surfaces as an
+	// *ExactBudgetError carrying a certified bracket on OPT.
+	RefExact
 )
 
 // String names the algorithm.
@@ -59,6 +67,8 @@ func (a Algorithm) String() string {
 		return "(3/2+eps)-approximation"
 	case Exact32:
 		return "3/2-approximation"
+	case RefExact:
+		return "exact"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }

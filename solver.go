@@ -7,6 +7,8 @@ import (
 	"sync"
 
 	"setupsched/internal/core"
+	"setupsched/internal/exact"
+	"setupsched/sched"
 )
 
 // DefaultEpsilon is the accuracy used by EpsilonSearch when no explicit
@@ -87,6 +89,7 @@ type solveConfig struct {
 	observers   []Observer
 	probeLimit  int
 	parallelism int
+	nodeBudget  int64
 	runs        []Run
 
 	obsBuf [3]Observer // backing array for observers
@@ -98,11 +101,26 @@ type solveConfig struct {
 func WithAlgorithm(a Algorithm) Option {
 	return func(c *solveConfig) error {
 		switch a {
-		case Auto, TwoApprox, EpsilonSearch, Exact32:
+		case Auto, TwoApprox, EpsilonSearch, Exact32, RefExact:
 			c.algorithm = a
 			return nil
 		}
 		return fmt.Errorf("setupsched: unknown algorithm %v", a)
+	}
+}
+
+// WithNodeBudget bounds the branch-and-bound node count of a RefExact
+// solve; exceeding it aborts with an *ExactBudgetError (matching
+// ErrExactBudget) that carries the certified bracket reached.  Zero (the
+// default) selects the backend's default budget; negative budgets are
+// rejected.  Other algorithms ignore the option.
+func WithNodeBudget(n int64) Option {
+	return func(c *solveConfig) error {
+		if n < 0 {
+			return fmt.Errorf("setupsched: negative node budget %d", n)
+		}
+		c.nodeBudget = n
+		return nil
 	}
 }
 
@@ -143,7 +161,7 @@ func WithRuns(runs ...Run) Option {
 				return fmt.Errorf("setupsched: unknown variant %v in WithRuns", r.Variant)
 			}
 			switch r.Algorithm {
-			case Auto, TwoApprox, EpsilonSearch, Exact32:
+			case Auto, TwoApprox, EpsilonSearch, Exact32, RefExact:
 			default:
 				return fmt.Errorf("setupsched: unknown algorithm %v in WithRuns", r.Algorithm)
 			}
@@ -283,6 +301,14 @@ func (s *Solver) solveRun(ctx context.Context, v Variant, algorithm Algorithm, c
 	fan = append(fan, tr)
 	fan = append(fan, cfg.observers...)
 	obs := multiObserver(fan)
+	if algorithm == RefExact {
+		res, err := s.solveExact(ctx, v, cfg)
+		if err != nil {
+			return nil, err
+		}
+		obs.SearchFinished(res.Algorithm, res.Probes)
+		return res, nil
+	}
 	ctl := core.Ctl{Ctx: ctx, Obs: obs, ProbeLimit: cfg.probeLimit, Parallelism: parallelism}
 
 	var r *core.Result
@@ -313,6 +339,39 @@ func (s *Solver) solveRun(ctx context.Context, v Variant, algorithm Algorithm, c
 	res.Trace = tr.trace
 	obs.SearchFinished(res.Algorithm, res.Probes)
 	return res, nil
+}
+
+// solveExact runs the RefExact branch-and-bound reference backend.  It
+// sits outside the core.Result pipeline: the backend returns the true
+// optimum, so Makespan, Guess and LowerBound all collapse to OPT and the
+// realized ratio is exactly 1.  The search has no dual-test probes to
+// observe; Probes counts the backend's threshold probes and Trace stays
+// empty.
+func (s *Solver) solveExact(ctx context.Context, v Variant, cfg *solveConfig) (*Result, error) {
+	if v != NonPreemptive {
+		return nil, ErrExactUnsupported
+	}
+	res, err := exact.BranchBound(ctx, s.in, cfg.nodeBudget)
+	if err != nil {
+		if errors.Is(err, exact.ErrTooLarge) {
+			return nil, ErrExactTooLarge
+		}
+		var be *exact.BudgetError
+		if errors.As(err, &be) {
+			return nil, &ExactBudgetError{Budget: be.Budget, Nodes: be.Nodes, Lo: be.Lo, Hi: be.Hi}
+		}
+		return nil, wrapSolveErr(err)
+	}
+	opt := sched.R(res.Opt)
+	return &Result{
+		Schedule:   res.Schedule,
+		Makespan:   opt,
+		Guess:      opt,
+		LowerBound: opt,
+		Ratio:      1,
+		Algorithm:  RefExact.String(),
+		Probes:     res.Probes,
+	}, nil
 }
 
 // Run names one (variant, algorithm) combination for Solver.SolveAll.
