@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke metrics-smoke loadtest-smoke quality-smoke quality-json serve clean
+.PHONY: all build test test-race vet bench bench-smoke bench-json fuzz-smoke stress-smoke stream-smoke metrics-smoke loadtest-smoke trace-smoke quality-smoke quality-json serve clean
 
 all: vet build test
 
@@ -100,6 +100,22 @@ loadtest-smoke:
 	$(GO) run ./cmd/schedload -validate /tmp/bench_serve.json
 	$(GO) run ./cmd/schedload -validate BENCH_serve.json
 	@echo "loadtest-smoke: ok"
+
+# Distributed-tracing smoke: build the real schedserve and schedlb
+# binaries, launch a 2-shard fleet behind the proxy, drive traced solves
+# (one sampled W3C trace context each), then join both tiers' flight
+# recorders (GET /v1/debug/traces) by trace id.  Fails unless every
+# trace joined, landed on exactly its ring-predicted shard, and its
+# per-segment attribution sums to within 5% of the measured end-to-end
+# latency.
+TRACE_REQUESTS ?= 120
+trace-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/schedserve ./cmd/schedserve
+	$(GO) build -o bin/schedlb ./cmd/schedlb
+	$(GO) run ./cmd/schedload -shards 2 -trace-report -trace-requests $(TRACE_REQUESTS) \
+		-serve-bin bin/schedserve -lb-bin bin/schedlb
+	@echo "trace-smoke: ok"
 
 # Approximation-quality smoke: validate the committed BENCH_quality.json
 # (schema + every recorded worst ratio within its paper guarantee, exact

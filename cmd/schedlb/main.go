@@ -4,7 +4,7 @@
 // Usage:
 //
 //	schedlb -addr :8090 -shard a=http://127.0.0.1:8081 -shard b=http://127.0.0.1:8082 \
-//	        [-replicas 1024] [-timeout 60s]
+//	        [-replicas 1024] [-timeout 60s] [-flight 256] [-slow-trace 0]
 //
 // Each -shard flag names one backend as id=url; the id must equal that
 // backend's schedserve -shard-id so the X-Sched-Shard response echo can
@@ -15,10 +15,17 @@
 //
 // Endpoints: the same /v1 surface as a single schedserve (solve, batch,
 // sessions), plus the proxy's own aggregated GET /healthz (200 iff all
-// shards healthy) and GET /metrics (schedlb_* series: per-route request
-// counts, retries, per-shard up gauges, and the misroute counter that
-// must stay at zero).  See package setupsched/internal/lb for routing
-// semantics.
+// shards healthy; a degraded body names the failing shards), GET
+// /metrics (schedlb_* series: per-route request counts, retries,
+// per-shard up gauges, and the misroute counters — aggregate and
+// per-shard — that must stay at zero), and GET /v1/debug/traces (the
+// flight recorder of completed request traces; ring size -flight,
+// negative disables; -slow-trace additionally pins traces slower than
+// the threshold).  Every proxied request is traced: the proxy opens a
+// root span, adopts an incoming sampled W3C traceparent when present,
+// and propagates the context to the owning shard so both tiers'
+// recorders join on one trace id (see `schedload -trace-report`).  See
+// package setupsched/internal/lb for routing semantics.
 package main
 
 import (
@@ -62,6 +69,8 @@ func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	replicas := flag.Int("replicas", 0, "consistent-hash virtual nodes per shard (0 = library default)")
 	timeout := flag.Duration("timeout", 60*time.Second, "backend request timeout")
+	flight := flag.Int("flight", 0, "flight-recorder ring size for completed request traces (0 = default, negative disables)")
+	slowTrace := flag.Duration("slow-trace", 0, "additionally pin traces slower than this in the recorder's slow ring (0 disables)")
 	flag.Var(&shards, "shard", "backend shard as id=url (repeatable, at least one)")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -70,9 +79,11 @@ func main() {
 	}
 
 	proxy, err := lb.New(lb.Config{
-		Shards:   shards,
-		Replicas: *replicas,
-		Client:   &http.Client{Timeout: *timeout},
+		Shards:             shards,
+		Replicas:           *replicas,
+		Client:             &http.Client{Timeout: *timeout},
+		FlightRecorderSize: *flight,
+		SlowTraceThreshold: *slowTrace,
 	})
 	if err != nil {
 		log.Fatalf("schedlb: %v", err)

@@ -11,7 +11,17 @@
 //	schedload [-shards 1,3] [-duration 5s] [-rps 50] [-workers 8] \
 //	          [-session-frac 0.25] [-instances 64] [-seed 1] \
 //	          [-serve-bin path] [-lb-bin path] \
-//	          [-out BENCH_serve.json] [-validate file]
+//	          [-out BENCH_serve.json] [-validate file] \
+//	          [-trace-report] [-trace-requests 120]
+//
+// -trace-report switches the harness into tracing mode: it mints one
+// sampled W3C trace context per solve, joins the lb-side and shard-side
+// flight recorders (GET /v1/debug/traces) by trace id, and prints a
+// per-segment latency attribution table — lb routing, network hop,
+// shard queue, prepare, search, build — with nearest-rank p50/p99 per
+// segment.  A trace landing off its ring-predicted shard, or segments
+// summing more than 5% away from the measured end-to-end latency, is
+// fatal.
 //
 // With -serve-bin/-lb-bin the fleet runs those real binaries (CI builds
 // them first); without, schedload re-execs itself in child mode, so
@@ -52,6 +62,8 @@ func main() {
 	lbBin := flag.String("lb-bin", "", "path to a real schedlb binary (default: re-exec self)")
 	out := flag.String("out", "", "merge results into this BENCH_serve.json (empty: print to stdout only)")
 	validate := flag.String("validate", "", "validate this BENCH_serve.json and exit")
+	traceReport := flag.Bool("trace-report", false, "drive traced solves and print the per-segment latency attribution instead of the workload")
+	traceRequests := flag.Int("trace-requests", 120, "traced solves per fleet in -trace-report mode")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "schedload: unexpected arguments:", flag.Args())
@@ -80,6 +92,14 @@ func main() {
 	}
 
 	ctx := context.Background()
+	if *traceReport {
+		for _, k := range counts {
+			if err := runTraceReport(ctx, k, *serveBin, *lbBin, *traceRequests, *seed); err != nil {
+				log.Fatalf("schedload: %d shards: %v", k, err)
+			}
+		}
+		return
+	}
 	run := loadtest.NewServeRun(*duration, *workers)
 	totalRouting := 0
 	for _, k := range counts {
@@ -125,6 +145,35 @@ func main() {
 	rep := &loadtest.ServeReport{}
 	loadtest.MergeServeRun(rep, run)
 	enc.Encode(rep)
+}
+
+// runTraceReport spawns one fleet, drives the traced solves, joins the
+// lb-side and shard-side flight recorders by trace id, and prints the
+// per-segment latency attribution table.  A placement error (a trace
+// off its ring-predicted shard) or a segment sum off the end-to-end
+// latency by more than 5% is fatal.
+func runTraceReport(ctx context.Context, shards int, serveBin, lbBin string, requests int, seed int64) error {
+	cluster, err := loadtest.StartCluster(ctx, loadtest.ClusterConfig{
+		Shards: shards, ServeBin: serveBin, LBBin: lbBin, Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Stop()
+	rep, err := loadtest.RunTraceReport(ctx, cluster.LBURL, cluster.Shards, loadtest.TraceReportConfig{
+		Requests: requests, Seed: uint64(seed),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace report (%d shards): %d requests, %d joined, %d placement errors, max segment-sum error %.2f%%\n",
+		rep.Shards, rep.Requests, rep.Joined, len(rep.PlacementErrors), rep.MaxSumErrPct)
+	fmt.Printf("%-12s %10s %10s %10s\n", "segment", "p50 ms", "p99 ms", "max ms")
+	for _, seg := range rep.Segments {
+		fmt.Printf("%-12s %10.3f %10.3f %10.3f\n", seg.Name, seg.P50Ms, seg.P99Ms, seg.MaxMs)
+	}
+	fmt.Printf("%-12s %10.3f %10.3f %10.3f\n", rep.E2E.Name, rep.E2E.P50Ms, rep.E2E.P99Ms, rep.E2E.MaxMs)
+	return rep.Check()
 }
 
 func measure(ctx context.Context, cc loadtest.ClusterConfig, wc loadtest.WorkloadConfig) (*loadtest.WorkloadResult, error) {

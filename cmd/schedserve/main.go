@@ -6,7 +6,7 @@
 //	           [-timeout 0] [-max-parallelism GOMAXPROCS] [-max-batches 2*N] \
 //	           [-max-sessions 256] [-session-ttl 15m] \
 //	           [-shard-id ID] [-session-snapshot FILE] \
-//	           [-pprof] [-slow-solve 0]
+//	           [-pprof] [-slow-solve 0] [-flight 256]
 //
 // Endpoints (see package setupsched/serve for the wire formats):
 //
@@ -28,11 +28,21 @@
 //	                               latency quantiles
 //	GET    /metrics                Prometheus text exposition over the
 //	                               same registry as /v1/stats
+//	GET    /v1/debug/traces        flight recorder: recently completed
+//	                               request traces (?trace_id=, ?min_ms=)
 //	GET    /debug/pprof/...        runtime profiles (only with -pprof)
 //
 // With -slow-solve DURATION every solve slower than the threshold emits
-// one structured log line (fingerprint, algorithm, probe count, and the
-// prepare/search/build phase breakdown from the solve's span tree).
+// one structured log line (trace id, fingerprint, algorithm, probe
+// count, and the prepare/search/build phase breakdown from the solve's
+// span tree) and the trace is pinned in the flight recorder's slow ring.
+//
+// A request carrying a sampled W3C traceparent — the header, or the
+// per-line "traceparent" field on the batch route — gets a distributed
+// trace: the response carries trace_id, and the completed handler/queue/
+// solve span tree lands in the flight recorder at /v1/debug/traces
+// (ring size -flight, negative disables).  Untraced requests pay
+// nothing.
 //
 // In a sharded deployment (see cmd/schedlb) set -shard-id so responses
 // carry the X-Sched-Shard identity echo the front tier verifies routing
@@ -89,6 +99,7 @@ func main() {
 	snapshotFile := flag.String("session-snapshot", "", "session snapshot file: import+remove on start, export on shutdown")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	slowSolve := flag.Duration("slow-solve", 0, "log a structured slow-solve line for solves slower than this (0 disables)")
+	flight := flag.Int("flight", 0, "flight-recorder ring size for completed request traces (0 = default, negative disables)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "schedserve: unexpected arguments:", flag.Args())
@@ -106,6 +117,7 @@ func main() {
 		SessionTTL:           *sessionTTL,
 		SlowSolveThreshold:   *slowSolve,
 		ShardID:              *shardID,
+		FlightRecorderSize:   *flight,
 	})
 	if *snapshotFile != "" {
 		if err := importSnapshot(server, *snapshotFile); err != nil {

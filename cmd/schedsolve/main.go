@@ -14,7 +14,9 @@
 //
 // With -spans the solve is traced and its span tree — prepare (the O(n)
 // preprocessing), search (one child per dual-approximation probe) and
-// build (schedule construction) — is printed as JSON after the summary.
+// build (schedule construction) — is printed as JSON after the summary,
+// bound to a locally generated trace id (the same identity scheme the
+// serving tier's distributed traces use).
 package main
 
 import (
@@ -64,8 +66,13 @@ func main() {
 		fail(err)
 	}
 	var rec *obs.SpanRecorder
+	var tc obs.TraceContext
 	if *spans {
+		// Bind a locally generated trace id so the printed tree carries
+		// the same identity scheme as the serving tier's recorders.
 		rec = obs.NewSpanRecorder()
+		tc = obs.NewTrace()
+		rec.Trace(tc, obs.SpanID{})
 	}
 	var solver *setupsched.Solver
 	{
@@ -120,6 +127,7 @@ func main() {
 		}
 	}
 	if *spans {
+		fmt.Printf("trace id:    %s\n", tc.TraceID)
 		buf, err := json.MarshalIndent(rec.Root(), "", "  ")
 		if err != nil {
 			fail(err)

@@ -6,6 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
+
+	"setupsched/obs"
 )
 
 // Batch fan-out.  A /v1/solve/batch NDJSON stream is split by routing
@@ -20,6 +23,12 @@ import (
 // the slots in input order.  Items the proxy cannot route (malformed
 // JSON, missing instance) short-circuit with a local error line in the
 // same position, matching schedserve's per-line error convention.
+//
+// Tracing: the request gets one root span, one "upstream" hop span per
+// owning shard, and one "item" child per routed line.  HTTP headers are
+// per-request, so the per-item context travels in-band as a
+// "traceparent" field injected into each line's JSON (see injectLine);
+// the shard's batch workers pick it up per item.
 
 // batchItem is one routed NDJSON line.
 type batchItem struct {
@@ -29,6 +38,7 @@ type batchItem struct {
 
 func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 	p.metrics.batches.Inc()
+	t := p.beginTrace(r, "batch")
 	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
 	sc.Buffer(make([]byte, 0, 64<<10), int(p.cfg.MaxBodyBytes))
 
@@ -53,11 +63,23 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if err := sc.Err(); err != nil {
 		p.metrics.errors.Inc()
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading batch body: %v", err))
+		t.finish(http.StatusBadRequest)
 		return
 	}
+	t.routed("") // a batch fans out; per-shard attribution lives on the hop spans
 
+	var wg sync.WaitGroup
 	for id, batch := range perShard {
-		go p.runSubBatch(r, p.shards[id], batch)
+		hopCtx, hopDone := t.upstream(id)
+		for i, it := range batch {
+			it.line = injectLine(it.line, t.item(hopCtx, id, i))
+		}
+		wg.Add(1)
+		go func(owner Shard, batch []*batchItem) {
+			defer wg.Done()
+			defer hopDone()
+			p.runSubBatch(r, owner, batch, hopCtx)
+		}(p.shards[id], batch)
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -72,9 +94,27 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 			}
 		case <-r.Context().Done():
-			return
+			return // client gone; the trace is abandoned unrecorded
 		}
 	}
+	wg.Wait()
+	t.finish(http.StatusOK)
+}
+
+// injectLine stamps one routed line's trace context into its JSON as a
+// "traceparent" field.  A line that fails to re-marshal is forwarded
+// untouched — tracing never breaks the data path.
+func injectLine(line []byte, tc obs.TraceContext) []byte {
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(line, &obj); err != nil {
+		return line
+	}
+	obj["traceparent"], _ = json.Marshal(tc.TraceParent())
+	out, err := json.Marshal(obj)
+	if err != nil {
+		return line
+	}
+	return out
 }
 
 // runSubBatch sends one shard its items and distributes the response
@@ -82,7 +122,7 @@ func (p *Proxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 // status (e.g. a saturated pool's 429), or a short response stream —
 // resolves every still-pending slot with an error line, so the merge
 // loop never deadlocks on a broken shard.
-func (p *Proxy) runSubBatch(r *http.Request, owner Shard, batch []*batchItem) {
+func (p *Proxy) runSubBatch(r *http.Request, owner Shard, batch []*batchItem, tc obs.TraceContext) {
 	var body bytes.Buffer
 	for _, it := range batch {
 		body.Write(it.line)
@@ -96,7 +136,7 @@ func (p *Proxy) runSubBatch(r *http.Request, owner Shard, batch []*batchItem) {
 		}
 	}
 	resp, err := p.send(r.Context(), owner, http.MethodPost, "/v1/solve/batch",
-		"application/x-ndjson", body.Bytes(), true)
+		"application/x-ndjson", body.Bytes(), true, tc)
 	if err != nil {
 		fail(err.Error())
 		return

@@ -39,6 +39,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -71,6 +72,17 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives routing diagnostics; nil means slog.Default().
 	Logger *slog.Logger
+	// FlightRecorderSize caps the flight recorder's ring of recently
+	// completed request traces, served at GET /v1/debug/traces.  Zero
+	// means obs.DefaultFlightCapacity; negative disables both.
+	FlightRecorderSize int
+	// SlowTraceThreshold additionally retains every trace slower than
+	// this in the recorder's slow ring; zero disables the slow ring.
+	SlowTraceThreshold time.Duration
+	// TraceIDs overrides the trace/span id source (seed it for
+	// deterministic tests).  Nil uses the process-global crypto-seeded
+	// source.
+	TraceIDs *obs.IDSource
 }
 
 // Proxy is the routing handler.  Build one with New; it serves the same
@@ -85,6 +97,9 @@ type Proxy struct {
 	logger *slog.Logger
 
 	metrics *lbMetrics
+	// flight retains completed request traces for GET /v1/debug/traces;
+	// nil when Config.FlightRecorderSize is negative.
+	flight *obs.FlightRecorder
 }
 
 // lbMetrics is the proxy's own observability: all series are prefixed
@@ -100,6 +115,13 @@ type lbMetrics struct {
 	retries   *obs.Counter
 	misroutes *obs.Counter
 	up        map[string]*obs.Gauge
+	// misroutesBy counts echo mismatches per ring-predicted shard, so a
+	// fleet dashboard can see WHICH shard's identity disagrees with the
+	// topology (the aggregate counter above keeps its meaning).
+	misroutesBy map[string]*obs.Counter
+
+	tracesRecorded *obs.Counter
+	tracesDropped  *obs.Counter
 }
 
 func newLBMetrics(shards []Shard) *lbMetrics {
@@ -114,13 +136,21 @@ func newLBMetrics(shards []Shard) *lbMetrics {
 		retries:   reg.Counter("schedlb_retries_total", "Idempotent requests retried after a transport failure."),
 		misroutes: reg.Counter("schedlb_misroutes_total", "Responses whose X-Sched-Shard echo contradicted the ring."),
 		up:        make(map[string]*obs.Gauge, len(shards)),
+
+		misroutesBy: make(map[string]*obs.Counter, len(shards)),
+
+		tracesRecorded: reg.Counter("schedlb_traces_recorded_total", "Request traces booked into the flight recorder."),
+		tracesDropped:  reg.Counter("schedlb_traces_dropped_total", "Flight-recorder ring entries overwritten before being read."),
 	}
 	for _, s := range shards {
 		m.up[s.ID] = reg.Gauge(`schedlb_shard_up{shard="`+s.ID+`"}`,
 			"1 if the shard's last health probe succeeded, else 0.")
+		m.misroutesBy[s.ID] = reg.Counter(`schedlb_shard_misroutes_total{shard="`+s.ID+`"}`,
+			"Echo mismatches by the ring-predicted owner shard.")
 	}
 	reg.GaugeFunc("schedlb_shards", "Number of shards in the routing topology.",
 		func() float64 { return float64(len(shards)) })
+	obs.RegisterBuildInfo(reg, "")
 	reg.EnableRuntimeMetrics()
 	return m
 }
@@ -167,6 +197,11 @@ func New(cfg Config) (*Proxy, error) {
 		logger:  logger,
 		metrics: newLBMetrics(cfg.Shards),
 	}
+	if cfg.FlightRecorderSize >= 0 {
+		p.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize, 0, cfg.SlowTraceThreshold)
+		p.flight.SetCounters(p.metrics.tracesRecorded, p.metrics.tracesDropped)
+		p.mux.Handle("GET /v1/debug/traces", p.flight.Handler())
+	}
 	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
 	p.mux.Handle("GET /metrics", p.metrics.reg.Handler())
 	p.mux.HandleFunc("POST /v1/solve", p.handleSolve)
@@ -205,23 +240,30 @@ func routeInstance(body []byte) (string, error) {
 // forward proxies one buffered request to the key's owning shard and
 // copies the response through.  Idempotent requests are retried once on
 // transport failure (the shard never saw them, or saw them and the
-// answer is re-derivable).
-func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, key, path string, body []byte, idempotent bool) {
+// answer is re-derivable).  The trace's route phase is closed here (the
+// ring decision just happened) and the hop rides under a fresh upstream
+// span whose context propagates to the shard.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, key, path string, body []byte, idempotent bool, t *lbTrace) {
 	owner := p.Owner(key)
-	resp, err := p.send(r.Context(), owner, r.Method, path, r.Header.Get("Content-Type"), body, idempotent)
+	t.routed(owner.ID)
+	hopCtx, hopDone := t.upstream(owner.ID)
+	resp, err := p.send(r.Context(), owner, r.Method, path, r.Header.Get("Content-Type"), body, idempotent, hopCtx)
+	hopDone()
 	if err != nil {
 		p.metrics.errors.Inc()
 		writeError(w, http.StatusBadGateway, fmt.Sprintf("shard %s: %v", owner.ID, err))
+		t.finish(http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
 	p.checkEcho(owner, resp)
 	copyResponse(w, resp)
+	t.finish(resp.StatusCode)
 }
 
 // send issues one backend request, retrying once on transport error if
-// allowed.
-func (p *Proxy) send(ctx context.Context, owner Shard, method, path, contentType string, body []byte, idempotent bool) (*http.Response, error) {
+// allowed.  A valid tc rides along as the traceparent header.
+func (p *Proxy) send(ctx context.Context, owner Shard, method, path, contentType string, body []byte, idempotent bool, tc obs.TraceContext) (*http.Response, error) {
 	attempt := func() (*http.Response, error) {
 		req, err := http.NewRequestWithContext(ctx, method, owner.URL+path, bytes.NewReader(body))
 		if err != nil {
@@ -230,6 +272,7 @@ func (p *Proxy) send(ctx context.Context, owner Shard, method, path, contentType
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		obs.InjectTrace(req.Header, tc)
 		return p.client.Do(req)
 	}
 	resp, err := attempt()
@@ -247,6 +290,9 @@ func (p *Proxy) send(ctx context.Context, owner Shard, method, path, contentType
 func (p *Proxy) checkEcho(owner Shard, resp *http.Response) {
 	if echo := resp.Header.Get("X-Sched-Shard"); echo != "" && echo != owner.ID {
 		p.metrics.misroutes.Inc()
+		if c := p.metrics.misroutesBy[owner.ID]; c != nil {
+			c.Inc()
+		}
 		p.logger.Error("misroute: shard echo contradicts ring", "want", owner.ID, "got", echo)
 	}
 }
@@ -279,17 +325,20 @@ func (p *Proxy) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) 
 
 func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 	p.metrics.solves.Inc()
+	t := p.beginTrace(r, "solve")
 	body, ok := p.readBody(w, r)
 	if !ok {
+		t.finish(http.StatusBadRequest)
 		return
 	}
 	key, err := routeInstance(body)
 	if err != nil {
 		p.metrics.errors.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
+		t.finish(http.StatusBadRequest)
 		return
 	}
-	p.forward(w, r, key, "/v1/solve", body, true)
+	p.forward(w, r, key, "/v1/solve", body, true, t)
 }
 
 // handleSessionCreate rewrites the create body to pin a session id (when
@@ -298,14 +347,17 @@ func (p *Proxy) handleSolve(w http.ResponseWriter, r *http.Request) {
 // retry maps back to success semantics on the shard side.
 func (p *Proxy) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	p.metrics.sessions.Inc()
+	t := p.beginTrace(r, "session")
 	body, ok := p.readBody(w, r)
 	if !ok {
+		t.finish(http.StatusBadRequest)
 		return
 	}
 	var req map[string]json.RawMessage
 	if err := json.Unmarshal(body, &req); err != nil {
 		p.metrics.errors.Inc()
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("parsing request body: %v", err))
+		t.finish(http.StatusBadRequest)
 		return
 	}
 	var id string
@@ -313,6 +365,7 @@ func (p *Proxy) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if err := json.Unmarshal(raw, &id); err != nil {
 			p.metrics.errors.Inc()
 			writeError(w, http.StatusBadRequest, "session_id must be a string")
+			t.finish(http.StatusBadRequest)
 			return
 		}
 	}
@@ -321,10 +374,11 @@ func (p *Proxy) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		req["session_id"], _ = json.Marshal(id)
 		if body, ok = marshalBody(w, req); !ok {
 			p.metrics.errors.Inc()
+			t.finish(http.StatusInternalServerError)
 			return
 		}
 	}
-	p.forward(w, r, id, "/v1/sessions", body, true)
+	p.forward(w, r, id, "/v1/sessions", body, true, t)
 }
 
 func marshalBody(w http.ResponseWriter, req map[string]json.RawMessage) ([]byte, bool) {
@@ -341,12 +395,14 @@ func marshalBody(w http.ResponseWriter, req map[string]json.RawMessage) ([]byte,
 // different instance, and a session solve can mutate warm state.
 func (p *Proxy) handleSession(w http.ResponseWriter, r *http.Request) {
 	p.metrics.sessions.Inc()
+	t := p.beginTrace(r, "session")
 	id := r.PathValue("id")
 	body, ok := p.readBody(w, r)
 	if !ok {
+		t.finish(http.StatusBadRequest)
 		return
 	}
-	p.forward(w, r, id, r.URL.Path, body, r.Method == http.MethodGet)
+	p.forward(w, r, id, r.URL.Path, body, r.Method == http.MethodGet, t)
 }
 
 // newSessionID mirrors serve's id generator: 128 random bits, hex.
@@ -389,25 +445,33 @@ func (p *Proxy) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	close(results)
 
 	shards := make(map[string]shardHealth, len(p.shards))
-	healthy := 0
+	var failed []string
 	for pr := range results {
 		shards[pr.id] = pr.h
 		if pr.h.Status == "ok" {
 			p.metrics.up[pr.id].Set(1)
-			healthy++
 		} else {
 			p.metrics.up[pr.id].Set(0)
+			failed = append(failed, pr.id)
 		}
 	}
+	sort.Strings(failed)
+	healthy := len(p.shards) - len(failed)
 	status, code := "ok", http.StatusOK
-	if healthy < len(p.shards) {
+	if len(failed) > 0 {
 		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	body := map[string]any{
+		"status": status, "healthy": healthy, "shards": shards,
+	}
+	if len(failed) > 0 {
+		// Name the failing shards up front so an operator (or pager) does
+		// not have to diff the per-shard map against the topology.
+		body["failed"] = failed
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
-		"status": status, "healthy": healthy, "shards": shards,
-	})
+	json.NewEncoder(w).Encode(body)
 }
 
 func (p *Proxy) probeShard(ctx context.Context, sh Shard) shardHealth {

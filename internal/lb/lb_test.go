@@ -293,6 +293,9 @@ func TestHealthAggregation(t *testing.T) {
 	if status, _ := out["status"].(string); status != "ok" {
 		t.Fatalf("healthz status = %q, want ok", status)
 	}
+	if _, ok := out["failed"]; ok {
+		t.Errorf("healthy fleet reports a failed list: %v", out["failed"])
+	}
 
 	servers[1].StartDraining()
 	rec, out = doJSON(t, p, http.MethodGet, "/healthz", nil)
@@ -309,6 +312,10 @@ func TestHealthAggregation(t *testing.T) {
 	}
 	if up := p.metrics.up["s0"].Load(); up != 1 {
 		t.Errorf("s0 up gauge = %v, want 1", up)
+	}
+	failed, _ := out["failed"].([]any)
+	if len(failed) != 1 || failed[0] != "s1" {
+		t.Errorf("healthz failed list = %v, want [s1]", out["failed"])
 	}
 }
 
@@ -327,5 +334,8 @@ func TestMisrouteDetection(t *testing.T) {
 	}
 	if got := p.metrics.misroutes.Load(); got != 1 {
 		t.Errorf("misroutes = %d, want 1", got)
+	}
+	if got := p.metrics.misroutesBy["wrong-id"].Load(); got != 1 {
+		t.Errorf("per-shard misroute counter = %d, want 1", got)
 	}
 }

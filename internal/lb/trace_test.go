@@ -1,0 +1,221 @@
+package lb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"setupsched/obs"
+	"setupsched/serve"
+)
+
+// TestTracedSolveThroughProxy is the cross-process stitching proof: one
+// solve through the proxy books a trace in BOTH flight recorders under
+// one trace id, and the shard's handler span hangs under the lb's
+// upstream span (parent id match across the process boundary).
+func TestTracedSolveThroughProxy(t *testing.T) {
+	p, _, servers := newCluster(t, 3)
+	in := lbInstance(11)
+	rec, out := doJSON(t, p, http.MethodPost, "/v1/solve", &serve.SolveRequest{Instance: in})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve: status %d body %s", rec.Code, rec.Body.String())
+	}
+	traceID, _ := out["trace_id"].(string)
+	if len(traceID) != 32 {
+		t.Fatalf("solve response trace_id = %q, want 32 hex chars", traceID)
+	}
+
+	lbTraces := p.Flight().Snapshot(traceID, 0, 0)
+	if len(lbTraces) != 1 {
+		t.Fatalf("lb flight recorder holds %d entries for trace %s, want 1", len(lbTraces), traceID)
+	}
+	lt := lbTraces[0]
+	owner := p.Owner(in.Fingerprint())
+	if lt.Service != "schedlb" || lt.Route != "solve" || lt.Shard != owner.ID || lt.Status != 200 {
+		t.Fatalf("lb recorded trace metadata: %+v", lt)
+	}
+	route := lt.Root.Child("route")
+	hop := lt.Root.Child("upstream")
+	if route == nil || hop == nil {
+		t.Fatalf("lb root lacks route/upstream children: %+v", lt.Root.Children)
+	}
+	if hop.Shard != owner.ID {
+		t.Errorf("upstream span shard = %q, want %q", hop.Shard, owner.ID)
+	}
+	if hop.DurUS > lt.Root.DurUS {
+		t.Errorf("upstream span (%d µs) longer than root (%d µs)", hop.DurUS, lt.Root.DurUS)
+	}
+
+	// The trace landed on exactly the ring-predicted shard, nowhere else.
+	var shardTrace *obs.RecordedTrace
+	for i, sv := range servers {
+		got := sv.Flight().Snapshot(traceID, 0, 0)
+		if id := fmt.Sprintf("s%d", i); id == owner.ID {
+			if len(got) != 1 {
+				t.Fatalf("owner shard %s holds %d entries for the trace, want 1", id, len(got))
+			}
+			shardTrace = &got[0]
+		} else if len(got) != 0 {
+			t.Fatalf("non-owner shard %s holds %d entries for the trace", id, len(got))
+		}
+	}
+	if shardTrace.Service != owner.ID || shardTrace.Route != "solve" {
+		t.Fatalf("shard recorded trace metadata: %+v", shardTrace)
+	}
+	handler := shardTrace.Root
+	if handler.Name != "handler" || handler.Parent != hop.SpanID {
+		t.Fatalf("handler span parent = %q, want lb upstream span %q", handler.Parent, hop.SpanID)
+	}
+	if handler.TraceID != traceID || lt.Root.TraceID != traceID {
+		t.Fatalf("trace ids disagree: lb %q shard %q response %q",
+			lt.Root.TraceID, handler.TraceID, traceID)
+	}
+	if handler.Child("queue") == nil || handler.Child("solve") == nil {
+		t.Fatalf("handler span lacks queue/solve children: %+v", handler.Children)
+	}
+}
+
+// TestIncomingTraceparentPreserved: a caller-supplied sampled context
+// keeps its trace id end to end, and the lb root becomes the caller
+// span's child.  An unsampled context is ignored (fresh trace).
+func TestIncomingTraceparentPreserved(t *testing.T) {
+	p, _, _ := newCluster(t, 2)
+	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const callerSpan = "00f067aa0ba902b7"
+	buf, _ := json.Marshal(&serve.SolveRequest{Instance: lbInstance(7)})
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceParentHeader, "00-"+callerTrace+"-"+callerSpan+"-01")
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("solve: status %d body %s", rec.Code, rec.Body.String())
+	}
+	got := p.Flight().Snapshot(callerTrace, 0, 0)
+	if len(got) != 1 {
+		t.Fatalf("lb recorder holds %d entries under the caller's trace id, want 1", len(got))
+	}
+	if got[0].Root.Parent != callerSpan {
+		t.Errorf("lb root parent = %q, want caller span %q", got[0].Root.Parent, callerSpan)
+	}
+
+	req2 := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(buf))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(obs.TraceParentHeader, "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-00")
+	rec2 := httptest.NewRecorder()
+	p.ServeHTTP(rec2, req2)
+	if n := len(p.Flight().Snapshot("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", 0, 0)); n != 0 {
+		t.Errorf("unsampled caller context adopted anyway (%d entries)", n)
+	}
+}
+
+// TestBatchTracePropagation: a batch gets one lb trace with an upstream
+// span per owning shard and an item child per routed line, and every
+// owning shard's recorder sees batch-item traces under the same id.
+func TestBatchTracePropagation(t *testing.T) {
+	p, _, servers := newCluster(t, 3)
+	var body bytes.Buffer
+	const n = 9
+	owners := map[string]int{}
+	for i := 0; i < n; i++ {
+		in := lbInstance(int64(100 + i))
+		owners[p.Owner(in.Fingerprint()).ID]++
+		line, _ := json.Marshal(&serve.SolveRequest{ID: fmt.Sprintf("b-%d", i), Instance: in})
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	if len(owners) < 2 {
+		t.Fatalf("batch items all owned by one shard; widen the item set")
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve/batch", &body)
+	rec := httptest.NewRecorder()
+	p.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: status %d", rec.Code)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		var out struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &out); err != nil || out.Error != "" {
+			t.Fatalf("line %d: err=%v body=%s", i, err, line)
+		}
+	}
+
+	batches := p.Flight().Snapshot("", 0, 0)
+	var bt *obs.RecordedTrace
+	for i := range batches {
+		if batches[i].Route == "batch" {
+			bt = &batches[i]
+		}
+	}
+	if bt == nil {
+		t.Fatalf("lb recorder holds no batch trace: %+v", batches)
+	}
+	hops, items := 0, 0
+	for _, c := range bt.Root.Children {
+		if c.Name != "upstream" {
+			continue
+		}
+		hops++
+		if owners[c.Shard] == 0 {
+			t.Errorf("upstream span for %q, which owns no items", c.Shard)
+		}
+		for _, it := range c.Children {
+			if it.Name != "item" {
+				continue
+			}
+			items++
+			if it.DurUS == 0 {
+				t.Errorf("item span under %q kept zero duration", c.Shard)
+			}
+		}
+	}
+	if hops != len(owners) || items != n {
+		t.Fatalf("batch trace has %d hops / %d items, want %d / %d", hops, items, len(owners), n)
+	}
+
+	// Every owning shard booked at least one batch-item trace under the
+	// batch's trace id (exact counts can dedup on timestamp collisions).
+	for i, sv := range servers {
+		id := fmt.Sprintf("s%d", i)
+		got := sv.Flight().Snapshot(bt.TraceID, 0, 0)
+		if owners[id] == 0 {
+			if len(got) != 0 {
+				t.Errorf("non-owner shard %s holds %d entries for the batch trace", id, len(got))
+			}
+			continue
+		}
+		if len(got) == 0 {
+			t.Errorf("owner shard %s holds no entries for the batch trace", id)
+			continue
+		}
+		for _, tr := range got {
+			if tr.Route != "batch-item" {
+				t.Errorf("shard %s recorded route %q, want batch-item", id, tr.Route)
+			}
+		}
+	}
+}
+
+// TestDebugTracesEndpoint: the proxy serves its recorder at
+// GET /v1/debug/traces with trace_id filtering.
+func TestDebugTracesEndpoint(t *testing.T) {
+	p, _, _ := newCluster(t, 2)
+	_, out := doJSON(t, p, http.MethodPost, "/v1/solve", &serve.SolveRequest{Instance: lbInstance(5)})
+	traceID, _ := out["trace_id"].(string)
+	if traceID == "" {
+		t.Fatalf("no trace id in solve response: %v", out)
+	}
+	rec, body := doJSON(t, p, http.MethodGet, "/v1/debug/traces?trace_id="+traceID, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug/traces: status %d", rec.Code)
+	}
+	if count, _ := body["count"].(float64); count != 1 {
+		t.Fatalf("debug/traces count = %v, want 1 (body %v)", body["count"], body)
+	}
+}

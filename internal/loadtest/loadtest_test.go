@@ -66,6 +66,49 @@ func TestClusterWorkload(t *testing.T) {
 	}
 }
 
+// TestTraceReport drives traced solves through a real 2-shard fleet and
+// asserts the joined attribution's invariants: every minted trace id
+// appears in the flight recorder of exactly the ring-predicted shard,
+// and the per-segment attribution sums to within 5% of each request's
+// end-to-end latency.
+func TestTraceReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a multi-process cluster")
+	}
+	cluster, err := StartCluster(context.Background(), ClusterConfig{Shards: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	rep, err := RunTraceReport(context.Background(), cluster.LBURL, cluster.Shards, TraceReportConfig{
+		Requests: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.E2E.P50Ms <= 0 || rep.E2E.P99Ms < rep.E2E.P50Ms {
+		t.Errorf("implausible e2e stats: %+v", rep.E2E)
+	}
+	if len(rep.Segments) != len(TraceSegments) {
+		t.Fatalf("report has %d segments, want %d", len(rep.Segments), len(TraceSegments))
+	}
+	var sumP50 float64
+	for _, seg := range rep.Segments {
+		sumP50 += seg.P50Ms
+	}
+	// Percentiles don't add exactly, but the segment medians should land
+	// in the same order of magnitude as the e2e median.
+	if sumP50 <= 0 {
+		t.Errorf("segment medians sum to zero; attribution empty: %+v", rep.Segments)
+	}
+	t.Logf("trace report: joined=%d/%d maxSumErr=%.2f%% e2e p50=%.2fms",
+		rep.Joined, rep.Requests, rep.MaxSumErrPct, rep.E2E.P50Ms)
+}
+
 // TestValidateServeReport exercises the validator's rejections.
 func TestValidateServeReport(t *testing.T) {
 	mk := func() *ServeReport {

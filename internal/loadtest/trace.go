@@ -1,0 +1,316 @@
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"setupsched/internal/lb"
+	"setupsched/obs"
+	"setupsched/shard"
+)
+
+// Trace report: the harness mints one sampled W3C trace context per
+// solve, drives the requests through the lb, then pulls BOTH flight
+// recorders — the proxy's and every shard's — and joins them by trace
+// id into an end-to-end latency attribution.  Because only durations
+// cross the process boundary (never timestamps), the segment algebra is
+// clock-skew free:
+//
+//	e2e        = lb root span
+//	lb_routing = root − upstream hop
+//	network    = upstream hop − shard handler
+//	queue      = shard handler's queue child (arrival → solve start)
+//	prepare / search / build = the solve tree's phases
+//	solve_other = handler − queue − (prepare + search + build)
+//
+// which sums back to the lb root exactly, so the per-request sum check
+// guards the join logic itself.  The placement check — every minted
+// trace id appears in the recorder of exactly the ring-predicted shard
+// — is the tracing-tier version of the X-Sched-Shard echo proof.
+
+// TraceReportConfig shapes the traced drive.
+type TraceReportConfig struct {
+	// Requests is the number of traced solves (default 120 — deliberately
+	// below obs.DefaultFlightCapacity so no trace rotates out of a
+	// recorder before the harness reads it back).
+	Requests int
+	// Instances is the instance pool size (default 32).
+	Instances int
+	// Replicas must match the lb's ring vnode count (0 = library default).
+	Replicas int
+	// Seed seeds the trace-id source (default 1).
+	Seed uint64
+}
+
+func (c *TraceReportConfig) withDefaults() TraceReportConfig {
+	out := *c
+	if out.Requests <= 0 {
+		out.Requests = 120
+	}
+	if out.Requests > obs.DefaultFlightCapacity {
+		out.Requests = obs.DefaultFlightCapacity
+	}
+	if out.Instances <= 0 {
+		out.Instances = 32
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// SegmentStats summarizes one attribution segment over all joined
+// requests (nearest-rank percentiles, milliseconds).
+type SegmentStats struct {
+	Name  string  `json:"name"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// TraceSegments is the report's fixed segment order.
+var TraceSegments = []string{
+	"lb_routing", "network", "queue", "prepare", "search", "build", "solve_other",
+}
+
+// TraceReport is the joined attribution outcome.
+type TraceReport struct {
+	Shards          int            `json:"shards"`
+	Requests        int            `json:"requests"`
+	Joined          int            `json:"joined"`
+	PlacementErrors []string       `json:"placement_errors,omitempty"`
+	MaxSumErrPct    float64        `json:"max_sum_err_pct"`
+	E2E             SegmentStats   `json:"e2e"`
+	Segments        []SegmentStats `json:"segments"`
+}
+
+// Check asserts the report's invariants: every minted trace joined,
+// landed on exactly the predicted shard, and its segments sum to within
+// 5% of the measured end-to-end latency.
+func (r *TraceReport) Check() error {
+	if r.Joined != r.Requests {
+		return fmt.Errorf("trace report: joined %d/%d traces across both recorders", r.Joined, r.Requests)
+	}
+	if len(r.PlacementErrors) > 0 {
+		return fmt.Errorf("trace report: %d placement errors (first: %s)",
+			len(r.PlacementErrors), r.PlacementErrors[0])
+	}
+	if r.MaxSumErrPct > 5 {
+		return fmt.Errorf("trace report: segment sum off by %.2f%% from e2e (want ≤ 5%%)", r.MaxSumErrPct)
+	}
+	return nil
+}
+
+// RunTraceReport drives cfg.Requests traced solves through the lb and
+// joins the lb-side and shard-side flight recorders into a TraceReport.
+func RunTraceReport(ctx context.Context, lbURL string, shards []lb.Shard, cfg TraceReportConfig) (*TraceReport, error) {
+	cfg = cfg.withDefaults()
+	ids := make([]string, len(shards))
+	for i, s := range shards {
+		ids[i] = s.ID
+	}
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = shard.DefaultReplicas
+	}
+	ring := shard.NewRing(replicas, ids...)
+	src := obs.NewIDSource(cfg.Seed)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	type issued struct {
+		traceID string
+		owner   string
+	}
+	reqs := make([]issued, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		in := workloadInstance(i % cfg.Instances)
+		body, err := json.Marshal(map[string]any{"instance": in})
+		if err != nil {
+			return nil, err
+		}
+		tc := src.NewTrace()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, lbURL+"/v1/solve", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		obs.InjectTrace(req.Header, tc)
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("traced solve %d: %w", i, err)
+		}
+		var out struct {
+			Error   string `json:"error"`
+			TraceID string `json:"trace_id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || out.Error != "" {
+			return nil, fmt.Errorf("traced solve %d: status %d error %q", i, resp.StatusCode, out.Error)
+		}
+		if out.TraceID != tc.TraceID.String() {
+			return nil, fmt.Errorf("traced solve %d: response trace id %q, minted %q", i, out.TraceID, tc.TraceID)
+		}
+		reqs = append(reqs, issued{traceID: out.TraceID, owner: ring.Owner(in.Fingerprint())})
+	}
+
+	lbTraces, err := fetchTraces(ctx, client, lbURL, 2*cfg.Requests)
+	if err != nil {
+		return nil, fmt.Errorf("fetching lb recorder: %w", err)
+	}
+	lbByID := make(map[string]*obs.RecordedTrace, len(lbTraces))
+	for i := range lbTraces {
+		lbByID[lbTraces[i].TraceID] = &lbTraces[i]
+	}
+	shardByID := make(map[string]map[string]*obs.RecordedTrace, len(shards))
+	for _, s := range shards {
+		traces, err := fetchTraces(ctx, client, s.URL, 2*cfg.Requests)
+		if err != nil {
+			return nil, fmt.Errorf("fetching shard %s recorder: %w", s.ID, err)
+		}
+		m := make(map[string]*obs.RecordedTrace, len(traces))
+		for i := range traces {
+			m[traces[i].TraceID] = &traces[i]
+		}
+		shardByID[s.ID] = m
+	}
+
+	rep := &TraceReport{Shards: len(shards), Requests: len(reqs)}
+	samples := map[string][]float64{}
+	var e2e []float64
+	for _, rq := range reqs {
+		for id, m := range shardByID {
+			if _, ok := m[rq.traceID]; ok && id != rq.owner {
+				rep.PlacementErrors = append(rep.PlacementErrors,
+					fmt.Sprintf("trace %s found on shard %s, ring owner is %s", rq.traceID, id, rq.owner))
+			}
+		}
+		lt, okLB := lbByID[rq.traceID]
+		st, okShard := shardByID[rq.owner][rq.traceID]
+		if !okLB || !okShard {
+			rep.PlacementErrors = append(rep.PlacementErrors,
+				fmt.Sprintf("trace %s missing from %s recorder", rq.traceID, missingSide(okLB, okShard, rq.owner)))
+			continue
+		}
+		seg, total, ok := attribute(lt, st)
+		if !ok {
+			rep.PlacementErrors = append(rep.PlacementErrors,
+				fmt.Sprintf("trace %s has a malformed span tree", rq.traceID))
+			continue
+		}
+		rep.Joined++
+		e2eUS := lt.Root.DurUS
+		e2e = append(e2e, float64(e2eUS)/1e3)
+		for name, us := range seg {
+			samples[name] = append(samples[name], float64(us)/1e3)
+		}
+		if e2eUS > 0 {
+			if pct := 100 * absF(float64(total-e2eUS)) / float64(e2eUS); pct > rep.MaxSumErrPct {
+				rep.MaxSumErrPct = pct
+			}
+		}
+	}
+	rep.E2E = segStats("e2e", e2e)
+	for _, name := range TraceSegments {
+		rep.Segments = append(rep.Segments, segStats(name, samples[name]))
+	}
+	return rep, nil
+}
+
+// attribute splits one joined trace into the report's segments
+// (microseconds) and returns their sum for the e2e cross-check.
+func attribute(lt, st *obs.RecordedTrace) (map[string]int64, int64, bool) {
+	hop := lt.Root.Child("upstream")
+	handler := st.Root
+	if hop == nil || handler == nil || handler.Name != "handler" {
+		return nil, 0, false
+	}
+	queue := handler.Child("queue")
+	solve := handler.Child("solve")
+	if queue == nil || solve == nil {
+		return nil, 0, false
+	}
+	phase := func(name string) int64 {
+		if c := solve.Child(name); c != nil {
+			return c.DurUS
+		}
+		return 0
+	}
+	seg := map[string]int64{
+		"lb_routing": clampUS(lt.Root.DurUS - hop.DurUS),
+		"network":    clampUS(hop.DurUS - handler.DurUS),
+		"queue":      queue.DurUS,
+		"prepare":    phase("prepare"),
+		"search":     phase("search"),
+		"build":      phase("build"),
+	}
+	seg["solve_other"] = clampUS(handler.DurUS - queue.DurUS - seg["prepare"] - seg["search"] - seg["build"])
+	var total int64
+	for _, us := range seg {
+		total += us
+	}
+	return seg, total, true
+}
+
+func clampUS(us int64) int64 {
+	if us < 0 {
+		return 0
+	}
+	return us
+}
+
+func absF(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func missingSide(okLB, okShard bool, owner string) string {
+	switch {
+	case !okLB && !okShard:
+		return "both the lb and shard " + owner
+	case !okLB:
+		return "the lb"
+	default:
+		return "shard " + owner
+	}
+}
+
+func segStats(name string, ms []float64) SegmentStats {
+	sort.Float64s(ms)
+	st := SegmentStats{Name: name}
+	if len(ms) > 0 {
+		st.P50Ms = percentile(ms, 0.50)
+		st.P99Ms = percentile(ms, 0.99)
+		st.MaxMs = ms[len(ms)-1]
+	}
+	return st
+}
+
+// fetchTraces pulls one process's flight recorder.
+func fetchTraces(ctx context.Context, client *http.Client, baseURL string, limit int) ([]obs.RecordedTrace, error) {
+	url := fmt.Sprintf("%s/v1/debug/traces?limit=%d", baseURL, limit)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var out obs.TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}

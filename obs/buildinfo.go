@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// RegisterBuildInfo mounts the constant sched_build_info gauge on reg:
+// value 1, with the Go toolchain version, GOMAXPROCS, and (when
+// non-empty) the shard id as labels.  Fleet scrapes join it against the
+// per-process series to tell shards, proxies, and toolchain rollouts
+// apart without relabeling.  Both schedserve and schedlb expose it.
+func RegisterBuildInfo(reg *Registry, shard string) {
+	labels := `goversion="` + runtime.Version() +
+		`",gomaxprocs="` + strconv.Itoa(runtime.GOMAXPROCS(0)) + `"`
+	if shard != "" {
+		labels += `,shard="` + shard + `"`
+	}
+	reg.GaugeFunc("sched_build_info{"+labels+"}",
+		"Build and runtime identity of this process (constant 1).",
+		func() float64 { return 1 })
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases of the exposition parser beyond the happy path: escaped
+// label values, +Inf bucket ordering, and duplicate series rejection.
+
+func TestParseExpositionEscapedLabelValues(t *testing.T) {
+	// A quoted label value may contain escaped quotes and commas; the
+	// comma inside quotes must not split the label block.
+	text := strings.Join([]string{
+		`# TYPE sched_test_total counter`,
+		`sched_test_total{path="a\"b",kind="x,y"} 3`,
+		`sched_test_total{path="plain"} 4`,
+		``,
+	}, "\n")
+	got, err := ParseExposition([]byte(text))
+	if err != nil {
+		t.Fatalf("escaped labels rejected: %v", err)
+	}
+	if got[`sched_test_total{path="a\"b",kind="x,y"}`] != 3 {
+		t.Fatalf("escaped series missing: %v", got)
+	}
+	if got[`sched_test_total{path="plain"}`] != 4 {
+		t.Fatalf("plain series missing: %v", got)
+	}
+}
+
+func TestParseExpositionInfBucketOrdering(t *testing.T) {
+	// +Inf listed first: ordering in the text must not matter, the
+	// cumulative check sorts by le.
+	ok := strings.Join([]string{
+		`# TYPE sched_lat_seconds histogram`,
+		`sched_lat_seconds_bucket{le="+Inf"} 5`,
+		`sched_lat_seconds_bucket{le="0.1"} 2`,
+		`sched_lat_seconds_bucket{le="1"} 5`,
+		`sched_lat_seconds_sum 1.25`,
+		`sched_lat_seconds_count 5`,
+		``,
+	}, "\n")
+	if _, err := ParseExposition([]byte(ok)); err != nil {
+		t.Fatalf("reordered buckets rejected: %v", err)
+	}
+
+	// Missing +Inf bucket is an error.
+	noInf := strings.Join([]string{
+		`# TYPE sched_lat_seconds histogram`,
+		`sched_lat_seconds_bucket{le="0.1"} 2`,
+		`sched_lat_seconds_sum 1.25`,
+		`sched_lat_seconds_count 5`,
+		``,
+	}, "\n")
+	if _, err := ParseExposition([]byte(noInf)); err == nil {
+		t.Fatal("histogram without +Inf bucket accepted")
+	}
+
+	// Non-cumulative buckets are an error.
+	decreasing := strings.Join([]string{
+		`# TYPE sched_lat_seconds histogram`,
+		`sched_lat_seconds_bucket{le="0.1"} 6`,
+		`sched_lat_seconds_bucket{le="1"} 2`,
+		`sched_lat_seconds_bucket{le="+Inf"} 6`,
+		`sched_lat_seconds_sum 1`,
+		`sched_lat_seconds_count 6`,
+		``,
+	}, "\n")
+	if _, err := ParseExposition([]byte(decreasing)); err == nil {
+		t.Fatal("non-cumulative histogram accepted")
+	}
+
+	// +Inf bucket disagreeing with _count is an error.
+	mismatch := strings.Join([]string{
+		`# TYPE sched_lat_seconds histogram`,
+		`sched_lat_seconds_bucket{le="+Inf"} 4`,
+		`sched_lat_seconds_sum 1`,
+		`sched_lat_seconds_count 5`,
+		``,
+	}, "\n")
+	if _, err := ParseExposition([]byte(mismatch)); err == nil {
+		t.Fatal("+Inf != _count accepted")
+	}
+}
+
+func TestParseExpositionDuplicateSeries(t *testing.T) {
+	dupPlain := strings.Join([]string{
+		`# TYPE sched_x_total counter`,
+		`sched_x_total 1`,
+		`sched_x_total 2`,
+		``,
+	}, "\n")
+	if _, err := ParseExposition([]byte(dupPlain)); err == nil {
+		t.Fatal("duplicate unlabeled series accepted")
+	}
+
+	dupLabeled := strings.Join([]string{
+		`# TYPE sched_x_total counter`,
+		`sched_x_total{kind="a"} 1`,
+		`sched_x_total{kind="a"} 2`,
+		``,
+	}, "\n")
+	if _, err := ParseExposition([]byte(dupLabeled)); err == nil {
+		t.Fatal("duplicate labeled series accepted")
+	}
+
+	// Distinct label sets of one family are not duplicates.
+	distinct := strings.Join([]string{
+		`# TYPE sched_x_total counter`,
+		`sched_x_total{kind="a"} 1`,
+		`sched_x_total{kind="b"} 2`,
+		``,
+	}, "\n")
+	if _, err := ParseExposition([]byte(distinct)); err != nil {
+		t.Fatalf("distinct label sets rejected: %v", err)
+	}
+}
+
+func TestBuildInfoGauge(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBuildInfo(reg, "s7")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `sched_build_info{goversion="`) ||
+		!strings.Contains(text, `shard="s7"`) {
+		t.Fatalf("build info series missing:\n%s", text)
+	}
+	if _, err := ParseExposition([]byte(text)); err != nil {
+		t.Fatalf("build info exposition invalid: %v", err)
+	}
+	// Without a shard id the label is omitted entirely.
+	reg2 := NewRegistry()
+	RegisterBuildInfo(reg2, "")
+	sb.Reset()
+	_ = reg2.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "shard=") {
+		t.Fatalf("empty shard id produced a shard label:\n%s", sb.String())
+	}
+}

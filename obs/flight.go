@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RecordedTrace is one completed request trace held by a
+// FlightRecorder: the wire identity, where it ran, how it was routed,
+// and the full span tree.  It is the JSON element of
+// GET /v1/debug/traces and the join record of `schedload -trace-report`
+// (lb-side and shard-side entries share the trace id).
+type RecordedTrace struct {
+	TraceID string `json:"trace_id"`
+	// Service names the recording process: "schedlb" on the front tier,
+	// the shard id (or "schedserve") on a shard.
+	Service string `json:"service,omitempty"`
+	// Route is the request class: solve | batch | batch-item | session.
+	Route string `json:"route,omitempty"`
+	// Shard is the routing decision: on the lb the ring-predicted owner,
+	// on a shard its own id — equality is the trace-level misroute proof.
+	Shard string `json:"shard,omitempty"`
+	// Status is the HTTP status the request was answered with.
+	Status int `json:"status,omitempty"`
+	// Slow marks traces retained because they exceeded the recorder's
+	// slow threshold (kept beyond the last-N window).
+	Slow bool `json:"slow,omitempty"`
+	// DurUS is the root span's duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// UnixUS is the completion wall-clock time in microseconds since the
+	// Unix epoch, so rings from different processes can be ordered.
+	UnixUS int64 `json:"unix_us"`
+	Root   *Span `json:"root,omitempty"`
+}
+
+// traceRing is a fixed-capacity overwrite-oldest buffer.
+type traceRing struct {
+	buf  []RecordedTrace
+	head int // next write position
+	n    int // live entries
+}
+
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]RecordedTrace, capacity)}
+}
+
+// push appends, reporting whether an older entry was overwritten.
+func (r *traceRing) push(t RecordedTrace) (dropped bool) {
+	dropped = r.n == len(r.buf)
+	r.buf[r.head] = t
+	r.head = (r.head + 1) % len(r.buf)
+	if !dropped {
+		r.n++
+	}
+	return dropped
+}
+
+// each visits the live entries oldest-first.
+func (r *traceRing) each(f func(*RecordedTrace)) {
+	start := r.head - r.n
+	for i := 0; i < r.n; i++ {
+		f(&r.buf[(start+i+len(r.buf))%len(r.buf)])
+	}
+}
+
+// FlightRecorder is an always-on bounded buffer of completed request
+// traces: it keeps the last N traces plus, in a separate (also bounded)
+// ring, every trace slower than the slow threshold, so a latency spike
+// is still inspectable after the steady-state window has rotated past
+// it.  Record is O(1) under one short mutex hold and allocates nothing
+// beyond the trace the caller already built, so it is safe on the
+// request path; memory is bounded by the two preallocated rings.
+//
+// Both schedserve and schedlb expose their recorder at
+// GET /v1/debug/traces (see Handler).
+type FlightRecorder struct {
+	mu     sync.Mutex
+	recent *traceRing
+	slow   *traceRing
+	slowNS int64
+
+	// recorded counts every Record call; dropped counts ring entries
+	// overwritten before anyone read them.  Optional (may be nil) —
+	// servers inject registry-backed counters here.
+	recorded *Counter
+	dropped  *Counter
+}
+
+// DefaultFlightCapacity is the recent-ring capacity servers default to.
+const DefaultFlightCapacity = 256
+
+// NewFlightRecorder builds a recorder keeping the last `recent`
+// completed traces plus up to `slowCap` traces over slowThreshold
+// (slowCap 0 means 2*recent; slowThreshold 0 disables the slow ring).
+func NewFlightRecorder(recent, slowCap int, slowThreshold time.Duration) *FlightRecorder {
+	if recent <= 0 {
+		recent = DefaultFlightCapacity
+	}
+	if slowCap <= 0 {
+		slowCap = 2 * recent
+	}
+	f := &FlightRecorder{
+		recent: newTraceRing(recent),
+		slowNS: slowThreshold.Nanoseconds(),
+	}
+	if slowThreshold > 0 {
+		f.slow = newTraceRing(slowCap)
+	}
+	return f
+}
+
+// SetCounters wires the recorded/dropped counters (typically registry
+// series) into the recorder.  Call before the first Record.
+func (f *FlightRecorder) SetCounters(recorded, dropped *Counter) {
+	f.recorded, f.dropped = recorded, dropped
+}
+
+// Record books one completed trace.  Traces at or above the slow
+// threshold go to the slow ring (and are marked Slow); everything is
+// kept in the recent ring.
+func (f *FlightRecorder) Record(t RecordedTrace) {
+	if t.UnixUS == 0 {
+		t.UnixUS = time.Now().UnixMicro()
+	}
+	slow := f.slow != nil && t.DurUS*1000 >= f.slowNS
+	t.Slow = slow
+	drops := 0
+	f.mu.Lock()
+	if f.recent.push(t) {
+		drops++
+	}
+	if slow && f.slow.push(t) {
+		drops++
+	}
+	f.mu.Unlock()
+	if f.recorded != nil {
+		f.recorded.Inc()
+	}
+	if f.dropped != nil && drops > 0 {
+		f.dropped.Add(uint64(drops))
+	}
+}
+
+// Snapshot returns the retained traces, oldest first, filtered by exact
+// trace id (empty matches all) and minimum duration; limit bounds the
+// result (0 means no bound).  Slow-ring entries whose trace id also
+// sits in the recent ring are deduplicated.
+func (f *FlightRecorder) Snapshot(traceID string, minDur time.Duration, limit int) []RecordedTrace {
+	minUS := minDur.Microseconds()
+	var out []RecordedTrace
+	seen := map[string]bool{}
+	collect := func(t *RecordedTrace) {
+		if traceID != "" && t.TraceID != traceID {
+			return
+		}
+		if t.DurUS < minUS {
+			return
+		}
+		key := t.TraceID + "/" + strconv.FormatInt(t.UnixUS, 10)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, *t)
+	}
+	f.mu.Lock()
+	if f.slow != nil {
+		f.slow.each(collect)
+	}
+	f.recent.each(collect)
+	f.mu.Unlock()
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// Len returns the live entry counts of the recent and slow rings.
+func (f *FlightRecorder) Len() (recent, slow int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	recent = f.recent.n
+	if f.slow != nil {
+		slow = f.slow.n
+	}
+	return recent, slow
+}
+
+// TracesResponse is the JSON body of GET /v1/debug/traces.
+type TracesResponse struct {
+	Count  int             `json:"count"`
+	Traces []RecordedTrace `json:"traces"`
+}
+
+// Handler serves the recorder at GET /v1/debug/traces.  Query
+// parameters: trace_id (exact match), min_ms (minimum duration in
+// milliseconds, float), limit (max traces returned, default 100).
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		var minDur time.Duration
+		if raw := q.Get("min_ms"); raw != "" {
+			ms, err := strconv.ParseFloat(raw, 64)
+			if err != nil || ms < 0 {
+				http.Error(w, "bad min_ms", http.StatusBadRequest)
+				return
+			}
+			minDur = time.Duration(ms * float64(time.Millisecond))
+		}
+		limit := 100
+		if raw := q.Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		traces := f.Snapshot(q.Get("trace_id"), minDur, limit)
+		if traces == nil {
+			traces = []RecordedTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(&TracesResponse{Count: len(traces), Traces: traces})
+	})
+}

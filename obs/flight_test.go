@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rt(id string, durUS int64) RecordedTrace {
+	return RecordedTrace{TraceID: id, DurUS: durUS, UnixUS: durUS + 1, Route: "solve"}
+}
+
+func TestFlightRecorderKeepsLastN(t *testing.T) {
+	f := NewFlightRecorder(4, 0, 0)
+	var recorded, dropped Counter
+	f.SetCounters(&recorded, &dropped)
+	for i := 0; i < 10; i++ {
+		f.Record(rt(fmt.Sprintf("t%02d", i), int64(i)))
+	}
+	got := f.Snapshot("", 0, 0)
+	if len(got) != 4 {
+		t.Fatalf("kept %d traces, want 4", len(got))
+	}
+	for i, tr := range got {
+		if want := fmt.Sprintf("t%02d", 6+i); tr.TraceID != want {
+			t.Fatalf("slot %d = %s, want %s (oldest-first last-N)", i, tr.TraceID, want)
+		}
+	}
+	if recorded.Load() != 10 || dropped.Load() != 6 {
+		t.Fatalf("recorded=%d dropped=%d, want 10/6", recorded.Load(), dropped.Load())
+	}
+}
+
+func TestFlightRecorderSlowRing(t *testing.T) {
+	f := NewFlightRecorder(2, 8, 5*time.Millisecond)
+	// Two slow traces, then enough fast ones to rotate them out of recent.
+	f.Record(rt("slow-a", 9000))
+	f.Record(rt("slow-b", 5000)) // exactly at threshold: kept
+	for i := 0; i < 5; i++ {
+		f.Record(rt(fmt.Sprintf("fast-%d", i), 100))
+	}
+	if got := f.Snapshot("slow-a", 0, 0); len(got) != 1 || !got[0].Slow {
+		t.Fatalf("slow-a not retained in slow ring: %+v", got)
+	}
+	if got := f.Snapshot("slow-b", 0, 0); len(got) != 1 {
+		t.Fatalf("threshold-equal trace not retained: %+v", got)
+	}
+	// min-duration filter hides the fast ones.
+	if got := f.Snapshot("", 5*time.Millisecond, 0); len(got) != 2 {
+		t.Fatalf("min_dur filter returned %d, want 2", len(got))
+	}
+	// A slow trace still inside the recent window is not duplicated.
+	g := NewFlightRecorder(4, 4, time.Millisecond)
+	g.Record(rt("both", 2000))
+	if got := g.Snapshot("", 0, 0); len(got) != 1 {
+		t.Fatalf("slow+recent trace duplicated: %d entries", len(got))
+	}
+}
+
+func TestFlightRecorderHandler(t *testing.T) {
+	f := NewFlightRecorder(8, 0, 0)
+	f.Record(rt("aaa", 1000))
+	f.Record(rt("bbb", 9000))
+
+	get := func(url string) (int, TracesResponse) {
+		req := httptest.NewRequest("GET", url, nil)
+		w := httptest.NewRecorder()
+		f.Handler().ServeHTTP(w, req)
+		var body TracesResponse
+		if w.Code == 200 {
+			if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+				t.Fatalf("bad JSON from %s: %v", url, err)
+			}
+		}
+		return w.Code, body
+	}
+
+	if code, body := get("/v1/debug/traces"); code != 200 || body.Count != 2 {
+		t.Fatalf("unfiltered: code=%d count=%d", code, body.Count)
+	}
+	if _, body := get("/v1/debug/traces?trace_id=bbb"); body.Count != 1 || body.Traces[0].TraceID != "bbb" {
+		t.Fatalf("trace_id filter: %+v", body)
+	}
+	if _, body := get("/v1/debug/traces?min_ms=5"); body.Count != 1 || body.Traces[0].TraceID != "bbb" {
+		t.Fatalf("min_ms filter: %+v", body)
+	}
+	if _, body := get("/v1/debug/traces?limit=1"); body.Count != 1 {
+		t.Fatalf("limit: %+v", body)
+	}
+	if code, _ := get("/v1/debug/traces?min_ms=nope"); code != 400 {
+		t.Fatalf("bad min_ms not rejected: %d", code)
+	}
+	req := httptest.NewRequest("POST", "/v1/debug/traces", nil)
+	w := httptest.NewRecorder()
+	f.Handler().ServeHTTP(w, req)
+	if w.Code != 405 {
+		t.Fatalf("POST allowed: %d", w.Code)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32, 32, time.Microsecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(rt(fmt.Sprintf("g%d-%d", g, i), int64(i)))
+				if i%50 == 0 {
+					f.Snapshot("", 0, 10)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	recent, _ := f.Len()
+	if recent != 32 {
+		t.Fatalf("recent ring holds %d, want 32", recent)
+	}
+}

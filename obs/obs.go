@@ -33,6 +33,19 @@
 // guess).  See SpanRecorder for the JSON shape and NewSpanRecorder for
 // wiring.
 //
+// # Distributed tracing
+//
+// TraceContext carries a W3C traceparent-compatible identity (128-bit
+// trace id, 64-bit span id, sampled flag) across process hops via
+// InjectTrace / TraceFromHeader; IDSource mints ids deterministically
+// from a seed (tests) or the crypto-seeded process default (NewTrace,
+// ChildOf).  SpanRecorder.Trace binds a local solve tree under a remote
+// parent span, so the schedlb root, the shard's wire spans, and the
+// prepare/search/build tree form one tree keyed by the shared trace id.
+// FlightRecorder keeps a bounded ring of completed request traces (last
+// N plus everything over a slow threshold) and serves them at
+// GET /v1/debug/traces for after-the-fact latency attribution.
+//
 // # Diagnostics
 //
 // LogSlowSolve emits one structured log/slog line for a solve that

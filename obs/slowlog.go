@@ -12,15 +12,19 @@ import (
 //
 // The line's shape, stable for log scrapers:
 //
-//	level=WARN msg="slow solve" fingerprint=<hex> variant=<s|p|n>
-//	  algorithm=<name> elapsed_ms=<float> probes=<int>
+//	level=WARN msg="slow solve" trace_id=<hex|""> fingerprint=<hex>
+//	  variant=<s|p|n> algorithm=<name> elapsed_ms=<float> probes=<int>
 //	  prepare_ms=<float> search_ms=<float> build_ms=<float>
-func LogSlowSolve(lg *slog.Logger, elapsed time.Duration, fingerprint, variant, algorithm string, probes int, root *Span) {
+//
+// trace_id is the distributed trace id when the solve was traced (the
+// join key into /v1/debug/traces on every tier), empty otherwise.
+func LogSlowSolve(lg *slog.Logger, elapsed time.Duration, traceID, fingerprint, variant, algorithm string, probes int, root *Span) {
 	if lg == nil {
 		lg = slog.Default()
 	}
 	phases := PhaseDurations(root)
 	lg.Warn("slow solve",
+		"trace_id", traceID,
 		"fingerprint", fingerprint,
 		"variant", variant,
 		"algorithm", algorithm,

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"encoding/binary"
+	"encoding/hex"
 	"sync"
 	"time"
 
@@ -28,7 +30,18 @@ type Span struct {
 	// Algorithm names the search on the root span (e.g. "split-jump").
 	Algorithm string `json:"algorithm,omitempty"`
 	// Probes is the total dual-test count, set on the "search" span.
-	Probes   int     `json:"probes,omitempty"`
+	Probes int `json:"probes,omitempty"`
+	// TraceID binds the root span into a distributed trace (hex, 32
+	// digits); children inherit it implicitly and carry only span ids.
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID is the span's identity within the trace (hex, 16 digits).
+	SpanID string `json:"span_id,omitempty"`
+	// Parent is the parent span's id — for a traced root, the remote
+	// (wire) span of the caller on the other side of the hop.
+	Parent string `json:"parent_span_id,omitempty"`
+	// Shard names the process that recorded the span (set on wire-level
+	// spans by the serving tier).
+	Shard    string  `json:"shard,omitempty"`
 	Children []*Span `json:"children,omitempty"`
 }
 
@@ -83,6 +96,12 @@ type SpanRecorder struct {
 	open         []*Span
 	lastProbeEnd int64 // µs; end of the most recent probe
 	closed       bool
+	// traced is set by Trace; child span ids are then derived
+	// deterministically from the root span id via the SplitMix64 stream
+	// (unique within the trace, no RNG on the probe path).
+	traced bool
+	idSeed uint64
+	idSeq  uint64
 }
 
 // NewSpanRecorder starts a recorder; the root "solve" span opens now.
@@ -92,11 +111,68 @@ func NewSpanRecorder() *SpanRecorder {
 
 func (r *SpanRecorder) now() int64 { return time.Since(r.t0).Microseconds() }
 
+// Trace binds the recorder's tree into a distributed trace: the root
+// "solve" span takes the context's trace and span ids with remoteParent
+// (the caller's wire span, zero for a local root) as its parent, and
+// every child span opened afterwards gets a unique span id derived
+// deterministically from the root span id.  Call it right after
+// NewSpanRecorder; spans opened before the call are stamped
+// retroactively.
+func (r *SpanRecorder) Trace(tc TraceContext, remoteParent SpanID) {
+	if !tc.Valid() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.traced = true
+	r.idSeed = binary.BigEndian.Uint64(tc.SpanID[:])
+	r.root.TraceID = tc.TraceID.String()
+	r.root.SpanID = tc.SpanID.String()
+	if !remoteParent.IsZero() {
+		r.root.Parent = remoteParent.String()
+	}
+	var stamp func(parent *Span)
+	stamp = func(parent *Span) {
+		for _, c := range parent.Children {
+			if c.SpanID == "" {
+				c.SpanID = r.childID()
+				c.Parent = parent.SpanID
+			}
+			stamp(c)
+		}
+	}
+	stamp(r.root)
+}
+
+// childID mints the next child span id.  Caller holds r.mu.
+func (r *SpanRecorder) childID() string {
+	for {
+		r.idSeq++
+		v := splitmix64(r.idSeed + r.idSeq)
+		if v == 0 {
+			continue
+		}
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		return hex.EncodeToString(b[:])
+	}
+}
+
+// bind stamps a freshly opened child span when traced.  Caller holds
+// r.mu.
+func (r *SpanRecorder) bind(sp, parent *Span) {
+	if r.traced {
+		sp.SpanID = r.childID()
+		sp.Parent = parent.SpanID
+	}
+}
+
 // StartPhase opens a named child span of the root (e.g. "prepare") and
 // returns the function that closes it.
 func (r *SpanRecorder) StartPhase(name string) func() {
 	r.mu.Lock()
 	sp := &Span{Name: name, StartUS: r.now()}
+	r.bind(sp, r.root)
 	r.root.Children = append(r.root.Children, sp)
 	r.mu.Unlock()
 	return func() {
@@ -114,9 +190,11 @@ func (r *SpanRecorder) ProbeStarted(T sched.Rat) {
 	now := r.now()
 	if r.search == nil {
 		r.search = &Span{Name: "search", StartUS: now}
+		r.bind(r.search, r.root)
 		r.root.Children = append(r.root.Children, r.search)
 	}
 	sp := &Span{Name: "probe", StartUS: now, T: T.String()}
+	r.bind(sp, r.search)
 	r.search.Children = append(r.search.Children, sp)
 	r.open = append(r.open, sp)
 }
@@ -165,9 +243,11 @@ func (r *SpanRecorder) SearchFinished(algorithm string, probes int) {
 		// after the accepted guess can fit inside one microsecond tick,
 		// and dropping the span then would lose the phase from
 		// PhaseDurations and the slow-solve breakdown.
-		r.root.Children = append(r.root.Children, &Span{
+		build := &Span{
 			Name: "build", StartUS: r.lastProbeEnd, DurUS: now - r.lastProbeEnd,
-		})
+		}
+		r.bind(build, r.root)
+		r.root.Children = append(r.root.Children, build)
 	}
 	r.root.Algorithm = algorithm
 	r.root.DurUS = now

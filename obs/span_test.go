@@ -159,6 +159,6 @@ func TestLogSlowSolveDoesNotPanic(t *testing.T) {
 	r.ProbeStarted(sched.R(2))
 	r.ProbeFinished(sched.R(2), true)
 	r.SearchFinished("split-jump", 1)
-	LogSlowSolve(nil, 50*time.Millisecond, "deadbeef", "s", "split-jump", 1, r.Root())
-	LogSlowSolve(nil, 50*time.Millisecond, "deadbeef", "s", "split-jump", 1, nil)
+	LogSlowSolve(nil, 50*time.Millisecond, "0af7651916cd43dd8448eb211c80319c", "deadbeef", "s", "split-jump", 1, r.Root())
+	LogSlowSolve(nil, 50*time.Millisecond, "", "deadbeef", "s", "split-jump", 1, nil)
 }

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+
+	"setupsched/sched"
+)
+
+// collectSpans flattens a tree depth-first.
+func collectSpans(root *Span) []*Span {
+	out := []*Span{root}
+	for _, c := range root.Children {
+		out = append(out, collectSpans(c)...)
+	}
+	return out
+}
+
+func TestSpanRecorderRemoteParent(t *testing.T) {
+	src := NewIDSource(11)
+	parent := src.NewTrace()   // the lb's wire context
+	local := src.Child(parent) // this process's root span id
+
+	r := NewSpanRecorder()
+	r.Trace(local, parent.SpanID)
+	done := r.StartPhase("prepare")
+	done()
+	r.ProbeStarted(sched.R(3))
+	r.ProbeFinished(sched.R(3), false)
+	r.ProbeStarted(sched.R(5))
+	r.ProbeFinished(sched.R(5), true)
+	r.SearchFinished("split-jump", 2)
+	root := r.Root()
+
+	if root.TraceID != local.TraceID.String() {
+		t.Fatalf("root trace id %q, want %q", root.TraceID, local.TraceID)
+	}
+	if root.SpanID != local.SpanID.String() {
+		t.Fatalf("root span id %q, want %q", root.SpanID, local.SpanID)
+	}
+	if root.Parent != parent.SpanID.String() {
+		t.Fatalf("root parent %q, want remote %q", root.Parent, parent.SpanID)
+	}
+
+	all := collectSpans(root)
+	ids := map[string]bool{}
+	for _, sp := range all {
+		if sp.SpanID == "" {
+			t.Fatalf("span %q has no id in a traced tree", sp.Name)
+		}
+		if ids[sp.SpanID] {
+			t.Fatalf("duplicate span id %s on %q", sp.SpanID, sp.Name)
+		}
+		ids[sp.SpanID] = true
+		if sp != root && sp.Parent == "" {
+			t.Fatalf("child %q has no parent id", sp.Name)
+		}
+	}
+	// Children reference ids that exist in the tree.
+	for _, sp := range all[1:] {
+		if !ids[sp.Parent] {
+			t.Fatalf("span %q parent %s not in tree", sp.Name, sp.Parent)
+		}
+	}
+}
+
+func TestTracedSpanTreeEncodeDecodeRoundTrip(t *testing.T) {
+	src := NewIDSource(21)
+	tc := src.NewTrace()
+	r := NewSpanRecorder()
+	r.Trace(tc, SpanID{})
+	r.ProbeStarted(sched.R(2))
+	r.ProbeFinished(sched.R(2), true)
+	r.SearchFinished("jump", 1)
+	root := r.Root()
+
+	data, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != tc.TraceID.String() || back.SpanID != tc.SpanID.String() {
+		t.Fatalf("root ids lost: trace=%q span=%q", back.TraceID, back.SpanID)
+	}
+	if back.Parent != "" {
+		t.Fatalf("local root grew a parent: %q", back.Parent)
+	}
+	ids := map[string]bool{}
+	for _, sp := range collectSpans(&back) {
+		if sp.SpanID == "" || ids[sp.SpanID] {
+			t.Fatalf("decoded tree has missing/duplicate span id on %q", sp.Name)
+		}
+		ids[sp.SpanID] = true
+	}
+}
+
+func TestSpanRecorderDeterministicChildIDs(t *testing.T) {
+	build := func() *Span {
+		src := NewIDSource(5)
+		r := NewSpanRecorder()
+		r.Trace(src.NewTrace(), SpanID{})
+		r.StartPhase("prepare")()
+		r.ProbeStarted(sched.R(1))
+		r.ProbeFinished(sched.R(1), true)
+		r.SearchFinished("jump", 1)
+		return r.Root()
+	}
+	a, b := collectSpans(build()), collectSpans(build())
+	if len(a) != len(b) {
+		t.Fatalf("tree shapes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SpanID != b[i].SpanID {
+			t.Fatalf("seeded ids diverged at %q: %s vs %s", a[i].Name, a[i].SpanID, b[i].SpanID)
+		}
+	}
+}
+
+func TestUntracedRecorderStaysPlain(t *testing.T) {
+	r := NewSpanRecorder()
+	r.ProbeStarted(sched.R(2))
+	r.ProbeFinished(sched.R(2), true)
+	r.SearchFinished("jump", 1)
+	for _, sp := range collectSpans(r.Root()) {
+		if sp.TraceID != "" || sp.SpanID != "" || sp.Parent != "" {
+			t.Fatalf("untraced span %q carries trace fields", sp.Name)
+		}
+	}
+	// Trace with an invalid context is a no-op, not a panic.
+	r2 := NewSpanRecorder()
+	r2.Trace(TraceContext{}, SpanID{})
+	r2.SearchFinished("jump", 0)
+	if r2.Root().TraceID != "" {
+		t.Fatal("invalid context bound anyway")
+	}
+}

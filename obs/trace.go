@@ -1,0 +1,190 @@
+package obs
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Distributed trace identity, W3C Trace Context compatible: a request
+// entering the fleet gets a 128-bit trace id that every process it
+// touches shares, each process's span tree hangs off the caller's span
+// id, and the whole chain rides the standard `traceparent` header
+// (version 00).  The schedlb front tier opens the root, schedserve
+// shards extract it and parent their handler/solve trees under the
+// proxy's upstream span, and the flight recorders on both sides key
+// their rings by the shared trace id — one join key from the client's
+// request to the innermost dual-approximation probe.
+
+// TraceID is the 128-bit trace identity shared by every span of one
+// distributed request.  The all-zero id is invalid per the W3C spec.
+type TraceID [16]byte
+
+// String returns the canonical 32-digit lowercase hex form.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// SpanID is the 64-bit identity of one span within a trace.  The
+// all-zero id is invalid per the W3C spec.
+type SpanID [8]byte
+
+// String returns the canonical 16-digit lowercase hex form.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// TraceContext identifies one position in a distributed trace: the
+// trace the request belongs to, the span the current operation runs
+// under, and whether the trace is sampled (recorded).  The zero value
+// is "not traced"; check Valid before propagating.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context carries usable (nonzero) ids.
+func (tc TraceContext) Valid() bool { return !tc.TraceID.IsZero() && !tc.SpanID.IsZero() }
+
+// TraceParent renders the W3C traceparent header value:
+// 00-<trace-id>-<span-id>-<flags> with flags 01 when sampled.
+func (tc TraceContext) TraceParent() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID.String() + "-" + tc.SpanID.String() + "-" + flags
+}
+
+// TraceParentHeader is the W3C Trace Context propagation header.
+const TraceParentHeader = "traceparent"
+
+// ParseTraceParent parses a W3C traceparent value.  Unknown versions
+// are accepted if they keep the version-00 field layout (per the spec's
+// forward-compatibility rule); zero ids are rejected.
+func ParseTraceParent(s string) (TraceContext, error) {
+	var tc TraceContext
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (span id) + 1 + 2 (flags)
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, fmt.Errorf("obs: malformed traceparent %q", s)
+	}
+	if s[0] == 'f' && s[1] == 'f' {
+		return tc, fmt.Errorf("obs: invalid traceparent version %q", s[:2])
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return tc, fmt.Errorf("obs: bad trace id in %q: %w", s, err)
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
+		return tc, fmt.Errorf("obs: bad span id in %q: %w", s, err)
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(s[53:55])); err != nil {
+		return tc, fmt.Errorf("obs: bad trace flags in %q: %w", s, err)
+	}
+	tc.Sampled = flags[0]&1 == 1
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("obs: zero trace or span id in %q", s)
+	}
+	return tc, nil
+}
+
+// InjectTrace writes the context into the traceparent header of an
+// outgoing request.
+func InjectTrace(h http.Header, tc TraceContext) {
+	if tc.Valid() {
+		h.Set(TraceParentHeader, tc.TraceParent())
+	}
+}
+
+// TraceFromHeader extracts the trace context of an incoming request.
+// The second result is false when the header is absent or malformed —
+// the request is then simply untraced, never an error.
+func TraceFromHeader(h http.Header) (TraceContext, bool) {
+	v := h.Get(TraceParentHeader)
+	if v == "" {
+		return TraceContext{}, false
+	}
+	tc, err := ParseTraceParent(v)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// IDSource generates trace and span ids from a deterministic SplitMix64
+// stream behind one atomic counter: id generation is lock-free and
+// allocation-free, and a seeded source makes ids reproducible for
+// tests.  The zero value is a valid source seeded with 0; NewIDSource
+// picks the seed explicitly.
+type IDSource struct {
+	state atomic.Uint64
+}
+
+// NewIDSource returns a source whose id sequence is a pure function of
+// seed.
+func NewIDSource(seed uint64) *IDSource {
+	s := &IDSource{}
+	s.state.Store(seed)
+	return s
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — the same
+// mix the shard ring uses, so id quality matches the hashing tier.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// next returns one nonzero 64-bit id.
+func (s *IDSource) next() uint64 {
+	for {
+		v := splitmix64(s.state.Add(1))
+		if v != 0 {
+			return v
+		}
+	}
+}
+
+// NewTrace opens a fresh sampled root context: new trace id, new span
+// id.
+func (s *IDSource) NewTrace() TraceContext {
+	var tc TraceContext
+	binary.BigEndian.PutUint64(tc.TraceID[:8], s.next())
+	binary.BigEndian.PutUint64(tc.TraceID[8:], s.next())
+	binary.BigEndian.PutUint64(tc.SpanID[:], s.next())
+	tc.Sampled = true
+	return tc
+}
+
+// Child derives a context for a child span: same trace id and sampled
+// flag, fresh span id.
+func (s *IDSource) Child(parent TraceContext) TraceContext {
+	tc := parent
+	binary.BigEndian.PutUint64(tc.SpanID[:], s.next())
+	return tc
+}
+
+// defaultIDSource backs the package-level helpers, seeded from
+// crypto/rand at startup so independent processes never collide.
+var defaultIDSource = func() *IDSource {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic("obs: seeding trace id source: " + err.Error())
+	}
+	return NewIDSource(binary.BigEndian.Uint64(b[:]))
+}()
+
+// NewTrace opens a fresh sampled root context from the process-global
+// id source.
+func NewTrace() TraceContext { return defaultIDSource.NewTrace() }
+
+// ChildOf derives a child context from the process-global id source.
+func ChildOf(parent TraceContext) TraceContext { return defaultIDSource.Child(parent) }

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestIDSourceDeterministic(t *testing.T) {
+	a := NewIDSource(42)
+	b := NewIDSource(42)
+	for i := 0; i < 10; i++ {
+		ta, tb := a.NewTrace(), b.NewTrace()
+		if ta != tb {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, ta, tb)
+		}
+		if !ta.Valid() || !ta.Sampled {
+			t.Fatalf("fresh trace not valid+sampled: %+v", ta)
+		}
+	}
+	if NewIDSource(1).NewTrace() == NewIDSource(2).NewTrace() {
+		t.Fatal("different seeds produced the same trace")
+	}
+}
+
+func TestChildKeepsTraceID(t *testing.T) {
+	src := NewIDSource(7)
+	root := src.NewTrace()
+	child := src.Child(root)
+	if child.TraceID != root.TraceID {
+		t.Fatalf("child changed trace id: %v vs %v", child.TraceID, root.TraceID)
+	}
+	if child.SpanID == root.SpanID {
+		t.Fatal("child reused parent span id")
+	}
+	if child.Sampled != root.Sampled {
+		t.Fatal("child changed sampled flag")
+	}
+}
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tc := NewIDSource(99).NewTrace()
+	hdr := tc.TraceParent()
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("unexpected header form %q", hdr)
+	}
+	got, err := ParseTraceParent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceParent(%q): %v", hdr, err)
+	}
+	if got != tc {
+		t.Fatalf("round trip: %+v != %+v", got, tc)
+	}
+
+	tc.Sampled = false
+	got, err = ParseTraceParent(tc.TraceParent())
+	if err != nil || got.Sampled {
+		t.Fatalf("unsampled round trip: %+v err=%v", got, err)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-abc",
+		// zero trace id
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		// zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		// version ff is reserved-invalid
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		// non-hex trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+		// wrong separators
+		"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	}
+	for _, s := range bad {
+		if _, err := ParseTraceParent(s); err == nil {
+			t.Errorf("ParseTraceParent(%q) accepted", s)
+		}
+	}
+	// Future version with the 00 layout is accepted (spec forward-compat).
+	if _, err := ParseTraceParent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); err != nil {
+		t.Errorf("future version rejected: %v", err)
+	}
+}
+
+func TestInjectExtractHeader(t *testing.T) {
+	h := http.Header{}
+	if _, ok := TraceFromHeader(h); ok {
+		t.Fatal("extract from empty header succeeded")
+	}
+	tc := NewIDSource(3).NewTrace()
+	InjectTrace(h, tc)
+	got, ok := TraceFromHeader(h)
+	if !ok || got != tc {
+		t.Fatalf("inject/extract: ok=%v got=%+v want=%+v", ok, got, tc)
+	}
+	h.Set(TraceParentHeader, "garbage")
+	if _, ok := TraceFromHeader(h); ok {
+		t.Fatal("malformed header extracted")
+	}
+	// Zero contexts must not be injected.
+	h2 := http.Header{}
+	InjectTrace(h2, TraceContext{})
+	if h2.Get(TraceParentHeader) != "" {
+		t.Fatal("invalid context was injected")
+	}
+}
+
+func TestIDSourceUniqueness(t *testing.T) {
+	src := NewIDSource(0)
+	seen := map[SpanID]bool{}
+	parent := src.NewTrace()
+	seen[parent.SpanID] = true
+	for i := 0; i < 1000; i++ {
+		c := src.Child(parent)
+		if seen[c.SpanID] {
+			t.Fatalf("span id collision after %d children", i)
+		}
+		seen[c.SpanID] = true
+	}
+}

@@ -35,6 +35,12 @@ import (
 //	sched_sessions_exported_total     snapshots exported (drain/flush)
 //	sched_sessions_imported_total     snapshots imported (migration/restore)
 //	sched_shard_info{shard}           constant 1, shard identity label
+//	sched_build_info{...}             constant 1, go version / gomaxprocs /
+//	                                  shard labels (obs.RegisterBuildInfo)
+//	sched_traces_recorded_total       request traces booked into the
+//	                                  flight recorder
+//	sched_traces_dropped_total        flight-recorder ring entries
+//	                                  overwritten before being read
 //	sched_draining                    1 while draining for migration
 //	sched_uptime_seconds              process uptime of this Server
 //	go_*                              runtime block (goroutines, heap, GC)
@@ -72,6 +78,9 @@ type serverMetrics struct {
 	sessionWarmHits    *obs.Counter
 	sessionsExported   *obs.Counter
 	sessionsImported   *obs.Counter
+
+	tracesRecorded *obs.Counter
+	tracesDropped  *obs.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -112,6 +121,9 @@ func newServerMetrics() *serverMetrics {
 		sessionWarmHits:    reg.Counter("sched_session_warm_hits_total", "Session solves that validated a warm-start seed."),
 		sessionsExported:   reg.Counter("sched_sessions_exported_total", "Session snapshots exported by drain/shutdown flush."),
 		sessionsImported:   reg.Counter("sched_sessions_imported_total", "Session snapshots imported (migration or restart restore)."),
+
+		tracesRecorded: reg.Counter("sched_traces_recorded_total", "Request traces booked into the flight recorder."),
+		tracesDropped:  reg.Counter("sched_traces_dropped_total", "Flight-recorder ring entries overwritten before being read."),
 	}
 	reg.GaugeFunc("sched_uptime_seconds", "Uptime of this Server.",
 		func() float64 { return time.Since(m.start).Seconds() })
@@ -142,6 +154,7 @@ func (m *serverMetrics) registerDerived(s *Server) {
 			"Shard identity of this process (constant 1).",
 			func() float64 { return 1 })
 	}
+	obs.RegisterBuildInfo(m.reg, s.cfg.ShardID)
 	m.reg.GaugeFunc("sched_draining", "1 while this shard is draining for migration, else 0.",
 		func() float64 {
 			if s.Draining() {

@@ -323,6 +323,53 @@ func TestSlowSolveLog(t *testing.T) {
 	}
 }
 
+// TestSlowSolveLogTraced pins that the phase breakdown survives wire
+// tracing: finishWire wraps the solve tree in the "handler" span, and
+// the slow-solve line must still attribute prepare/search/build from
+// the solve child, not read zeros off the wrapper.
+func TestSlowSolveLogTraced(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lg := slog.New(slog.NewJSONHandler(lockedWriter{mu: &mu, w: &buf}, nil))
+	s := New(Config{SlowSolveThreshold: time.Nanosecond, Logger: lg})
+
+	resp := s.Solve(context.Background(), &SolveRequest{
+		Instance:     testInstance(9),
+		IncludeSpans: true,
+		TraceParent:  "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	})
+	if resp.Error != "" {
+		t.Fatalf("solve error: %s", resp.Error)
+	}
+	if resp.Spans == nil || resp.Spans.Name != "handler" {
+		t.Fatalf("traced response root = %+v, want handler span", resp.Spans)
+	}
+	solve := resp.Spans.Child("solve")
+	if solve == nil {
+		t.Fatal("handler span has no solve child")
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	var line map[string]any
+	if err := json.Unmarshal([]byte(out), &line); err != nil {
+		t.Fatalf("slow-solve line is not JSON: %v\n%s", err, out)
+	}
+	if got, want := line["trace_id"], "4bf92f3577b34da6a3ce929d0e0e4736"; got != want {
+		t.Errorf("trace_id = %v, want %v", got, want)
+	}
+	for _, phase := range []string{"prepare", "search", "build"} {
+		want := 0.0
+		if sp := solve.Child(phase); sp != nil {
+			want = float64(sp.DurUS) / 1e3
+		}
+		if got := line[phase+"_ms"]; got != want {
+			t.Errorf("%s_ms = %v, want %v (from span tree)\n%s", phase, got, want, out)
+		}
+	}
+}
+
 type lockedWriter struct {
 	mu *sync.Mutex
 	w  io.Writer

@@ -139,11 +139,21 @@ type Config struct {
 	StoreFactory shard.Factory
 	// SlowSolveThreshold, when positive, makes every solve record a span
 	// tree and emits one structured log line (obs.LogSlowSolve: phase
-	// breakdown, fingerprint, probe count) for solves slower than this.
-	// Zero disables slow-solve logging.
+	// breakdown, trace id, fingerprint, probe count) for solves slower
+	// than this.  It doubles as the flight recorder's slow-ring
+	// threshold.  Zero disables slow-solve logging.
 	SlowSolveThreshold time.Duration
 	// Logger receives the slow-solve lines; nil means slog.Default().
 	Logger *slog.Logger
+	// FlightRecorderSize caps the always-on flight recorder's ring of
+	// recently completed request traces, served at GET /v1/debug/traces.
+	// Zero means obs.DefaultFlightCapacity; negative disables the
+	// recorder and the endpoint.
+	FlightRecorderSize int
+	// TraceIDs overrides the span-id source for this server's wire spans
+	// (seed it for deterministic tests).  Nil uses the process-global
+	// crypto-seeded source.
+	TraceIDs *obs.IDSource
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +204,9 @@ type Server struct {
 	// (see the alloc regression test in the root package).
 	probeObs setupsched.Observer
 	logger   *slog.Logger
+	// flight retains completed request traces for GET /v1/debug/traces;
+	// nil when Config.FlightRecorderSize is negative.
+	flight *obs.FlightRecorder
 	// draining flips one-way when the shard is told to leave the
 	// topology: health turns 503 and session creates are refused (see
 	// admin.go for the migration protocol).
@@ -235,6 +248,11 @@ func New(cfg Config) *Server {
 	m.registerDerived(s)
 	if s.cfg.MaxConcurrentBatches > 0 {
 		s.batchGate = make(chan struct{}, s.cfg.MaxConcurrentBatches)
+	}
+	if s.cfg.FlightRecorderSize >= 0 {
+		s.flight = obs.NewFlightRecorder(s.cfg.FlightRecorderSize, 0, s.cfg.SlowSolveThreshold)
+		s.flight.SetCounters(m.tracesRecorded, m.tracesDropped)
+		s.mux.Handle("GET /v1/debug/traces", s.flight.Handler())
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -303,6 +321,22 @@ type SolveRequest struct {
 	IncludeSpans bool `json:"include_spans,omitempty"`
 	// NoCache bypasses the result cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// TraceParent propagates a W3C trace context into this solve.  The
+	// HTTP handlers fill it from the traceparent request header; on the
+	// NDJSON batch route schedlb injects it per line (headers are
+	// per-request, lines fan out to different owners).  A valid sampled
+	// value makes the solve record a full wire-span tree (handler/queue
+	// plus prepare/search/build), stamp trace_id into the response, and
+	// land in the flight recorder; anything else leaves the request
+	// untraced.
+	TraceParent string `json:"traceparent,omitempty"`
+
+	// arrival is when the request hit the process (HTTP arrival, or the
+	// batch line's enqueue time) — the start of the traced queue span.
+	// Zero means "now" (no measurable queue wait).
+	arrival time.Time
+	// route labels the flight-recorder entry; empty means "solve".
+	route string
 }
 
 // SolveResponse is the JSON result of one solve.  Exact rationals are
@@ -327,10 +361,13 @@ type SolveResponse struct {
 	Warm bool `json:"warm,omitempty"`
 	// SessionRev is the session revision the result is valid for; only
 	// set by the session endpoints.
-	SessionRev uint64        `json:"session_rev,omitempty"`
-	ElapsedMS  float64       `json:"elapsed_ms"`
-	Schedule   *ScheduleJSON `json:"schedule,omitempty"`
-	Trace      []ProbeJSON   `json:"trace,omitempty"`
+	SessionRev uint64 `json:"session_rev,omitempty"`
+	// TraceID is the distributed trace id of a traced request — the join
+	// key into /v1/debug/traces on every tier it crossed.
+	TraceID   string        `json:"trace_id,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Schedule  *ScheduleJSON `json:"schedule,omitempty"`
+	Trace     []ProbeJSON   `json:"trace,omitempty"`
 	// Spans is the solve's span tree (request include_spans): phase-
 	// attributed timings in microseconds since the solve began.
 	Spans *obs.Span `json:"spans,omitempty"`
@@ -483,7 +520,11 @@ func (s *Server) solveContext(ctx context.Context, req *SolveRequest) (context.C
 // (Error field) so batch streams can carry per-item failures.
 func (s *Server) Solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 	started := time.Now()
-	rec := s.spanRecorder(req)
+	wt, traced := s.startWire(req)
+	rec := s.spanRecorder(req, traced)
+	if traced {
+		rec.Trace(s.childOf(wt.handler), wt.handler.SpanID)
+	}
 	resp := s.solve(ctx, req, rec)
 	elapsed := time.Since(started)
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
@@ -493,6 +534,13 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 		if req.IncludeSpans {
 			resp.Spans = resp.spanRoot
 		}
+	}
+	if traced {
+		route := req.route
+		if route == "" {
+			route = "solve"
+		}
+		s.finishWire(wt, req, route, started, elapsed, resp)
 	}
 	if resp.Error != "" {
 		s.metrics.errors.Inc()
@@ -504,11 +552,12 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) *SolveResponse {
 }
 
 // spanRecorder returns a fresh recorder when this request needs one:
-// the client asked for spans, or slow-solve logging needs the phase
-// breakdown of every solve.  Nil otherwise — the hot path then carries
-// only the shared allocation-free probe counter.
-func (s *Server) spanRecorder(req *SolveRequest) *obs.SpanRecorder {
-	if req.IncludeSpans || s.cfg.SlowSolveThreshold > 0 {
+// the request is traced, the client asked for spans, or slow-solve
+// logging needs the phase breakdown of every solve.  Nil otherwise —
+// the hot path then carries only the shared allocation-free probe
+// counter.
+func (s *Server) spanRecorder(req *SolveRequest, traced bool) *obs.SpanRecorder {
+	if traced || req.IncludeSpans || s.cfg.SlowSolveThreshold > 0 {
 		return obs.NewSpanRecorder()
 	}
 	return nil
@@ -525,7 +574,13 @@ func (s *Server) maybeLogSlow(elapsed time.Duration, resp *SolveResponse, fallba
 	if fp == "" {
 		fp = fallbackFP
 	}
-	obs.LogSlowSolve(s.logger, elapsed, fp, resp.Variant, resp.Algorithm, resp.Probes, resp.spanRoot)
+	// On traced requests finishWire has wrapped the solve tree in the
+	// "handler" wire span; the phase breakdown lives one level down.
+	root := resp.spanRoot
+	if root != nil && root.Name == "handler" {
+		root = root.Child("solve")
+	}
+	obs.LogSlowSolve(s.logger, elapsed, resp.TraceID, fp, resp.Variant, resp.Algorithm, resp.Probes, root)
 }
 
 // viewPool recycles canonical views across requests: a view's sort
@@ -743,6 +798,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
 	s.metrics.solveRequests.Inc()
 	var req SolveRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -751,6 +807,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, &SolveResponse{Error: "decoding request: " + err.Error()})
 		return
 	}
+	if req.TraceParent == "" {
+		req.TraceParent = r.Header.Get(obs.TraceParentHeader)
+	}
+	req.arrival = arrival
 	resp := s.Solve(r.Context(), &req)
 	status := resp.status
 	if status == 0 {
@@ -765,6 +825,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 type batchItem struct {
 	line *[]byte
 	out  chan *SolveResponse
+	// enq is when the line was read off the stream; the gap until a
+	// worker picks the item up is the traced queue span.
+	enq time.Time
 }
 
 // lineBufPool recycles the per-line copy a batch reader must take before
@@ -805,6 +868,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	jobs := make(chan batchItem)
 	order := make(chan chan *SolveResponse, 4*s.cfg.Workers)
+	// A request-level traceparent header traces every line that does not
+	// carry its own per-line context (schedlb injects per-line).
+	hdrTrace := r.Header.Get(obs.TraceParentHeader)
 	for i := 0; i < s.cfg.Workers; i++ {
 		go func() {
 			for it := range jobs {
@@ -816,6 +882,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					it.out <- &SolveResponse{Error: "decoding request: " + err.Error()}
 					continue
 				}
+				if req.TraceParent == "" {
+					req.TraceParent = hdrTrace
+				}
+				req.arrival = it.enq
+				req.route = "batch-item"
 				// The request context cancels in-flight solves when the
 				// client disconnects mid-stream.
 				it.out <- s.Solve(r.Context(), &req)
@@ -836,7 +907,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.metrics.batchItems.Inc()
 			buf := lineBufPool.Get().(*[]byte)
 			*buf = append((*buf)[:0], line...)
-			it := batchItem{line: buf, out: make(chan *SolveResponse, 1)}
+			it := batchItem{line: buf, out: make(chan *SolveResponse, 1), enq: time.Now()}
 			order <- it.out
 			jobs <- it
 		}

@@ -410,6 +410,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
 	s.metrics.sessionRequests.Inc()
 	e := s.sessionFor(w, r)
 	if e == nil {
@@ -422,6 +423,10 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, &SolveResponse{Error: "decoding request: " + err.Error()})
 		return
 	}
+	if req.TraceParent == "" {
+		req.TraceParent = r.Header.Get(obs.TraceParentHeader)
+	}
+	req.arrival = arrival
 	resp := s.sessionSolve(r, e, &req)
 	status := resp.status
 	if status == 0 {
@@ -436,7 +441,11 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 // global result cache is not consulted.
 func (s *Server) sessionSolve(r *http.Request, e *sessionEntry, req *SolveRequest) *SolveResponse {
 	started := time.Now()
-	rec := s.spanRecorder(req)
+	wt, traced := s.startWire(req)
+	rec := s.spanRecorder(req, traced)
+	if traced {
+		rec.Trace(s.childOf(wt.handler), wt.handler.SpanID)
+	}
 	resp := s.sessionSolveInner(r, e, req, rec)
 	elapsed := time.Since(started)
 	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
@@ -446,6 +455,9 @@ func (s *Server) sessionSolve(r *http.Request, e *sessionEntry, req *SolveReques
 		if req.IncludeSpans {
 			resp.Spans = resp.spanRoot
 		}
+	}
+	if traced {
+		s.finishWire(wt, req, "session", started, elapsed, resp)
 	}
 	if resp.Error != "" {
 		s.metrics.errors.Inc()

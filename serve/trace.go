@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"setupsched/obs"
+)
+
+// Distributed-tracing glue of the shard side: a request arriving with a
+// sampled W3C traceparent (header on the solve/session routes, per-line
+// "traceparent" JSON field on the batch route — injected by schedlb) is
+// wrapped in a "handler" wire span that parents a "queue" child (time
+// between arrival/enqueue and the solve starting: decode on the solve
+// route, the worker-pool wait on the batch route) and the recorder's
+// prepare/search/build solve tree.  The finished tree is stamped into
+// the response (trace_id + spans), the slow-solve log, and the flight
+// recorder behind GET /v1/debug/traces.
+//
+// Requests without a valid sampled traceparent take none of this path:
+// no recorder, no flight record, no allocations (the alloc regression
+// test in alloc_test.go pins that).
+
+// wireTrace is the per-request trace state: the caller's wire context
+// and the identity of this process's handler span.
+type wireTrace struct {
+	remote  obs.TraceContext
+	handler obs.TraceContext
+}
+
+// startWire parses the request's propagated context.  Absent, malformed
+// or unsampled contexts mean "untraced" — never an error.
+func (s *Server) startWire(req *SolveRequest) (wireTrace, bool) {
+	if req.TraceParent == "" {
+		return wireTrace{}, false
+	}
+	tc, err := obs.ParseTraceParent(req.TraceParent)
+	if err != nil || !tc.Sampled {
+		return wireTrace{}, false
+	}
+	return wireTrace{remote: tc, handler: s.childOf(tc)}, true
+}
+
+// childOf mints a child context from the configured id source (tests)
+// or the process-global one.
+func (s *Server) childOf(tc obs.TraceContext) obs.TraceContext {
+	if s.cfg.TraceIDs != nil {
+		return s.cfg.TraceIDs.Child(tc)
+	}
+	return obs.ChildOf(tc)
+}
+
+// serviceName labels this process's flight-recorder entries.
+func (s *Server) serviceName() string {
+	if s.cfg.ShardID != "" {
+		return s.cfg.ShardID
+	}
+	return "schedserve"
+}
+
+// finishWire assembles the handler wire tree around the recorded solve
+// tree, stamps the trace id into the response, and books the completed
+// trace into the flight recorder.
+func (s *Server) finishWire(wt wireTrace, req *SolveRequest, route string, started time.Time, elapsed time.Duration, resp *SolveResponse) {
+	resp.TraceID = wt.remote.TraceID.String()
+	root := s.wireRoot(wt, req.arrival, started, elapsed, resp.spanRoot)
+	resp.spanRoot = root
+	if req.IncludeSpans {
+		resp.Spans = root
+	}
+	if s.flight != nil {
+		status := resp.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.flight.Record(obs.RecordedTrace{
+			TraceID: root.TraceID,
+			Service: s.serviceName(),
+			Route:   route,
+			Shard:   s.cfg.ShardID,
+			Status:  status,
+			DurUS:   root.DurUS,
+			Root:    root,
+		})
+	}
+}
+
+// wireRoot builds the "handler" span: parented under the caller's wire
+// span, covering queue wait plus the solve, with the solve tree rebased
+// onto the handler's timebase (µs since arrival).
+func (s *Server) wireRoot(wt wireTrace, arrival, started time.Time, elapsed time.Duration, solveRoot *obs.Span) *obs.Span {
+	if arrival.IsZero() {
+		arrival = started
+	}
+	queueUS := started.Sub(arrival).Microseconds()
+	if queueUS < 0 {
+		queueUS = 0
+	}
+	handler := &obs.Span{
+		Name:    "handler",
+		DurUS:   queueUS + elapsed.Microseconds(),
+		TraceID: wt.remote.TraceID.String(),
+		SpanID:  wt.handler.SpanID.String(),
+		Parent:  wt.remote.SpanID.String(),
+		Shard:   s.cfg.ShardID,
+	}
+	queue := &obs.Span{
+		Name:   "queue",
+		DurUS:  queueUS,
+		SpanID: s.childOf(wt.handler).SpanID.String(),
+		Parent: handler.SpanID,
+	}
+	handler.Children = append(handler.Children, queue)
+	if solveRoot != nil {
+		shiftSpans(solveRoot, queueUS)
+		handler.Children = append(handler.Children, solveRoot)
+	}
+	return handler
+}
+
+// shiftSpans rebases a tree's timestamps by deltaUS.
+func shiftSpans(sp *obs.Span, deltaUS int64) {
+	sp.StartUS += deltaUS
+	for _, c := range sp.Children {
+		shiftSpans(c, deltaUS)
+	}
+}
+
+// Flight exposes the server's flight recorder (nil when disabled), so
+// embedders and the load harness can read retained traces directly.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
